@@ -1,0 +1,7 @@
+"""Shared helper for the benchmark files (kept out of conftest so the
+module name stays import-unambiguous next to tests/conftest.py)."""
+
+
+def once(benchmark, fn):
+    """Run an expensive harness exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+"""Ablation C — VMware's timer catch-up is the Figure 7/8 mechanism.
+
+Disabling tick catch-up in the vmplayer profile removes most of its
+host-CPU penalty and replaces it with guest-clock loss: the intrusiveness
+and the timekeeping quality are two sides of one design choice (the
+paper's reference [22]).
+"""
+
+import dataclasses
+
+import pytest
+
+from _bench_util import once
+from repro.core.figures import FigureData, MeasuredPoint
+from repro.core.testbed import build_host_testbed
+from repro.virt.profiles import get_profile
+from repro.virt.vm import VirtualMachine, VmConfig
+from repro.workloads.einstein import EinsteinTask, EinsteinWorkunit
+from repro.workloads.sevenzip import SevenZipHostBenchmark
+
+
+def _run(profile, seed):
+    testbed = build_host_testbed(seed, with_peer=False,
+                                 with_timeserver=False)
+    vm = VirtualMachine(testbed.kernel, profile, VmConfig())
+
+    def driver():
+        yield from vm.boot()
+        ctx = vm.guest_context()
+        task = EinsteinTask(EinsteinWorkunit(n_templates=10 ** 9))
+        yield from task.run_forever(ctx)
+
+    testbed.engine.process(driver(), "einstein")
+    bench = SevenZipHostBenchmark(testbed.kernel, threads=2,
+                                  duration_s=12.0,
+                                  rng=testbed.rng.fork("7z"))
+    result = testbed.run_to_completion(
+        testbed.engine.process(bench.run(), "bench")
+    )
+    clock_error = vm.guest_clock.error_seconds(testbed.engine.now)
+    vm.shutdown()
+    return result.metric("usage_pct"), clock_error
+
+
+def _ablation():
+    stock = get_profile("vmplayer")
+    ablated = dataclasses.replace(stock, tick_catchup=False)
+    fig = FigureData(
+        fig_id="ablation-catchup",
+        title="VMware tick catch-up on/off: host CPU vs guest clock",
+        unit="% CPU / seconds lost",
+        notes="Catch-up trades host CPU for guest-clock accuracy.",
+    )
+    usage, error = _run(stock, seed=37)
+    fig.series["catch-up ON: host cpu%"] = MeasuredPoint(usage)
+    fig.series["catch-up ON: clock lost (s)"] = MeasuredPoint(error)
+    usage, error = _run(ablated, seed=37)
+    fig.series["catch-up OFF: host cpu%"] = MeasuredPoint(usage)
+    fig.series["catch-up OFF: clock lost (s)"] = MeasuredPoint(error)
+    return fig
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_catchup_ablation(benchmark, record_figure):
+    fig = once(benchmark, _ablation)
+    record_figure(fig)
+    on_cpu = fig.series["catch-up ON: host cpu%"].value
+    off_cpu = fig.series["catch-up OFF: host cpu%"].value
+    on_err = fig.series["catch-up ON: clock lost (s)"].value
+    off_err = fig.series["catch-up OFF: clock lost (s)"].value
+    assert off_cpu > on_cpu + 25      # penalty mostly disappears
+    assert on_err < 0.5               # clock honest with catch-up
+    assert off_err > 5.0              # clock broken without it

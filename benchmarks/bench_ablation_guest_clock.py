@@ -1,0 +1,82 @@
+"""Ablation A — why NBench cannot be run inside a guest (§4.2.2).
+
+Runs NBench's INT group inside a guest under host load, timed two ways:
+by the guest's own clock (what naive benchmarking would do) and by true
+time.  The guest clock's tick loss inflates the apparent index — the
+"misleading results" the paper names as the reason it confined NBench to
+the host and timed guests via the UDP server.
+"""
+
+import pytest
+
+from _bench_util import once
+from repro.core.figures import FigureData, MeasuredPoint
+from repro.core.testbed import boot_vm, build_host_testbed
+from repro.hardware.cpu import MIX_SEVENZIP
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.virt.vm import VmConfig
+from repro.workloads.nbench import IndexGroup, NBenchHarness
+
+
+def _run_nbench_in_guest(env: str, with_host_load: bool, seed: int):
+    testbed = build_host_testbed(seed, with_peer=False)
+    if with_host_load:
+        # one host thread per core grinding at normal priority
+        for index in range(2):
+            thread = testbed.kernel.spawn_thread(f"load{index}",
+                                                 PRIORITY_NORMAL)
+            ctx = testbed.kernel.context(thread)
+
+            def grind(ctx=ctx):
+                while True:
+                    yield from ctx.compute(1e8, MIX_SEVENZIP)
+
+            testbed.engine.process(grind(), f"load{index}")
+
+    def driver():
+        vm = yield from boot_vm(testbed, env, VmConfig())
+        ctx = vm.guest_context()  # timed by the guest clock!
+        harness = NBenchHarness(min_measure_s=0.2, max_iterations=60,
+                                groups=[IndexGroup.INT])
+        result = yield from harness.run(ctx)
+        nbench = result.metric("result")
+        clock_index = nbench.index(IndexGroup.INT)
+        true_index = nbench.index(IndexGroup.INT, true_rates=True)
+        return clock_index, true_index, vm
+
+    clock_index, true_index, vm = testbed.run_to_completion(
+        testbed.engine.process(driver(), "nbench-guest")
+    )
+    error = vm.guest_clock.error_seconds(testbed.engine.now)
+    vm.shutdown()
+    return clock_index, true_index, error
+
+
+def _ablation():
+    fig = FigureData(
+        fig_id="ablation-guest-clock",
+        title="NBench INT index inside a guest: guest clock vs truth",
+        unit="index (1.0 = reference native)",
+        notes="Under host load, drop-policy guest clocks inflate the "
+              "apparent index — the paper's §4.2.2 'misleading results'.",
+    )
+    for env in ("qemu", "virtualbox"):
+        clock_idx, true_idx, error = _run_nbench_in_guest(
+            env, with_host_load=True, seed=17
+        )
+        fig.series[f"{env} (guest clock)"] = MeasuredPoint(clock_idx)
+        fig.series[f"{env} (true time)"] = MeasuredPoint(true_idx)
+        fig.series[f"{env} clock lost (s)"] = MeasuredPoint(error)
+    return fig
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_guest_clock_ablation(benchmark, record_figure):
+    fig = once(benchmark, _ablation)
+    record_figure(fig)
+    for env in ("qemu", "virtualbox"):
+        clock_idx = fig.series[f"{env} (guest clock)"].value
+        true_idx = fig.series[f"{env} (true time)"].value
+        # the lying clock inflates apparent performance dramatically
+        assert clock_idx > 1.5 * true_idx
+        assert fig.series[f"{env} clock lost (s)"].value > 1.0

@@ -1,0 +1,83 @@
+"""Ablation D — Figure 4's mechanism: throughput vs per-packet cost.
+
+Sweeps the virtual NIC's per-packet emulation cycles and shows measured
+throughput tracking the additive serialisation model
+``payload / (wire + stack + vnic)`` — i.e. each VMM's Figure-4 bar is
+one point on a single mechanism curve.
+"""
+
+import dataclasses
+
+import pytest
+
+from _bench_util import once
+from repro.calibration.fitting import expected_mbps
+from repro.core.figures import FigureData, MeasuredPoint
+from repro.core.testbed import boot_vm, build_host_testbed, guest_time_client
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.units import MB
+from repro.virt.profiles import NetMode, get_profile
+from repro.virt.vm import VmConfig
+from repro.workloads.netbench import IperfServer, NetBench, NetBenchConfig
+
+_SWEEP_CYCLES = (1_000.0, 50_000.0, 200_000.0, 1_000_000.0, 5_000_000.0)
+_TRANSFER = 2 * MB
+
+
+def _measure(per_packet_cycles: float, seed: int) -> float:
+    base = get_profile("vmplayer")
+    profile = dataclasses.replace(
+        base, net_modes=(NetMode("sweep", per_packet_cycles),),
+    )
+    testbed = build_host_testbed(seed)
+    IperfServer(testbed.peer_kernel, expected_bytes=_TRANSFER)
+
+    def driver():
+        vm = yield from boot_vm(testbed, profile,
+                                VmConfig(priority=PRIORITY_NORMAL))
+        # time against the host's UDP server (guest clocks lie)
+        client = guest_time_client(testbed, vm)
+        ctx = vm.guest_context(timestamp_source=client.query)
+        bench = NetBench(testbed.peer_kernel,
+                         NetBenchConfig(transfer_bytes=_TRANSFER))
+        result = yield from bench.run(ctx)
+        vm.shutdown()
+        return result.metric("mbps")
+
+    return testbed.run_to_completion(
+        testbed.engine.process(driver(), "netsweep")
+    )
+
+
+def _ablation():
+    fig = FigureData(
+        fig_id="ablation-nat",
+        title="Guest TCP throughput vs per-packet vNIC emulation cost",
+        unit="Mbps",
+        notes="Measured points vs the additive model "
+              "payload/(wire + guest stack + vnic).",
+    )
+    profile = get_profile("vmplayer")
+    stack_cycles = 2_800.0 * profile.m_kernel  # guest send path
+    for cycles in _SWEEP_CYCLES:
+        measured = _measure(cycles, seed=43)
+        predicted = expected_mbps(
+            cycles, frequency_hz=2.4e9, payload_bytes=1460,
+            frame_overhead_bytes=36, line_rate_bps=12.5e6,
+            guest_stack_cycles=stack_cycles,
+        )
+        fig.series[f"{cycles:.0f} cyc/pkt"] = MeasuredPoint(measured)
+        fig.paper[f"{cycles:.0f} cyc/pkt"] = round(predicted, 2)
+    return fig
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_nat_cost_sweep(benchmark, record_figure):
+    fig = once(benchmark, _ablation)
+    record_figure(fig)
+    values = [p.value for p in fig.series.values()]
+    # monotone decreasing in per-packet cost
+    assert all(a > b for a, b in zip(values, values[1:]))
+    # and each point matches the analytic additive model
+    for label, point in fig.series.items():
+        assert point.value == pytest.approx(fig.paper[label], rel=0.06)

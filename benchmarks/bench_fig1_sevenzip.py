@@ -1,0 +1,17 @@
+"""Figure 1 — relative performance of 7z on virtual machines."""
+
+import pytest
+
+from _bench_util import once
+from repro.calibration.targets import FIG1_SEVENZIP_RELATIVE, same_ordering
+from repro.core.figures import figure1_sevenzip
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig1_sevenzip(benchmark, record_figure):
+    fig = once(benchmark, figure1_sevenzip)
+    record_figure(fig)
+    measured = fig.measured_values()
+    assert same_ordering(measured, FIG1_SEVENZIP_RELATIVE)
+    for env, paper in FIG1_SEVENZIP_RELATIVE.items():
+        assert measured[env] == pytest.approx(paper, rel=0.10)

@@ -1,0 +1,28 @@
+"""Figure 2 — relative performance of Matrix on virtual machines."""
+
+import pytest
+
+from _bench_util import once
+from repro.calibration.targets import FIG2_MATRIX_RELATIVE, same_ordering
+from repro.core.figures import figure2_matrix
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig2_matrix(benchmark, record_figure):
+    fig = once(benchmark, figure2_matrix)
+    record_figure(fig)
+    measured = fig.measured_values()
+    assert same_ordering(measured, FIG2_MATRIX_RELATIVE)
+    for env, paper in FIG2_MATRIX_RELATIVE.items():
+        assert measured[env] == pytest.approx(paper, rel=0.10)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig2_matrix_1024(benchmark, record_figure):
+    """The paper's second size; slowdowns must match the 512 case."""
+    fig = once(benchmark, lambda: figure2_matrix(size=1024, default_reps=3))
+    fig.fig_id = "fig2-1024"
+    record_figure(fig)
+    measured = fig.measured_values()
+    for env, paper in FIG2_MATRIX_RELATIVE.items():
+        assert measured[env] == pytest.approx(paper, rel=0.10)

@@ -1,0 +1,20 @@
+"""Figure 4 — absolute performance for NetBench on virtual machines."""
+
+import pytest
+
+from _bench_util import once
+from repro.calibration.targets import FIG4_NETBENCH_MBPS, same_ordering
+from repro.core.figures import figure4_netbench
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig4_netbench(benchmark, record_figure):
+    fig = once(benchmark, lambda: figure4_netbench(default_reps=3))
+    record_figure(fig)
+    measured = fig.measured_values()
+    assert same_ordering(measured, FIG4_NETBENCH_MBPS)
+    for env, paper in FIG4_NETBENCH_MBPS.items():
+        assert measured[env] == pytest.approx(paper, rel=0.05)
+    # the crossovers the paper calls out
+    assert measured["qemu"] > measured["virtualpc"] > measured["vmplayer:nat"]
+    assert measured["native"] / measured["virtualbox"] > 60  # "~75x slower"

@@ -1,0 +1,16 @@
+"""FP-index overhead — the plot the paper describes but omits (§4.2.2:
+"practically no overhead was observed regarding floating point")."""
+
+import pytest
+
+from _bench_util import once
+from repro.calibration.targets import FIG6B_FP_OVERHEAD_MAX
+from repro.core.figures import figure6b_nbench_fp
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig6b_nbench_fp(benchmark, record_figure):
+    fig = once(benchmark, figure6b_nbench_fp)
+    record_figure(fig)
+    measured = fig.measured_values()
+    assert max(abs(v) for v in measured.values()) < FIG6B_FP_OVERHEAD_MAX + 0.005

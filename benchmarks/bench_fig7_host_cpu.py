@@ -1,0 +1,21 @@
+"""Figure 7 — available % CPU for the host while the guest runs at 100%."""
+
+import pytest
+
+from _bench_util import once
+from repro.calibration.targets import FIG7_HOST_CPU_PCT
+from repro.core.figures import figure7_host_cpu
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig7_host_cpu(benchmark, record_figure):
+    fig = once(benchmark, figure7_host_cpu)
+    record_figure(fig)
+    measured = fig.measured_values()
+    for (env, threads), paper in FIG7_HOST_CPU_PCT.items():
+        assert measured[f"{env}/{threads}t"] == pytest.approx(paper, rel=0.06)
+    # the paper's headline contrasts
+    assert measured["vmplayer/2t"] < measured["qemu/2t"] - 25
+    assert measured["no-vm/2t"] > 170
+    for env in ("vmplayer", "qemu", "virtualbox", "virtualpc"):
+        assert measured[f"{env}/1t"] > 96  # single-threaded: no impact

@@ -1,0 +1,20 @@
+"""Figure 8 — MIPS for host 7z while the guest runs at 100%."""
+
+import pytest
+
+from _bench_util import once
+from repro.calibration.targets import FIG8_MIPS_RATIO
+from repro.core.figures import figure8_host_mips
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig8_host_mips(benchmark, record_figure):
+    fig = once(benchmark, figure8_host_mips)
+    record_figure(fig)
+    measured = fig.measured_values()
+    for env, paper in FIG8_MIPS_RATIO.items():
+        assert measured[f"{env}/2t"] == pytest.approx(paper, abs=0.05)
+    # "VmPlayer reduces MIPS in roughly 30%, the others near 10%"
+    assert measured["vmplayer/2t"] < 0.78
+    for env in ("qemu", "virtualbox", "virtualpc"):
+        assert measured[f"{env}/2t"] > 0.85

@@ -1,0 +1,19 @@
+"""§4.2.1 — memory intrusiveness: configured, constant, well-known."""
+
+import pytest
+
+from _bench_util import once
+from repro.core.figures import memory_footprint_figure
+
+
+@pytest.mark.benchmark(group="intrusiveness")
+def test_memory_footprint(benchmark, record_figure):
+    fig = once(benchmark, memory_footprint_figure)
+    record_figure(fig)
+    measured = fig.measured_values()
+    assert measured["before boot"] == 0.0
+    assert measured["after shutdown"] == 0.0
+    assert measured["configured guest RAM"] == 300.0
+    # committed = configured + a fixed, known VMM overhead
+    overhead = measured["while running"] - measured["configured guest RAM"]
+    assert 0.0 < overhead < 64.0

@@ -1,0 +1,58 @@
+"""Sensitivity sweeps as benchmarks: mechanism dials vs headline numbers.
+
+Complements the per-figure benches: each sweep shows a paper result
+moving smoothly as one mechanistic parameter turns, including the
+checkpoint-cadence trade-off behind the paper's §1 fault-tolerance pitch.
+"""
+
+import pytest
+
+from _bench_util import once
+from repro.analysis import (
+    sweep_catchup_cost,
+    sweep_checkpoint_interval,
+    sweep_l2_coefficient,
+    sweep_service_load,
+)
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_l2_coefficient_sweep(benchmark, capsys):
+    sweep = once(benchmark, sweep_l2_coefficient)
+    with capsys.disabled():
+        print()
+        print(sweep.render())
+    assert sweep.is_monotone("mips", increasing=False)
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_service_load_sweep(benchmark, capsys):
+    sweep = once(benchmark, sweep_service_load)
+    with capsys.disabled():
+        print()
+        print(sweep.render())
+    assert sweep.is_monotone("usage_pct", increasing=False)
+    usages = sweep.series("usage_pct")
+    assert usages[0] - usages[-1] > 30.0
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_catchup_cost_sweep(benchmark, capsys):
+    sweep = once(benchmark, sweep_catchup_cost)
+    with capsys.disabled():
+        print()
+        print(sweep.render())
+    assert sweep.is_monotone("usage_pct", increasing=False)
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_checkpoint_interval_sweep(benchmark, capsys):
+    sweep = once(benchmark, sweep_checkpoint_interval)
+    with capsys.disabled():
+        print()
+        print(sweep.render())
+    losses = sweep.series("loss_fraction")
+    # rarer checkpoints lose more work to crashes (allow sampling noise
+    # between adjacent points; endpoints must separate cleanly)
+    assert losses[-1] > losses[0]
+    assert losses[0] < 0.15

@@ -1,0 +1,83 @@
+"""Simulator micro-benchmarks: event throughput of the substrate itself.
+
+Not a paper figure — these keep the simulation kernel's performance
+visible so harness slowdowns show up as regressions.
+"""
+
+import pytest
+
+from repro.hardware.cpu import MIX_SEVENZIP
+from repro.hardware.machine import Machine
+from repro.hardware.specs import core2duo_e6600
+from repro.osmodel.kernel import Kernel
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.simcore.engine import Engine
+from repro.simcore.rng import RngStreams
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_engine_event_throughput(benchmark):
+    def run_events():
+        engine = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                engine.schedule(0.001, tick)
+
+        engine.schedule(0.001, tick)
+        engine.run()
+        return count[0]
+
+    assert benchmark(run_events) == 20_000
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_scheduler_context_switch_rate(benchmark):
+    def run_quantums():
+        engine = Engine()
+        machine = Machine(engine, core2duo_e6600("bench"), RngStreams(0))
+        kernel = Kernel(engine, machine)
+        events = []
+        for index in range(6):  # oversubscribed: forces quantum rotation
+            thread = kernel.spawn_thread(f"t{index}", PRIORITY_NORMAL)
+            events.append(
+                kernel.scheduler.submit(thread, 2.4e9, MIX_SEVENZIP)
+            )
+        engine.run()
+        return all(ev.triggered for ev in events)
+
+    assert benchmark(run_quantums)
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_tcp_packet_rate(benchmark):
+    from repro.osmodel.kernel import ubuntu_params
+    from repro.units import MB
+
+    def run_transfer():
+        engine = Engine()
+        a = Machine(engine, core2duo_e6600("a"), RngStreams(1))
+        b = Machine(engine, core2duo_e6600("b"), RngStreams(2))
+        a.nic.connect(b.nic)
+        ka = Kernel(engine, a, ubuntu_params(), name="a")
+        kb = Kernel(engine, b, ubuntu_params(), name="b")
+        sender = ka.spawn_thread("tx", PRIORITY_NORMAL)
+        receiver = kb.spawn_thread("rx", PRIORITY_NORMAL)
+        queue = kb.net.listen(5001)
+
+        def server():
+            sock = yield queue.get()
+            yield from sock.recv(receiver, 5 * MB)
+
+        def client():
+            sock = yield from ka.net.connect(sender, kb.net, 5001)
+            yield from sock.send(sender, 5 * MB)
+
+        engine.process(server(), "rx")
+        proc = engine.process(client(), "tx")
+        engine.run_until_event(proc)
+        return True
+
+    assert benchmark(run_transfer)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""A whole VM-based desktop grid: churn, checkpoints, mixed hypervisors.
+
+Scales the paper's single-machine findings up to the scenario its
+introduction motivates: a campus lab of volunteer desktops, each running
+the Einstein@home client inside a sandboxed VM, with machines crashing
+and rebooting, owners using their machines, and the project server
+reassigning work that goes quiet.
+
+Printed per volunteer: work delivered, crashes survived, templates lost
+to un-checkpointed progress — plus the fleet-level efficiency compared
+with what the same machines would deliver running natively.
+
+Run:  python examples/desktop_grid_fleet.py     (about a minute of wall time)
+"""
+
+from repro.grid import DesktopGrid, VolunteerConfig, estimated_grid_efficiency
+from repro.workloads.einstein import EinsteinWorkunit
+
+SIM_SECONDS = 900.0
+
+FLEET = [
+    # a mixed lab: different hypervisors, different reliability, one
+    # machine whose owner actually uses it
+    VolunteerConfig(name="lab-pc-01", hypervisor="vmplayer",
+                    mtbf_s=400.0, downtime_s=45.0),
+    VolunteerConfig(name="lab-pc-02", hypervisor="vmplayer",
+                    mtbf_s=400.0, downtime_s=45.0),
+    VolunteerConfig(name="lab-pc-03", hypervisor="virtualbox",
+                    mtbf_s=250.0, downtime_s=60.0),
+    VolunteerConfig(name="lab-pc-04", hypervisor="virtualpc",
+                    mtbf_s=250.0, downtime_s=60.0),
+    VolunteerConfig(name="office-pc", hypervisor="vmplayer",
+                    mtbf_s=600.0, downtime_s=30.0,
+                    owner_duty_cycle=0.4, owner_session_s=120.0),
+    VolunteerConfig(name="flaky-pc", hypervisor="qemu",
+                    mtbf_s=90.0, downtime_s=90.0,
+                    checkpoint_interval_s=30.0),
+]
+
+WORKUNITS = [
+    EinsteinWorkunit(workunit_id=f"wu-{i:03d}", n_templates=60,
+                     input_bytes=1024 * 1024, output_bytes=64 * 1024)
+    for i in range(120)
+]
+
+
+def main() -> None:
+    grid = DesktopGrid(FLEET, WORKUNITS, seed=777,
+                       reassign_timeout_s=300.0)
+    report = grid.run(SIM_SECONDS)
+
+    print(report.summary())
+    print()
+
+    total_templates = report.templates_done
+    # what the same wall time of *native* CPU would have yielded
+    print("volunteering efficiency by hypervisor (CPU-bound FP science "
+          "per donated cycle):")
+    for hypervisor in ("vmplayer", "virtualbox", "virtualpc", "qemu"):
+        eff = estimated_grid_efficiency(hypervisor)
+        print(f"  {hypervisor:<11} {eff * 100:5.1f}%  "
+              f"(paper Fig 2: guest FP runs at 1/{1 / eff:.2f} of native)")
+    print()
+    print(f"The fleet delivered {total_templates} templates in "
+          f"{SIM_SECONDS:.0f} s with {report.crashes} crashes; "
+          f"checkpointing held losses to "
+          f"{report.loss_fraction * 100:.1f}% — the sandboxing + "
+          f"fault-tolerance story of the paper's introduction.")
+
+
+if __name__ == "__main__":
+    main()

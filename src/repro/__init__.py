@@ -1,0 +1,25 @@
+"""repro — reproduction of "Evaluating the Performance and Intrusiveness
+of Virtual Machines for Desktop Grid Computing" (Domingues, Araújo,
+Silva; IPPS/IPDPS 2009).
+
+The package simulates the paper's entire testbed — a dual-core machine,
+a Windows-XP-like host OS, a Linux guest, and mechanistic models of
+VMware Player, QEMU(+kqemu), VirtualBox and VirtualPC — and re-runs both
+of its experiments:
+
+1. guest performance (7z, Matrix, IOBench, NetBench — Figures 1-4),
+2. host intrusiveness under an Einstein@home volunteer load
+   (NBench indexes, 7z usage/MIPS — Figures 5-8).
+
+Quick start::
+
+    from repro.core import generate_figure, ascii_bar_chart
+    print(ascii_bar_chart(generate_figure("fig1")))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+vs paper values.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

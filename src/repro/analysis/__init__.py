@@ -1,0 +1,18 @@
+"""Sensitivity analysis: one-parameter sweeps over the simulator's
+mechanisms, showing the figures are mechanism outputs, not constants."""
+
+from repro.analysis.sensitivity import (
+    SweepResult,
+    sweep_catchup_cost,
+    sweep_checkpoint_interval,
+    sweep_l2_coefficient,
+    sweep_service_load,
+)
+
+__all__ = [
+    "SweepResult",
+    "sweep_catchup_cost",
+    "sweep_checkpoint_interval",
+    "sweep_l2_coefficient",
+    "sweep_service_load",
+]

@@ -1,0 +1,195 @@
+"""Parameter-sensitivity sweeps: how the mechanisms drive the figures.
+
+Each sweep varies exactly one mechanistic parameter of the simulator and
+measures a headline quantity, demonstrating that the reproduction's
+results are *produced* by its mechanisms rather than pinned to the
+paper's numbers:
+
+* :func:`sweep_l2_coefficient` — shared-cache contention strength vs the
+  dual-thread 7z ceiling (the paper's 180%);
+* :func:`sweep_service_load` — VMM service demand vs host CPU
+  availability (the Figure 7 lever);
+* :func:`sweep_catchup_cost` — per-tick catch-up cycles vs VMware's
+  host penalty (the Figure 7/8 vmplayer-vs-rest split);
+* :func:`sweep_checkpoint_interval` — BOINC checkpoint cadence vs work
+  lost to crashes in a churning grid (the fault-tolerance trade-off
+  behind §1's checkpointing pitch).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import ExperimentError
+from repro.hardware.specs import CpuSpec, MachineSpec, core2duo_e6600
+from repro.virt.profiles import ServiceLoadSpec, get_profile
+
+
+@dataclass
+class SweepResult:
+    """One parameter sweep: x values and named output series."""
+
+    parameter: str
+    values: List[float] = field(default_factory=list)
+    outputs: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, value: float, **measurements: float) -> None:
+        self.values.append(value)
+        for key, measured in measurements.items():
+            self.outputs.setdefault(key, []).append(float(measured))
+
+    def series(self, key: str) -> List[float]:
+        try:
+            return self.outputs[key]
+        except KeyError:
+            raise ExperimentError(
+                f"no output {key!r}; available: {sorted(self.outputs)}"
+            ) from None
+
+    def is_monotone(self, key: str, increasing: bool) -> bool:
+        data = self.series(key)
+        pairs = zip(data, data[1:])
+        if increasing:
+            return all(b >= a - 1e-9 for a, b in pairs)
+        return all(b <= a + 1e-9 for a, b in pairs)
+
+    def render(self) -> str:
+        header = f"sweep over {self.parameter}"
+        lines = [header, "-" * len(header)]
+        keys = sorted(self.outputs)
+        lines.append("  ".join([f"{self.parameter:>16}"]
+                               + [f"{k:>18}" for k in keys]))
+        for index, value in enumerate(self.values):
+            row = [f"{value:>16.4g}"]
+            row += [f"{self.outputs[k][index]:>18.4g}" for k in keys]
+            lines.append("  ".join(row))
+        return "\n".join(lines)
+
+
+def _machine_with_l2(coefficient: float) -> MachineSpec:
+    base = core2duo_e6600()
+    return dataclasses.replace(
+        base, cpu=dataclasses.replace(base.cpu,
+                                      l2_contention_coeff=coefficient)
+    )
+
+
+def sweep_l2_coefficient(values: Sequence[float] = (0.0, 0.2, 0.37, 0.6, 1.0),
+                         duration_s: float = 8.0,
+                         seed: int = 61) -> SweepResult:
+    """Dual-thread 7z aggregate vs shared-L2 contention strength."""
+    from repro.core.testbed import build_host_testbed
+    from repro.workloads.sevenzip import SevenZipHostBenchmark
+
+    sweep = SweepResult("l2_contention_coeff")
+    for coefficient in values:
+        testbed = build_host_testbed(seed, spec=_machine_with_l2(coefficient),
+                                     with_peer=False, with_timeserver=False)
+        bench = SevenZipHostBenchmark(testbed.kernel, threads=2,
+                                      duration_s=duration_s,
+                                      rng=testbed.rng.fork("7z"))
+        result = testbed.run_to_completion(
+            testbed.engine.process(bench.run(), "7z")
+        )
+        sweep.add(coefficient,
+                  usage_pct=result.metric("usage_pct"),
+                  mips=result.metric("mips"))
+    return sweep
+
+
+def _profile_with_service(base_name: str, frac: float):
+    base = get_profile(base_name)
+    return dataclasses.replace(
+        base,
+        service_loads=(ServiceLoadSpec("svc", frac),),
+        tick_catchup=False, catchup_cycles_per_tick=0.0,
+    )
+
+
+def sweep_service_load(values: Sequence[float] = (0.0, 0.1, 0.2, 0.4, 0.6),
+                       duration_s: float = 8.0, seed: int = 62
+                       ) -> SweepResult:
+    """Host dual-thread CPU availability vs VMM service demand."""
+    sweep = SweepResult("service_frac")
+    for frac in values:
+        usage = _host_usage_with_profile(
+            _profile_with_service("virtualbox", frac), duration_s, seed
+        )
+        sweep.add(frac, usage_pct=usage)
+    return sweep
+
+
+def sweep_catchup_cost(values: Sequence[float] = (0.0, 2e6, 4e6, 6.2e6, 9e6),
+                       duration_s: float = 8.0, seed: int = 63
+                       ) -> SweepResult:
+    """Host CPU availability vs VMware's per-tick catch-up cost."""
+    sweep = SweepResult("catchup_cycles_per_tick")
+    base = get_profile("vmplayer")
+    for cycles in values:
+        profile = dataclasses.replace(
+            base, tick_catchup=cycles > 0, catchup_cycles_per_tick=cycles
+        )
+        usage = _host_usage_with_profile(profile, duration_s, seed)
+        sweep.add(cycles, usage_pct=usage)
+    return sweep
+
+
+def _host_usage_with_profile(profile, duration_s: float, seed: int) -> float:
+    from repro.core.testbed import build_host_testbed
+    from repro.virt.vm import VirtualMachine, VmConfig
+    from repro.workloads.einstein import EinsteinTask, EinsteinWorkunit
+    from repro.workloads.sevenzip import SevenZipHostBenchmark
+
+    testbed = build_host_testbed(seed, with_peer=False,
+                                 with_timeserver=False)
+    vm = VirtualMachine(testbed.kernel, profile, VmConfig())
+
+    def driver():
+        yield from vm.boot()
+        ctx = vm.guest_context()
+        task = EinsteinTask(EinsteinWorkunit(n_templates=10 ** 9))
+        yield from task.run_forever(ctx)
+
+    testbed.engine.process(driver(), "einstein")
+    bench = SevenZipHostBenchmark(testbed.kernel, threads=2,
+                                  duration_s=duration_s,
+                                  rng=testbed.rng.fork("7z"))
+    result = testbed.run_to_completion(
+        testbed.engine.process(bench.run(), "7z")
+    )
+    vm.shutdown()
+    return result.metric("usage_pct")
+
+
+def sweep_checkpoint_interval(values: Sequence[float] = (3.0, 10.0, 30.0, 100.0),
+                              duration_s: float = 400.0,
+                              seed: int = 64) -> SweepResult:
+    """Grid work lost to crashes vs BOINC checkpoint cadence.
+
+    Workunits are ~17 s of guest compute, so an interval beyond that
+    degenerates to checkpoint-at-completion-only — the top of the loss
+    curve.
+    """
+    from repro.grid import DesktopGrid, VolunteerConfig
+    from repro.workloads.einstein import EinsteinWorkunit
+
+    sweep = SweepResult("checkpoint_interval_s")
+    for interval in values:
+        grid = DesktopGrid(
+            [VolunteerConfig(name=f"d{i}", mtbf_s=40.0, downtime_s=10.0,
+                             checkpoint_interval_s=interval)
+             for i in range(2)],
+            [EinsteinWorkunit(workunit_id=f"wu-{i}", n_templates=100,
+                              input_bytes=256 * 1024,
+                              output_bytes=32 * 1024)
+             for i in range(12)],
+            seed=seed, reassign_timeout_s=10_000.0,
+        )
+        report = grid.run(duration_s)
+        sweep.add(interval,
+                  loss_fraction=report.loss_fraction,
+                  templates_done=report.templates_done,
+                  crashes=report.crashes)
+    return sweep

@@ -1,0 +1,116 @@
+"""Calibration maths: from paper aggregates to mechanistic parameters.
+
+The CPU-translation multipliers in :mod:`repro.virt.profiles` are not
+free-hand numbers: they solve a small linear system tying the paper's
+Figure 1/2 aggregates to the instruction mixes of the 7z and Matrix
+benchmarks.  This module contains that solve, so the profile constants
+can be *re-derived* (a test asserts the shipped profiles match a re-fit).
+
+Model
+-----
+For a workload with class fractions (i, f, m), kernel-cycle share kf and
+a VMM with multipliers (M_i, M_f, M_m, K):
+
+    slowdown = (1 - kf) * (i*M_i + f*M_f + m*M_m) + kf * K
+
+Assuming M_m = M_i (memory ops and integer ops share the BT fast path)
+gives two unknowns (M_i, M_f) and two equations (7z target T1, Matrix
+target T2) — solved in closed form below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import CalibrationError
+from repro.hardware.cpu import MIX_MATRIX, MIX_SEVENZIP, InstructionMix
+from repro.units import mbps_to_bytes_per_sec
+
+
+@dataclass(frozen=True)
+class CpuFit:
+    m_int: float
+    m_fp: float
+
+    @property
+    def m_mem(self) -> float:
+        return self.m_int  # modelling assumption, see module docstring
+
+
+def fit_cpu_multipliers(t_sevenzip: float, t_matrix: float,
+                        m_kernel: float,
+                        mix_7z: InstructionMix = MIX_SEVENZIP,
+                        mix_mx: InstructionMix = MIX_MATRIX) -> CpuFit:
+    """Solve for (M_i, M_f) from the two figure targets.
+
+    With M_m = M_i the system is:
+
+        (1-kf1) * ((i1+m1) M_i + f1 M_f) + kf1 K = T1      (7z)
+        (1-kf2) * ((i2+m2) M_i + f2 M_f) + kf2 K = T2      (Matrix)
+    """
+    kf1, kf2 = mix_7z.kernel_frac, mix_mx.kernel_frac
+    a1 = (1 - kf1) * (mix_7z.int_frac + mix_7z.mem_frac)
+    b1 = (1 - kf1) * mix_7z.fp_frac
+    c1 = t_sevenzip - kf1 * m_kernel
+    a2 = (1 - kf2) * (mix_mx.int_frac + mix_mx.mem_frac)
+    b2 = (1 - kf2) * mix_mx.fp_frac
+    c2 = t_matrix - kf2 * m_kernel
+    det = a1 * b2 - a2 * b1
+    if abs(det) < 1e-12:
+        raise CalibrationError("degenerate mixes: cannot separate int/fp")
+    m_int = (c1 * b2 - c2 * b1) / det
+    m_fp = (a1 * c2 - a2 * c1) / det
+    if m_int < 1.0 or m_fp < 1.0:
+        raise CalibrationError(
+            f"fit produced sub-native multipliers (m_int={m_int:.3f}, "
+            f"m_fp={m_fp:.3f}); targets T1={t_sevenzip}, T2={t_matrix} are "
+            f"inconsistent with kernel multiplier {m_kernel}"
+        )
+    return CpuFit(m_int=m_int, m_fp=m_fp)
+
+
+def predicted_slowdown(mix: InstructionMix, m_int: float, m_fp: float,
+                       m_mem: float, m_kernel: float) -> float:
+    """Forward model: the slowdown a mix suffers under given multipliers."""
+    user = mix.int_frac * m_int + mix.fp_frac * m_fp + mix.mem_frac * m_mem
+    return (1 - mix.kernel_frac) * user + mix.kernel_frac * m_kernel
+
+
+def fit_vnic_cycles(target_mbps: float, frequency_hz: float,
+                    payload_bytes: int, frame_overhead_bytes: int,
+                    line_rate_bps: float,
+                    guest_stack_cycles: float) -> float:
+    """Per-packet vNIC emulation cycles that yield ``target_mbps``.
+
+    The serialized send path makes per-packet times additive:
+        T_total = wire + guest_stack + vnic
+    so  vnic = payload_bits/target - wire - stack  (floored at ~0).
+    """
+    if target_mbps <= 0:
+        raise CalibrationError("target throughput must be positive")
+    total_s = payload_bytes * 8.0 / (target_mbps * 1e6)
+    wire_s = (payload_bytes + frame_overhead_bytes) / line_rate_bps
+    stack_s = guest_stack_cycles / frequency_hz
+    vnic_s = total_s - wire_s - stack_s
+    return max(500.0, vnic_s * frequency_hz)
+
+
+def expected_mbps(vnic_cycles: float, frequency_hz: float,
+                  payload_bytes: int, frame_overhead_bytes: int,
+                  line_rate_bps: float, guest_stack_cycles: float) -> float:
+    """Inverse of :func:`fit_vnic_cycles` (forward model for tests)."""
+    wire_s = (payload_bytes + frame_overhead_bytes) / line_rate_bps
+    total_s = wire_s + (guest_stack_cycles + vnic_cycles) / frequency_hz
+    return payload_bytes * 8.0 / total_s / 1e6
+
+
+def service_steal_fraction(host_cpu_pct_with_vm: float,
+                           host_cpu_pct_no_vm: float) -> float:
+    """How much of the two cores the VM stack must consume to move the
+    host's dual-thread CPU availability from the control value to the
+    measured one (used to size the service loads)."""
+    if host_cpu_pct_no_vm <= 0:
+        raise CalibrationError("control CPU% must be positive")
+    parallel_efficiency = host_cpu_pct_no_vm / 200.0
+    return 2.0 - host_cpu_pct_with_vm / (100.0 * parallel_efficiency)

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro`` / ``repro``.
+
+Subcommands
+-----------
+* ``repro list``               — figures available for regeneration
+* ``repro figure fig1 [...]``  — regenerate figures, print ASCII charts
+* ``repro report [--out F]``   — regenerate everything, emit markdown
+* ``repro profiles``           — show the calibrated hypervisor profiles
+* ``repro sweep l2|service|catchup|checkpoint`` — sensitivity sweeps
+
+Repetition counts honour ``REPRO_REPS`` / ``REPRO_FULL`` / ``REPRO_FAST``
+(see :mod:`repro.core.experiment`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.figures import FIGURES, generate_figure
+from repro.core.report import ascii_bar_chart, experiments_markdown
+from repro.virt.profiles import ALL_PROFILES
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("Available figures (paper: Domingues et al., IPPS 2009):")
+    for fig_id in FIGURES:
+        print(f"  {fig_id}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    status = 0
+    for fig_id in args.figures:
+        if fig_id not in FIGURES:
+            print(f"unknown figure {fig_id!r}; try `repro list`",
+                  file=sys.stderr)
+            status = 2
+            continue
+        started = time.time()
+        fig = generate_figure(fig_id)
+        elapsed = time.time() - started
+        print(ascii_bar_chart(fig))
+        print(f"  ({elapsed:.1f}s wall)")
+        if args.svg:
+            import os
+
+            from repro.core.svg import write_svg
+
+            os.makedirs(args.svg, exist_ok=True)
+            path = write_svg(fig, os.path.join(args.svg, f"{fig_id}.svg"))
+            print(f"  wrote {path}")
+        print()
+    return status
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    figures = []
+    for fig_id in FIGURES:
+        print(f"generating {fig_id} ...", file=sys.stderr)
+        figures.append(generate_figure(fig_id))
+    header = (
+        "# Reproduction report — 'Evaluating the Performance and "
+        "Intrusiveness of Virtual Machines for Desktop Grid Computing'"
+    )
+    text = experiments_markdown(figures, header=header)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+_SWEEPS = {
+    "l2": "sweep_l2_coefficient",
+    "service": "sweep_service_load",
+    "catchup": "sweep_catchup_cost",
+    "checkpoint": "sweep_checkpoint_interval",
+}
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import repro.analysis as analysis
+
+    if args.sweep not in _SWEEPS:
+        print(f"unknown sweep {args.sweep!r}; available: {sorted(_SWEEPS)}",
+              file=sys.stderr)
+        return 2
+    fn = getattr(analysis, _SWEEPS[args.sweep])
+    started = time.time()
+    result = fn()
+    print(result.render())
+    print(f"  ({time.time() - started:.1f}s wall)")
+    return 0
+
+
+def _cmd_profiles(_args: argparse.Namespace) -> int:
+    for name, profile in ALL_PROFILES.items():
+        print(f"{name}  ({profile.display_name})")
+        print(f"  cpu multipliers: int={profile.m_int:.3f} "
+              f"fp={profile.m_fp:.3f} mem={profile.m_mem:.3f} "
+              f"kernel={profile.m_kernel:.0f}")
+        print(f"  vdisk: {profile.disk_per_request_cycles:.0f} cyc/req + "
+              f"{profile.disk_per_kb_cycles:.0f} cyc/KB")
+        modes = ", ".join(
+            f"{m.name}={m.per_packet_cycles:.0f}cyc/pkt"
+            for m in profile.net_modes
+        )
+        print(f"  vnic: {modes}")
+        service = ", ".join(
+            f"{s.name}={s.base_frac:.2f}" for s in profile.service_loads
+        )
+        catchup = (f", tick catch-up "
+                   f"{profile.catchup_cycles_per_tick:.0f} cyc/tick"
+                   if profile.tick_catchup else "")
+        print(f"  service: {service}{catchup}")
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the IPPS'09 VM desktop-grid study.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible figures").set_defaults(
+        fn=_cmd_list
+    )
+
+    figure = sub.add_parser("figure", help="regenerate specific figures")
+    figure.add_argument("figures", nargs="+", metavar="FIG",
+                        help="figure ids (see `repro list`)")
+    figure.add_argument("--svg", metavar="DIR",
+                        help="also write an SVG chart per figure into DIR")
+    figure.set_defaults(fn=_cmd_figure)
+
+    report = sub.add_parser("report", help="regenerate every figure")
+    report.add_argument("--out", help="write markdown to a file")
+    report.set_defaults(fn=_cmd_report)
+
+    sub.add_parser("profiles",
+                   help="show calibrated hypervisor profiles").set_defaults(
+        fn=_cmd_profiles
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="run a mechanism-sensitivity sweep"
+    )
+    sweep.add_argument("sweep", metavar="NAME",
+                       help=f"one of {sorted(_SWEEPS)}")
+    sweep.set_defaults(fn=_cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,100 @@
+"""Repetition framework: run a measurement function many times, each in a
+fresh simulated world seeded independently, and summarise.
+
+Repetition counts
+-----------------
+The paper performs every test at least 50 times.  Full fidelity is
+expensive for the heavier figures, so counts resolve as:
+
+* ``REPRO_REPS=<n>``  — explicit override, used verbatim;
+* ``REPRO_FULL=1``    — the paper's 50 everywhere;
+* ``REPRO_FAST=1``    — 3 (CI smoke);
+* otherwise           — the per-experiment default passed by the caller.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.core.stats import Summary, summarize
+from repro.errors import ExperimentError
+from repro.simcore.rng import derive_rep_seed
+
+PAPER_REPS = 50
+FAST_REPS = 3
+
+#: A measurement: seed in, named scalar metrics out.
+MeasureFn = Callable[[int], Mapping[str, float]]
+
+
+def resolve_reps(default: int, env: Optional[Mapping[str, str]] = None) -> int:
+    """Apply the REPRO_REPS / REPRO_FULL / REPRO_FAST environment policy."""
+    env = env if env is not None else os.environ
+    explicit = env.get("REPRO_REPS")
+    if explicit:
+        reps = int(explicit)
+        if reps < 1:
+            raise ExperimentError(f"REPRO_REPS must be >= 1, got {reps}")
+        return reps
+    if env.get("REPRO_FULL") == "1":
+        return PAPER_REPS
+    if env.get("REPRO_FAST") == "1":
+        return min(FAST_REPS, default)
+    return default
+
+
+@dataclass
+class RepeatedResult:
+    """All repetitions of one measurement, summarised per metric."""
+
+    metrics: Dict[str, Summary]
+    raw: Dict[str, List[float]] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Summary:
+        try:
+            return self.metrics[key]
+        except KeyError:
+            raise ExperimentError(
+                f"no metric {key!r}; available: {sorted(self.metrics)}"
+            ) from None
+
+
+class Repeater:
+    """Runs a :data:`MeasureFn` across seeds derived from a base seed."""
+
+    def __init__(self, base_seed: int = 0, reps: int = 5):
+        if reps < 1:
+            raise ExperimentError(f"reps must be >= 1, got {reps}")
+        self.base_seed = base_seed
+        self.reps = reps
+
+    def run(self, measure: MeasureFn) -> RepeatedResult:
+        raw: Dict[str, List[float]] = {}
+        expected_keys = None
+        for repetition in range(self.reps):
+            seed = derive_rep_seed(self.base_seed, repetition)
+            metrics = measure(seed)
+            if not metrics:
+                raise ExperimentError("measurement returned no metrics")
+            keys = set(metrics)
+            if expected_keys is None:
+                expected_keys = keys
+            elif keys != expected_keys:
+                raise ExperimentError(
+                    f"repetition {repetition} returned metrics {sorted(keys)}"
+                    f", expected {sorted(expected_keys)}"
+                )
+            for key, value in metrics.items():
+                raw.setdefault(key, []).append(float(value))
+        return RepeatedResult(
+            metrics={k: summarize(v) for k, v in raw.items()},
+            raw=raw,
+        )
+
+
+def repeat(measure: MeasureFn, *, base_seed: int = 0,
+           default_reps: int = 5) -> RepeatedResult:
+    """Convenience: resolve reps from the environment and run."""
+    return Repeater(base_seed, resolve_reps(default_reps)).run(measure)

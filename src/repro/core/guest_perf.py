@@ -1,0 +1,121 @@
+"""Experiment 1: performance of guest OSes (paper §4.1, Figures 1-4).
+
+For each environment (native Ubuntu, or a Linux guest under one of the
+four VMMs) run a benchmark and extract its headline metric.  Guest runs
+are timed against the host's UDP time server, never the guest clock,
+exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.core.experiment import repeat
+from repro.core.stats import Summary
+from repro.core.testbed import (
+    ENV_NATIVE,
+    Testbed,
+    boot_vm,
+    build_host_testbed,
+    build_native_testbed,
+    guest_time_client,
+)
+from repro.errors import ExperimentError
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.virt.profiles import ALL_PROFILES
+from repro.workloads.base import WorkloadResult
+
+#: benchmark factory: given the testbed, build a workload with .run(ctx)
+BenchFactory = Callable[[Testbed], object]
+
+#: Environments of the guest-performance experiment, figure order.
+#: VMware's two network modes count as separate environments in Fig 4.
+GUEST_ENVIRONMENTS = (ENV_NATIVE, "vmplayer", "qemu", "virtualbox",
+                      "virtualpc")
+
+
+def parse_environment(env: str) -> tuple:
+    """Split ``"vmplayer:nat"`` into (profile, net_mode)."""
+    if ":" in env:
+        profile, mode = env.split(":", 1)
+        return profile, mode
+    return env, None
+
+
+def run_benchmark_in_environment(env: str, bench_factory: BenchFactory,
+                                 seed: int) -> WorkloadResult:
+    """One repetition: build the world, run the benchmark, return result."""
+    profile_name, net_mode = parse_environment(env)
+    if profile_name == ENV_NATIVE:
+        testbed = build_native_testbed(seed)
+        thread = testbed.kernel.spawn_thread("bench", PRIORITY_NORMAL)
+        ctx = testbed.kernel.context(thread)
+        bench = bench_factory(testbed)
+        proc = testbed.engine.process(bench.run(ctx), name="bench")
+        return testbed.run_to_completion(proc)
+
+    if profile_name not in ALL_PROFILES:
+        raise ExperimentError(f"unknown environment {env!r}")
+    testbed = build_host_testbed(seed)
+
+    def driver():
+        from repro.virt.vm import VmConfig
+
+        vm = yield from boot_vm(
+            testbed, profile_name,
+            VmConfig(priority=PRIORITY_NORMAL, net_mode=net_mode),
+        )
+        # paper methodology: guest timestamps via the host UDP time server
+        client = guest_time_client(testbed, vm)
+        ctx = vm.guest_context(timestamp_source=client.query)
+        bench = bench_factory(testbed)
+        result = yield from bench.run(ctx)
+        result.environment = env
+        return result
+
+    proc = testbed.engine.process(driver(), name=f"bench:{env}")
+    return testbed.run_to_completion(proc)
+
+
+def guest_perf_experiment(bench_factory: BenchFactory, metric: str,
+                          environments=GUEST_ENVIRONMENTS,
+                          base_seed: int = 0,
+                          default_reps: int = 10) -> Dict[str, Summary]:
+    """Repeated runs of one benchmark across environments.
+
+    Returns ``{environment: Summary-of-metric}``.
+    """
+    out: Dict[str, Summary] = {}
+    for env in environments:
+        def measure(seed: int, _env=env) -> Mapping[str, float]:
+            result = run_benchmark_in_environment(_env, bench_factory, seed)
+            return {metric: float(result.metric(metric)),
+                    "duration_s": result.duration_s}
+
+        repeated = repeat(measure, base_seed=base_seed,
+                          default_reps=default_reps)
+        out[env] = repeated[metric]
+    return out
+
+
+def normalize_against_native(results: Mapping[str, Summary],
+                             invert: bool = False) -> Dict[str, float]:
+    """Relative-performance values as plotted in Figures 1-3.
+
+    The paper normalises against native and plots *performance lag*
+    (bigger = slower).  For rate metrics (MIPS, MB/s) the lag is
+    ``native / env``; for time metrics it is ``env / native``
+    (``invert=True`` selects the latter).
+    """
+    if ENV_NATIVE not in results:
+        raise ExperimentError("results lack the native baseline")
+    native = results[ENV_NATIVE].mean
+    out: Dict[str, float] = {}
+    for env, summary in results.items():
+        if invert:
+            out[env] = summary.mean / native
+        else:
+            if summary.mean == 0:
+                raise ExperimentError(f"zero mean for {env!r}")
+            out[env] = native / summary.mean
+    return out

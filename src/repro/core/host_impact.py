@@ -1,0 +1,157 @@
+"""Experiment 2: impact on the host OS (paper §4.2, Figures 5-8).
+
+The scenario: a VM on the Windows XP host runs the BOINC client attached
+to Einstein@home at 100% virtual CPU while the host runs a benchmark —
+NBench (single-threaded, Figures 5-6) or 7z with one or two threads
+(Figures 7-8).  Control runs omit the VM ("no VM" bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.core.experiment import repeat
+from repro.core.stats import Summary
+from repro.core.testbed import Testbed, boot_vm, build_host_testbed
+from repro.errors import ExperimentError
+from repro.osmodel.threads import PRIORITY_IDLE, PRIORITY_NORMAL
+from repro.virt.vm import VmConfig
+from repro.workloads.einstein import EinsteinTask, EinsteinWorkunit
+from repro.workloads.nbench import IndexGroup, NBenchHarness
+from repro.workloads.sevenzip import SevenZipHostBenchmark
+
+#: Environment label for the control runs.
+ENV_NO_VM = "no-vm"
+
+#: Paper's VM priority settings in §4.2.2.
+PRIORITY_LABELS = {"normal": PRIORITY_NORMAL, "idle": PRIORITY_IDLE}
+
+
+@dataclass(frozen=True)
+class HostImpactConfig:
+    """One host-impact configuration."""
+
+    environment: str = ENV_NO_VM     # "no-vm" or a hypervisor profile name
+    vm_priority: str = "idle"        # "idle" (volunteer default) or "normal"
+    duration_s: float = 20.0
+
+    def __post_init__(self):
+        if self.vm_priority not in PRIORITY_LABELS:
+            raise ExperimentError(
+                f"vm_priority must be one of {sorted(PRIORITY_LABELS)}"
+            )
+
+
+def _start_background_vm(testbed: Testbed, config: HostImpactConfig):
+    """Boot the VM and set Einstein@home chewing on the virtual CPU."""
+    vm_holder = {}
+
+    def driver():
+        vm = yield from boot_vm(
+            testbed, config.environment,
+            VmConfig(priority=PRIORITY_LABELS[config.vm_priority]),
+        )
+        vm_holder["vm"] = vm
+        ctx = vm.guest_context()
+        task = EinsteinTask(EinsteinWorkunit(n_templates=10 ** 9),
+                            checkpoint_interval_s=60.0)
+        yield from task.run_forever(ctx)
+
+    testbed.engine.process(driver(), name="einstein-vm")
+    return vm_holder
+
+
+def run_sevenzip_impact(config: HostImpactConfig, threads: int,
+                        seed: int) -> Dict[str, float]:
+    """One repetition of the Figure 7/8 measurement."""
+    testbed = build_host_testbed(seed, with_peer=False, with_timeserver=False)
+    vm_holder = {}
+    if config.environment != ENV_NO_VM:
+        vm_holder = _start_background_vm(testbed, config)
+    bench = SevenZipHostBenchmark(
+        testbed.kernel, threads=threads, duration_s=config.duration_s,
+        rng=testbed.rng.fork("7z"),
+    )
+    proc = testbed.engine.process(bench.run(), name="7z-host")
+    result = testbed.run_to_completion(proc)
+    metrics = {
+        "usage_pct": result.metric("usage_pct"),
+        "mips": result.metric("mips"),
+    }
+    vm = vm_holder.get("vm")
+    if vm is not None:
+        metrics["guest_instructions"] = vm.vcpu.guest_instructions
+        metrics["guest_clock_error_s"] = vm.guest_clock.error_seconds(
+            testbed.engine.now
+        )
+        vm.shutdown()
+    return metrics
+
+
+def run_nbench_impact(config: HostImpactConfig, group: IndexGroup,
+                      seed: int) -> Dict[str, float]:
+    """One repetition of the Figure 5/6 measurement (one NBench group)."""
+    testbed = build_host_testbed(seed, with_peer=False, with_timeserver=False)
+    vm_holder = {}
+    if config.environment != ENV_NO_VM:
+        vm_holder = _start_background_vm(testbed, config)
+    thread = testbed.kernel.spawn_thread("nbench", PRIORITY_NORMAL)
+    ctx = testbed.kernel.context(thread)
+    harness = NBenchHarness(groups=[group])
+    proc = testbed.engine.process(harness.run(ctx), name="nbench-host")
+    result = testbed.run_to_completion(proc)
+    metrics = {f"{group.value}_index": result.metric(f"{group.value}_index")}
+    vm = vm_holder.get("vm")
+    if vm is not None:
+        vm.shutdown()
+    return metrics
+
+
+def sevenzip_impact_experiment(environments, threads: int,
+                               vm_priority: str = "idle",
+                               duration_s: float = 20.0, base_seed: int = 0,
+                               default_reps: int = 5
+                               ) -> Dict[str, Dict[str, Summary]]:
+    """Figure 7/8 sweep.  Returns ``{env: {metric: Summary}}``."""
+    out: Dict[str, Dict[str, Summary]] = {}
+    for env in environments:
+        config = HostImpactConfig(environment=env, vm_priority=vm_priority,
+                                  duration_s=duration_s)
+
+        def measure(seed: int, _config=config) -> Mapping[str, float]:
+            return run_sevenzip_impact(_config, threads, seed)
+
+        repeated = repeat(measure, base_seed=base_seed,
+                          default_reps=default_reps)
+        out[env] = repeated.metrics
+    return out
+
+
+def nbench_impact_experiment(environments, group: IndexGroup,
+                             priorities=("normal", "idle"),
+                             base_seed: int = 0, default_reps: int = 5
+                             ) -> Dict[str, Dict[str, Summary]]:
+    """Figure 5/6 sweep.
+
+    Returns ``{label: {metric: Summary}}`` where label is ``env`` for the
+    control and ``env/priority`` for VM runs (the paper plots normal and
+    idle side by side).
+    """
+    out: Dict[str, Dict[str, Summary]] = {}
+    for env in environments:
+        run_priorities = [None] if env == ENV_NO_VM else list(priorities)
+        for priority in run_priorities:
+            config = HostImpactConfig(
+                environment=env,
+                vm_priority=priority if priority else "idle",
+            )
+            label = env if priority is None else f"{env}/{priority}"
+
+            def measure(seed: int, _config=config) -> Mapping[str, float]:
+                return run_nbench_impact(_config, group, seed)
+
+            repeated = repeat(measure, base_seed=base_seed,
+                              default_reps=default_reps)
+            out[label] = repeated.metrics
+    return out

@@ -1,0 +1,131 @@
+"""Statistics for benchmark repetitions.
+
+The paper repeats every test >= 50 times and reports aggregate values; we
+keep the same discipline: repeated measurements summarised as mean with a
+95% confidence interval (Student-t), plus helpers for geometric means
+(NBench indexes) and ratio-of-means error propagation (normalised
+figures).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+# two-sided 97.5% Student-t quantiles for small n (index = dof), then ~z
+_T_TABLE = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 12: 2.179, 15: 2.131,
+    20: 2.086, 25: 2.060, 30: 2.042, 40: 2.021, 50: 2.009, 60: 2.000,
+}
+
+
+def t_quantile(dof: int) -> float:
+    """97.5% two-sided Student-t quantile (table lookup with fallback)."""
+    if dof < 1:
+        raise ExperimentError(f"degrees of freedom must be >= 1, got {dof}")
+    if dof in _T_TABLE:
+        return _T_TABLE[dof]
+    for key in sorted(_T_TABLE):
+        if dof <= key:
+            return _T_TABLE[key]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread summary of one measured quantity."""
+
+    mean: float
+    std: float
+    n: int
+    minimum: float
+    maximum: float
+
+    @property
+    def sem(self) -> float:
+        if self.n <= 1:
+            return 0.0
+        return self.std / math.sqrt(self.n)
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of the 95% confidence interval on the mean."""
+        if self.n <= 1:
+            return 0.0
+        return t_quantile(self.n - 1) * self.sem
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation."""
+        if self.mean == 0:
+            return 0.0
+        return self.std / abs(self.mean)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.ci95:.2g} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    if len(values) == 0:
+        raise ExperimentError("cannot summarise zero measurements")
+    arr = np.asarray(values, dtype=float)
+    if not np.isfinite(arr).all():
+        raise ExperimentError(f"non-finite measurements: {arr}")
+    return Summary(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if len(arr) > 1 else 0.0,
+        n=len(arr),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    arr = np.asarray(list(values), dtype=float)
+    if len(arr) == 0:
+        raise ExperimentError("geometric mean of nothing")
+    if (arr <= 0).any():
+        raise ExperimentError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def ratio_of_means(numerator: Summary, denominator: Summary
+                   ) -> Tuple[float, float]:
+    """Ratio of two means with first-order error propagation.
+
+    Returns ``(ratio, ci95_halfwidth)``.  Used for every normalised
+    figure (e.g. "relative performance against native").
+    """
+    if denominator.mean == 0:
+        raise ExperimentError("ratio against a zero-mean denominator")
+    ratio = numerator.mean / denominator.mean
+    rel_num = numerator.sem / abs(numerator.mean) if numerator.mean else 0.0
+    rel_den = denominator.sem / abs(denominator.mean)
+    rel = math.sqrt(rel_num ** 2 + rel_den ** 2)
+    return ratio, 1.96 * rel * abs(ratio)
+
+
+def bootstrap_ci(values: Sequence[float], n_resamples: int = 2_000,
+                 seed: int = 0) -> Tuple[float, float]:
+    """Percentile-bootstrap 95% CI for the mean (distribution-free check)."""
+    if len(values) < 2:
+        mean = float(values[0]) if values else 0.0
+        return mean, mean
+    rng = np.random.Generator(np.random.PCG64(seed))
+    arr = np.asarray(values, dtype=float)
+    samples = rng.choice(arr, size=(n_resamples, len(arr)), replace=True)
+    means = samples.mean(axis=1)
+    return float(np.percentile(means, 2.5)), float(np.percentile(means, 97.5))
+
+
+def relative_change(value: float, baseline: float) -> float:
+    """(value - baseline) / baseline — overhead/improvement fractions."""
+    if baseline == 0:
+        raise ExperimentError("relative change against zero baseline")
+    return (value - baseline) / baseline

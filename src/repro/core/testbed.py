@@ -1,0 +1,104 @@
+"""Testbed assembly: the paper's physical setup, reproducibly.
+
+One testbed = one Core 2 Duo machine running either
+
+* **native Ubuntu** (the guest-performance baseline), or
+* **Windows XP** hosting a VM (every other configuration),
+
+plus a second machine on the 100 Mbps LAN (the iperf server / BOINC
+project host) and, for VM runs, the UDP time server on the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.hardware.machine import Machine
+from repro.hardware.specs import MachineSpec, core2duo_e6600
+from repro.osmodel.kernel import Kernel, ubuntu_params, windows_xp_params
+from repro.simcore.engine import Engine
+from repro.simcore.rng import RngStreams
+from repro.virt.profiles import HypervisorProfile, get_profile
+from repro.virt.timeserver import GuestTimeClient, UdpTimeServer
+from repro.virt.vm import VirtualMachine, VmConfig
+
+#: The label used for bare-metal Ubuntu in every figure.
+ENV_NATIVE = "native"
+
+
+@dataclass
+class Testbed:
+    """A wired-up simulation world."""
+
+    engine: Engine
+    rng: RngStreams
+    machine: Machine
+    kernel: Kernel
+    peer_machine: Optional[Machine] = None
+    peer_kernel: Optional[Kernel] = None
+    timeserver: Optional[UdpTimeServer] = None
+
+    def run_to_completion(self, process) -> object:
+        """Drive the engine until ``process`` finishes; return its value."""
+        return self.engine.run_until_event(process)
+
+
+def build_native_testbed(seed: int, spec: Optional[MachineSpec] = None,
+                         with_peer: bool = True) -> Testbed:
+    """Bare-metal Ubuntu on the paper's machine (baseline environment)."""
+    engine = Engine()
+    rng = RngStreams(seed)
+    machine = Machine(engine, spec or core2duo_e6600("native"), rng.fork("hw"))
+    kernel = Kernel(engine, machine, ubuntu_params(), name="native")
+    testbed = Testbed(engine, rng, machine, kernel)
+    if with_peer:
+        _attach_peer(testbed)
+    return testbed
+
+
+def build_host_testbed(seed: int, spec: Optional[MachineSpec] = None,
+                       with_peer: bool = True,
+                       with_timeserver: bool = True) -> Testbed:
+    """Windows XP host, ready to boot VMs."""
+    engine = Engine()
+    rng = RngStreams(seed)
+    machine = Machine(engine, spec or core2duo_e6600("host"), rng.fork("hw"))
+    kernel = Kernel(engine, machine, windows_xp_params(), name="host")
+    testbed = Testbed(engine, rng, machine, kernel)
+    if with_peer:
+        _attach_peer(testbed)
+    if with_timeserver:
+        testbed.timeserver = UdpTimeServer(kernel)
+    return testbed
+
+
+def _attach_peer(testbed: Testbed) -> None:
+    """Second machine on the LAN (iperf server / project server)."""
+    peer_machine = Machine(
+        testbed.engine, core2duo_e6600("lan-peer"), testbed.rng.fork("peer-hw")
+    )
+    testbed.machine.nic.connect(peer_machine.nic)
+    peer_kernel = Kernel(testbed.engine, peer_machine, ubuntu_params(),
+                         name="lan-peer")
+    testbed.peer_machine = peer_machine
+    testbed.peer_kernel = peer_kernel
+
+
+def boot_vm(testbed: Testbed, profile: HypervisorProfile | str,
+            config: Optional[VmConfig] = None) -> Generator:
+    """Boot a VM on the testbed's host.  Generator; returns the VM."""
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    vm = VirtualMachine(testbed.kernel, profile, config)
+    yield from vm.boot()
+    return vm
+
+
+def guest_time_client(testbed: Testbed, vm: VirtualMachine,
+                      reply_port: int = 40371) -> GuestTimeClient:
+    """A UDP time client inside the guest, pointed at the host's server."""
+    if testbed.timeserver is None:
+        raise ValueError("testbed has no UDP time server")
+    return GuestTimeClient(vm.guest_net, vm.vcpu.thread, testbed.timeserver,
+                           reply_port=reply_port)

@@ -1,0 +1,14 @@
+"""Desktop-grid layer: volunteer fleets with churn over a switched LAN —
+the scale-out scenario the paper's single-machine measurements inform."""
+
+from repro.grid.grid import DesktopGrid, GridReport, estimated_grid_efficiency
+from repro.grid.volunteer import Volunteer, VolunteerConfig, VolunteerStats
+
+__all__ = [
+    "DesktopGrid",
+    "GridReport",
+    "Volunteer",
+    "VolunteerConfig",
+    "VolunteerStats",
+    "estimated_grid_efficiency",
+]

@@ -1,0 +1,219 @@
+"""A volunteer desktop: machine + host OS + VM + BOINC client + churn.
+
+Models what the paper's conclusion is really about: an ordinary desktop
+whose owner donates spare cycles through a sandboxed VM.  Each volunteer
+
+* hosts a Windows kernel on its own Core 2 Duo,
+* boots a Linux guest at idle priority running the BOINC client,
+* optionally runs *owner activity* (host threads that come and go),
+* suffers availability churn: crashes/shutdowns at exponential
+  intervals, losing everything since the last BOINC checkpoint, then
+  reboots after a downtime and resumes from host-persistent state —
+  the fault-tolerance story §1 of the paper attributes to VM
+  checkpointing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional
+
+from repro.errors import ReproError
+from repro.hardware.cpu import MIX_SEVENZIP
+from repro.hardware.machine import Machine
+from repro.hardware.specs import MachineSpec, core2duo_e6600
+from repro.osmodel.kernel import Kernel, windows_xp_params
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.simcore.engine import Engine
+from repro.simcore.process import Interrupted, SimProcess
+from repro.simcore.rng import RngStreams
+from repro.virt.profiles import HypervisorProfile, get_profile
+from repro.virt.vm import VirtualMachine, VmConfig, VmState
+from repro.workloads.boinc import BoincClient, BoincServer
+from repro.workloads.einstein import EinsteinProgress, EinsteinWorkunit
+
+
+@dataclass(frozen=True)
+class VolunteerConfig:
+    """One volunteer's character."""
+
+    name: str = "desktop-0"
+    hypervisor: str = "vmplayer"
+    mtbf_s: Optional[float] = None     # mean uptime; None = never fails
+    downtime_s: float = 120.0          # mean off-line time after a failure
+    owner_duty_cycle: float = 0.0      # fraction of time the owner computes
+    owner_session_s: float = 300.0     # mean owner-activity session length
+    checkpoint_interval_s: float = 60.0
+    spec: MachineSpec = field(default_factory=lambda: core2duo_e6600())
+
+
+@dataclass
+class VolunteerStats:
+    workunits_done: int = 0
+    templates_done: int = 0
+    crashes: int = 0
+    templates_lost: int = 0
+    uptime_s: float = 0.0
+    downtime_s: float = 0.0
+
+
+class Volunteer:
+    """One churning volunteer node attached to a project server."""
+
+    def __init__(self, engine: Engine, server: BoincServer,
+                 config: VolunteerConfig, rng: RngStreams):
+        self.engine = engine
+        self.server = server
+        self.config = config
+        self.rng = rng.fork(config.name)
+        self.machine = Machine(
+            engine, config.spec.with_name(config.name), self.rng.fork("hw")
+        )
+        self.kernel = Kernel(engine, self.machine, windows_xp_params(),
+                             name=config.name)
+        self.profile: HypervisorProfile = get_profile(config.hypervisor)
+        self.stats = VolunteerStats()
+        # host-persistent client state, surviving VM crashes (the vdisk
+        # image survives on the host disk; see DESIGN.md)
+        self._persist: Dict[str, object] = {}
+        self.vm: Optional[VirtualMachine] = None
+        self._client: Optional[BoincClient] = None
+        self._life: Optional[SimProcess] = None
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> SimProcess:
+        if self._running:
+            raise ReproError(f"{self.config.name}: already started")
+        self._running = True
+        self._life = self.engine.process(self._live(),
+                                         name=f"{self.config.name}.life")
+        if self.config.owner_duty_cycle > 0:
+            self.engine.process(self._owner_activity(),
+                                name=f"{self.config.name}.owner")
+        return self._life
+
+    def stop(self) -> None:
+        self._running = False
+        if self._client is not None:
+            # bank the live session's progress before tearing it down
+            self.stats.workunits_done += self._client.workunits_done
+            self.stats.templates_done += self._client.templates_done
+            if self._client.current_progress is not None:
+                self.stats.templates_done += (
+                    self._client.current_progress.next_template
+                )
+            self._client = None
+        if self._life is not None and not self._life.triggered:
+            self._life.interrupt("grid stopped")
+        if self.vm is not None and self.vm.state is VmState.RUNNING:
+            self.vm.shutdown()
+
+    # -- internals ------------------------------------------------------------
+
+    def _mirror_checkpoint(self, progress: EinsteinProgress) -> None:
+        self._persist["progress"] = progress.as_dict()
+
+    def _live(self) -> Generator:
+        """Boot / volunteer / crash / recover, forever."""
+        try:
+            while self._running:
+                up_started = self.engine.now
+                session = self.engine.process(self._volunteer_session(),
+                                              name=f"{self.config.name}.vm")
+                waits = [session]
+                crash_timer = None
+                if self.config.mtbf_s:
+                    uptime = self.rng.exponential("mtbf", self.config.mtbf_s)
+                    crash_timer = self.engine.timeout(uptime)
+                    waits.append(crash_timer)
+                outcome = yield self.engine.any_of(waits)
+                self.stats.uptime_s += self.engine.now - up_started
+                if crash_timer is not None and outcome[0] == 1:
+                    self._crash(session)
+                    down = self.rng.exponential("downtime",
+                                                self.config.downtime_s)
+                    down_started = self.engine.now
+                    yield self.engine.timeout(down)
+                    self.stats.downtime_s += self.engine.now - down_started
+                    continue
+                return  # server ran dry: the volunteer retires
+        except Interrupted:
+            return
+
+    def _crash(self, session: SimProcess) -> None:
+        """Power failure: the VM and all un-checkpointed progress die."""
+        self.stats.crashes += 1
+        client = self._client
+        if client is not None and client.current_progress is not None:
+            saved = self._persist.get("progress")
+            saved_templates = (saved["next_template"]  # type: ignore[index]
+                               if saved and saved["workunit_id"]
+                               == client.current_progress.workunit_id else 0)
+            lost = client.current_progress.next_template - saved_templates
+            self.stats.templates_lost += max(0, int(lost))
+            # remember which workunit we were on (assignment survives)
+            self._persist["workunit"] = client.current_workunit
+        if client is not None:
+            # bank what the dying session achieved
+            self.stats.workunits_done += client.workunits_done
+            self.stats.templates_done += client.templates_done
+            self._client = None
+        session.interrupt("power failure")
+        if self.vm is not None and self.vm.state is not VmState.STOPPED:
+            self.vm.shutdown()
+        self.vm = None
+
+    def _volunteer_session(self) -> Generator:
+        """One VM incarnation: boot, resume if possible, volunteer."""
+        vm = VirtualMachine(
+            self.kernel, self.profile,
+            VmConfig(name=f"{self.config.name}-vm"),
+        )
+        self.vm = vm
+        yield from vm.boot()
+        ctx = vm.guest_context()
+        client = BoincClient(
+            self.server, client_id=self.config.name,
+            checkpoint_interval_s=self.config.checkpoint_interval_s,
+            checkpoint_hook=self._mirror_checkpoint,
+        )
+        self._client = client
+        resume_workunit = self._persist.pop("workunit", None)
+        resume = None
+        saved = self._persist.get("progress")
+        if resume_workunit is not None and saved is not None:
+            progress = EinsteinProgress.from_dict(saved)  # type: ignore[arg-type]
+            if progress.workunit_id == resume_workunit.workunit_id:
+                resume = progress
+        result = yield from client.run(
+            ctx, resume=resume,
+            resume_workunit=resume_workunit,
+        )
+        self.stats.workunits_done += client.workunits_done
+        self.stats.templates_done += client.templates_done
+        self._client = None
+        vm.shutdown()
+        self.vm = None
+        return result
+
+    def _owner_activity(self) -> Generator:
+        """The machine's owner: bursts of host compute at normal class."""
+        duty = self.config.owner_duty_cycle
+        thread = self.kernel.spawn_thread(f"{self.config.name}.owner",
+                                          PRIORITY_NORMAL)
+        ctx = self.kernel.context(thread)
+        try:
+            while self._running:
+                idle = self.rng.exponential(
+                    "owner.idle", self.config.owner_session_s * (1 - duty) / max(duty, 1e-6)
+                )
+                yield self.engine.timeout(idle)
+                session_end = self.engine.now + self.rng.exponential(
+                    "owner.busy", self.config.owner_session_s
+                )
+                while self.engine.now < session_end:
+                    yield from ctx.compute(5e7, MIX_SEVENZIP)
+        except Interrupted:
+            return

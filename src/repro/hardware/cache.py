@@ -1,0 +1,75 @@
+"""Shared-L2 contention model for the dual-core package.
+
+The Core 2 Duo's two cores share one 4 MB L2.  When both cores run
+memory-hungry code, each evicts the other's lines and both slow down.
+The paper leans on this twice:
+
+* §4.2.3 — two native 7z threads only reach ~180% of one thread,
+* Figure 5 — a VM busy on the sibling core costs NBench's MEM index a few
+  per cent even though the host benchmark owns its core.
+
+Model: thread *t* running on core *c* retires cycles at
+
+    factor(t) = 1 / (1 + coeff * sensitivity(t) * sum_{u on other cores} pressure(u))
+
+with ``pressure``/``sensitivity`` taken from each thread's current
+:class:`~repro.hardware.cpu.InstructionMix`.  This is the classic
+"cache-pressure product" analytic model: simple, monotone, and symmetric
+enough to validate with property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+from repro.hardware.cpu import InstructionMix
+
+
+@dataclass
+class CacheStats:
+    """Aggregate contention bookkeeping for reporting and tests."""
+
+    contended_seconds: float = 0.0
+    solo_seconds: float = 0.0
+    worst_factor: float = 1.0
+
+    def observe(self, factor: float, dt: float) -> None:
+        if factor < 1.0:
+            self.contended_seconds += dt
+            self.worst_factor = min(self.worst_factor, factor)
+        else:
+            self.solo_seconds += dt
+
+
+class SharedL2Model:
+    """Computes per-thread throughput factors for a set of co-runners."""
+
+    def __init__(self, contention_coeff: float):
+        if contention_coeff < 0:
+            raise ValueError(f"coefficient must be >= 0, got {contention_coeff}")
+        self.coeff = contention_coeff
+        self.stats = CacheStats()
+
+    def factor(self, own: InstructionMix, others: Iterable[InstructionMix]) -> float:
+        """Throughput factor in (0, 1] for ``own`` next to ``others``."""
+        pressure = sum(mix.l2_pressure for mix in others)
+        return 1.0 / (1.0 + self.coeff * own.l2_sensitivity * pressure)
+
+    def factors(self, per_core: Sequence[InstructionMix | None]) -> Dict[int, float]:
+        """Factors for every occupied core given the current placement.
+
+        ``per_core[i]`` is the mix running on core *i*, or ``None`` when
+        the core is idle.  Returns ``{core_index: factor}`` for occupied
+        cores only.
+        """
+        result: Dict[int, float] = {}
+        for index, mix in enumerate(per_core):
+            if mix is None:
+                continue
+            others = [m for j, m in enumerate(per_core) if j != index and m is not None]
+            result[index] = self.factor(mix, others)
+        return result
+
+    def observe(self, factor: float, dt: float) -> None:
+        self.stats.observe(factor, dt)

@@ -1,0 +1,51 @@
+"""Assembly of a physical machine: CPU package, L2 model, disk, NIC, RAM."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.cache import SharedL2Model
+from repro.hardware.disk import Disk
+from repro.hardware.memory import MemoryAccounting
+from repro.hardware.nic import Nic
+from repro.hardware.specs import MachineSpec, core2duo_e6600
+from repro.simcore.engine import Engine
+from repro.simcore.rng import RngStreams
+
+
+class Machine:
+    """A physical machine instance bound to an engine.
+
+    This is pure hardware: it has no scheduler or filesystem.  An OS model
+    (:class:`repro.osmodel.kernel.Kernel`) is installed on top and drives
+    the devices.
+    """
+
+    def __init__(self, engine: Engine, spec: Optional[MachineSpec] = None,
+                 rng: Optional[RngStreams] = None):
+        self.engine = engine
+        self.spec = spec or core2duo_e6600()
+        self.rng = rng or RngStreams(0)
+        self.l2 = SharedL2Model(self.spec.cpu.l2_contention_coeff)
+        self.disk = Disk(engine, self.spec.disk, self.rng,
+                         name=f"{self.spec.name}.disk")
+        self.nic = Nic(engine, self.spec.nic, name=f"{self.spec.name}.nic")
+        self.memory = MemoryAccounting(self.spec.memory)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def n_cores(self) -> int:
+        return self.spec.cpu.n_cores
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.spec.cpu.frequency_hz
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Machine {self.name!r} cores={self.n_cores} "
+            f"freq={self.frequency_hz / 1e9:.2f}GHz>"
+        )

@@ -1,0 +1,78 @@
+"""Physical-memory accounting (the §4.2.1 intrusiveness dimension).
+
+The paper's point in §4.2.1 is that a VM's memory cost is *configured,
+constant and known*: the VMM commits the whole configured guest RAM while
+running.  We model commitment accounting plus a coarse paging penalty so
+experiments can show what happens when a VM is configured beyond what the
+host can spare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import SimulationError
+from repro.hardware.specs import MemorySpec
+
+
+@dataclass
+class MemoryAccounting:
+    """Tracks committed bytes per named owner against physical capacity."""
+
+    spec: MemorySpec
+    commitments: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def committed_bytes(self) -> int:
+        return sum(self.commitments.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.capacity_bytes - self.committed_bytes
+
+    @property
+    def overcommitted(self) -> bool:
+        return self.committed_bytes > self.spec.capacity_bytes
+
+    def commit(self, owner: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` for ``owner`` (stacked on prior commitments)."""
+        if nbytes < 0:
+            raise SimulationError(f"cannot commit negative bytes: {nbytes}")
+        total_after = self.committed_bytes + nbytes
+        if total_after > self.spec.capacity_bytes + self.spec.swap_bytes:
+            raise SimulationError(
+                f"commit of {nbytes} for {owner!r} exceeds RAM+swap "
+                f"({total_after} > {self.spec.capacity_bytes + self.spec.swap_bytes})"
+            )
+        self.commitments[owner] = self.commitments.get(owner, 0) + nbytes
+
+    def release(self, owner: str, nbytes: int | None = None) -> None:
+        """Release part or all of an owner's commitment."""
+        held = self.commitments.get(owner, 0)
+        if nbytes is None:
+            nbytes = held
+        if nbytes > held:
+            raise SimulationError(
+                f"{owner!r} releasing {nbytes} but holds only {held}"
+            )
+        remaining = held - nbytes
+        if remaining:
+            self.commitments[owner] = remaining
+        else:
+            self.commitments.pop(owner, None)
+
+    def paging_penalty_factor(self) -> float:
+        """Global compute slowdown from paging when overcommitted.
+
+        1.0 when everything fits; degrades smoothly with the overcommit
+        ratio.  Deliberately coarse — the paper's configurations always
+        fit (300 MB guest in 1 GB host), so this path only matters for
+        the what-if examples.
+        """
+        committed = self.committed_bytes
+        capacity = self.spec.capacity_bytes
+        if committed <= capacity:
+            return 1.0
+        overshoot = (committed - capacity) / capacity
+        return 1.0 / (1.0 + 4.0 * overshoot)

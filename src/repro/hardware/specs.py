@@ -1,0 +1,137 @@
+"""Hardware specification dataclasses and the paper's testbed machine.
+
+The paper's testbed: Intel Core 2 Duo E6600 @ 2.40 GHz (two cores sharing
+a 4 MB L2 cache), 1 GB DDR2, a commodity SATA disk, and a 100 Mbps Fast
+Ethernet NIC.  :func:`core2duo_e6600` builds that spec; experiments use it
+for both the native-Linux and the Windows-host configurations (the paper
+uses one physical machine for everything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.units import GB, GHZ, KB, MB, MSEC
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A multi-core CPU package.
+
+    ``l2_contention_coeff`` scales the shared-L2 slowdown: a thread running
+    with co-runners on sibling cores retires cycles at
+    ``1 / (1 + coeff * own_sensitivity * sum(co-runner pressure))`` of its
+    solo rate.  The coefficient is calibrated so two 7z threads reach the
+    paper's ~180% aggregate (§4.2.3) and NBench's MEM index loses < 5%
+    next to a busy VM (Figure 5).
+    """
+
+    name: str = "cpu"
+    frequency_hz: float = 2.4 * GHZ
+    n_cores: int = 2
+    l2_size_bytes: int = 4 * MB
+    l2_contention_coeff: float = 0.37
+
+    def __post_init__(self):
+        if self.n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1, got {self.n_cores}")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.l2_contention_coeff < 0:
+            raise ValueError("contention coefficient must be >= 0")
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """A rotational disk: seek + rotational latency + streaming transfer.
+
+    ``cache_bytes`` is the on-device buffer; sequential accesses that hit
+    the read-ahead window skip the mechanical latency.
+    """
+
+    name: str = "disk"
+    capacity_bytes: int = 250 * GB
+    seek_time_s: float = 8.5 * MSEC
+    rotational_latency_s: float = 4.17 * MSEC  # half a turn at 7200 rpm
+    transfer_rate_bps: float = 60 * MB  # bytes/second, sustained
+    cache_bytes: int = 8 * MB
+    seek_jitter_sigma: float = 0.15  # lognormal sigma on mechanical latency
+
+    def __post_init__(self):
+        if self.transfer_rate_bps <= 0:
+            raise ValueError("transfer rate must be positive")
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """An Ethernet NIC.
+
+    ``frame_overhead_bytes`` is the calibrated per-frame wire overhead
+    (headers, preamble, inter-frame gap) that, with a 1460-byte payload,
+    yields the paper's native 97.60 Mbps iperf figure on a 100 Mbps link.
+    """
+
+    name: str = "nic"
+    line_rate_bps: float = 100e6 / 8.0  # bytes/second on the wire
+    mtu_payload_bytes: int = 1460
+    frame_overhead_bytes: int = 36
+    link_latency_s: float = 0.1 * MSEC
+
+    @property
+    def frame_bytes(self) -> int:
+        return self.mtu_payload_bytes + self.frame_overhead_bytes
+
+    @property
+    def payload_rate_bps(self) -> float:
+        """Achievable payload bytes/second at line rate."""
+        return self.line_rate_bps * self.mtu_payload_bytes / self.frame_bytes
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Physical RAM and swap sizing."""
+
+    capacity_bytes: int = 1 * GB
+    swap_bytes: int = 2 * GB
+    page_bytes: int = 4 * KB
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete physical machine."""
+
+    name: str = "machine"
+    cpu: CpuSpec = field(default_factory=CpuSpec)
+    disk: DiskSpec = field(default_factory=DiskSpec)
+    nic: NicSpec = field(default_factory=NicSpec)
+    memory: MemorySpec = field(default_factory=MemorySpec)
+
+    def with_name(self, name: str) -> "MachineSpec":
+        return replace(self, name=name)
+
+
+def core2duo_e6600(name: str = "c2d-e6600") -> MachineSpec:
+    """The paper's testbed: Core 2 Duo E6600, 1 GB DDR2, SATA, 100 Mbps."""
+    return MachineSpec(
+        name=name,
+        cpu=CpuSpec(name="core2duo-e6600", frequency_hz=2.4 * GHZ, n_cores=2,
+                    l2_size_bytes=4 * MB, l2_contention_coeff=0.37),
+        disk=DiskSpec(name="sata-7200rpm"),
+        nic=NicSpec(name="fast-ethernet-100"),
+        memory=MemorySpec(capacity_bytes=1 * GB),
+    )
+
+
+def uniprocessor(name: str = "uni") -> MachineSpec:
+    """A single-core variant used by ablation benches (no second core to
+    absorb the VM, so intrusiveness is far worse — a paper talking point)."""
+    base = core2duo_e6600(name)
+    return replace(base, cpu=replace(base.cpu, name="single-core", n_cores=1))
+
+
+def lan_peer(name: str = "iperf-server") -> MachineSpec:
+    """The remote machine acting as the iperf server in NetBench."""
+    return core2duo_e6600(name)

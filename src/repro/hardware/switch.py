@@ -1,0 +1,59 @@
+"""A switched Ethernet segment connecting many NICs.
+
+The paper's testbed is two machines on a point-to-point 100 Mbps link;
+the desktop-grid layer (``repro.grid``) scales that to a fleet.  A
+modern switched LAN gives every port full-duplex wire rate with no shared
+collision domain, so the model is simple: attaching a NIC gives it a
+dedicated switch port as its "peer"; each sender still serialises on its
+*own* uplink (its ``_tx_busy_until``), and delivery callbacks fire after
+the frame's wire time plus latency, independent of other ports' traffic.
+
+This is optimistic about switch fabric contention (a 2008 desktop switch
+easily forwards a few saturated 100 Mbps ports, so the simplification is
+harmless at fleet sizes that matter here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.hardware.nic import Nic, NicStats
+from repro.simcore.engine import Engine
+
+
+@dataclass
+class _SwitchPort:
+    """Stats sink standing in as a NIC's peer."""
+
+    switch: "Switch"
+    index: int
+    stats: NicStats = field(default_factory=NicStats)
+    peer: object = None  # back-reference set by Nic.connect
+
+
+class Switch:
+    """A multi-port store-and-forward switch."""
+
+    def __init__(self, engine: Engine, name: str = "switch"):
+        self.engine = engine
+        self.name = name
+        self.ports: List[_SwitchPort] = []
+
+    def attach(self, nic: Nic) -> _SwitchPort:
+        """Plug a NIC into the switch; returns its port."""
+        port = _SwitchPort(self, len(self.ports))
+        self.ports.append(port)
+        nic.connect(port)  # type: ignore[arg-type]  # duck-typed peer
+        return port
+
+    @property
+    def n_ports(self) -> int:
+        return len(self.ports)
+
+    @property
+    def total_frames(self) -> int:
+        return sum(port.stats.frames_received for port in self.ports)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Switch {self.name!r} ports={self.n_ports}>"

@@ -1,0 +1,63 @@
+"""Operating-system models: scheduler, kernel, filesystem, network, clocks."""
+
+from repro.osmodel.filesystem import PAGE_BYTES, FileNode, FileSystem, FsStats
+from repro.osmodel.kernel import (
+    CostKind,
+    ExecutionContext,
+    Kernel,
+    KernelParams,
+    ubuntu_params,
+    windows_xp_params,
+)
+from repro.osmodel.netstack import (
+    LoopbackDevice,
+    NetStack,
+    NetStats,
+    TcpSocket,
+    UdpSocket,
+)
+from repro.osmodel.scheduler import BoostPolicy, CoreState, Scheduler
+from repro.osmodel.threads import (
+    PRIORITY_ABOVE_NORMAL,
+    PRIORITY_BELOW_NORMAL,
+    PRIORITY_HIGH,
+    PRIORITY_IDLE,
+    PRIORITY_NORMAL,
+    PRIORITY_REALTIME,
+    OsProcess,
+    SimThread,
+    ThreadState,
+)
+from repro.osmodel.timekeeping import StopwatchClock, SystemClock
+
+__all__ = [
+    "BoostPolicy",
+    "CoreState",
+    "CostKind",
+    "ExecutionContext",
+    "FileNode",
+    "FileSystem",
+    "FsStats",
+    "Kernel",
+    "KernelParams",
+    "LoopbackDevice",
+    "NetStack",
+    "NetStats",
+    "OsProcess",
+    "PAGE_BYTES",
+    "PRIORITY_ABOVE_NORMAL",
+    "PRIORITY_BELOW_NORMAL",
+    "PRIORITY_HIGH",
+    "PRIORITY_IDLE",
+    "PRIORITY_NORMAL",
+    "PRIORITY_REALTIME",
+    "Scheduler",
+    "SimThread",
+    "StopwatchClock",
+    "SystemClock",
+    "TcpSocket",
+    "ThreadState",
+    "UdpSocket",
+    "ubuntu_params",
+    "windows_xp_params",
+]

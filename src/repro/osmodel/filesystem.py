@@ -1,0 +1,294 @@
+"""Filesystem model: VFS + page cache + block layer.
+
+Granularity is a 64 KB cache chunk ("page" below, loosely): fine enough to
+capture partial-file caching, coarse enough to keep event counts low.
+
+Cost model per call:
+
+* ``fs_per_op_cycles`` of kernel *control* work (dispatch, VFS, mapping),
+* ``fs_per_kb_cycles`` × KB of kernel *copy* work,
+* disk requests only for cache misses (reads) and for ``fsync``/eviction
+  (writes — the cache is write-back; there is deliberately no background
+  flusher so runs are deterministic, and IOBench calls fsync explicitly).
+
+The distinction between control and copy charges matters inside a guest:
+hypervisor binary translation multiplies control paths much more than copy
+loops (see :class:`repro.osmodel.kernel.CostKind`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.errors import FileSystemError
+from repro.hardware.cpu import MIX_KERNEL
+from repro.osmodel.kernel import ChargeFn, CostKind, KernelParams
+from repro.osmodel.threads import SimThread
+from repro.simcore.engine import Engine
+from repro.units import KB, MB
+
+PAGE_BYTES = 64 * KB
+_FILE_REGION_BYTES = 128 * MB  # disk address space reserved per file
+
+
+@dataclass
+class FileNode:
+    """An inode: size plus the file's reserved region on the disk."""
+
+    path: str
+    disk_base: int
+    region_bytes: int
+    size: int = 0
+
+
+@dataclass
+class FsStats:
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evictions: int = 0
+    fsyncs: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+class FileSystem:
+    """One mounted filesystem over one disk-like device.
+
+    ``disk`` needs only ``submit(nbytes, offset, is_write) -> SimEvent``;
+    the native FS gets a :class:`repro.hardware.disk.Disk`, a guest FS gets
+    a :class:`repro.virt.vdisk.VirtualDisk`.
+    """
+
+    def __init__(self, engine: Engine, params: KernelParams, disk,
+                 charge: ChargeFn, cache_bytes: int, name: str = "fs"):
+        if cache_bytes < PAGE_BYTES:
+            raise FileSystemError(
+                f"page cache must hold at least one page ({PAGE_BYTES} B)"
+            )
+        self.engine = engine
+        self.params = params
+        self.disk = disk
+        self.charge = charge
+        self.name = name
+        self.capacity_pages = cache_bytes // PAGE_BYTES
+        self.files: Dict[str, FileNode] = {}
+        # LRU: key -> dirty flag.  Most-recently-used at the end.
+        self._cache: "OrderedDict[Tuple[str, int], bool]" = OrderedDict()
+        self._next_base = 0
+        self.stats = FsStats()
+
+    # ------------------------------------------------------------------
+    # namespace operations
+    # ------------------------------------------------------------------
+
+    def create(self, thread: SimThread, path: str,
+               size_hint: int = 0) -> Generator:
+        """Create an empty file (idempotent: truncates an existing one).
+
+        ``size_hint`` grows the file's reserved disk region beyond the
+        default when the caller knows it will be big (VM images,
+        checkpoint files)."""
+        yield from self._charge_op(thread)
+        node = self.files.get(path)
+        if node is None:
+            region = max(_FILE_REGION_BYTES, _round_up_pages(size_hint))
+            node = FileNode(path, self._allocate_region(region), region)
+            self.files[path] = node
+        else:
+            self._drop_pages(path)
+        node.size = 0
+
+    def delete(self, thread: SimThread, path: str) -> Generator:
+        yield from self._charge_op(thread)
+        if path not in self.files:
+            raise FileSystemError(f"delete: no such file {path!r}")
+        self._drop_pages(path)
+        del self.files[path]
+
+    def exists(self, path: str) -> bool:
+        return path in self.files
+
+    def size_of(self, path: str) -> int:
+        node = self.files.get(path)
+        if node is None:
+            raise FileSystemError(f"stat: no such file {path!r}")
+        return node.size
+
+    # ------------------------------------------------------------------
+    # data operations
+    # ------------------------------------------------------------------
+
+    def write(self, thread: SimThread, path: str, offset: int,
+              nbytes: int) -> Generator:
+        """Buffered write: dirties cache pages; disk only on eviction/fsync."""
+        node = self._node(path)
+        self._check_range(node, offset, nbytes)
+        yield from self._charge_op(thread)
+        yield from self._charge_copy(thread, nbytes)
+        node.size = max(node.size, offset + nbytes)
+        first, last = self._page_span(offset, nbytes)
+        for page in range(first, last + 1):
+            yield from self._cache_insert(thread, path, page, dirty=True)
+        self.stats.writes += 1
+        self.stats.bytes_written += nbytes
+
+    def read(self, thread: SimThread, path: str, offset: int,
+             nbytes: int) -> Generator:
+        """Read: serves from cache, fetching missing ranges from disk."""
+        node = self._node(path)
+        if offset + nbytes > node.size:
+            raise FileSystemError(
+                f"read past EOF on {path!r}: [{offset}, {offset + nbytes})"
+                f" > size {node.size}"
+            )
+        yield from self._charge_op(thread)
+        first, last = self._page_span(offset, nbytes)
+        missing = [p for p in range(first, last + 1)
+                   if (path, p) not in self._cache]
+        self.stats.cache_hits += (last - first + 1) - len(missing)
+        self.stats.cache_misses += len(missing)
+        for start, count in _coalesce(missing):
+            ev = self.disk.submit(
+                count * PAGE_BYTES, node.disk_base + start * PAGE_BYTES,
+                is_write=False,
+            )
+            yield ev
+            for page in range(start, start + count):
+                yield from self._cache_insert(thread, path, page, dirty=False)
+        # touch hit pages for LRU recency
+        for page in range(first, last + 1):
+            key = (path, page)
+            if key in self._cache:
+                self._cache.move_to_end(key)
+        yield from self._charge_copy(thread, nbytes)
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+
+    def fsync(self, thread: SimThread, path: str) -> Generator:
+        """Flush the file's dirty pages to disk (coalesced, in order)."""
+        node = self._node(path)
+        yield from self._charge_op(thread)
+        dirty = sorted(p for (f, p), d in self._cache.items()
+                       if f == path and d)
+        for start, count in _coalesce(dirty):
+            ev = self.disk.submit(
+                count * PAGE_BYTES, node.disk_base + start * PAGE_BYTES,
+                is_write=True,
+            )
+            yield ev
+            for page in range(start, start + count):
+                self._cache[(path, page)] = False
+        flush = getattr(self.disk, "flush", None)
+        if flush is not None:
+            ev = flush()
+            if ev is not None:
+                yield ev
+        self.stats.fsyncs += 1
+
+    def drop_caches(self) -> None:
+        """Evict all *clean* pages (cold-read experiments).  Dirty pages
+        stay — call fsync first for a fully cold cache."""
+        for key in [k for k, dirty in self._cache.items() if not dirty]:
+            del self._cache[key]
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._cache)
+
+    @property
+    def dirty_pages(self) -> int:
+        return sum(1 for d in self._cache.values() if d)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _node(self, path: str) -> FileNode:
+        node = self.files.get(path)
+        if node is None:
+            raise FileSystemError(f"no such file: {path!r}")
+        return node
+
+    def _allocate_region(self, region_bytes: int) -> int:
+        base = self._next_base
+        self._next_base += region_bytes
+        capacity = getattr(getattr(self.disk, "spec", None), "capacity_bytes", None)
+        if capacity is not None and self._next_base > capacity:
+            raise FileSystemError(f"filesystem {self.name!r} out of space")
+        return base
+
+    @staticmethod
+    def _page_span(offset: int, nbytes: int) -> Tuple[int, int]:
+        if nbytes <= 0:
+            raise FileSystemError(f"I/O size must be positive, got {nbytes}")
+        return offset // PAGE_BYTES, (offset + nbytes - 1) // PAGE_BYTES
+
+    def _check_range(self, node: FileNode, offset: int, nbytes: int) -> None:
+        if offset < 0:
+            raise FileSystemError(f"negative offset: {offset}")
+        if offset + nbytes > node.region_bytes:
+            raise FileSystemError(
+                f"{node.path!r} would exceed its {node.region_bytes}-byte "
+                f"region (pass size_hint to create for large files)"
+            )
+
+    def _charge_op(self, thread: SimThread) -> Generator:
+        yield self.charge(thread, self.params.fs_per_op_cycles, MIX_KERNEL,
+                          CostKind.KERNEL_CONTROL)
+
+    def _charge_copy(self, thread: SimThread, nbytes: int) -> Generator:
+        cycles = self.params.fs_per_kb_cycles * (nbytes / KB)
+        yield self.charge(thread, cycles, MIX_KERNEL, CostKind.KERNEL_COPY)
+
+    def _cache_insert(self, thread: SimThread, path: str, page: int,
+                      dirty: bool) -> Generator:
+        key = (path, page)
+        if key in self._cache:
+            self._cache[key] = self._cache[key] or dirty
+            self._cache.move_to_end(key)
+            return
+        while len(self._cache) >= self.capacity_pages:
+            victim, victim_dirty = self._cache.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                victim_node = self.files.get(victim[0])
+                if victim_node is not None:
+                    ev = self.disk.submit(
+                        PAGE_BYTES,
+                        victim_node.disk_base + victim[1] * PAGE_BYTES,
+                        is_write=True,
+                    )
+                    yield ev
+        self._cache[key] = dirty
+
+    def _drop_pages(self, path: str) -> None:
+        for key in [k for k in self._cache if k[0] == path]:
+            del self._cache[key]
+
+
+def _round_up_pages(nbytes: int) -> int:
+    """Round a size hint up to a whole number of cache pages."""
+    if nbytes <= 0:
+        return 0
+    pages = (nbytes + PAGE_BYTES - 1) // PAGE_BYTES
+    return pages * PAGE_BYTES
+
+
+def _coalesce(pages: List[int]) -> List[Tuple[int, int]]:
+    """Group a sorted page list into (start, count) contiguous runs."""
+    runs: List[Tuple[int, int]] = []
+    for page in pages:
+        if runs and runs[-1][0] + runs[-1][1] == page:
+            runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+        else:
+            runs.append((page, 1))
+    return runs

@@ -1,0 +1,243 @@
+"""OS kernel model: syscall costs, processes, and execution contexts.
+
+The kernel is a thin orchestration layer that:
+
+* owns a :class:`Scheduler`, a :class:`FileSystem`, a :class:`NetStack`
+  and a :class:`SystemClock` for one machine;
+* charges CPU for kernel work through a pluggable *charge function* so the
+  same filesystem/netstack code runs natively (×1) and inside a guest
+  (×hypervisor translation multipliers);
+* hands workloads an :class:`ExecutionContext` — the only API benchmarks
+  see, which is what lets one workload implementation run unchanged on
+  native Linux, on the Windows host, or inside any VM.
+
+Cost kinds
+----------
+Hypervisors penalise kernel *control* paths (traps, page-table and device
+fiddling — heavily rewritten under binary translation) far more than bulk
+*copy* loops (string moves run mostly native).  The paper's Figure 3 vs
+Figure 1 gap depends on this distinction, so every kernel charge carries a
+:class:`CostKind`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from repro.errors import ReproError
+from repro.hardware.cpu import MIX_KERNEL, InstructionMix
+from repro.hardware.machine import Machine
+from repro.osmodel.scheduler import BoostPolicy, Scheduler
+from repro.osmodel.threads import PRIORITY_NORMAL, OsProcess, SimThread
+from repro.osmodel.timekeeping import SystemClock
+from repro.simcore.engine import Engine
+from repro.simcore.events import SimEvent
+from repro.units import KB
+
+
+class CostKind(enum.Enum):
+    """What kind of code a CPU charge represents (drives VM multipliers)."""
+
+    USER = "user"                      # application code
+    KERNEL_CONTROL = "kernel_control"  # syscall dispatch, drivers, VFS
+    KERNEL_COPY = "kernel_copy"        # bulk data movement in kernel mode
+
+
+# A charge function executes `cycles` of `kind` work on `thread` and
+# returns the completion event.  The native one submits to the scheduler
+# unchanged; the guest one (repro.virt) scales cycles by the hypervisor's
+# translation multipliers first.
+ChargeFn = Callable[[SimThread, float, InstructionMix, CostKind], SimEvent]
+
+
+@dataclass(frozen=True)
+class KernelParams:
+    """Per-OS cost constants (cycles unless noted)."""
+
+    name: str = "generic"
+    syscall_cycles: float = 1_500.0
+    fs_per_op_cycles: float = 12_000.0    # one read()/write() control path
+    fs_per_kb_cycles: float = 550.0       # copy + page-cache bookkeeping
+    net_send_per_packet_cycles: float = 3_000.0
+    net_recv_per_packet_cycles: float = 3_500.0
+    page_cache_bytes: int = 384 * 1024 * KB  # default grown/shrunk by Kernel
+    timer_hz: float = 100.0
+    clock_resolution_s: float = 1e-3      # granularity of the OS clock API
+
+
+def windows_xp_params() -> KernelParams:
+    """The paper's host OS (Windows XP SP2)."""
+    return KernelParams(
+        name="windows-xp", syscall_cycles=1_800.0, fs_per_op_cycles=14_000.0,
+        fs_per_kb_cycles=600.0, net_send_per_packet_cycles=3_200.0,
+        net_recv_per_packet_cycles=3_800.0, timer_hz=64.0,
+        clock_resolution_s=15.6e-3,
+    )
+
+
+def ubuntu_params() -> KernelParams:
+    """The paper's guest / native-comparison OS (Ubuntu Linux)."""
+    return KernelParams(
+        name="ubuntu-linux", syscall_cycles=1_400.0, fs_per_op_cycles=11_000.0,
+        fs_per_kb_cycles=520.0, net_send_per_packet_cycles=2_800.0,
+        net_recv_per_packet_cycles=3_300.0, timer_hz=250.0,
+        clock_resolution_s=1e-6,  # gettimeofday is microsecond-accurate
+    )
+
+
+class Kernel:
+    """An OS instance installed on a machine."""
+
+    def __init__(self, engine: Engine, machine: Machine,
+                 params: Optional[KernelParams] = None,
+                 name: Optional[str] = None,
+                 boost: Optional[BoostPolicy] = None,
+                 page_cache_bytes: Optional[int] = None):
+        from repro.osmodel.filesystem import FileSystem
+        from repro.osmodel.netstack import NetStack
+
+        self.engine = engine
+        self.machine = machine
+        self.params = params or ubuntu_params()
+        self.name = name or f"{self.params.name}@{machine.name}"
+        self.scheduler = Scheduler(engine, machine, boost=boost)
+        self.clock = SystemClock(engine, resolution_s=self.params.clock_resolution_s)
+        cache_bytes = (page_cache_bytes if page_cache_bytes is not None
+                       else self.params.page_cache_bytes)
+        self.fs = FileSystem(
+            engine, params=self.params, disk=machine.disk,
+            charge=self.charge_native, cache_bytes=cache_bytes,
+            name=f"{self.name}.fs",
+        )
+        self.net = NetStack(
+            engine, params=self.params, nic=machine.nic,
+            charge=self.charge_native, hostname=self.name,
+        )
+        self.processes: list[OsProcess] = []
+
+    # -- CPU charging ------------------------------------------------------
+
+    def charge_native(self, thread: SimThread, cycles: float,
+                      mix: InstructionMix, kind: CostKind) -> SimEvent:
+        """Native charge: cycles hit the scheduler unchanged."""
+        del kind  # native execution does not distinguish
+        return self.scheduler.submit(thread, cycles, mix)
+
+    # -- process / thread management -----------------------------------------
+
+    def create_process(self, name: str, memory_bytes: int = 0) -> OsProcess:
+        process = OsProcess(name, memory_bytes)
+        if memory_bytes:
+            self.machine.memory.commit(name, memory_bytes)
+        self.processes.append(process)
+        return process
+
+    def destroy_process(self, process: OsProcess) -> None:
+        for thread in process.threads:
+            self.scheduler.exit_thread(thread)
+        if process.memory_bytes:
+            self.machine.memory.release(process.name, process.memory_bytes)
+        if process in self.processes:
+            self.processes.remove(process)
+
+    def spawn_thread(self, name: str, priority: int = PRIORITY_NORMAL,
+                     process: Optional[OsProcess] = None) -> SimThread:
+        return self.scheduler.spawn(name, priority, process)
+
+    def context(self, thread: SimThread,
+                time_source: Optional[Callable[[], float]] = None) -> "ExecutionContext":
+        """An execution context for workload code on ``thread``."""
+        return ExecutionContext(self, thread, charge=self.charge_native,
+                                time_source=time_source)
+
+
+class ExecutionContext:
+    """What a benchmark sees: compute, file I/O, network, clocks.
+
+    ``time_source`` is the *measurement* clock (the paper carefully uses an
+    external UDP time server for guest-side measurements because guest
+    clocks lie under load); it defaults to the kernel's own clock.
+    """
+
+    def __init__(self, kernel: Kernel, thread: SimThread, charge: ChargeFn,
+                 time_source: Optional[Callable[[], float]] = None,
+                 timestamp_source: Optional[Callable[[], Generator]] = None,
+                 fs=None, net=None):
+        self.kernel = kernel
+        self.thread = thread
+        self.charge = charge
+        self.fs = fs if fs is not None else kernel.fs
+        self.net = net if net is not None else kernel.net
+        self._time_source = time_source
+        self._timestamp_source = timestamp_source
+
+    # -- clocks ------------------------------------------------------------
+
+    def time(self) -> float:
+        """Measurement clock (may be inaccurate inside a guest)."""
+        if self._time_source is not None:
+            return self._time_source()
+        return self.kernel.clock.now()
+
+    def timestamp(self) -> Generator:
+        """Accurate measurement timestamp (generator — may cost real work).
+
+        Natively this is just the OS clock; a guest context wires this to
+        a UDP time-server query, exactly as the paper does to sidestep
+        guest-clock lies (§4: "time measurements ... were done resorting
+        to an external time reference").
+        """
+        if self._timestamp_source is not None:
+            value = yield from self._timestamp_source()
+            return value
+        return self.time()
+
+    def true_time(self) -> float:
+        """Oracle wall time — for tests and clock-error studies only."""
+        return self.kernel.engine.now
+
+    def cpu_time(self) -> float:
+        return self.kernel.scheduler.cpu_time(self.thread)
+
+    def instructions(self) -> float:
+        return self.kernel.scheduler.instructions(self.thread)
+
+    # -- compute -------------------------------------------------------------
+
+    def compute(self, instructions: float, mix: InstructionMix) -> Generator:
+        """Execute ``instructions`` of ``mix``; yields until retired."""
+        if instructions < 0:
+            raise ReproError(f"negative instruction count: {instructions}")
+        cycles = mix.cycles_for(instructions)
+        yield self.charge(self.thread, cycles, mix, CostKind.USER)
+
+    def compute_cycles(self, cycles: float, mix: InstructionMix,
+                       kind: CostKind = CostKind.USER) -> Generator:
+        yield self.charge(self.thread, cycles, mix, kind)
+
+    def syscall(self) -> Generator:
+        """One bare syscall round trip."""
+        yield self.charge(self.thread, self.kernel.params.syscall_cycles,
+                          MIX_KERNEL, CostKind.KERNEL_CONTROL)
+
+    def sleep(self, seconds: float) -> Generator:
+        yield self.kernel.engine.timeout(seconds)
+
+    # -- file I/O -----------------------------------------------------------
+
+    def fcreate(self, path: str, size_hint: int = 0) -> Generator:
+        yield from self.fs.create(self.thread, path, size_hint)
+
+    def fwrite(self, path: str, offset: int, nbytes: int) -> Generator:
+        yield from self.fs.write(self.thread, path, offset, nbytes)
+
+    def fread(self, path: str, offset: int, nbytes: int) -> Generator:
+        yield from self.fs.read(self.thread, path, offset, nbytes)
+
+    def fsync(self, path: str) -> Generator:
+        yield from self.fs.fsync(self.thread, path)
+
+    def fdelete(self, path: str) -> Generator:
+        yield from self.fs.delete(self.thread, path)

@@ -1,0 +1,55 @@
+"""Clock models.
+
+The host's :class:`SystemClock` is accurate but *coarse* (Windows XP's
+tick is ~15.6 ms; Linux's 1–4 ms): reads are quantised to the resolution.
+Guest clocks (which lose ticks under load) live in
+:mod:`repro.virt.guestclock`; both expose ``now()`` so measurement code is
+agnostic.
+
+The paper works around guest-clock lies by timing guest benchmarks against
+an external UDP time server on the host (§4) — reproduced in
+:mod:`repro.virt.timeserver`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.simcore.engine import Engine
+
+
+class SystemClock:
+    """The OS clock API: true time quantised to the OS tick resolution."""
+
+    def __init__(self, engine: Engine, resolution_s: float = 1e-3,
+                 offset_s: float = 0.0):
+        if resolution_s < 0:
+            raise ValueError(f"resolution must be >= 0, got {resolution_s}")
+        self.engine = engine
+        self.resolution_s = resolution_s
+        self.offset_s = offset_s
+
+    def now(self) -> float:
+        raw = self.engine.now + self.offset_s
+        if self.resolution_s <= 0:
+            return raw
+        ticks = int(raw / self.resolution_s)
+        return ticks * self.resolution_s
+
+
+class StopwatchClock:
+    """Wraps any ``now()`` source into interval measurements.
+
+    Used by benchmark harnesses: ``t = sw.elapsed()`` semantics with the
+    clock the *benchmark* would have used (guest clock, UDP server, ...).
+    """
+
+    def __init__(self, time_source: Callable[[], float]):
+        self._source = time_source
+        self._start = time_source()
+
+    def restart(self) -> None:
+        self._start = self._source()
+
+    def elapsed(self) -> float:
+        return self._source() - self._start

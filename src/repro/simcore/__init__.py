@@ -1,0 +1,38 @@
+"""Discrete-event simulation kernel.
+
+Public surface:
+
+* :class:`Engine` — the time-ordered callback loop,
+* :class:`SimEvent`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf` —
+  waitable conditions,
+* :class:`SimProcess`, :class:`Interrupted` — generator processes,
+* :class:`Resource`, :class:`Mutex`, :class:`Store` — shared resources,
+* :class:`RngStreams`, :func:`derive_rep_seed` — deterministic randomness,
+* :class:`Tracer`, :class:`TraceRecord` — structured tracing.
+"""
+
+from repro.simcore.engine import Engine
+from repro.simcore.events import AllOf, AnyOf, EventHandle, SimEvent, Timeout
+from repro.simcore.process import Interrupted, SimProcess
+from repro.simcore.resources import Mutex, Request, Resource, Store
+from repro.simcore.rng import RngStreams, derive_rep_seed
+from repro.simcore.trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "EventHandle",
+    "Interrupted",
+    "Mutex",
+    "Request",
+    "Resource",
+    "RngStreams",
+    "SimEvent",
+    "SimProcess",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "derive_rep_seed",
+]

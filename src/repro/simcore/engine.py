@@ -1,0 +1,185 @@
+"""The discrete-event engine: a deterministic time-ordered callback loop.
+
+Design notes
+------------
+* The heap holds :class:`EventHandle` objects ordered by ``(time, seq)``.
+  ``seq`` is a monotone insertion counter, so same-instant events fire in
+  scheduling order — this makes every run bit-for-bit deterministic for a
+  given seed, which the experiment harness relies on (repetitions differ
+  only through their RNG streams).
+* Cancellation is O(1): handles are flagged and skipped when popped
+  (lazy deletion), the standard technique for binary-heap timer wheels.
+* The engine knows nothing about processes, CPUs or OSes; those layers
+  build on :meth:`schedule`/:meth:`schedule_at` plus ``SimEvent``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import SimulationError
+from repro.simcore.events import AllOf, AnyOf, EventHandle, SimEvent, Timeout
+from repro.simcore.trace import Tracer
+
+
+class Engine:
+    """Owns simulated time and the pending-event heap."""
+
+    def __init__(self, *, trace: Optional[Tracer] = None, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[EventHandle] = []
+        self._seq = 0
+        self._running = False
+        self._processed = 0
+        self._non_daemon_pending = 0
+        self.trace = trace if trace is not None else Tracer(enabled=False)
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks fired so far (cancelled pops excluded)."""
+        return self._processed
+
+    @property
+    def pending_count(self) -> int:
+        """Heap size including lazily-deleted (cancelled) entries."""
+        return len(self._heap)
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any,
+                    daemon: bool = False) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``.
+
+        ``daemon=True`` marks housekeeping events that should not keep
+        :meth:`run` alive once all real work has drained (e.g. the
+        scheduler's periodic balance-set scan).
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event in the past: t={time} < now={self._now}"
+            )
+        on_cancel = None
+        if not daemon:
+            self._non_daemon_pending += 1
+            on_cancel = self._decrement_non_daemon
+        handle = EventHandle(max(time, self._now), self._seq, fn, tuple(args),
+                             daemon=daemon, on_cancel=on_cancel)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def _decrement_non_daemon(self) -> None:
+        self._non_daemon_pending -= 1
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any,
+                 daemon: bool = False) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, fn, *args, daemon=daemon)
+
+    # -- event constructors ------------------------------------------------
+
+    def event(self) -> SimEvent:
+        """A fresh untriggered one-shot condition."""
+        return SimEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that succeeds after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    def process(self, gen: Generator, name: str = "") -> "SimProcess":
+        """Start a generator-based process (see :mod:`repro.simcore.process`)."""
+        from repro.simcore.process import SimProcess
+
+        return SimProcess(self, gen, name=name)
+
+    # -- main loop ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next non-cancelled event.  Returns False when empty."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if handle.time < self._now - 1e-12:
+                raise SimulationError("heap yielded an event from the past")
+            if not handle.daemon:
+                self._non_daemon_pending -= 1
+            self._now = handle.time
+            self._processed += 1
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        When ``until`` is given and the heap still has later events, the
+        clock is advanced exactly to ``until`` (pending events remain
+        schedulable for a subsequent ``run``).  Returns the final time.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        try:
+            if until is None:
+                # daemon housekeeping must not keep the world spinning
+                while self._non_daemon_pending > 0 and self.step():
+                    pass
+            else:
+                if until < self._now:
+                    raise SimulationError(
+                        f"run(until={until}) is before now={self._now}"
+                    )
+                while self._heap:
+                    head = self._heap[0]
+                    if head.cancelled:
+                        heapq.heappop(self._heap)
+                        continue
+                    if head.time > until:
+                        break
+                    self.step()
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_event(self, event: SimEvent, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` triggers; raise on failure or time limit.
+
+        Convenience for tests and experiment drivers: returns the event's
+        value, re-raises its exception on failure, and raises
+        :class:`SimulationError` if the heap drains or ``limit`` passes
+        without the event triggering.
+        """
+        while not event.triggered:
+            if limit is not None and self._now >= limit:
+                raise SimulationError(f"time limit {limit}s reached before event")
+            if self._non_daemon_pending <= 0:
+                raise SimulationError(
+                    "event queue drained (only daemon housekeeping left) "
+                    "before event triggered"
+                )
+            if not self.step():
+                raise SimulationError("event queue drained before event triggered")
+        if not event.ok:
+            raise event.value
+        return event.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Engine t={self._now:.6f} pending={len(self._heap)}>"

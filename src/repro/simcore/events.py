@@ -1,0 +1,230 @@
+"""Event primitives for the discrete-event kernel.
+
+Two kinds of "event" exist and the distinction matters:
+
+* :class:`EventHandle` — a *scheduled callback* sitting in the engine's
+  time-ordered heap.  It fires exactly once at its timestamp unless
+  cancelled.  This is the low-level mechanism everything else builds on.
+
+* :class:`SimEvent` — a *one-shot condition variable* with no intrinsic
+  time.  Processes wait on it; some other party triggers it (``succeed`` /
+  ``fail``).  Composition helpers :class:`AllOf` and :class:`AnyOf` build
+  barrier/race conditions from several ``SimEvent`` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simcore.engine import Engine
+
+
+class EventHandle:
+    """A cancellable callback scheduled on the engine heap.
+
+    Instances are created by :meth:`Engine.schedule` / ``schedule_at`` and
+    should be treated as opaque apart from :meth:`cancel` and
+    :attr:`active`.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "_cancelled", "daemon",
+                 "_on_cancel")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., None],
+                 args: tuple, daemon: bool = False,
+                 on_cancel: Optional[Callable[[], None]] = None):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self._cancelled = False
+        # Daemon events (periodic housekeeping like the scheduler's
+        # balance-set scan) do not keep Engine.run() alive on their own.
+        self.daemon = daemon
+        self._on_cancel = on_cancel
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent; safe after fire."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
+            self._on_cancel = None
+        # Drop references so cancelled-but-still-heaped handles don't pin
+        # large object graphs alive until their timestamp is reached.
+        self.fn = _noop
+        self.args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def active(self) -> bool:
+        return not self._cancelled
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        # heapq tie-break: time first, then insertion order for determinism.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self._cancelled else "active"
+        return f"<EventHandle t={self.time:.6f} seq={self.seq} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class SimEvent:
+    """A one-shot condition: untriggered until ``succeed()`` or ``fail()``.
+
+    Waiters register callbacks with :meth:`add_callback`; process objects
+    use this under the hood when a generator yields the event.  Triggering
+    is immediate (same simulation instant): callbacks run synchronously in
+    registration order, which keeps causality obvious in traces.
+    """
+
+    __slots__ = ("engine", "_triggered", "_ok", "_value", "_callbacks")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self._triggered = False
+        self._ok: Optional[bool] = None
+        self._value: Any = None
+        self._callbacks: List[Callable[["SimEvent"], None]] = []
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True when triggered via ``succeed``.  Raises if untriggered."""
+        if not self._triggered:
+            raise SimulationError("event not yet triggered")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """Payload passed to ``succeed``, or the exception given to ``fail``."""
+        if not self._triggered:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Trigger successfully with an optional payload."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "SimEvent":
+        """Trigger as failed; waiters receive ``exc`` (processes re-raise it)."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self._trigger(False, exc)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    # -- waiting ---------------------------------------------------------
+
+    def add_callback(self, fn: Callable[["SimEvent"], None]) -> None:
+        """Register ``fn(event)``; fires immediately if already triggered."""
+        if self._triggered:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state}>"
+
+
+class Timeout(SimEvent):
+    """A ``SimEvent`` that auto-succeeds ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        engine.schedule(delay, self.succeed, value)
+
+
+class AllOf(SimEvent):
+    """Barrier: succeeds when *all* child events have succeeded.
+
+    Fails as soon as any child fails (remaining children are ignored).
+    Value is the list of child values in construction order.
+    """
+
+    __slots__ = ("_children", "_pending")
+
+    def __init__(self, engine: "Engine", events: Iterable[SimEvent]):
+        super().__init__(engine)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: SimEvent) -> None:
+        if self._triggered:
+            return
+        if not child.ok:
+            self.fail(child.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(SimEvent):
+    """Race: succeeds when the *first* child triggers.
+
+    Value is ``(index, child_value)`` of the winning child.  A failing
+    first child fails the race.
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, engine: "Engine", events: Iterable[SimEvent]):
+        super().__init__(engine)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf needs at least one event")
+        for index, child in enumerate(self._children):
+            child.add_callback(self._make_cb(index))
+
+    def _make_cb(self, index: int) -> Callable[[SimEvent], None]:
+        def cb(child: SimEvent) -> None:
+            if self._triggered:
+                return
+            if child.ok:
+                self.succeed((index, child.value))
+            else:
+                self.fail(child.value)
+
+        return cb

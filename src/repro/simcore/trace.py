@@ -1,0 +1,80 @@
+"""Lightweight structured tracing for simulator debugging and tests.
+
+A :class:`Tracer` collects ``TraceRecord`` entries (timestamp, category,
+fields).  It is disabled by default so the hot path costs a single branch;
+tests enable it to assert on causality (e.g. "the scheduler preempted
+thread X before event Y").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: when, what category, and arbitrary fields."""
+
+    time: float
+    category: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{self.time:12.6f}] {self.category:<24} {kv}"
+
+
+class Tracer:
+    """Collects trace records; optionally filters by category."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        categories: Optional[set] = None,
+        max_records: int = 1_000_000,
+    ):
+        self.enabled = enabled
+        self.categories = categories
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+        self._time_source: Optional[Callable[[], float]] = None
+
+    def bind_clock(self, time_source: Callable[[], float]) -> None:
+        """Attach the engine clock so callers need not pass timestamps."""
+        self._time_source = time_source
+
+    def record(self, category: str, time: Optional[float] = None, **fields: Any) -> None:
+        """Append a record (no-op when disabled or category filtered out)."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        if time is None:
+            time = self._time_source() if self._time_source is not None else 0.0
+        self.records.append(TraceRecord(time, category, dict(fields)))
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Render records as text (for failing-test diagnostics)."""
+        rows = self.records if limit is None else self.records[:limit]
+        body = "\n".join(str(r) for r in rows)
+        if self.dropped:
+            body += f"\n... ({self.dropped} records dropped)"
+        return body

@@ -1,0 +1,88 @@
+"""Unit constants and conversion helpers used across the simulator.
+
+Conventions
+-----------
+* time        : seconds (float)
+* cycles      : CPU clock cycles (float; fractional cycles are fine for
+                aggregate accounting)
+* frequency   : Hz
+* data sizes  : bytes (int where the quantity is exact, float for rates)
+* data rates  : bytes/second unless a name says otherwise (``*_mbps``)
+
+These conventions are relied on by every subsystem; helpers here are the
+single place where scale factors live so magic numbers do not spread.
+"""
+
+from __future__ import annotations
+
+# --- data sizes -----------------------------------------------------------
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+# --- time -----------------------------------------------------------------
+
+USEC = 1e-6
+MSEC = 1e-3
+MINUTE = 60.0
+
+# --- frequency ------------------------------------------------------------
+
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+
+def mbps_to_bytes_per_sec(mbps: float) -> float:
+    """Convert a megabit-per-second rate (network convention, 10^6) to B/s."""
+    return mbps * 1e6 / 8.0
+
+
+def bytes_per_sec_to_mbps(rate: float) -> float:
+    """Convert a byte-per-second rate to megabits per second (10^6)."""
+    return rate * 8.0 / 1e6
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Time taken to retire ``cycles`` at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Cycles retired in ``seconds`` at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return seconds * frequency_hz
+
+
+def mib(nbytes: float) -> float:
+    """Express a byte count in MiB (for reporting)."""
+    return nbytes / MB
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count: ``fmt_bytes(1536) == '1.5 KB'``."""
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_duration(seconds: float) -> str:
+    """Human-readable duration: picks µs/ms/s/min as appropriate."""
+    if seconds < 0:
+        return "-" + fmt_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"

@@ -1,0 +1,61 @@
+"""System-level virtualisation models: hypervisor profiles, vCPU
+translation, virtual devices, guest clocks, checkpointing, time server."""
+
+from repro.virt.checkpoint import (
+    CheckpointImage,
+    restore_checkpoint,
+    save_checkpoint,
+    transfer_checkpoint,
+)
+from repro.virt.guestclock import ClockStats, GuestClock
+from repro.virt.profiles import (
+    ALL_PROFILES,
+    PROFILE_ORDER,
+    QEMU,
+    VIRTUALBOX,
+    VIRTUALPC,
+    VMPLAYER,
+    HypervisorProfile,
+    NetMode,
+    ServiceLoadSpec,
+    get_profile,
+)
+from repro.virt.timeserver import TIME_PORT, GuestTimeClient, UdpTimeServer
+from repro.virt.vcpu import VCpu, translate_cycles, user_multiplier
+from repro.virt.vdisk import VirtualDisk
+from repro.virt.vm import (
+    GuestExecutionContext,
+    VirtualMachine,
+    VmConfig,
+    VmState,
+)
+from repro.virt.vnic import VirtualNic
+
+__all__ = [
+    "ALL_PROFILES",
+    "CheckpointImage",
+    "ClockStats",
+    "GuestClock",
+    "GuestExecutionContext",
+    "GuestTimeClient",
+    "HypervisorProfile",
+    "NetMode",
+    "PROFILE_ORDER",
+    "QEMU",
+    "ServiceLoadSpec",
+    "TIME_PORT",
+    "UdpTimeServer",
+    "VCpu",
+    "VIRTUALBOX",
+    "VIRTUALPC",
+    "VMPLAYER",
+    "VirtualDisk",
+    "VirtualMachine",
+    "VirtualNic",
+    "VmConfig",
+    "VmState",
+    "get_profile",
+    "restore_checkpoint",
+    "save_checkpoint",
+    "transfer_checkpoint",
+]

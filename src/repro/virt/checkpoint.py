@@ -1,0 +1,144 @@
+"""VM checkpointing: save/restore guest state through the host filesystem.
+
+The paper motivates this feature for desktop grids: "the possibility of
+saving the state of the guest OS to persistent storage ... allows
+simultaneously for fault tolerance and migration" (§1).  A checkpoint is
+the configured guest memory written to a host file (the dominant cost)
+plus a small metadata record.  Restoring builds a fresh VM with the
+counters and clock state carried over; workload-level state travels as an
+opaque dict (BOINC-style applications checkpoint their own progress).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional
+
+from repro.errors import CheckpointError
+from repro.osmodel.kernel import Kernel
+from repro.units import MB
+from repro.virt.profiles import HypervisorProfile, get_profile
+from repro.virt.vm import VirtualMachine, VmConfig, VmState
+
+_CHUNK = 1 * MB
+
+
+@dataclass
+class CheckpointImage:
+    """Everything needed to resurrect a VM elsewhere."""
+
+    profile_name: str
+    config: VmConfig
+    guest_instructions: float
+    guest_cycles: float
+    ticks_delivered: float
+    workload_state: Dict[str, Any] = field(default_factory=dict)
+    size_bytes: int = 0
+    saved_at: float = 0.0
+    path: str = ""
+
+
+def save_checkpoint(vm: VirtualMachine, path: Optional[str] = None,
+                    workload_state: Optional[Dict[str, Any]] = None
+                    ) -> Generator:
+    """Suspend ``vm`` and write its memory image to the host FS.
+
+    Generator; returns the :class:`CheckpointImage`.  The VM is left
+    SUSPENDED — call ``vm.resume()`` to continue locally, or
+    ``vm.shutdown()`` before restoring the image on another host.
+    """
+    if vm.state is not VmState.RUNNING:
+        raise CheckpointError(f"{vm.name}: checkpoint requires RUNNING state")
+    vm.pause()
+    path = path or f"/vmcheckpoints/{vm.name}.ckpt"
+    size = vm.committed_bytes
+    host_fs = vm.host_kernel.fs
+    thread = vm.vcpu.thread
+    yield from host_fs.create(thread, path, size_hint=size)
+    offset = 0
+    while offset < size:
+        nbytes = min(_CHUNK, size - offset)
+        yield from host_fs.write(thread, path, offset, nbytes)
+        offset += nbytes
+    yield from host_fs.fsync(thread, path)
+    return CheckpointImage(
+        profile_name=vm.profile.name,
+        config=vm.config,
+        guest_instructions=vm.vcpu.guest_instructions,
+        guest_cycles=vm.vcpu.guest_cycles,
+        ticks_delivered=vm.guest_clock.stats.ticks_delivered,
+        workload_state=dict(workload_state or {}),
+        size_bytes=size,
+        saved_at=vm.engine.now,
+        path=path,
+    )
+
+
+def transfer_checkpoint(image: CheckpointImage, src: Kernel, dst: Kernel,
+                        thread) -> Generator:
+    """Ship a checkpoint file to another host over the network.
+
+    ``thread`` is the source-side thread doing the transfer.  Returns the
+    transfer duration.  (Exporting a virtual environment to another
+    physical machine is the §1 migration scenario.)
+    """
+    start = src.engine.now
+    listener = dst.net.listen(17001)
+    receiver_thread = dst.spawn_thread("ckpt-recv")
+
+    def _receive():
+        sock = yield listener.get()
+        yield from sock.recv(receiver_thread, image.size_bytes)
+        dst_fs_thread = receiver_thread
+        yield from dst.fs.create(dst_fs_thread, image.path,
+                                 size_hint=image.size_bytes)
+        offset = 0
+        while offset < image.size_bytes:
+            nbytes = min(_CHUNK, image.size_bytes - offset)
+            yield from dst.fs.write(dst_fs_thread, image.path, offset, nbytes)
+            offset += nbytes
+        yield from dst.fs.fsync(dst_fs_thread, image.path)
+
+    recv_proc = src.engine.process(_receive(), name="ckpt-recv")
+    sock = yield from src.net.connect(thread, dst.net, 17001)
+    # stream the image from the source file
+    offset = 0
+    while offset < image.size_bytes:
+        nbytes = min(4 * _CHUNK, image.size_bytes - offset)
+        yield from src.fs.read(thread, image.path, offset, nbytes)
+        yield from sock.send(thread, nbytes)
+        offset += nbytes
+    yield recv_proc
+    return src.engine.now - start
+
+
+def restore_checkpoint(host_kernel: Kernel, image: CheckpointImage,
+                       profile: Optional[HypervisorProfile] = None
+                       ) -> Generator:
+    """Boot a VM from a checkpoint on ``host_kernel``.
+
+    Generator; returns the new :class:`VirtualMachine` with guest-side
+    counters and clock state restored.  The caller re-creates the
+    workload from ``image.workload_state`` (BOINC semantics).
+    """
+    profile = profile or get_profile(image.profile_name)
+    if profile.name != image.profile_name:
+        raise CheckpointError(
+            f"checkpoint was taken under {image.profile_name!r}, "
+            f"cannot restore under {profile.name!r}"
+        )
+    vm = VirtualMachine(host_kernel, profile, image.config)
+    yield from vm.boot()
+    # read the memory image back (restore cost)
+    if host_kernel.fs.exists(image.path):
+        size = min(image.size_bytes, host_kernel.fs.size_of(image.path))
+        offset = 0
+        while offset < size:
+            nbytes = min(4 * _CHUNK, size - offset)
+            yield from host_kernel.fs.read(vm.vcpu.thread, image.path,
+                                           offset, nbytes)
+            offset += nbytes
+    vm.vcpu.guest_instructions = image.guest_instructions
+    vm.vcpu.guest_cycles = image.guest_cycles
+    vm.guest_clock.stats.ticks_delivered = image.ticks_delivered
+    return vm

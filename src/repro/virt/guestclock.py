@@ -1,0 +1,100 @@
+"""Guest timekeeping: tick delivery, backlog, loss and catch-up.
+
+Guest OSes of this era count periodic timer interrupts (the "tick") to
+advance their clock.  A descheduled vCPU cannot take interrupts, so ticks
+pile up; what the VMM does with the backlog defines its policy:
+
+* **catch-up** (VMware, per its timekeeping whitepaper — the paper's
+  reference [22]): replay backlogged ticks at high rate so the guest
+  clock stays correct.  Each replayed tick costs host CPU at elevated
+  priority — under host load this becomes the dominant service cost and
+  the mechanism behind VMware's Figure 7/8 penalty.
+* **drop** (QEMU / VirtualBox / VirtualPC here): keep at most a small
+  backlog, discard the rest.  Cheap, but the guest clock falls behind —
+  the reason the paper could not run NBench inside guests and timed
+  guest benchmarks against an external UDP server.
+
+The VM's service loop calls :meth:`on_service_interval` once per
+interval with the wall time elapsed and the vCPU CPU time obtained in
+that window; the method returns the catch-up cycles to burn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.virt.profiles import HypervisorProfile
+
+
+@dataclass
+class ClockStats:
+    ticks_delivered: float = 0.0
+    ticks_caught_up: float = 0.0
+    ticks_dropped: float = 0.0
+
+
+class GuestClock:
+    """The guest's view of time, advanced tick by tick."""
+
+    # A running guest kernel replays slightly more than real-time tick
+    # flow for free (jiffies catch-up in its interrupt handler), so small
+    # scheduling hiccups never leave a residual backlog.
+    RUN_SLACK = 1.08
+
+    def __init__(self, profile: "HypervisorProfile", boot_wall: float):
+        self.profile = profile
+        self.tick_hz = profile.guest_tick_hz
+        self.boot_wall = boot_wall
+        self.pending_ticks = 0.0
+        self.stats = ClockStats()
+
+    # -- clock API (what guest code sees) ---------------------------------
+
+    def now(self) -> float:
+        """Guest wall-clock reading, quantised to the tick period."""
+        return self.boot_wall + int(self.stats.ticks_delivered) / self.tick_hz
+
+    def uptime(self) -> float:
+        return self.stats.ticks_delivered / self.tick_hz
+
+    def error_seconds(self, true_now: float) -> float:
+        """How far the guest clock lags true time (>= 0 in this model)."""
+        true_elapsed = true_now - self.boot_wall
+        return true_elapsed - self.uptime() - 0.0  # pending are still late
+
+    # -- VMM side ------------------------------------------------------------
+
+    def on_service_interval(self, wall_dt: float, vcpu_cpu_dt: float) -> float:
+        """Advance tick bookkeeping for one service interval.
+
+        Returns the host cycles of catch-up work the VMM must burn (zero
+        for drop-policy VMMs).
+        """
+        if wall_dt < 0 or vcpu_cpu_dt < 0:
+            raise ValueError("negative interval in guest clock accounting")
+        self.pending_ticks += wall_dt * self.tick_hz
+        # Ticks deliverable "for free": only while the vCPU actually ran
+        # (a descheduled vCPU takes no timer interrupts).
+        capacity = vcpu_cpu_dt * self.tick_hz * self.RUN_SLACK
+        delivered = min(self.pending_ticks, capacity)
+        self.pending_ticks -= delivered
+        self.stats.ticks_delivered += delivered
+
+        catchup_cycles = 0.0
+        if self.profile.tick_catchup:
+            # Replay the backlog at up to the nominal tick rate, paying
+            # per-tick emulation cost at service priority.
+            rate_limit = wall_dt * self.tick_hz
+            caught = min(self.pending_ticks, rate_limit)
+            self.pending_ticks -= caught
+            self.stats.ticks_delivered += caught
+            self.stats.ticks_caught_up += caught
+            catchup_cycles = caught * self.profile.catchup_cycles_per_tick
+        else:
+            limit = self.profile.tick_backlog_limit_s * self.tick_hz
+            if self.pending_ticks > limit:
+                self.stats.ticks_dropped += self.pending_ticks - limit
+                self.pending_ticks = limit
+        return catchup_cycles

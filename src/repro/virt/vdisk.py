@@ -1,0 +1,117 @@
+"""Virtual disk: guest block requests traverse the VMM into a host image.
+
+Path of one guest block request (the double traversal the paper blames
+for Figure 3's severity):
+
+1. VM exit + device emulation on the VMM/vCPU host thread
+   (``disk_per_request_cycles + disk_per_kb_cycles * KB``),
+2. the corresponding read/write on the *host* filesystem against the
+   VM's image file (host kernel CPU + host page cache + physical disk),
+3. guest ``fsync`` additionally forces a host ``fsync`` of the image
+   (write-through flush semantics — these VMMs do not lie about
+   durability to the guest).
+
+``VirtualDisk`` implements the same ``submit``/``flush`` interface as
+:class:`repro.hardware.disk.Disk`, so a guest
+:class:`~repro.osmodel.filesystem.FileSystem` mounts it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import VirtualizationError
+from repro.hardware.cpu import MIX_VMM_SERVICE
+from repro.simcore.events import SimEvent
+from repro.units import KB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.virt.vm import VirtualMachine
+
+
+@dataclass
+class VDiskStats:
+    requests: int = 0
+    bytes_moved: int = 0
+    emulation_cycles: float = 0.0
+
+
+class VirtualDisk:
+    """Disk-like device backed by an image file on the host filesystem."""
+
+    def __init__(self, vm: "VirtualMachine", image_path: str,
+                 capacity_bytes: int):
+        self.vm = vm
+        self.image_path = image_path
+        self.capacity_bytes = capacity_bytes
+        self.stats = VDiskStats()
+        # Mimic the hardware Disk surface closely enough for FileSystem
+        # diagnostics (``.spec.capacity_bytes``).
+        self.spec = _VDiskSpec(capacity_bytes)
+
+    def submit(self, nbytes: int, offset: int, is_write: bool) -> SimEvent:
+        """Queue one guest block request; event succeeds at completion."""
+        if nbytes <= 0:
+            raise VirtualizationError(f"vdisk request of {nbytes} bytes")
+        if offset < 0 or offset + nbytes > self.capacity_bytes:
+            raise VirtualizationError(
+                f"vdisk request [{offset}, {offset + nbytes}) out of range"
+            )
+        done = self.vm.engine.event()
+        self.vm.engine.process(
+            self._service(nbytes, offset, is_write, done),
+            name=f"{self.vm.name}.vdisk",
+        )
+        return done
+
+    def _service(self, nbytes: int, offset: int, is_write: bool,
+                 done: SimEvent):
+        try:
+            yield from self._service_inner(nbytes, offset, is_write)
+        except Exception as error:  # propagate to the guest-side waiter
+            done.fail(error)
+            return
+        done.succeed(None)
+
+    def _service_inner(self, nbytes: int, offset: int, is_write: bool):
+        profile = self.vm.profile
+        emulation = (
+            profile.disk_per_request_cycles
+            + profile.disk_per_kb_cycles * (nbytes / KB)
+        )
+        self.stats.requests += 1
+        self.stats.bytes_moved += nbytes
+        self.stats.emulation_cycles += emulation
+        # 1. exit + emulation on the vCPU host thread
+        yield self.vm.vcpu.charge_host_native(emulation, MIX_VMM_SERVICE)
+        # 2. host-side image I/O (host kernel costs + host cache + disk)
+        host_fs = self.vm.host_kernel.fs
+        thread = self.vm.vcpu.thread
+        if is_write:
+            yield from host_fs.write(thread, self.image_path, offset, nbytes)
+        else:
+            yield from host_fs.read(thread, self.image_path, offset, nbytes)
+
+    def flush(self) -> SimEvent:
+        """Guest flush: force the host image to stable storage."""
+        done = self.vm.engine.event()
+        self.vm.engine.process(self._flush(done), name=f"{self.vm.name}.vflush")
+        return done
+
+    def _flush(self, done: SimEvent):
+        try:
+            yield from self.vm.host_kernel.fs.fsync(
+                self.vm.vcpu.thread, self.image_path
+            )
+        except Exception as error:
+            done.fail(error)
+            return
+        done.succeed(None)
+
+
+class _VDiskSpec:
+    __slots__ = ("capacity_bytes",)
+
+    def __init__(self, capacity_bytes: int):
+        self.capacity_bytes = capacity_bytes

@@ -1,0 +1,319 @@
+"""The virtual machine: vCPU, virtual devices, guest OS state, services.
+
+Lifecycle::
+
+    vm = VirtualMachine(host_kernel, get_profile("vmplayer"), VmConfig(...))
+    yield from vm.boot()          # commits memory, creates the disk image
+    ctx = vm.guest_context()      # ExecutionContext for guest workloads
+    ... run workload generators against ctx ...
+    vm.shutdown()
+
+Host-side footprint while running (the paper's intrusiveness axes):
+
+* **memory** — the full configured guest RAM plus VMM overhead is
+  committed on the host for the VM's lifetime (§4.2.1);
+* **CPU** — the vCPU host thread at the configured priority (idle class
+  for volunteer computing) plus the profile's *service threads* at
+  elevated priority: timer/device emulation, and for catch-up VMMs the
+  tick-replay work that grows exactly when the vCPU is starved.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from repro.errors import VirtualizationError
+from repro.hardware.cpu import MIX_VMM_SERVICE
+from repro.osmodel.filesystem import FileSystem
+from repro.osmodel.kernel import (
+    CostKind,
+    ExecutionContext,
+    Kernel,
+    KernelParams,
+    ubuntu_params,
+)
+from repro.osmodel.netstack import NetStack
+from repro.osmodel.threads import (
+    PRIORITY_IDLE,
+    PRIORITY_REALTIME,
+    SimThread,
+)
+from repro.simcore.process import Interrupted, SimProcess
+from repro.units import GB, MB
+from repro.virt.guestclock import GuestClock
+from repro.virt.profiles import HypervisorProfile, NetMode
+from repro.virt.vcpu import VCpu
+from repro.virt.vdisk import VirtualDisk
+from repro.virt.vnic import VirtualNic
+
+
+class VmState(enum.Enum):
+    CREATED = "created"
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+    STOPPED = "stopped"
+
+
+@dataclass(frozen=True)
+class VmConfig:
+    """User-visible VM configuration (what a .vmx file would say)."""
+
+    name: str = "vm0"
+    memory_bytes: int = 300 * MB           # the paper's setting
+    priority: int = PRIORITY_IDLE          # volunteer-friendly default
+    net_mode: Optional[str] = None         # None = profile default
+    vdisk_capacity_bytes: int = 8 * GB
+    # guest page cache share; None = half the guest RAM, capped at 160 MB
+    guest_cache_bytes: Optional[int] = None
+    guest_params: KernelParams = field(default_factory=ubuntu_params)
+    boot_delay_s: float = 0.0              # optional simulated boot time
+
+    def __post_init__(self):
+        if self.memory_bytes <= 0:
+            raise VirtualizationError(
+                f"VM memory must be positive, got {self.memory_bytes}"
+            )
+        if not 1 <= self.priority <= 15:
+            raise VirtualizationError(
+                f"VM priority must be in [1, 15], got {self.priority}"
+            )
+        if self.vdisk_capacity_bytes <= 0:
+            raise VirtualizationError("vdisk capacity must be positive")
+        if (self.guest_cache_bytes is not None
+                and self.guest_cache_bytes > self.memory_bytes):
+            raise VirtualizationError(
+                "guest page cache cannot exceed guest RAM "
+                f"({self.guest_cache_bytes} > {self.memory_bytes})"
+            )
+        if self.boot_delay_s < 0:
+            raise VirtualizationError("boot delay cannot be negative")
+
+    @property
+    def effective_guest_cache_bytes(self) -> int:
+        if self.guest_cache_bytes is not None:
+            return self.guest_cache_bytes
+        return min(160 * MB, self.memory_bytes // 2)
+
+
+class GuestExecutionContext(ExecutionContext):
+    """Guest flavour: guest-side instruction accounting and syscall costs."""
+
+    def __init__(self, vm: "VirtualMachine", **kwargs):
+        super().__init__(kernel=vm.host_kernel, thread=vm.vcpu.thread,
+                         charge=vm.vcpu.charge, fs=vm.guest_fs,
+                         net=vm.guest_net, **kwargs)
+        self.vm = vm
+
+    def instructions(self) -> float:
+        """Guest instructions retired (what a guest benchmark counts)."""
+        return self.vm.vcpu.guest_instructions
+
+    def cpu_time(self) -> float:
+        """Guest CPU time = host CPU time of the vCPU thread."""
+        return self.vm.host_kernel.scheduler.cpu_time(self.vm.vcpu.thread)
+
+    def syscall(self):
+        yield self.charge(
+            self.thread, self.vm.config.guest_params.syscall_cycles,
+            _GUEST_SYSCALL_MIX, CostKind.KERNEL_CONTROL,
+        )
+
+
+from repro.hardware.cpu import MIX_KERNEL as _GUEST_SYSCALL_MIX  # noqa: E402
+
+
+class VirtualMachine:
+    """One system-level VM instance hosted on a :class:`Kernel`."""
+
+    def __init__(self, host_kernel: Kernel, profile: HypervisorProfile,
+                 config: Optional[VmConfig] = None):
+        self.host_kernel = host_kernel
+        self.profile = profile
+        self.config = config or VmConfig()
+        self.engine = host_kernel.engine
+        self.state = VmState.CREATED
+        self.vcpu: Optional[VCpu] = None
+        self.guest_fs: Optional[FileSystem] = None
+        self.guest_net: Optional[NetStack] = None
+        self.guest_clock: Optional[GuestClock] = None
+        self.vdisk: Optional[VirtualDisk] = None
+        self.vnic: Optional[VirtualNic] = None
+        self.service_threads: List[SimThread] = []
+        self._service_procs: List[SimProcess] = []
+        self._paused = False
+        self.boot_time: Optional[float] = None
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return f"{self.profile.name}:{self.config.name}"
+
+    @property
+    def host_machine(self):
+        return self.host_kernel.machine
+
+    @property
+    def committed_bytes(self) -> int:
+        return self.config.memory_bytes + self.profile.vmm_overhead_bytes
+
+    @property
+    def image_path(self) -> str:
+        return f"/vmimages/{self.name}.img"
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def boot(self) -> Generator:
+        """Bring the VM up.  A generator: run it inside a sim process."""
+        if self.state is not VmState.CREATED:
+            raise VirtualizationError(f"{self.name}: boot() from {self.state}")
+        # 1. commit memory on the host — configured RAM + VMM overhead
+        self.host_kernel.machine.memory.commit(self.name, self.committed_bytes)
+
+        # 2. vCPU host thread at the configured priority class
+        vcpu_thread = self.host_kernel.scheduler.spawn(
+            f"{self.name}.vcpu", self.config.priority, group=self.name
+        )
+        self.vcpu = VCpu(self, vcpu_thread)
+
+        # 3. disk image on the host filesystem + the virtual disk on top
+        if not self.host_kernel.fs.exists(self.image_path):
+            yield from self.host_kernel.fs.create(
+                vcpu_thread, self.image_path,
+                size_hint=self.config.vdisk_capacity_bytes,
+            )
+        self.vdisk = VirtualDisk(self, self.image_path,
+                                 self.config.vdisk_capacity_bytes)
+        self.guest_fs = FileSystem(
+            self.engine, params=self.config.guest_params, disk=self.vdisk,
+            charge=self.vcpu.charge,
+            cache_bytes=self.config.effective_guest_cache_bytes,
+            name=f"{self.name}.guestfs",
+        )
+
+        # 4. virtual NIC + guest network stack
+        mode = (self.profile.net_mode(self.config.net_mode)
+                if self.config.net_mode else self.profile.default_net_mode)
+        self.vnic = VirtualNic(self, mode)
+        self.guest_net = NetStack(
+            self.engine, params=self.config.guest_params, nic=self.vnic,
+            charge=self.vcpu.charge, hostname=self.name,
+        )
+        # host-to-guest traffic goes through the VMM, not the wire
+        self.host_kernel.net.register_route(self.guest_net, self.vnic)
+
+        # 5. guest clock + VMM service threads
+        self.guest_clock = GuestClock(self.profile, boot_wall=self.engine.now)
+        for index, spec in enumerate(self.profile.service_loads):
+            thread = self.host_kernel.scheduler.spawn(
+                f"{self.name}.{spec.name}", PRIORITY_REALTIME, group=self.name
+            )
+            self.service_threads.append(thread)
+            proc = self.engine.process(
+                self._service_loop(spec, thread, primary=(index == 0)),
+                name=f"{self.name}.{spec.name}",
+            )
+            self._service_procs.append(proc)
+
+        self.state = VmState.RUNNING
+        self.boot_time = self.engine.now
+        if self.config.boot_delay_s > 0:
+            yield self.engine.timeout(self.config.boot_delay_s)
+
+    def shutdown(self) -> None:
+        """Power off: stop services, exit threads, release host memory."""
+        if self.state in (VmState.STOPPED, VmState.CREATED):
+            self.state = VmState.STOPPED
+            return
+        self.state = VmState.STOPPED
+        for proc in self._service_procs:
+            proc.interrupt("vm shutdown")
+        for thread in self.service_threads:
+            self.host_kernel.scheduler.exit_thread(thread)
+        if self.vcpu is not None:
+            self.host_kernel.scheduler.exit_thread(self.vcpu.thread)
+        self.host_kernel.machine.memory.release(self.name)
+
+    def pause(self) -> None:
+        """Suspend guest execution (service load stops accruing)."""
+        if self.state is not VmState.RUNNING:
+            raise VirtualizationError(f"{self.name}: pause() from {self.state}")
+        self._paused = True
+        self.state = VmState.SUSPENDED
+
+    def resume(self) -> None:
+        if self.state is not VmState.SUSPENDED:
+            raise VirtualizationError(f"{self.name}: resume() from {self.state}")
+        self._paused = False
+        self.state = VmState.RUNNING
+
+    # -- guest access ----------------------------------------------------------
+
+    def guest_context(self, time_source=None,
+                      timestamp_source=None) -> GuestExecutionContext:
+        """Context for running workloads inside the guest.
+
+        Default ``time_source`` is the (lying-under-load) guest clock;
+        pass a :class:`~repro.virt.timeserver.GuestTimeClient` query as
+        ``timestamp_source`` for paper-accurate external timing.
+        """
+        if self.state is not VmState.RUNNING:
+            raise VirtualizationError(
+                f"{self.name}: guest_context() requires RUNNING, is {self.state}"
+            )
+        if time_source is None:
+            time_source = self.guest_clock.now
+        return GuestExecutionContext(
+            self, time_source=time_source, timestamp_source=timestamp_source
+        )
+
+    # -- VMM service load ------------------------------------------------------
+
+    def _service_loop(self, spec, thread: SimThread, primary: bool) -> Generator:
+        """Periodic host-side VMM work at elevated priority.
+
+        The primary service thread also runs guest-clock bookkeeping and
+        absorbs the tick catch-up cost (VMware's distinguishing load).
+        """
+        interval = self.profile.service_interval_s
+        freq = self.host_machine.frequency_hz
+        scheduler = self.host_kernel.scheduler
+        last_wall = self.engine.now
+        last_cpu = scheduler.cpu_time(self.vcpu.thread)
+        # stagger service phases across VMs/threads: co-hosted VMMs are
+        # not phase-locked, so their bursts should not all land together
+        # (zlib.crc32: stable across processes, unlike hash())
+        import zlib
+
+        digest = zlib.crc32(f"{self.name}/{spec.name}".encode())
+        phase = (digest % 997) / 997.0 * interval
+        next_t = self.engine.now + phase
+        try:
+            while self.state is not VmState.STOPPED:
+                next_t += interval
+                delay = next_t - self.engine.now
+                if delay > 0:
+                    yield self.engine.timeout(delay)
+                if self.state is VmState.STOPPED:
+                    return
+                if self._paused:
+                    last_wall = self.engine.now
+                    last_cpu = scheduler.cpu_time(self.vcpu.thread)
+                    continue
+                cycles = spec.base_frac * interval * freq
+                if primary:
+                    now_wall = self.engine.now
+                    now_cpu = scheduler.cpu_time(self.vcpu.thread)
+                    cycles += self.guest_clock.on_service_interval(
+                        now_wall - last_wall, now_cpu - last_cpu
+                    )
+                    last_wall, last_cpu = now_wall, now_cpu
+                if cycles > 0:
+                    yield scheduler.submit(thread, cycles, MIX_VMM_SERVICE)
+        except Interrupted:
+            return
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<VirtualMachine {self.name} {self.state.value}>"

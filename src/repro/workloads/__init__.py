@@ -1,0 +1,73 @@
+"""Benchmark workloads: the paper's four guest benchmarks (7z, Matrix,
+IOBench, NetBench), NBench for the host, and the BOINC/Einstein volunteer
+load.  Every workload runs unchanged on native, host, or guest contexts."""
+
+from repro.workloads import lzma_lite, nbench
+from repro.workloads.base import WorkloadResult, chunks
+from repro.workloads.boinc import BOINC_PORT, BoincClient, BoincServer, WorkunitRecord
+from repro.workloads.einstein import (
+    CHECKPOINT_BYTES,
+    EinsteinProgress,
+    EinsteinTask,
+    EinsteinWorkunit,
+    matched_filter_power,
+    synthesize_strain,
+    template_search,
+)
+from repro.workloads.iobench import (
+    IoBench,
+    IoBenchConfig,
+    IoSizeResult,
+    size_ladder,
+)
+from repro.workloads.matrix import (
+    MatrixBenchmark,
+    MatrixConfig,
+    blocked_matmul,
+    naive_matmul,
+)
+from repro.workloads.netbench import (
+    IPERF_PORT,
+    IperfServer,
+    NetBench,
+    NetBenchConfig,
+)
+from repro.workloads.sevenzip import (
+    SevenZipBenchmark,
+    SevenZipConfig,
+    SevenZipHostBenchmark,
+)
+
+__all__ = [
+    "BOINC_PORT",
+    "BoincClient",
+    "BoincServer",
+    "CHECKPOINT_BYTES",
+    "EinsteinProgress",
+    "EinsteinTask",
+    "EinsteinWorkunit",
+    "IPERF_PORT",
+    "IoBench",
+    "IoBenchConfig",
+    "IoSizeResult",
+    "IperfServer",
+    "MatrixBenchmark",
+    "MatrixConfig",
+    "NetBench",
+    "NetBenchConfig",
+    "SevenZipBenchmark",
+    "SevenZipConfig",
+    "SevenZipHostBenchmark",
+    "WorkloadResult",
+    "WorkunitRecord",
+    "blocked_matmul",
+    "chunks",
+    "lzma_lite",
+    "matched_filter_power",
+    "naive_matmul",
+    "nbench",
+    "size_ladder",
+    "synthesize_strain",
+    "template_search",
+    "chunks",
+]

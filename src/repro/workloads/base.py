@@ -1,0 +1,55 @@
+"""Workload plumbing: result records and shared helpers.
+
+A workload is a generator function (or class with a ``run(ctx)``
+generator) executed against an :class:`~repro.osmodel.kernel.ExecutionContext`.
+The same workload code therefore runs on native Linux, on the Windows
+host, or inside any guest — the context decides what its compute and I/O
+cost.
+
+Timing convention: workloads measure *phases* with ``ctx.timestamp()``
+(the externally-accurate clock, a UDP time-server round trip inside a
+guest) and may additionally record what the *environment clock* claimed
+(``ctx.time()``), which is how the guest-clock ablation quantifies clock
+lies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class WorkloadResult:
+    """Uniform result record for every benchmark."""
+
+    workload: str
+    environment: str = "unknown"
+    duration_s: float = 0.0         # externally-timed wall duration
+    clock_duration_s: float = 0.0   # what the environment clock claimed
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def metric(self, key: str) -> Any:
+        try:
+            return self.metrics[key]
+        except KeyError:
+            raise KeyError(
+                f"{self.workload}: no metric {key!r}; "
+                f"available: {sorted(self.metrics)}"
+            ) from None
+
+    @property
+    def clock_error_ratio(self) -> float:
+        """Environment-clock duration relative to true duration (1 = honest)."""
+        if self.duration_s <= 0:
+            return 1.0
+        return self.clock_duration_s / self.duration_s
+
+
+def chunks(total: int, chunk: int):
+    """Yield (offset, size) pairs covering ``total`` bytes."""
+    offset = 0
+    while offset < total:
+        size = min(chunk, total - offset)
+        yield offset, size
+        offset += size

@@ -1,0 +1,310 @@
+"""BOINC-style volunteer-computing middleware model.
+
+Provides the substrate the paper's second experiment sits on: a project
+server distributing Einstein workunits and a client that fetches work,
+downloads inputs, computes with checkpointing, uploads results and
+reports — the full public-resource-computing loop of Anderson's BOINC
+(the paper's reference [2]).
+
+The client runs against *any* execution context, so the same code drives
+a native volunteer, a host-side volunteer, or the paper's configuration:
+a volunteer inside a guest VM.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Generator, List, Optional
+
+from repro.errors import WorkloadError
+from repro.osmodel.kernel import ExecutionContext, Kernel
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.units import KB
+from repro.workloads.base import WorkloadResult
+from repro.workloads.einstein import (
+    EinsteinProgress,
+    EinsteinTask,
+    EinsteinWorkunit,
+)
+
+BOINC_PORT = 31416  # the real BOINC RPC port
+
+
+@dataclass
+class WorkunitRecord:
+    workunit: EinsteinWorkunit
+    assigned_to: Optional[str] = None
+    completed_by: Optional[str] = None
+    result_power: float = 0.0
+    assigned_at: float = 0.0
+    reassignments: int = 0
+
+
+class BoincServer:
+    """Project scheduler + data server on some machine's kernel.
+
+    RPC transport: one TCP connection per operation carrying a small
+    request and the input/output payloads (sizes from the workunit).
+    """
+
+    def __init__(self, kernel: Kernel, project: str = "einstein@home",
+                 port: int = BOINC_PORT,
+                 reassign_timeout_s: Optional[float] = None):
+        self.kernel = kernel
+        self.project = project
+        self.port = port
+        self.reassign_timeout_s = reassign_timeout_s
+        self.pending: Deque[WorkunitRecord] = deque()
+        self.in_flight: Dict[str, WorkunitRecord] = {}
+        self.completed: List[WorkunitRecord] = []
+        self.stale_results = 0
+        self.thread = kernel.spawn_thread(f"boinc-srv:{project}",
+                                          PRIORITY_NORMAL)
+        self._accept = kernel.net.listen(port)
+        self._proc = kernel.engine.process(self._serve(), name=f"boinc:{project}")
+        if reassign_timeout_s is not None:
+            if reassign_timeout_s <= 0:
+                raise WorkloadError("reassign timeout must be positive")
+            kernel.engine.schedule(reassign_timeout_s / 2,
+                                   self._reassign_scan, daemon=True)
+
+    # -- work management -----------------------------------------------------
+
+    def add_workunits(self, workunits: List[EinsteinWorkunit]) -> None:
+        for wu in workunits:
+            self.pending.append(WorkunitRecord(wu))
+
+    @property
+    def results_received(self) -> int:
+        return len(self.completed)
+
+    # -- server loop ---------------------------------------------------------
+
+    #: a volunteer that dies mid-RPC must not wedge the scheduler: any
+    #: connection silent for this long is abandoned
+    RPC_TIMEOUT_S = 120.0
+
+    def _serve(self) -> Generator:
+        connection = 0
+        while True:
+            sock = yield self._accept.get()
+            connection += 1
+            self.kernel.engine.process(
+                self._guarded_handle(sock, connection),
+                name=f"boinc:{self.project}:conn{connection}",
+            )
+
+    def _guarded_handle(self, sock, connection: int) -> Generator:
+        """Run one RPC with a watchdog (clients can crash mid-transfer)."""
+        from repro.simcore.process import Interrupted
+
+        handler = self.kernel.engine.process(
+            self._handle(sock, connection),
+            name=f"boinc:{self.project}:rpc{connection}",
+        )
+        guard = self.kernel.engine.timeout(self.RPC_TIMEOUT_S)
+        index, _ = yield self.kernel.engine.any_of([handler, guard])
+        if index == 1 and not handler.triggered:
+            handler.interrupt("rpc timeout")
+            try:
+                yield handler
+            except Interrupted:
+                pass
+
+    def _handle(self, sock, connection: int) -> Generator:
+        """One RPC on a dedicated server thread."""
+        thread = self.kernel.spawn_thread(
+            f"boinc-srv:{self.project}:{connection}", PRIORITY_NORMAL
+        )
+        try:
+            # request header on the wire; the RPC intent travels in the
+            # sidecar metadata queue (the transport only counts bytes)
+            yield from sock.recv(thread, 1 * KB)
+            message = yield self._message_queue(sock).get()
+            kind = message["kind"]
+            if kind == "fetch":
+                record = self._assign(message["client"])
+                self._message_queue(sock.peer).put({
+                    "workunit": record.workunit if record else None,
+                })
+                if record is not None:
+                    # ship the input payload
+                    yield from sock.send(thread, record.workunit.input_bytes)
+            elif kind == "report":
+                yield from sock.recv(thread, message["output_bytes"])
+                self._complete(message["client"], message["workunit_id"],
+                               message.get("power", 0.0))
+                self._message_queue(sock.peer).put({"ack": True})
+            else:
+                raise WorkloadError(f"unknown BOINC RPC kind {kind!r}")
+        finally:
+            self.kernel.scheduler.exit_thread(thread)
+
+    @staticmethod
+    def _message_queue(sock):
+        """Sidecar metadata queue attached to a socket (RPC headers)."""
+        queue = getattr(sock, "_boinc_meta", None)
+        if queue is None:
+            from repro.simcore.resources import Store
+
+            queue = Store(sock.stack.engine, name=f"{sock.name}.meta")
+            sock._boinc_meta = queue
+        return queue
+
+    def _assign(self, client: str) -> Optional[WorkunitRecord]:
+        if not self.pending:
+            return None
+        record = self.pending.popleft()
+        record.assigned_to = client
+        record.assigned_at = self.kernel.engine.now
+        self.in_flight[record.workunit.workunit_id] = record
+        return record
+
+    def _complete(self, client: str, workunit_id: str, power: float) -> None:
+        record = self.in_flight.pop(workunit_id, None)
+        if record is None:
+            if any(r.workunit.workunit_id == workunit_id
+                   for r in self.completed):
+                # a reassigned copy already finished: late result, discard
+                self.stale_results += 1
+                return
+            raise WorkloadError(
+                f"result for unknown workunit {workunit_id!r}"
+            )
+        record.completed_by = client
+        record.result_power = power
+        self.completed.append(record)
+
+    def _reassign_scan(self) -> None:
+        """Requeue workunits whose volunteer has gone quiet (deadline
+        pass), as BOINC's transitioner does."""
+        now = self.kernel.engine.now
+        expired = [wid for wid, record in self.in_flight.items()
+                   if now - record.assigned_at >= self.reassign_timeout_s]
+        for workunit_id in expired:
+            record = self.in_flight.pop(workunit_id)
+            record.assigned_to = None
+            record.reassignments += 1
+            self.pending.append(record)
+        self.kernel.engine.schedule(self.reassign_timeout_s / 2,
+                                    self._reassign_scan, daemon=True)
+
+    def stop(self) -> None:
+        self._proc.interrupt("server stopped")
+
+
+class BoincClient:
+    """The volunteer-side client loop."""
+
+    def __init__(self, server: BoincServer, client_id: str = "volunteer-1",
+                 input_dir: str = "/boinc", checkpoint_interval_s: float = 60.0,
+                 checkpoint_hook=None):
+        self.server = server
+        self.client_id = client_id
+        self.input_dir = input_dir
+        self.checkpoint_interval_s = checkpoint_interval_s
+        # forwarded to each EinsteinTask; the grid layer uses it to mirror
+        # progress to host-persistent storage for crash recovery
+        self.checkpoint_hook = checkpoint_hook
+        self.workunits_done = 0
+        self.templates_done = 0
+        self.current_workunit: Optional[EinsteinWorkunit] = None
+        self.current_progress: Optional[EinsteinProgress] = None
+
+    # -- RPC helpers ---------------------------------------------------------
+
+    def _fetch(self, ctx: ExecutionContext) -> Generator:
+        sock = yield from ctx.net.connect(ctx.thread, self.server.kernel.net,
+                                          self.server.port)
+        BoincServer._message_queue(sock.peer).put(
+            {"kind": "fetch", "client": self.client_id}
+        )
+        yield from sock.send(ctx.thread, 1 * KB)
+        reply = yield BoincServer._message_queue(sock).get()
+        workunit = reply["workunit"]
+        if workunit is not None:
+            # download the input file into the local (possibly guest) FS
+            yield from sock.recv(ctx.thread, workunit.input_bytes)
+            path = f"{self.input_dir}/{workunit.workunit_id}.input"
+            yield from ctx.fcreate(path, size_hint=workunit.input_bytes)
+            yield from ctx.fwrite(path, 0, workunit.input_bytes)
+        sock.close()
+        return workunit
+
+    def _report(self, ctx: ExecutionContext, workunit: EinsteinWorkunit,
+                power: float) -> Generator:
+        sock = yield from ctx.net.connect(ctx.thread, self.server.kernel.net,
+                                          self.server.port)
+        BoincServer._message_queue(sock.peer).put({
+            "kind": "report", "client": self.client_id,
+            "workunit_id": workunit.workunit_id,
+            "output_bytes": workunit.output_bytes, "power": power,
+        })
+        yield from sock.send(ctx.thread, 1 * KB)
+        yield from sock.send(ctx.thread, workunit.output_bytes)
+        yield BoincServer._message_queue(sock).get()  # ack
+        sock.close()
+
+    # -- main loop -------------------------------------------------------------
+
+    def _process(self, ctx: ExecutionContext, workunit: EinsteinWorkunit,
+                 progress: Optional[EinsteinProgress]) -> Generator:
+        """Compute one workunit (optionally resumed) and report it."""
+        task = EinsteinTask(
+            workunit,
+            checkpoint_interval_s=self.checkpoint_interval_s,
+            checkpoint_path=f"{self.input_dir}/{workunit.workunit_id}.ckpt",
+            progress=progress,
+            on_checkpoint=self.checkpoint_hook,
+        )
+        self.current_workunit = workunit
+        self.current_progress = task.progress
+        result = yield from task.run(ctx)
+        self.templates_done += result.metric("templates")
+        yield from self._report(ctx, workunit,
+                                power=task.progress.best_power)
+        self.workunits_done += 1
+        self.current_workunit = None
+        self.current_progress = None
+
+    def run(self, ctx: ExecutionContext,
+            max_workunits: Optional[int] = None,
+            resume: Optional[EinsteinProgress] = None,
+            resume_workunit: Optional[EinsteinWorkunit] = None) -> Generator:
+        """Fetch/compute/report until the server runs dry (or the cap).
+
+        ``resume_workunit``+``resume`` continue an already-assigned
+        workunit after a client restart (crash recovery): the input is
+        re-materialised from the surviving disk image instead of being
+        fetched again — the server still considers it assigned to us.
+        """
+        clock0 = ctx.time()
+        start = yield from ctx.timestamp()
+        if resume_workunit is not None:
+            path = f"{self.input_dir}/{resume_workunit.workunit_id}.input"
+            if not ctx.fs.exists(path):
+                yield from ctx.fcreate(path,
+                                       size_hint=resume_workunit.input_bytes)
+                yield from ctx.fwrite(path, 0, resume_workunit.input_bytes)
+            yield from self._process(ctx, resume_workunit, resume)
+            resume = None
+        while max_workunits is None or self.workunits_done < max_workunits:
+            workunit = yield from self._fetch(ctx)
+            if workunit is None:
+                break
+            progress = None
+            if resume is not None and resume.workunit_id == workunit.workunit_id:
+                progress = resume
+                resume = None
+            yield from self._process(ctx, workunit, progress)
+        end = yield from ctx.timestamp()
+        return WorkloadResult(
+            workload="boinc-client",
+            duration_s=end - start,
+            clock_duration_s=ctx.time() - clock0,
+            metrics={
+                "workunits_done": self.workunits_done,
+                "templates_done": self.templates_done,
+            },
+        )

@@ -1,0 +1,121 @@
+"""IOBench: the paper's own disk-I/O benchmark, re-implemented (§2).
+
+"IOBench executes read and write operations for randomly generated
+files, whose size ranges from 128 KB to 32 MB.  Between each test, the
+file size is incremented by doubling the precedent one."
+
+Per file size S: create, write S bytes in 64 KB calls, ``fsync`` (so the
+write leg actually exercises the disk path), then read the file back in
+64 KB calls (warm-cache read — the CPU-bound leg where guest-kernel and
+device-emulation multipliers bite).  Reported per size: write MB/s (fsync
+included), read MB/s, combined MB/s.  The figure-3 aggregate is total
+bytes / total time over the whole ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.osmodel.kernel import ExecutionContext
+from repro.units import KB, MB
+from repro.workloads.base import WorkloadResult, chunks
+
+DEFAULT_MIN_BYTES = 128 * KB
+DEFAULT_MAX_BYTES = 32 * MB
+CALL_BYTES = 64 * KB
+
+
+def size_ladder(min_bytes: int = DEFAULT_MIN_BYTES,
+                max_bytes: int = DEFAULT_MAX_BYTES) -> List[int]:
+    """The doubling sequence 128 KB, 256 KB, ... 32 MB."""
+    if min_bytes <= 0 or max_bytes < min_bytes:
+        raise WorkloadError(f"bad ladder bounds [{min_bytes}, {max_bytes}]")
+    sizes = []
+    size = min_bytes
+    while size <= max_bytes:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+@dataclass
+class IoBenchConfig:
+    min_bytes: int = DEFAULT_MIN_BYTES
+    max_bytes: int = DEFAULT_MAX_BYTES
+    call_bytes: int = CALL_BYTES
+    directory: str = "/iobench"
+    delete_after: bool = True
+
+    def sizes(self) -> List[int]:
+        return size_ladder(self.min_bytes, self.max_bytes)
+
+
+@dataclass
+class IoSizeResult:
+    size_bytes: int
+    write_seconds: float
+    read_seconds: float
+
+    @property
+    def write_mbps(self) -> float:
+        return self.size_bytes / 1e6 / self.write_seconds
+
+    @property
+    def read_mbps(self) -> float:
+        return self.size_bytes / 1e6 / self.read_seconds
+
+    @property
+    def combined_mbps(self) -> float:
+        return 2 * self.size_bytes / 1e6 / (self.write_seconds + self.read_seconds)
+
+
+class IoBench:
+    """The ladder benchmark (Figure 3)."""
+
+    name = "iobench"
+
+    def __init__(self, config: Optional[IoBenchConfig] = None):
+        self.config = config or IoBenchConfig()
+
+    def run(self, ctx: ExecutionContext) -> Generator:
+        cfg = self.config
+        series: List[IoSizeResult] = []
+        clock0 = ctx.time()
+        start = yield from ctx.timestamp()
+        for index, size in enumerate(cfg.sizes()):
+            path = f"{cfg.directory}/file{index}"
+            yield from ctx.fcreate(path, size_hint=size)
+
+            w0 = yield from ctx.timestamp()
+            for offset, nbytes in chunks(size, cfg.call_bytes):
+                yield from ctx.fwrite(path, offset, nbytes)
+            yield from ctx.fsync(path)
+            w1 = yield from ctx.timestamp()
+
+            for offset, nbytes in chunks(size, cfg.call_bytes):
+                yield from ctx.fread(path, offset, nbytes)
+            r1 = yield from ctx.timestamp()
+
+            if w1 <= w0 or r1 <= w1:
+                raise WorkloadError(f"iobench size {size}: non-positive phase")
+            series.append(IoSizeResult(size, w1 - w0, r1 - w1))
+            if cfg.delete_after:
+                yield from ctx.fdelete(path)
+        end = yield from ctx.timestamp()
+
+        total_bytes = sum(2 * r.size_bytes for r in series)
+        total_time = sum(r.write_seconds + r.read_seconds for r in series)
+        return WorkloadResult(
+            workload="iobench",
+            duration_s=end - start,
+            clock_duration_s=ctx.time() - clock0,
+            metrics={
+                "aggregate_mbps": total_bytes / 1e6 / total_time,
+                "series": series,
+                "per_size_mbps": {r.size_bytes: r.combined_mbps for r in series},
+                "write_mbps": {r.size_bytes: r.write_mbps for r in series},
+                "read_mbps": {r.size_bytes: r.read_mbps for r in series},
+            },
+        )

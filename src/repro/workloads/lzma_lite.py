@@ -1,0 +1,302 @@
+"""A real LZ77 + adaptive-range-coder compressor ("LZMA-lite").
+
+The paper's primary CPU benchmark is ``7z b`` — 7-Zip's LZMA in benchmark
+mode.  This module is a working compressor in the same family:
+
+* hash-chain match finder over a sliding window (the dominant integer/
+  memory workload in LZMA),
+* an adaptive binary range coder bit-identical in structure to LZMA's
+  (11-bit probabilities, 5-bit adaptation shift, carry-propagating
+  renormalisation),
+* bit-tree-coded literals, direct-bit-coded match lengths/distances.
+
+It round-trips arbitrary bytes (property-tested) and counts its own
+operations (:class:`CompressStats`), which anchors the instruction-cost
+model used by the simulated ``7z`` benchmark: pure-Python execution is
+~10^4x too slow to run 1 MB blocks inside the simulator, so the benchmark
+charges the simulated CPU using per-byte instruction estimates validated
+against these counters on small inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import WorkloadError
+
+_PROB_BITS = 11
+_PROB_INIT = 1 << (_PROB_BITS - 1)  # 1024 = p=0.5
+_ADAPT_SHIFT = 5
+_TOP = 1 << 24
+_MASK32 = 0xFFFFFFFF
+
+MIN_MATCH = 3
+MAX_MATCH = MIN_MATCH + 255       # length - MIN_MATCH fits one byte
+WINDOW_BITS = 16                   # 64 KB window
+WINDOW_SIZE = 1 << WINDOW_BITS
+
+
+@dataclass
+class CompressStats:
+    """Operation counters used to anchor the 7z instruction model."""
+
+    literals: int = 0
+    matches: int = 0
+    match_bytes: int = 0
+    probe_bytes: int = 0   # byte comparisons during match search
+    chain_steps: int = 0   # hash-chain traversal steps
+    coded_bits: int = 0    # adaptive bits pushed through the range coder
+
+    def estimated_instructions(self) -> float:
+        """Rough dynamic instruction count of this compression run.
+
+        Weights are small constants per elementary operation (compare,
+        chain hop, adaptive-bit encode); they only need to be *stable*
+        across inputs for the benchmark's ratios to be meaningful.
+        """
+        return (
+            12.0 * self.literals
+            + 25.0 * self.matches
+            + 6.0 * self.match_bytes
+            + 8.0 * self.probe_bytes
+            + 10.0 * self.chain_steps
+            + 14.0 * self.coded_bits
+        )
+
+
+class RangeEncoder:
+    """LZMA-style carry-propagating range encoder."""
+
+    def __init__(self):
+        self.low = 0
+        self.range = _MASK32
+        self.cache = 0
+        self.cache_size = 1
+        self.out = bytearray()
+        self.bits = 0  # adaptive bits encoded (for stats)
+
+    def encode_bit(self, probs: List[int], index: int, bit: int) -> None:
+        prob = probs[index]
+        bound = (self.range >> _PROB_BITS) * prob
+        if bit == 0:
+            self.range = bound
+            probs[index] = prob + (((1 << _PROB_BITS) - prob) >> _ADAPT_SHIFT)
+        else:
+            self.low += bound
+            self.range -= bound
+            probs[index] = prob - (prob >> _ADAPT_SHIFT)
+        self.bits += 1
+        while self.range < _TOP:
+            self.range = (self.range << 8) & _MASK32
+            self._shift_low()
+
+    def encode_direct(self, value: int, nbits: int) -> None:
+        """Encode ``nbits`` of ``value`` at fixed probability 1/2."""
+        for shift in range(nbits - 1, -1, -1):
+            self.range >>= 1
+            bit = (value >> shift) & 1
+            if bit:
+                self.low += self.range
+            self.bits += 1
+            while self.range < _TOP:
+                self.range = (self.range << 8) & _MASK32
+                self._shift_low()
+
+    def flush(self) -> bytes:
+        for _ in range(5):
+            self._shift_low()
+        return bytes(self.out)
+
+    def _shift_low(self) -> None:
+        if (self.low & _MASK32) < 0xFF000000 or self.low > _MASK32:
+            carry = self.low >> 32
+            temp = self.cache
+            while True:
+                self.out.append((temp + carry) & 0xFF)
+                temp = 0xFF
+                self.cache_size -= 1
+                if self.cache_size == 0:
+                    break
+            self.cache = (self.low >> 24) & 0xFF
+        self.cache_size += 1
+        self.low = (self.low << 8) & _MASK32
+
+
+class RangeDecoder:
+    """Mirror of :class:`RangeEncoder`."""
+
+    def __init__(self, data: bytes):
+        if len(data) < 5:
+            raise WorkloadError("range-coded stream too short")
+        self.data = data
+        self.pos = 1  # first byte is always 0 (encoder cache priming)
+        self.range = _MASK32
+        self.code = 0
+        for _ in range(4):
+            self.code = ((self.code << 8) | self._byte()) & _MASK32
+
+    def _byte(self) -> int:
+        if self.pos < len(self.data):
+            value = self.data[self.pos]
+            self.pos += 1
+            return value
+        return 0  # zero-padding past the end, as LZMA decoders allow
+
+    def decode_bit(self, probs: List[int], index: int) -> int:
+        prob = probs[index]
+        bound = (self.range >> _PROB_BITS) * prob
+        if self.code < bound:
+            self.range = bound
+            probs[index] = prob + (((1 << _PROB_BITS) - prob) >> _ADAPT_SHIFT)
+            bit = 0
+        else:
+            self.code -= bound
+            self.range -= bound
+            probs[index] = prob - (prob >> _ADAPT_SHIFT)
+            bit = 1
+        while self.range < _TOP:
+            self.range = (self.range << 8) & _MASK32
+            self.code = ((self.code << 8) | self._byte()) & _MASK32
+        return bit
+
+    def decode_direct(self, nbits: int) -> int:
+        value = 0
+        for _ in range(nbits):
+            self.range >>= 1
+            bit = 1 if self.code >= self.range else 0
+            if bit:
+                self.code -= self.range
+            value = (value << 1) | bit
+            while self.range < _TOP:
+                self.range = (self.range << 8) & _MASK32
+                self.code = ((self.code << 8) | self._byte()) & _MASK32
+        return value
+
+
+def _encode_bittree(enc: RangeEncoder, probs: List[int], symbol: int) -> None:
+    """8-bit symbol through a binary probability tree (LZMA literal coder)."""
+    ctx = 1
+    for shift in range(7, -1, -1):
+        bit = (symbol >> shift) & 1
+        enc.encode_bit(probs, ctx, bit)
+        ctx = (ctx << 1) | bit
+
+
+def _decode_bittree(dec: RangeDecoder, probs: List[int]) -> int:
+    ctx = 1
+    for _ in range(8):
+        ctx = (ctx << 1) | dec.decode_bit(probs, ctx)
+    return ctx - 0x100
+
+
+def _hash3(data: bytes, pos: int) -> int:
+    return (data[pos] << 10) ^ (data[pos + 1] << 5) ^ data[pos + 2]
+
+
+class Compressor:
+    """Hash-chain LZ77 front end + range-coded back end."""
+
+    def __init__(self, max_chain: int = 32):
+        if max_chain < 1:
+            raise WorkloadError(f"max_chain must be >= 1, got {max_chain}")
+        self.max_chain = max_chain
+        self.stats = CompressStats()
+
+    def compress(self, data: bytes) -> bytes:
+        enc = RangeEncoder()
+        is_match = [_PROB_INIT] * 2
+        literal_probs = [_PROB_INIT] * 0x300
+        length_probs = [_PROB_INIT] * 0x300
+        chains: Dict[int, List[int]] = {}
+        stats = self.stats
+
+        n = len(data)
+        pos = 0
+        while pos < n:
+            match_len, match_dist = self._find_match(data, pos, chains, stats)
+            if match_len >= MIN_MATCH:
+                enc.encode_bit(is_match, 0, 1)
+                _encode_bittree(enc, length_probs, match_len - MIN_MATCH)
+                enc.encode_direct(match_dist - 1, WINDOW_BITS)
+                stats.matches += 1
+                stats.match_bytes += match_len
+                end = min(pos + match_len, n - 2)
+                step = pos
+                while step < end:
+                    chains.setdefault(_hash3(data, step), []).append(step)
+                    step += 1
+                pos += match_len
+            else:
+                enc.encode_bit(is_match, 0, 0)
+                _encode_bittree(enc, literal_probs, data[pos])
+                stats.literals += 1
+                if pos + 2 < n:
+                    chains.setdefault(_hash3(data, pos), []).append(pos)
+                pos += 1
+        stats.coded_bits += enc.bits
+        body = enc.flush()
+        header = len(data).to_bytes(4, "little")
+        return header + body
+
+    def _find_match(self, data: bytes, pos: int, chains: Dict[int, List[int]],
+                    stats: CompressStats) -> Tuple[int, int]:
+        n = len(data)
+        if pos + MIN_MATCH > n:
+            return 0, 0
+        candidates = chains.get(_hash3(data, pos))
+        if not candidates:
+            return 0, 0
+        best_len = 0
+        best_dist = 0
+        limit = min(MAX_MATCH, n - pos)
+        checked = 0
+        for cand in reversed(candidates):
+            if checked >= self.max_chain:
+                break
+            dist = pos - cand
+            if dist > WINDOW_SIZE:
+                break
+            checked += 1
+            stats.chain_steps += 1
+            length = 0
+            while length < limit and data[cand + length] == data[pos + length]:
+                length += 1
+            stats.probe_bytes += length + 1
+            if length > best_len:
+                best_len = length
+                best_dist = dist
+                if length >= limit:
+                    break
+        return best_len, best_dist
+
+
+def compress(data: bytes, max_chain: int = 32) -> bytes:
+    """One-shot compression.  See :class:`Compressor` for stats access."""
+    return Compressor(max_chain).compress(data)
+
+
+def decompress(blob: bytes) -> bytes:
+    """Inverse of :func:`compress`."""
+    if len(blob) < 4:
+        raise WorkloadError("compressed blob too short")
+    orig_len = int.from_bytes(blob[:4], "little")
+    dec = RangeDecoder(blob[4:])
+    is_match = [_PROB_INIT] * 2
+    literal_probs = [_PROB_INIT] * 0x300
+    length_probs = [_PROB_INIT] * 0x300
+    out = bytearray()
+    while len(out) < orig_len:
+        if dec.decode_bit(is_match, 0):
+            length = _decode_bittree(dec, length_probs) + MIN_MATCH
+            dist = dec.decode_direct(WINDOW_BITS) + 1
+            if dist > len(out):
+                raise WorkloadError(
+                    f"corrupt stream: distance {dist} exceeds output {len(out)}"
+                )
+            start = len(out) - dist
+            for i in range(length):  # byte-wise: overlapping copies are legal
+                out.append(out[start + i])
+        else:
+            out.append(_decode_bittree(dec, literal_probs))
+    return bytes(out)

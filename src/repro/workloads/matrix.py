@@ -1,0 +1,120 @@
+"""The Matrix benchmark: naive dense matmul of doubles (paper §2).
+
+"this application multiplies two squared matrices of doubles, using a
+linear (non-optimized) algorithm.  We used two matrix sizes: 512x512 and
+1024x1024.  This benchmark essentially evaluates floating-point CPU
+performance."
+
+Two faces, as with 7z:
+
+* :func:`naive_matmul` / :func:`blocked_matmul` — real triple-loop
+  implementations (validated against numpy in tests),
+* :class:`MatrixBenchmark` — the simulated benchmark charging
+  ``INSTR_PER_ITER`` per inner-loop iteration with the FP-heavy mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.hardware.cpu import MIX_MATRIX
+from repro.osmodel.kernel import ExecutionContext
+from repro.workloads.base import WorkloadResult
+
+#: Dynamic instructions per inner-loop iteration of the naive kernel:
+#: two loads, multiply, add, index arithmetic, loop control.
+INSTR_PER_ITER = 8.0
+
+PAPER_SIZES = (512, 1024)
+
+
+def naive_matmul(a: Sequence[Sequence[float]],
+                 b: Sequence[Sequence[float]]) -> List[List[float]]:
+    """The paper's kernel, verbatim: non-optimised triple loop (i, j, k)."""
+    n = len(a)
+    if n == 0 or any(len(row) != n for row in a) or len(b) != n:
+        raise WorkloadError("naive_matmul requires square same-size matrices")
+    out = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        a_i = a[i]
+        out_i = out[i]
+        for j in range(n):
+            acc = 0.0
+            for k in range(n):
+                acc += a_i[k] * b[k][j]
+            out_i[j] = acc
+    return out
+
+
+def blocked_matmul(a: np.ndarray, b: np.ndarray, block: int = 64) -> np.ndarray:
+    """Cache-blocked variant (used by the cache-behaviour ablation)."""
+    if a.shape != b.shape or a.shape[0] != a.shape[1]:
+        raise WorkloadError("blocked_matmul requires square same-size matrices")
+    n = a.shape[0]
+    out = np.zeros_like(a)
+    for i0 in range(0, n, block):
+        for k0 in range(0, n, block):
+            a_blk = a[i0:i0 + block, k0:k0 + block]
+            for j0 in range(0, n, block):
+                out[i0:i0 + block, j0:j0 + block] += a_blk @ b[k0:k0 + block, j0:j0 + block]
+    return out
+
+
+def iterations(n: int) -> float:
+    """Inner-loop trip count of the naive kernel for an n x n multiply."""
+    return float(n) ** 3
+
+
+def flops(n: int) -> float:
+    """Floating-point operations (one mul + one add per iteration)."""
+    return 2.0 * iterations(n)
+
+
+@dataclass
+class MatrixConfig:
+    size: int = 512
+    repeats: int = 1
+
+    def __post_init__(self):
+        if self.size < 1:
+            raise WorkloadError(f"matrix size must be >= 1, got {self.size}")
+        if self.repeats < 1:
+            raise WorkloadError(f"repeats must be >= 1, got {self.repeats}")
+
+
+class MatrixBenchmark:
+    """Simulated Matrix benchmark (Figure 2)."""
+
+    name = "matrix"
+
+    def __init__(self, config: Optional[MatrixConfig] = None):
+        self.config = config or MatrixConfig()
+
+    def run(self, ctx: ExecutionContext) -> Generator:
+        n = self.config.size
+        instr = INSTR_PER_ITER * iterations(n)
+        instr0 = ctx.instructions()
+        clock0 = ctx.time()
+        t0 = yield from ctx.timestamp()
+        for _ in range(self.config.repeats):
+            yield from ctx.compute(instr, MIX_MATRIX)
+        t1 = yield from ctx.timestamp()
+        duration = t1 - t0
+        if duration <= 0:
+            raise WorkloadError("matrix benchmark measured non-positive duration")
+        total_flops = flops(n) * self.config.repeats
+        return WorkloadResult(
+            workload=f"matrix-{n}",
+            duration_s=duration,
+            clock_duration_s=ctx.time() - clock0,
+            metrics={
+                "size": n,
+                "mflops": total_flops / 1e6 / duration,
+                "seconds_per_multiply": duration / self.config.repeats,
+                "retired_instructions": ctx.instructions() - instr0,
+            },
+        )

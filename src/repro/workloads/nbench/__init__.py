@@ -1,0 +1,63 @@
+"""NBench/BYTEmark kernels and harness (MEM / INT / FP indexes)."""
+
+from repro.workloads.nbench.assignment import Assignment, solve_assignment
+from repro.workloads.nbench.base import (
+    IndexGroup,
+    NBenchKernel,
+    fp_mix,
+    int_mix,
+    mem_mix,
+)
+from repro.workloads.nbench.bitfield import BitfieldOps, BitMap
+from repro.workloads.nbench.fourier import (
+    FourierCoefficients,
+    fourier_coefficients,
+)
+from repro.workloads.nbench.fp_emulation import FpEmulation, SoftFloat
+from repro.workloads.nbench.harness import (
+    KernelMeasurement,
+    NBenchHarness,
+    NBenchResult,
+    all_kernels,
+    kernels_for,
+    reference_seconds,
+)
+from repro.workloads.nbench.huffman import HuffmanCoding
+from repro.workloads.nbench.idea import IdeaCipher
+from repro.workloads.nbench.lu_decomp import LuDecomposition, lu_decompose, lu_solve
+from repro.workloads.nbench.neural_net import BackpropNet, NeuralNet
+from repro.workloads.nbench.numeric_sort import NumericSort, heapsort
+from repro.workloads.nbench.string_sort import StringSort, merge_sort_strings
+
+__all__ = [
+    "Assignment",
+    "BackpropNet",
+    "BitMap",
+    "BitfieldOps",
+    "FourierCoefficients",
+    "FpEmulation",
+    "HuffmanCoding",
+    "IdeaCipher",
+    "IndexGroup",
+    "KernelMeasurement",
+    "LuDecomposition",
+    "NBenchHarness",
+    "NBenchKernel",
+    "NBenchResult",
+    "NeuralNet",
+    "NumericSort",
+    "SoftFloat",
+    "StringSort",
+    "all_kernels",
+    "fourier_coefficients",
+    "fp_mix",
+    "heapsort",
+    "int_mix",
+    "kernels_for",
+    "lu_decompose",
+    "lu_solve",
+    "mem_mix",
+    "merge_sort_strings",
+    "reference_seconds",
+    "solve_assignment",
+]

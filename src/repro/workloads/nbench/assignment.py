@@ -1,0 +1,118 @@
+"""Assignment: minimal-cost task assignment (MEM index).
+
+BYTEmark solves an assignment problem over a cost matrix.  We implement
+the O(n^3) Hungarian algorithm (potentials + augmenting paths — the
+Jonker-Volgenant style formulation) and verify optimality against a
+brute-force permutation search for small n in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.nbench.base import IndexGroup, NBenchKernel, mem_mix
+
+MATRIX_SIZE = 64
+_INF = float("inf")
+
+
+def solve_assignment(cost: Sequence[Sequence[float]]) -> Tuple[List[int], float]:
+    """Minimal-cost perfect assignment.
+
+    Returns ``(assignment, total)`` where ``assignment[row] = column``.
+    Hungarian algorithm with row/column potentials; O(n^3).
+    """
+    n = len(cost)
+    if n == 0:
+        return [], 0.0
+    if any(len(row) != n for row in cost):
+        raise ValueError("assignment needs a square cost matrix")
+
+    # potentials and matching, 1-indexed internally (sentinel row/col 0)
+    u = [0.0] * (n + 1)
+    v = [0.0] * (n + 1)
+    match = [0] * (n + 1)       # match[col] = row
+    way = [0] * (n + 1)
+
+    for row in range(1, n + 1):
+        match[0] = row
+        j0 = 0
+        minv = [_INF] * (n + 1)
+        used = [False] * (n + 1)
+        while True:
+            used[j0] = True
+            i0 = match[j0]
+            delta = _INF
+            j1 = 0
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                current = cost[i0 - 1][j - 1] - u[i0] - v[j]
+                if current < minv[j]:
+                    minv[j] = current
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(n + 1):
+                if used[j]:
+                    u[match[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if match[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            match[j0] = match[j1]
+            j0 = j1
+
+    assignment = [0] * n
+    for col in range(1, n + 1):
+        if match[col]:
+            assignment[match[col] - 1] = col - 1
+    total = sum(cost[r][assignment[r]] for r in range(n))
+    return assignment, total
+
+
+def brute_force_assignment(cost: Sequence[Sequence[float]]) -> float:
+    """Optimal total by permutation search — test oracle for small n."""
+    from itertools import permutations
+
+    n = len(cost)
+    return min(
+        sum(cost[i][p[i]] for i in range(n)) for p in permutations(range(n))
+    )
+
+
+class Assignment(NBenchKernel):
+    name = "assignment"
+    group = IndexGroup.MEM
+    mix = mem_mix("nbench-assign", cpi=1.95, sensitivity=0.85, pressure=0.70)
+
+    def __init__(self, size: int = MATRIX_SIZE):
+        self.size = size
+
+    def run_native(self, seed: int = 0):
+        rng = np.random.Generator(np.random.PCG64(seed))
+        cost = rng.integers(1, 1000, (self.size, self.size)).astype(float)
+        assignment, total = solve_assignment(cost.tolist())
+        return cost, assignment, total
+
+    def verify(self, result) -> bool:
+        cost, assignment, total = result
+        n = len(assignment)
+        if sorted(assignment) != list(range(n)):
+            return False  # not a permutation
+        recomputed = sum(cost[i][assignment[i]] for i in range(n))
+        if abs(recomputed - total) > 1e-9:
+            return False
+        # optimality lower bound: sum of row minima <= total (sanity)
+        return total >= sum(min(row) for row in cost) - 1e-9
+
+    def instructions_per_iteration(self) -> float:
+        # O(n^3) with a heavy inner loop (~12 instructions)
+        return 12.0 * float(self.size) ** 3

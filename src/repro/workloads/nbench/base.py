@@ -1,0 +1,91 @@
+"""NBench kernel protocol.
+
+NBench (the Linux port of BYTEmark, used by the paper for its host-impact
+measurements) runs ten kernels and folds them into three indexes:
+
+* **MEM**   — string sort, bitfield, assignment,
+* **INT**   — numeric sort, FP emulation, IDEA, Huffman,
+* **FP**    — Fourier, neural net, LU decomposition.
+
+Each kernel here is a *real implementation* (validated in tests) plus a
+simulator-facing description: an instruction estimate for its standard
+workload size and an :class:`~repro.hardware.cpu.InstructionMix` whose
+L2 pressure/sensitivity reflects the kernel's working set.  The per-index
+L2 sensitivities are what make the paper's Figure 5 (MEM loses a few %)
+vs Figure 6 (INT ~2%) vs FP (~0) split emerge from the shared-cache
+model rather than being asserted.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Any
+
+from repro.hardware.cpu import InstructionMix
+
+
+class IndexGroup(enum.Enum):
+    MEM = "mem"
+    INT = "int"
+    FP = "fp"
+
+
+class NBenchKernel(abc.ABC):
+    """One of the ten kernels."""
+
+    #: short identifier, e.g. "numeric-sort"
+    name: str = ""
+    #: which index this kernel contributes to
+    group: IndexGroup = IndexGroup.INT
+    #: instruction mix of one iteration (drives CPI and cache behaviour)
+    mix: InstructionMix = None  # type: ignore[assignment]
+
+    @abc.abstractmethod
+    def run_native(self, seed: int = 0) -> Any:
+        """Execute the real algorithm once at the standard size.
+
+        Returns a result object/value that :meth:`verify` accepts.  This
+        is the correctness face — tests call it; the simulator does not.
+        """
+
+    @abc.abstractmethod
+    def verify(self, result: Any) -> bool:
+        """Check a :meth:`run_native` result for correctness."""
+
+    @abc.abstractmethod
+    def instructions_per_iteration(self) -> float:
+        """Dynamic instruction estimate of one standard-size iteration."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<NBenchKernel {self.name} [{self.group.value}]>"
+
+
+def mem_mix(name: str, cpi: float = 1.9, sensitivity: float = 0.9,
+            pressure: float = 0.7) -> InstructionMix:
+    """Memory-index kernels: large working sets, cache-sensitive."""
+    return InstructionMix(
+        name=name, int_frac=0.45, fp_frac=0.0, mem_frac=0.55,
+        kernel_frac=0.0, cpi=cpi, l2_pressure=pressure,
+        l2_sensitivity=sensitivity,
+    )
+
+
+def int_mix(name: str, cpi: float = 1.5, sensitivity: float = 0.35,
+            pressure: float = 0.3) -> InstructionMix:
+    """Integer-index kernels: ALU-bound, moderate cache footprint."""
+    return InstructionMix(
+        name=name, int_frac=0.75, fp_frac=0.0, mem_frac=0.25,
+        kernel_frac=0.0, cpi=cpi, l2_pressure=pressure,
+        l2_sensitivity=sensitivity,
+    )
+
+
+def fp_mix(name: str, cpi: float = 2.1, sensitivity: float = 0.06,
+           pressure: float = 0.2) -> InstructionMix:
+    """FP-index kernels: register/FPU bound, nearly cache-immune."""
+    return InstructionMix(
+        name=name, int_frac=0.10, fp_frac=0.75, mem_frac=0.15,
+        kernel_frac=0.0, cpi=cpi, l2_pressure=pressure,
+        l2_sensitivity=sensitivity,
+    )

@@ -1,0 +1,90 @@
+"""Bitfield: set/clear/complement runs of bits in a large bitmap (MEM index)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.nbench.base import IndexGroup, NBenchKernel, mem_mix
+
+BITMAP_BITS = 1 << 17   # 128 Kbit map
+N_OPERATIONS = 4_096
+
+
+class BitMap:
+    """A flat bitmap over a bytearray with run operations."""
+
+    def __init__(self, nbits: int):
+        if nbits <= 0 or nbits % 8:
+            raise ValueError(f"nbits must be a positive multiple of 8: {nbits}")
+        self.nbits = nbits
+        self.data = bytearray(nbits // 8)
+
+    def _span(self, start: int, count: int):
+        if start < 0 or count < 0 or start + count > self.nbits:
+            raise IndexError(f"bit run [{start}, {start + count}) out of range")
+        return range(start, start + count)
+
+    def set_run(self, start: int, count: int) -> None:
+        for bit in self._span(start, count):
+            self.data[bit >> 3] |= 1 << (bit & 7)
+
+    def clear_run(self, start: int, count: int) -> None:
+        for bit in self._span(start, count):
+            self.data[bit >> 3] &= ~(1 << (bit & 7)) & 0xFF
+
+    def complement_run(self, start: int, count: int) -> None:
+        for bit in self._span(start, count):
+            self.data[bit >> 3] ^= 1 << (bit & 7)
+
+    def test(self, bit: int) -> bool:
+        return bool(self.data[bit >> 3] & (1 << (bit & 7)))
+
+    def popcount(self) -> int:
+        return sum(bin(b).count("1") for b in self.data)
+
+
+class BitfieldOps(NBenchKernel):
+    name = "bitfield"
+    group = IndexGroup.MEM
+    mix = mem_mix("nbench-bitfield", cpi=1.8, sensitivity=0.85, pressure=0.65)
+
+    def __init__(self, nbits: int = BITMAP_BITS, n_ops: int = N_OPERATIONS):
+        self.nbits = nbits
+        self.n_ops = n_ops
+
+    def run_native(self, seed: int = 0):
+        rng = np.random.Generator(np.random.PCG64(seed))
+        bitmap = BitMap(self.nbits)
+        # mirror model: a plain python set of set-bits, kept in lockstep
+        mirror = set()
+        for _ in range(self.n_ops):
+            op = int(rng.integers(0, 3))
+            start = int(rng.integers(0, self.nbits - 64))
+            count = int(rng.integers(1, 64))
+            run = range(start, start + count)
+            if op == 0:
+                bitmap.set_run(start, count)
+                mirror.update(run)
+            elif op == 1:
+                bitmap.clear_run(start, count)
+                mirror.difference_update(run)
+            else:
+                bitmap.complement_run(start, count)
+                for bit in run:
+                    if bit in mirror:
+                        mirror.remove(bit)
+                    else:
+                        mirror.add(bit)
+        return bitmap, mirror
+
+    def verify(self, result) -> bool:
+        bitmap, mirror = result
+        if bitmap.popcount() != len(mirror):
+            return False
+        # spot-check a deterministic sample of bits
+        return all(bitmap.test(b) == (b in mirror)
+                   for b in range(0, bitmap.nbits, 509))
+
+    def instructions_per_iteration(self) -> float:
+        # avg run 32 bits, ~8 instructions per bit op, plus op dispatch
+        return self.n_ops * (32 * 8.0 + 25.0)

@@ -1,0 +1,87 @@
+"""Fourier: numerical Fourier-series coefficients (FP index).
+
+BYTEmark computes Fourier coefficients of ``(x+1)^x`` on [0, 2] by
+trapezoidal numerical integration.  We do exactly that and verify the
+partial Fourier series reconstructs the function pointwise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.workloads.nbench.base import IndexGroup, NBenchKernel, fp_mix
+
+N_COEFFS = 32
+N_INTEGRATION_STEPS = 200
+INTERVAL = 2.0
+
+
+def func(x: float) -> float:
+    """The BYTEmark integrand: (x+1)^x."""
+    return (x + 1.0) ** x
+
+
+def trapezoid(f, lo: float, hi: float, steps: int) -> float:
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    h = (hi - lo) / steps
+    total = 0.5 * (f(lo) + f(hi))
+    for i in range(1, steps):
+        total += f(lo + i * h)
+    return total * h
+
+
+def fourier_coefficients(n_coeffs: int = N_COEFFS,
+                         steps: int = N_INTEGRATION_STEPS
+                         ) -> Tuple[List[float], List[float]]:
+    """First ``n_coeffs`` cosine (a) and sine (b) coefficients on [0, 2]."""
+    omega = 2.0 * math.pi / INTERVAL
+    a = [trapezoid(func, 0.0, INTERVAL, steps) / INTERVAL]
+    b = [0.0]
+    for n in range(1, n_coeffs):
+        a.append(
+            trapezoid(lambda x, n=n: func(x) * math.cos(n * omega * x),
+                      0.0, INTERVAL, steps) * 2.0 / INTERVAL
+        )
+        b.append(
+            trapezoid(lambda x, n=n: func(x) * math.sin(n * omega * x),
+                      0.0, INTERVAL, steps) * 2.0 / INTERVAL
+        )
+    return a, b
+
+
+def evaluate_series(a: List[float], b: List[float], x: float) -> float:
+    omega = 2.0 * math.pi / INTERVAL
+    total = a[0]
+    for n in range(1, len(a)):
+        total += a[n] * math.cos(n * omega * x) + b[n] * math.sin(n * omega * x)
+    return total
+
+
+class FourierCoefficients(NBenchKernel):
+    name = "fourier"
+    group = IndexGroup.FP
+    mix = fp_mix("nbench-fourier", cpi=2.3, sensitivity=0.05, pressure=0.10)
+
+    def __init__(self, n_coeffs: int = N_COEFFS,
+                 steps: int = N_INTEGRATION_STEPS):
+        self.n_coeffs = n_coeffs
+        self.steps = steps
+
+    def run_native(self, seed: int = 0):
+        del seed  # deterministic integrand
+        return fourier_coefficients(self.n_coeffs, self.steps)
+
+    def verify(self, result) -> bool:
+        a, b = result
+        # reconstruct at interior points; series converges slowly at the
+        # discontinuity of the periodic extension, so test mid-interval
+        for x in (0.5, 1.0, 1.5):
+            if abs(evaluate_series(a, b, x) - func(x)) > 0.05 * func(x) + 0.05:
+                return False
+        return a[0] > 0
+    def instructions_per_iteration(self) -> float:
+        # 2 integrals per coefficient, each `steps` evaluations of
+        # pow/cos/sin (~80 FP instructions each)
+        return (2.0 * self.n_coeffs) * self.steps * 80.0

@@ -1,0 +1,139 @@
+"""FP emulation: software floating point on integers (INT index).
+
+BYTEmark emulates an FPU in integer arithmetic.  :class:`SoftFloat` is a
+small binary float (sign, exponent, 32-bit mantissa with an explicit top
+bit) supporting add/sub/mul/div with round-to-nearest truncation — enough
+to exercise the same shift/normalise/integer-multiply work, and checkable
+against Python floats to a relative tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.nbench.base import IndexGroup, NBenchKernel, int_mix
+
+_MANT_BITS = 32
+_MANT_TOP = 1 << (_MANT_BITS - 1)
+
+N_VALUES = 2_000
+
+
+@dataclass(frozen=True)
+class SoftFloat:
+    """sign * mantissa * 2^(exponent - 31), mantissa normalised or zero."""
+
+    sign: int       # +1 / -1
+    exponent: int
+    mantissa: int   # 0, or in [2^31, 2^32)
+
+    @staticmethod
+    def zero() -> "SoftFloat":
+        return SoftFloat(1, 0, 0)
+
+    @staticmethod
+    def from_float(value: float) -> "SoftFloat":
+        if value == 0.0:
+            return SoftFloat.zero()
+        sign = 1 if value > 0 else -1
+        frac, exp = np.frexp(abs(value))  # frac in [0.5, 1)
+        mantissa = int(frac * (1 << _MANT_BITS))
+        return SoftFloat(sign, int(exp), mantissa)._normalised()
+
+    def to_float(self) -> float:
+        if self.mantissa == 0:
+            return 0.0
+        return self.sign * self.mantissa * 2.0 ** (self.exponent - _MANT_BITS)
+
+    def _normalised(self) -> "SoftFloat":
+        mant, exp = self.mantissa, self.exponent
+        if mant == 0:
+            return SoftFloat.zero()
+        while mant >= (1 << _MANT_BITS):
+            mant >>= 1
+            exp += 1
+        while mant < _MANT_TOP:
+            mant <<= 1
+            exp -= 1
+        return SoftFloat(self.sign, exp, mant)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: "SoftFloat") -> "SoftFloat":
+        if self.mantissa == 0:
+            return other
+        if other.mantissa == 0:
+            return self
+        a, b = self, other
+        if a.exponent < b.exponent:
+            a, b = b, a
+        shift = a.exponent - b.exponent
+        if shift >= _MANT_BITS + 1:
+            return a
+        mant_a = a.sign * a.mantissa
+        mant_b = b.sign * (b.mantissa >> shift)
+        total = mant_a + mant_b
+        if total == 0:
+            return SoftFloat.zero()
+        sign = 1 if total > 0 else -1
+        return SoftFloat(sign, a.exponent, abs(total))._normalised()
+
+    def __neg__(self) -> "SoftFloat":
+        if self.mantissa == 0:
+            return self
+        return SoftFloat(-self.sign, self.exponent, self.mantissa)
+
+    def __sub__(self, other: "SoftFloat") -> "SoftFloat":
+        return self + (-other)
+
+    def __mul__(self, other: "SoftFloat") -> "SoftFloat":
+        if self.mantissa == 0 or other.mantissa == 0:
+            return SoftFloat.zero()
+        mant = (self.mantissa * other.mantissa) >> _MANT_BITS
+        return SoftFloat(
+            self.sign * other.sign, self.exponent + other.exponent, mant
+        )._normalised()
+
+    def __truediv__(self, other: "SoftFloat") -> "SoftFloat":
+        if other.mantissa == 0:
+            raise ZeroDivisionError("SoftFloat division by zero")
+        if self.mantissa == 0:
+            return SoftFloat.zero()
+        mant = (self.mantissa << _MANT_BITS) // other.mantissa
+        return SoftFloat(
+            self.sign * other.sign, self.exponent - other.exponent, mant
+        )._normalised()
+
+
+class FpEmulation(NBenchKernel):
+    name = "fp-emulation"
+    group = IndexGroup.INT
+    mix = int_mix("nbench-fpemu", cpi=1.45, sensitivity=0.30, pressure=0.25)
+
+    def __init__(self, n_values: int = N_VALUES):
+        self.n_values = n_values
+
+    def run_native(self, seed: int = 0):
+        rng = np.random.Generator(np.random.PCG64(seed))
+        values = rng.uniform(-100.0, 100.0, self.n_values)
+        soft = [SoftFloat.from_float(v) for v in values]
+        # chained mixed arithmetic: s = sum(a*b + a - b) over pairs
+        acc_soft = SoftFloat.zero()
+        acc_ref = 0.0
+        for i in range(0, self.n_values - 1, 2):
+            a, b = soft[i], soft[i + 1]
+            acc_soft = acc_soft + (a * b + a - b)
+            va, vb = values[i], values[i + 1]
+            acc_ref += va * vb + va - vb
+        return acc_soft.to_float(), float(acc_ref)
+
+    def verify(self, result) -> bool:
+        got, want = result
+        scale = max(1.0, abs(want))
+        return abs(got - want) / scale < 1e-5
+
+    def instructions_per_iteration(self) -> float:
+        # 4 soft-ops per pair, ~120 integer instructions per soft-op
+        return (self.n_values / 2) * 4 * 120.0

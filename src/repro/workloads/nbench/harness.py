@@ -1,0 +1,159 @@
+"""NBench harness: timed kernel loops and the MEM/INT/FP indexes.
+
+Faithful to the original's measurement style: each kernel is repeated
+until the *environment clock* shows at least ``min_measure_s`` elapsed,
+and the rate is iterations / clock-elapsed.  That style is exactly why
+the paper could not run NBench inside guests: "NBench resorts to
+numerous timing measurements of extremely short periods, and the lack of
+precision of time measurement in virtual machines yields misleading
+results" (§4.2.2).  The harness therefore also records oracle (true)
+rates so the clock distortion is quantifiable — the guest-clock ablation
+bench plots the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.osmodel.kernel import ExecutionContext
+from repro.units import GHZ
+from repro.workloads.base import WorkloadResult
+from repro.workloads.nbench.assignment import Assignment
+from repro.workloads.nbench.base import IndexGroup, NBenchKernel
+from repro.workloads.nbench.bitfield import BitfieldOps
+from repro.workloads.nbench.fourier import FourierCoefficients
+from repro.workloads.nbench.fp_emulation import FpEmulation
+from repro.workloads.nbench.huffman import HuffmanCoding
+from repro.workloads.nbench.idea import IdeaCipher
+from repro.workloads.nbench.lu_decomp import LuDecomposition
+from repro.workloads.nbench.neural_net import NeuralNet
+from repro.workloads.nbench.numeric_sort import NumericSort
+from repro.workloads.nbench.string_sort import StringSort
+
+#: Reference core for index normalisation (the paper's testbed clock).
+_REFERENCE_HZ = 2.4 * GHZ
+
+
+def all_kernels() -> List[NBenchKernel]:
+    """Fresh instances of the ten kernels in canonical order."""
+    return [
+        NumericSort(), StringSort(), BitfieldOps(), FpEmulation(),
+        Assignment(), IdeaCipher(), HuffmanCoding(), FourierCoefficients(),
+        NeuralNet(), LuDecomposition(),
+    ]
+
+
+def kernels_for(group: IndexGroup) -> List[NBenchKernel]:
+    return [k for k in all_kernels() if k.group is group]
+
+
+def reference_seconds(kernel: NBenchKernel) -> float:
+    """Native single-iteration time on the reference core (no co-runner)."""
+    return kernel.instructions_per_iteration() * kernel.mix.cpi / _REFERENCE_HZ
+
+
+@dataclass
+class KernelMeasurement:
+    kernel: str
+    group: str
+    iterations: int
+    clock_rate: float   # iterations/s by the environment clock
+    true_rate: float    # iterations/s by the oracle clock
+    normalized: float   # clock_rate x reference time (1.0 = reference native)
+
+
+@dataclass
+class NBenchResult:
+    measurements: List[KernelMeasurement] = field(default_factory=list)
+
+    def index(self, group: IndexGroup, *, true_rates: bool = False) -> float:
+        """Geometric-mean index over the group (1.0 = reference native)."""
+        rows = [m for m in self.measurements if m.group == group.value]
+        if not rows:
+            raise WorkloadError(f"no measurements for group {group}")
+        if true_rates:
+            values = [m.true_rate / m.clock_rate * m.normalized for m in rows]
+        else:
+            values = [m.normalized for m in rows]
+        return float(np.exp(np.mean(np.log(values))))
+
+    @property
+    def mem_index(self) -> float:
+        return self.index(IndexGroup.MEM)
+
+    @property
+    def int_index(self) -> float:
+        return self.index(IndexGroup.INT)
+
+    @property
+    def fp_index(self) -> float:
+        return self.index(IndexGroup.FP)
+
+
+class NBenchHarness:
+    """Runs the ten kernels against any execution context."""
+
+    name = "nbench"
+
+    def __init__(self, min_measure_s: float = 0.25, max_iterations: int = 400,
+                 groups: Optional[List[IndexGroup]] = None):
+        if min_measure_s <= 0:
+            raise WorkloadError("min_measure_s must be positive")
+        self.min_measure_s = min_measure_s
+        self.max_iterations = max_iterations
+        self.groups = groups  # None = all
+
+    def run(self, ctx: ExecutionContext) -> Generator:
+        result = NBenchResult()
+        clock0 = ctx.time()
+        start = yield from ctx.timestamp()
+        for kernel in all_kernels():
+            if self.groups is not None and kernel.group not in self.groups:
+                continue
+            measurement = yield from self._measure(ctx, kernel)
+            result.measurements.append(measurement)
+        end = yield from ctx.timestamp()
+        wl = WorkloadResult(
+            workload="nbench",
+            duration_s=end - start,
+            clock_duration_s=ctx.time() - clock0,
+            metrics={"result": result},
+        )
+        for group in (IndexGroup.MEM, IndexGroup.INT, IndexGroup.FP):
+            if self.groups is None or group in self.groups:
+                wl.metrics[f"{group.value}_index"] = result.index(group)
+        return wl
+
+    def _measure(self, ctx: ExecutionContext,
+                 kernel: NBenchKernel) -> Generator:
+        """One kernel: iterate until the environment clock says enough."""
+        instructions = kernel.instructions_per_iteration()
+        clock_start = ctx.time()
+        true_start = ctx.true_time()
+        iterations = 0
+        while True:
+            yield from ctx.compute(instructions, kernel.mix)
+            iterations += 1
+            clock_elapsed = ctx.time() - clock_start
+            if clock_elapsed >= self.min_measure_s and iterations >= 2:
+                break
+            if iterations >= self.max_iterations:
+                break  # the clock is lying badly; give up like nbench would
+        true_elapsed = ctx.true_time() - true_start
+        # a coarse/stuck clock can claim zero elapsed time; nbench would
+        # divide by it — floor at one clock quantum to stay finite while
+        # preserving the distortion
+        clock_elapsed = max(ctx.time() - clock_start, 1e-4)
+        clock_rate = iterations / clock_elapsed
+        return KernelMeasurement(
+            kernel=kernel.name,
+            group=kernel.group.value,
+            iterations=iterations,
+            clock_rate=clock_rate,
+            true_rate=iterations / true_elapsed,
+            normalized=clock_rate * reference_seconds(kernel),
+        )

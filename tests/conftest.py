@@ -1,0 +1,57 @@
+"""Shared fixtures: a wired engine/machine/kernel world per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.machine import Machine
+from repro.hardware.specs import core2duo_e6600
+from repro.osmodel.kernel import Kernel, ubuntu_params, windows_xp_params
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.simcore.engine import Engine
+from repro.simcore.rng import RngStreams
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def rng() -> RngStreams:
+    return RngStreams(1234)
+
+
+@pytest.fixture
+def machine(engine, rng) -> Machine:
+    return Machine(engine, core2duo_e6600("test"), rng)
+
+
+@pytest.fixture
+def kernel(engine, machine) -> Kernel:
+    return Kernel(engine, machine, ubuntu_params(), name="test-kernel")
+
+
+@pytest.fixture
+def host_kernel(engine, rng) -> Kernel:
+    """A Windows-flavoured host on its own machine (for VM tests)."""
+    host_machine = Machine(engine, core2duo_e6600("host"), rng.fork("host"))
+    return Kernel(engine, host_machine, windows_xp_params(), name="host")
+
+
+@pytest.fixture
+def run(engine):
+    """Run a generator as a process to completion, return its value."""
+
+    def _run(gen, limit: float | None = None):
+        proc = engine.process(gen, name="test-proc")
+        return engine.run_until_event(proc, limit=limit)
+
+    return _run
+
+
+@pytest.fixture
+def worker(kernel):
+    """A ready-to-use (thread, context) pair on the test kernel."""
+    thread = kernel.spawn_thread("worker", PRIORITY_NORMAL)
+    return thread, kernel.context(thread)

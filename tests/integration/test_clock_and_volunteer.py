@@ -1,0 +1,141 @@
+"""Integration: guest-clock behaviour and the full volunteer pipeline."""
+
+import pytest
+
+from repro.core.host_impact import HostImpactConfig, run_sevenzip_impact
+from repro.core.testbed import boot_vm, build_host_testbed
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.units import MB
+from repro.virt.profiles import get_profile
+from repro.virt.vm import VmConfig
+from repro.workloads.boinc import BoincClient, BoincServer
+from repro.workloads.einstein import EinsteinWorkunit
+
+
+class TestGuestClockUnderLoad:
+    """Why the paper timed guests against an external UDP server."""
+
+    def test_drop_policy_vmms_lose_time_under_host_load(self):
+        for env in ("qemu", "virtualbox", "virtualpc"):
+            metrics = run_sevenzip_impact(
+                HostImpactConfig(environment=env, duration_s=10.0),
+                threads=2, seed=3,
+            )
+            # the starved guest lost the bulk of 10 wall seconds
+            assert metrics["guest_clock_error_s"] > 5.0
+
+    def test_vmware_catchup_keeps_guest_clock_honest(self):
+        metrics = run_sevenzip_impact(
+            HostImpactConfig(environment="vmplayer", duration_s=10.0),
+            threads=2, seed=3,
+        )
+        assert metrics["guest_clock_error_s"] < 0.5
+
+    def test_unloaded_guests_keep_time(self):
+        for env in ("qemu", "vmplayer"):
+            metrics = run_sevenzip_impact(
+                HostImpactConfig(environment=env, duration_s=10.0),
+                threads=1, seed=3,
+            )
+            # with a free core the vCPU takes its ticks (qemu shares the
+            # core with its service threads, so allow a small slip)
+            assert metrics["guest_clock_error_s"] < 3.0
+
+    def test_catchup_is_what_costs_vmware_host_cpu(self):
+        """Ablation C: disabling tick catch-up removes most of VMware's
+        Figure-7 penalty (and breaks its clock instead)."""
+        import dataclasses
+
+        from repro.core.host_impact import _start_background_vm
+        from repro.core.testbed import build_host_testbed
+        from repro.workloads.sevenzip import SevenZipHostBenchmark
+
+        def run_with_profile(profile):
+            testbed = build_host_testbed(7, with_peer=False,
+                                         with_timeserver=False)
+            from repro.virt.vm import VirtualMachine
+            from repro.workloads.einstein import EinsteinTask
+
+            vm = VirtualMachine(testbed.kernel, profile, VmConfig())
+
+            def driver():
+                yield from vm.boot()
+                ctx = vm.guest_context()
+                task = EinsteinTask(EinsteinWorkunit(n_templates=10 ** 9))
+                yield from task.run_forever(ctx)
+
+            testbed.engine.process(driver(), "vm")
+            bench = SevenZipHostBenchmark(testbed.kernel, threads=2,
+                                          duration_s=10.0,
+                                          rng=testbed.rng.fork("7z"))
+            proc = testbed.engine.process(bench.run(), "bench")
+            result = testbed.run_to_completion(proc)
+            error = vm.guest_clock.error_seconds(testbed.engine.now)
+            vm.shutdown()
+            return result.metric("usage_pct"), error
+
+        stock = get_profile("vmplayer")
+        no_catchup = dataclasses.replace(stock, tick_catchup=False)
+        usage_stock, err_stock = run_with_profile(stock)
+        usage_ablated, err_ablated = run_with_profile(no_catchup)
+        assert usage_ablated > usage_stock + 25   # penalty mostly gone
+        assert err_ablated > err_stock + 5.0      # ... clock broken instead
+
+
+class TestVolunteerPipeline:
+    """BOINC client inside a guest VM — the paper's actual §4.2 setup."""
+
+    def test_client_in_vm_completes_workunits(self):
+        testbed = build_host_testbed(5)
+        server = BoincServer(testbed.peer_kernel)
+        server.add_workunits([
+            EinsteinWorkunit(workunit_id=f"wu-{i}", n_templates=3,
+                             input_bytes=512 * 1024, output_bytes=64 * 1024)
+            for i in range(2)
+        ])
+
+        def driver():
+            vm = yield from boot_vm(
+                testbed, "vmplayer",
+                VmConfig(priority=PRIORITY_NORMAL, net_mode="bridged"),
+            )
+            ctx = vm.guest_context()
+            client = BoincClient(server, client_id="guest-volunteer")
+            result = yield from client.run(ctx)
+            return vm, result
+
+        vm, result = testbed.run_to_completion(
+            testbed.engine.process(driver(), "volunteer")
+        )
+        assert result.metric("workunits_done") == 2
+        assert server.results_received == 2
+        assert vm.guest_fs.exists("/boinc/wu-0.input")
+        vm.shutdown()
+
+    def test_memory_footprint_constant_while_volunteering(self):
+        """§4.2.1: 'memory consumption is configurable, constant and
+        well-known'."""
+        testbed = build_host_testbed(6, with_peer=False,
+                                     with_timeserver=False)
+        samples = []
+
+        def driver():
+            vm = yield from boot_vm(testbed, "virtualpc",
+                                    VmConfig(memory_bytes=300 * MB))
+            ctx = vm.guest_context()
+            for _ in range(5):
+                yield from ctx.compute(5e7, __import__(
+                    "repro.hardware.cpu", fromlist=["MIX_EINSTEIN"]
+                ).MIX_EINSTEIN)
+                samples.append(
+                    testbed.machine.memory.committed_bytes
+                )
+            return vm
+
+        vm = testbed.run_to_completion(
+            testbed.engine.process(driver(), "vol")
+        )
+        assert len(set(samples)) == 1  # constant
+        assert samples[0] == 300 * MB + vm.profile.vmm_overhead_bytes
+        vm.shutdown()
+        assert testbed.machine.memory.committed_bytes == 0

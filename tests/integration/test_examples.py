@@ -1,0 +1,44 @@
+"""Integration: the example scripts run end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "native Ubuntu" in out
+        assert "qemu" in out and "slower" in out
+
+    def test_checkpoint_migration(self, capsys):
+        out = run_example("checkpoint_migration.py", capsys)
+        assert "templates computed on host A" in out
+        assert "LAN transfer to host B" in out
+        assert "No template was recomputed" in out
+
+    def test_volunteer_desktop_grid(self, capsys):
+        out = run_example("volunteer_desktop_grid.py", capsys)
+        assert "workunits completed for the grid" in out
+        assert "constant while running" in out
+
+    @pytest.mark.slow
+    def test_guest_clock_trouble(self, capsys):
+        out = run_example("guest_clock_trouble.py", capsys)
+        assert "host loaded" in out
+
+    def test_all_examples_have_docstrings_and_mains(self):
+        for script in EXAMPLES.glob("*.py"):
+            text = script.read_text()
+            assert '"""' in text.split("\n", 2)[-1] or text.startswith('#!'), script
+            assert "def main()" in text, script
+            assert '__main__' in text, script

@@ -1,0 +1,129 @@
+"""Integration: Experiment 2 reproduces the Figure 5-8 shapes."""
+
+import pytest
+
+from repro.calibration.targets import (
+    FIG5_MEM_OVERHEAD_MAX,
+    FIG6_INT_OVERHEAD_APPROX,
+    FIG6B_FP_OVERHEAD_MAX,
+    FIG7_HOST_CPU_PCT,
+    FIG8_MIPS_RATIO,
+)
+from repro.core.host_impact import (
+    ENV_NO_VM,
+    HostImpactConfig,
+    run_nbench_impact,
+    run_sevenzip_impact,
+)
+from repro.workloads.nbench import IndexGroup
+
+ENVS = ("vmplayer", "qemu", "virtualbox", "virtualpc")
+_DURATION = 12.0  # shorter than the figure default; shapes are stable
+
+
+@pytest.fixture(scope="module")
+def sevenzip():
+    """usage% and MIPS for every (env, threads) cell, one repetition."""
+    table = {}
+    for env in (ENV_NO_VM,) + ENVS:
+        for threads in (1, 2):
+            metrics = run_sevenzip_impact(
+                HostImpactConfig(environment=env, duration_s=_DURATION),
+                threads=threads, seed=13,
+            )
+            table[(env, threads)] = metrics
+    return table
+
+
+class TestFigure7:
+    @pytest.mark.parametrize("env", (ENV_NO_VM,) + ENVS)
+    @pytest.mark.parametrize("threads", (1, 2))
+    def test_cpu_availability_within_band(self, sevenzip, env, threads):
+        measured = sevenzip[(env, threads)]["usage_pct"]
+        assert measured == pytest.approx(
+            FIG7_HOST_CPU_PCT[(env, threads)], rel=0.06
+        )
+
+    def test_single_thread_unimpacted_everywhere(self, sevenzip):
+        for env in ENVS:
+            assert sevenzip[(env, 1)]["usage_pct"] > 97.0
+
+    def test_vmplayer_steepest_dual_penalty(self, sevenzip):
+        vmplayer = sevenzip[("vmplayer", 2)]["usage_pct"]
+        for env in ("qemu", "virtualbox", "virtualpc"):
+            assert vmplayer < sevenzip[(env, 2)]["usage_pct"] - 20
+
+    def test_paper_range_10_to_35_percent(self, sevenzip):
+        """'multi-threaded applications ... suffer a performance drop that
+        ranges from 10% to 35%'"""
+        baseline = sevenzip[(ENV_NO_VM, 2)]["usage_pct"]
+        for env in ENVS:
+            drop = 1.0 - sevenzip[(env, 2)]["usage_pct"] / baseline
+            assert 0.05 < drop < 0.40
+
+
+class TestFigure8:
+    @pytest.mark.parametrize("env", ENVS)
+    def test_dual_thread_mips_ratio(self, sevenzip, env):
+        ratio = (sevenzip[(env, 2)]["mips"]
+                 / sevenzip[(ENV_NO_VM, 2)]["mips"])
+        assert ratio == pytest.approx(FIG8_MIPS_RATIO[env], abs=0.05)
+
+    def test_single_thread_mips_barely_affected(self, sevenzip):
+        for env in ENVS:
+            ratio = (sevenzip[(env, 1)]["mips"]
+                     / sevenzip[(ENV_NO_VM, 1)]["mips"])
+            assert ratio > 0.93
+
+
+class TestFigures5and6:
+    @pytest.fixture(scope="class")
+    def overheads(self):
+        out = {}
+        for group in (IndexGroup.MEM, IndexGroup.INT, IndexGroup.FP):
+            metric = f"{group.value}_index"
+            baseline = run_nbench_impact(
+                HostImpactConfig(environment=ENV_NO_VM), group, seed=29,
+            )[metric]
+            for env in ENVS:
+                measured = run_nbench_impact(
+                    HostImpactConfig(environment=env, vm_priority="idle"),
+                    group, seed=29,
+                )[metric]
+                out[(group, env)] = 1.0 - measured / baseline
+        return out
+
+    def test_mem_overhead_under_paper_bound(self, overheads):
+        for env in ENVS:
+            assert 0.0 < overheads[(IndexGroup.MEM, env)] \
+                < FIG5_MEM_OVERHEAD_MAX + 0.01
+
+    def test_int_overhead_around_2_percent(self, overheads):
+        for env in ENVS:
+            assert overheads[(IndexGroup.INT, env)] == pytest.approx(
+                FIG6_INT_OVERHEAD_APPROX, abs=0.015
+            )
+
+    def test_fp_practically_no_overhead(self, overheads):
+        for env in ENVS:
+            assert abs(overheads[(IndexGroup.FP, env)]) \
+                < FIG6B_FP_OVERHEAD_MAX + 0.005
+
+    def test_index_ordering(self, overheads):
+        for env in ENVS:
+            assert overheads[(IndexGroup.MEM, env)] \
+                > overheads[(IndexGroup.INT, env)] \
+                > overheads[(IndexGroup.FP, env)]
+
+    def test_priority_level_marginal(self):
+        """'the priority level ... only marginally influence performance'"""
+        group = IndexGroup.MEM
+        idle = run_nbench_impact(
+            HostImpactConfig(environment="virtualbox", vm_priority="idle"),
+            group, seed=31,
+        )["mem_index"]
+        normal = run_nbench_impact(
+            HostImpactConfig(environment="virtualbox", vm_priority="normal"),
+            group, seed=31,
+        )["mem_index"]
+        assert normal == pytest.approx(idle, rel=0.03)

@@ -1,0 +1,56 @@
+"""Integration: IOBench per-size behaviour (the curves behind Figure 3)."""
+
+import pytest
+
+from repro.core.guest_perf import run_benchmark_in_environment
+from repro.units import KB, MB
+from repro.workloads.iobench import IoBench
+
+
+@pytest.fixture(scope="module")
+def series():
+    out = {}
+    for env in ("native", "vmplayer", "qemu"):
+        result = run_benchmark_in_environment(env, lambda tb: IoBench(),
+                                              seed=53)
+        out[env] = result.metric("series")
+    return out
+
+
+class TestNativeCurve:
+    def test_ladder_complete(self, series):
+        sizes = [row.size_bytes for row in series["native"]]
+        assert sizes[0] == 128 * KB and sizes[-1] == 32 * MB
+        assert len(sizes) == 9
+
+    def test_throughput_grows_with_file_size(self, series):
+        """Small files are seek-dominated; big ones amortise the
+        mechanical latency — the classic IOBench curve."""
+        rows = series["native"]
+        assert rows[-1].combined_mbps > 3 * rows[0].combined_mbps
+
+    def test_warm_reads_beat_synced_writes_at_every_size(self, series):
+        for row in series["native"]:
+            assert row.read_mbps > row.write_mbps
+
+
+class TestGuestCurves:
+    def test_guest_slower_at_every_amortised_size(self, series):
+        """Below ~1 MB a single seek draw dominates and either side can
+        win by jitter; from 1 MB up the VM overhead must show."""
+        for env in ("vmplayer", "qemu"):
+            for native_row, guest_row in zip(series["native"], series[env]):
+                if native_row.size_bytes >= 1 * MB:
+                    assert guest_row.combined_mbps < native_row.combined_mbps
+
+    def test_qemu_gap_widest_at_large_sizes(self, series):
+        """Per-KB emulation dominates once mechanical latency amortises."""
+        ratios = [n.combined_mbps / q.combined_mbps
+                  for n, q in zip(series["native"], series["qemu"])]
+        assert ratios[-1] > ratios[0]
+        assert ratios[-1] > 4.0
+
+    def test_vmplayer_stays_moderate_throughout(self, series):
+        for native_row, vm_row in zip(series["native"], series["vmplayer"]):
+            ratio = native_row.combined_mbps / vm_row.combined_mbps
+            assert ratio < 1.75

@@ -1,0 +1,46 @@
+"""Integration: Figure 4's network throughput shape."""
+
+import pytest
+
+from repro.calibration.targets import FIG4_NETBENCH_MBPS, same_ordering
+from repro.core.guest_perf import run_benchmark_in_environment
+from repro.units import MB
+from repro.workloads.netbench import IperfServer, NetBench, NetBenchConfig
+
+# 2 MB transfers keep this integration test quick; throughput is
+# rate-limited, so the figure is transfer-size independent.
+_TRANSFER = 2 * MB
+
+
+def _factory(tb):
+    IperfServer(tb.peer_kernel, expected_bytes=_TRANSFER)
+    return NetBench(tb.peer_kernel,
+                    NetBenchConfig(transfer_bytes=_TRANSFER))
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    measured = {}
+    for env in FIG4_NETBENCH_MBPS:
+        result = run_benchmark_in_environment(env, _factory, seed=41)
+        measured[env] = result.metric("mbps")
+    return measured
+
+
+class TestFigure4:
+    def test_ordering_matches_paper(self, fig4):
+        assert same_ordering(fig4, FIG4_NETBENCH_MBPS)
+
+    @pytest.mark.parametrize("env", sorted(FIG4_NETBENCH_MBPS))
+    def test_values_within_band(self, fig4, env):
+        assert fig4[env] == pytest.approx(FIG4_NETBENCH_MBPS[env], rel=0.05)
+
+    def test_bridged_nearly_native(self, fig4):
+        assert fig4["vmplayer:bridged"] > 0.92 * fig4["native"]
+
+    def test_virtualbox_nat_collapse(self, fig4):
+        # "nearly 75 times slower than the native execution"
+        assert fig4["native"] / fig4["virtualbox"] == pytest.approx(75, rel=0.1)
+
+    def test_nat_vs_bridged_gap(self, fig4):
+        assert fig4["vmplayer:bridged"] / fig4["vmplayer:nat"] > 20

@@ -1,0 +1,56 @@
+"""Property tests: shared-L2 model invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.cache import SharedL2Model
+from repro.hardware.cpu import InstructionMix
+
+
+def mixes(min_size=0, max_size=4):
+    def build(draw):
+        pressure = draw(st.floats(min_value=0.0, max_value=1.0,
+                                  allow_nan=False))
+        sensitivity = draw(st.floats(min_value=0.0, max_value=1.0,
+                                     allow_nan=False))
+        return InstructionMix(
+            name="prop", int_frac=1.0, fp_frac=0.0, mem_frac=0.0,
+            cpi=1.5, l2_pressure=pressure, l2_sensitivity=sensitivity,
+        )
+
+    one = st.composite(build)()
+    return one, st.lists(one, min_size=min_size, max_size=max_size)
+
+
+_MIX, _MIXES = mixes()
+
+
+@settings(max_examples=80, deadline=None)
+@given(_MIX, _MIXES, st.floats(min_value=0.0, max_value=2.0,
+                               allow_nan=False))
+def test_factor_in_unit_interval(own, others, coeff):
+    factor = SharedL2Model(coeff).factor(own, others)
+    assert 0.0 < factor <= 1.0
+
+
+@settings(max_examples=80, deadline=None)
+@given(_MIX, _MIXES, _MIX, st.floats(min_value=0.01, max_value=2.0,
+                                     allow_nan=False))
+def test_adding_corunner_never_speeds_up(own, others, extra, coeff):
+    model = SharedL2Model(coeff)
+    assert model.factor(own, others + [extra]) <= model.factor(own, others)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_MIX, _MIXES)
+def test_zero_coefficient_means_no_contention(own, others):
+    assert SharedL2Model(0.0).factor(own, others) == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(_MIXES, st.floats(min_value=0.01, max_value=1.0, allow_nan=False))
+def test_factors_cover_exactly_occupied_cores(occupants, coeff):
+    model = SharedL2Model(coeff)
+    per_core = list(occupants) + [None]
+    factors = model.factors(per_core)
+    assert set(factors) == {i for i, m in enumerate(per_core) if m is not None}
+    assert all(0.0 < f <= 1.0 for f in factors.values())

@@ -1,0 +1,101 @@
+"""Property tests: filesystem invariants under random op sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.machine import Machine
+from repro.hardware.specs import core2duo_e6600
+from repro.osmodel.filesystem import FileSystem, PAGE_BYTES
+from repro.osmodel.kernel import Kernel, ubuntu_params
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.simcore.engine import Engine
+from repro.simcore.rng import RngStreams
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "read", "fsync", "drop"]),
+        st.integers(min_value=0, max_value=3),        # file index
+        st.integers(min_value=0, max_value=63),       # page offset
+        st.integers(min_value=1, max_value=8),        # pages
+    ),
+    max_size=30,
+)
+
+
+def _world(cache_pages=32):
+    engine = Engine()
+    machine = Machine(engine, core2duo_e6600("fs-prop"), RngStreams(0))
+    kernel = Kernel(engine, machine, ubuntu_params())
+    fs = FileSystem(engine, kernel.params, machine.disk,
+                    kernel.charge_native, cache_bytes=cache_pages * PAGE_BYTES)
+    thread = kernel.spawn_thread("io", PRIORITY_NORMAL)
+    return engine, fs, thread
+
+
+@settings(max_examples=40, deadline=None)
+@given(_OPS)
+def test_model_sizes_and_cache_bounds(ops):
+    engine, fs, thread = _world()
+    sizes = {}
+
+    def body():
+        for index in range(4):
+            yield from fs.create(thread, f"/f{index}")
+            sizes[f"/f{index}"] = 0
+        for op, file_index, page, pages in ops:
+            path = f"/f{file_index}"
+            offset = page * PAGE_BYTES
+            nbytes = pages * PAGE_BYTES
+            if op == "write":
+                yield from fs.write(thread, path, offset, nbytes)
+                sizes[path] = max(sizes[path], offset + nbytes)
+            elif op == "read":
+                if offset + nbytes <= sizes[path]:
+                    yield from fs.read(thread, path, offset, nbytes)
+            elif op == "fsync":
+                yield from fs.fsync(thread, path)
+            else:
+                fs.drop_caches()
+            # invariants at every step
+            assert fs.cached_pages <= fs.capacity_pages
+            assert fs.size_of(path) == sizes[path]
+
+    proc = engine.process(body(), "ops")
+    engine.run_until_event(proc)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_OPS)
+def test_fsync_leaves_no_dirty_pages_for_file(ops):
+    engine, fs, thread = _world()
+
+    def body():
+        yield from fs.create(thread, "/f")
+        for op, _, page, pages in ops:
+            if op == "write":
+                yield from fs.write(thread, "/f", page * PAGE_BYTES,
+                                    pages * PAGE_BYTES)
+        yield from fs.fsync(thread, "/f")
+
+    proc = engine.process(body(), "ops")
+    engine.run_until_event(proc)
+    assert fs.dirty_pages == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=64),
+       st.integers(min_value=8, max_value=32))
+def test_time_monotone_in_bytes_written(npages, cache_pages):
+    """Writing more never takes less simulated time."""
+    durations = []
+    for pages in (npages, npages * 2):
+        engine, fs, thread = _world(cache_pages)
+
+        def body(pages=pages):
+            yield from fs.create(thread, "/f")
+            yield from fs.write(thread, "/f", 0, pages * PAGE_BYTES)
+            yield from fs.fsync(thread, "/f")
+
+        proc = engine.process(body(), "w")
+        engine.run_until_event(proc)
+        durations.append(engine.now)
+    assert durations[1] >= durations[0]

@@ -1,0 +1,83 @@
+"""Property tests: NBench kernel algorithms."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.nbench.assignment import (
+    brute_force_assignment,
+    solve_assignment,
+)
+from repro.workloads.nbench.fp_emulation import SoftFloat
+from repro.workloads.nbench.huffman import build_code, decode, encode, is_prefix_free
+from repro.workloads.nbench.idea import decrypt, encrypt
+from repro.workloads.nbench.numeric_sort import heapsort
+from repro.workloads.nbench.string_sort import merge_sort_strings
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(min_value=-2**31, max_value=2**31)))
+def test_heapsort_equals_sorted(values):
+    assert heapsort(list(values)) == sorted(values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.binary(max_size=30)))
+def test_merge_sort_equals_sorted(strings):
+    assert merge_sort_strings(strings) == sorted(strings)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(min_size=1, max_size=400))
+def test_huffman_roundtrip(data):
+    code = build_code(data)
+    assert is_prefix_free(code)
+    assert decode(encode(data, code), code, len(data)) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(min_size=16, max_size=16).filter(lambda k: any(k)),
+       st.lists(st.binary(min_size=8, max_size=8), min_size=1, max_size=20))
+def test_idea_roundtrip(key, blocks):
+    data = b"".join(blocks)
+    assert decrypt(encrypt(data, key), key) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=5), st.data())
+def test_assignment_matches_brute_force(n, data):
+    cost = [[data.draw(st.integers(min_value=0, max_value=99))
+             for _ in range(n)] for _ in range(n)]
+    cost = [[float(c) for c in row] for row in cost]
+    assignment, total = solve_assignment(cost)
+    assert sorted(assignment) == list(range(n))
+    assert abs(total - brute_force_assignment(cost)) < 1e-9
+
+
+_FLOATS = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_FLOATS, _FLOATS, st.booleans(), st.booleans())
+def test_softfloat_field_operations(a, b, neg_a, neg_b):
+    if neg_a:
+        a = -a
+    if neg_b:
+        b = -b
+    sa, sb = SoftFloat.from_float(a), SoftFloat.from_float(b)
+    assert math.isclose((sa * sb).to_float(), a * b, rel_tol=1e-6)
+    assert math.isclose((sa / sb).to_float(), a / b, rel_tol=1e-6)
+    got = (sa + sb).to_float()
+    want = a + b
+    # addition cancels catastrophically like real floats: compare with an
+    # absolute floor scaled by the operand magnitude
+    assert math.isclose(got, want, rel_tol=1e-5,
+                        abs_tol=1e-6 * max(abs(a), abs(b)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_FLOATS)
+def test_softfloat_identities(a):
+    sa = SoftFloat.from_float(a)
+    assert (sa - sa).to_float() == 0.0
+    assert math.isclose((sa / sa).to_float(), 1.0, rel_tol=1e-8)

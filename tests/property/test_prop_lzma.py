@@ -1,0 +1,47 @@
+"""Property tests: the compressor round-trips arbitrary inputs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.lzma_lite import Compressor, compress, decompress
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=2000))
+def test_roundtrip_arbitrary_bytes(data):
+    assert decompress(compress(data)) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.binary(min_size=1, max_size=60),
+    st.integers(min_value=2, max_value=40),
+)
+def test_roundtrip_repeated_patterns(pattern, repeats):
+    data = pattern * repeats
+    assert decompress(compress(data)) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(max_size=1500), st.integers(min_value=1, max_value=64))
+def test_roundtrip_any_chain_depth(data, max_chain):
+    assert decompress(compress(data, max_chain=max_chain)) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=64, max_size=1000))
+def test_stats_counters_consistent(data):
+    comp = Compressor()
+    comp.compress(data)
+    stats = comp.stats
+    # every input byte is covered by exactly one literal or match byte
+    assert stats.literals + stats.match_bytes == len(data)
+    assert stats.estimated_instructions() > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=8, max_size=400))
+def test_compressed_self_concatenation_smaller_than_double(data):
+    # doubling input with itself must compress better than 2x alone
+    single = len(compress(data))
+    double = len(compress(data + data))
+    assert double < 2 * single + 16

@@ -1,0 +1,109 @@
+"""Property tests: network-stack conservation laws."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.machine import Machine
+from repro.hardware.specs import core2duo_e6600
+from repro.osmodel.kernel import Kernel, ubuntu_params
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.simcore.engine import Engine
+from repro.simcore.rng import RngStreams
+
+
+def _lan():
+    engine = Engine()
+    a = Machine(engine, core2duo_e6600("a"), RngStreams(1))
+    b = Machine(engine, core2duo_e6600("b"), RngStreams(2))
+    a.nic.connect(b.nic)
+    ka = Kernel(engine, a, ubuntu_params(), name="a")
+    kb = Kernel(engine, b, ubuntu_params(), name="b")
+    return engine, ka, kb
+
+
+_SIZES = st.lists(st.integers(min_value=1, max_value=200_000),
+                  min_size=1, max_size=6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_SIZES)
+def test_stream_bytes_conserved(sizes):
+    """Every byte sent arrives, across any mix of message sizes."""
+    engine, ka, kb = _lan()
+    total = sum(sizes)
+    sender = ka.spawn_thread("tx", PRIORITY_NORMAL)
+    receiver = kb.spawn_thread("rx", PRIORITY_NORMAL)
+    queue = kb.net.listen(5001)
+    got = {}
+
+    def server():
+        sock = yield queue.get()
+        got["n"] = yield from sock.recv(receiver, total)
+
+    def client():
+        sock = yield from ka.net.connect(sender, kb.net, 5001)
+        for size in sizes:
+            yield from sock.send(sender, size)
+
+    engine.process(server(), "rx")
+    proc = engine.process(client(), "tx")
+    engine.run_until_event(proc)
+    engine.run()
+    assert got["n"] == total
+    assert ka.net.stats.bytes_sent == total
+    assert kb.net.stats.bytes_received == total
+
+
+@settings(max_examples=20, deadline=None)
+@given(_SIZES)
+def test_transfer_time_at_least_wire_time(sizes):
+    """No transfer beats the 100 Mbps wire."""
+    engine, ka, kb = _lan()
+    total = sum(sizes)
+    sender = ka.spawn_thread("tx", PRIORITY_NORMAL)
+    receiver = kb.spawn_thread("rx", PRIORITY_NORMAL)
+    queue = kb.net.listen(5001)
+
+    def server():
+        sock = yield queue.get()
+        yield from sock.recv(receiver, total)
+
+    def client():
+        sock = yield from ka.net.connect(sender, kb.net, 5001)
+        start = engine.now
+        for size in sizes:
+            yield from sock.send(sender, size)
+        return engine.now - start
+
+    engine.process(server(), "rx")
+    proc = engine.process(client(), "tx")
+    duration = engine.run_until_event(proc)
+    wire_floor = total / ka.machine.nic.spec.line_rate_bps
+    assert duration >= wire_floor * 0.99
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=3),
+                min_size=1, max_size=12))
+def test_udp_messages_arrive_in_order_per_sender(ports):
+    """Datagrams from one sender to one port preserve order."""
+    engine, ka, kb = _lan()
+    sender = ka.spawn_thread("tx", PRIORITY_NORMAL)
+    receiver = kb.spawn_thread("rx", PRIORITY_NORMAL)
+    tx_sock = ka.net.udp_socket(9000)
+    rx_sock = kb.net.udp_socket(9001)
+    received = []
+
+    def server():
+        for _ in ports:
+            payload, _src = yield from rx_sock.recvfrom(receiver)
+            received.append(payload)
+
+    def client():
+        for index, _ in enumerate(ports):
+            yield from tx_sock.sendto(sender, kb.net, 9001, index, nbytes=64)
+
+    engine.process(server(), "rx")
+    proc = engine.process(client(), "tx")
+    engine.run_until_event(proc)
+    engine.run()
+    assert received == list(range(len(ports)))

@@ -1,0 +1,98 @@
+"""Property tests: scheduler conservation laws.
+
+Invariants checked on random thread/segment populations:
+
+* work conservation — total CPU time handed out never exceeds
+  cores x elapsed time;
+* completion — every submitted segment eventually completes when the
+  engine drains;
+* accounting — per-thread retired cycles equal the submitted demand.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.cpu import MIX_IDLE, MIX_SEVENZIP
+from repro.hardware.machine import Machine
+from repro.hardware.specs import core2duo_e6600
+from repro.osmodel.scheduler import BoostPolicy, Scheduler
+from repro.simcore.engine import Engine
+from repro.simcore.rng import RngStreams
+
+_PRIORITIES = st.sampled_from([4, 6, 8, 10, 13])
+_SEGMENTS = st.lists(
+    st.tuples(
+        _PRIORITIES,
+        st.floats(min_value=1e4, max_value=5e8, allow_nan=False),  # cycles
+        st.booleans(),  # cache-hungry mix or not
+    ),
+    min_size=1, max_size=8,
+)
+
+
+def _build():
+    engine = Engine()
+    machine = Machine(engine, core2duo_e6600("prop"), RngStreams(0))
+    scheduler = Scheduler(engine, machine,
+                          boost=BoostPolicy(enabled=True))
+    return engine, machine, scheduler
+
+
+@settings(max_examples=40, deadline=None)
+@given(_SEGMENTS)
+def test_all_segments_complete(segments):
+    engine, _, scheduler = _build()
+    events = []
+    for index, (priority, cycles, hungry) in enumerate(segments):
+        thread = scheduler.spawn(f"t{index}", priority)
+        mix = MIX_SEVENZIP if hungry else MIX_IDLE
+        events.append(scheduler.submit(thread, cycles, mix))
+    engine.run()
+    assert all(ev.triggered for ev in events)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_SEGMENTS)
+def test_cpu_time_conserved(segments):
+    engine, machine, scheduler = _build()
+    threads = []
+    for index, (priority, cycles, hungry) in enumerate(segments):
+        thread = scheduler.spawn(f"t{index}", priority)
+        mix = MIX_SEVENZIP if hungry else MIX_IDLE
+        scheduler.submit(thread, cycles, mix)
+        threads.append(thread)
+    engine.run()
+    elapsed = engine.now
+    total_cpu = sum(scheduler.cpu_time(t) for t in threads)
+    assert total_cpu <= machine.n_cores * elapsed + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(_SEGMENTS)
+def test_retired_cycles_match_demand(segments):
+    engine, _, scheduler = _build()
+    threads = []
+    for index, (priority, cycles, hungry) in enumerate(segments):
+        thread = scheduler.spawn(f"t{index}", priority)
+        mix = MIX_SEVENZIP if hungry else MIX_IDLE
+        scheduler.submit(thread, cycles, mix)
+        threads.append((thread, cycles))
+    engine.run()
+    for thread, cycles in threads:
+        assert abs(thread.cycles_retired - cycles) <= max(1.0, cycles * 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_SEGMENTS)
+def test_wall_time_bounded_by_serial_execution(segments):
+    """Parallel execution never takes longer than running serially at the
+    worst contention factor."""
+    engine, machine, scheduler = _build()
+    for index, (priority, cycles, hungry) in enumerate(segments):
+        thread = scheduler.spawn(f"t{index}", priority)
+        mix = MIX_SEVENZIP if hungry else MIX_IDLE
+        scheduler.submit(thread, cycles, mix)
+    engine.run()
+    serial_worst = sum(cycles for _, cycles, _ in segments) / (
+        machine.frequency_hz * 0.5  # worst plausible contention factor
+    )
+    assert engine.now <= serial_worst + 1e-6

@@ -1,0 +1,67 @@
+"""Property tests: statistics helpers."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.stats import geometric_mean, ratio_of_means, summarize
+
+_VALUES = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=50,
+)
+_POSITIVE = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=50,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_VALUES)
+def test_summary_brackets_data(values):
+    s = summarize(values)
+    # the mean accumulates last-ulp error; bracket with relative slack
+    slack = 1e-9 * max(abs(s.minimum), abs(s.maximum), 1e-12)
+    assert s.minimum - slack <= s.mean <= s.maximum + slack
+    assert s.n == len(values)
+    assert s.std >= 0.0
+    assert s.ci95 >= 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(_VALUES, st.floats(min_value=-100.0, max_value=100.0,
+                          allow_nan=False))
+def test_summary_shift_equivariance(values, shift):
+    base = summarize(values)
+    shifted = summarize([v + shift for v in values])
+    assert shifted.mean == np.float64(base.mean + shift) or abs(
+        shifted.mean - base.mean - shift) < 1e-6
+    assert abs(shifted.std - base.std) < 1e-6
+
+
+@settings(max_examples=80, deadline=None)
+@given(_POSITIVE)
+def test_geomean_between_min_and_max(values):
+    g = geometric_mean(values)
+    # exp(mean(log x)) round-trips with relative, not absolute, error
+    assert min(values) * (1 - 1e-12) - 1e-9 <= g
+    assert g <= max(values) * (1 + 1e-12) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(_POSITIVE, st.floats(min_value=0.1, max_value=10.0,
+                            allow_nan=False))
+def test_geomean_scale_equivariance(values, scale):
+    lhs = geometric_mean([v * scale for v in values])
+    rhs = geometric_mean(values) * scale
+    assert abs(lhs - rhs) / rhs < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(_POSITIVE, _POSITIVE)
+def test_ratio_of_means_positive_and_finite(numerators, denominators):
+    num, den = summarize(numerators), summarize(denominators)
+    ratio, ci = ratio_of_means(num, den)
+    assert ratio > 0.0
+    assert ci >= 0.0
+    assert np.isfinite(ratio) and np.isfinite(ci)

@@ -1,0 +1,93 @@
+"""Property tests: virtualization translation and guest-clock invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.cpu import InstructionMix
+from repro.osmodel.kernel import CostKind
+from repro.virt.guestclock import GuestClock
+from repro.virt.profiles import ALL_PROFILES, get_profile
+from repro.virt.vcpu import translate_cycles
+
+_PROFILES = st.sampled_from(sorted(ALL_PROFILES))
+_CYCLES = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+_KINDS = st.sampled_from(list(CostKind))
+
+
+@st.composite
+def _mixes(draw):
+    int_frac = draw(st.floats(min_value=0.0, max_value=1.0))
+    fp_frac = draw(st.floats(min_value=0.0, max_value=1.0 - int_frac))
+    return InstructionMix(
+        name="prop", int_frac=int_frac, fp_frac=fp_frac,
+        mem_frac=1.0 - int_frac - fp_frac,
+        kernel_frac=draw(st.floats(min_value=0.0, max_value=1.0)),
+        cpi=draw(st.floats(min_value=0.5, max_value=4.0)),
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(_PROFILES, _CYCLES, _mixes(), _KINDS)
+def test_translation_never_beats_native(profile_name, cycles, mix, kind):
+    host = translate_cycles(get_profile(profile_name), cycles, mix, kind)
+    assert host >= cycles
+
+
+@settings(max_examples=60, deadline=None)
+@given(_PROFILES, _mixes(), _KINDS,
+       st.floats(min_value=1.0, max_value=1e9),
+       st.floats(min_value=1.0, max_value=4.0))
+def test_translation_is_linear_in_cycles(profile_name, mix, kind, cycles,
+                                         scale):
+    profile = get_profile(profile_name)
+    one = translate_cycles(profile, cycles, mix, kind)
+    scaled = translate_cycles(profile, cycles * scale, mix, kind)
+    assert abs(scaled - one * scale) <= 1e-6 * scaled
+
+
+_INTERVALS = st.lists(
+    st.tuples(
+        st.floats(min_value=1e-4, max_value=0.1),  # wall dt
+        st.floats(min_value=0.0, max_value=1.0),   # vcpu fraction of dt
+    ),
+    min_size=1, max_size=200,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_PROFILES, _INTERVALS)
+def test_guest_clock_never_runs_ahead(profile_name, intervals):
+    clock = GuestClock(get_profile(profile_name), boot_wall=0.0)
+    wall = 0.0
+    for dt, frac in intervals:
+        clock.on_service_interval(dt, dt * frac)
+        wall += dt
+        assert clock.uptime() <= wall + 2.0 / clock.tick_hz
+
+
+@settings(max_examples=50, deadline=None)
+@given(_PROFILES, _INTERVALS)
+def test_tick_conservation(profile_name, intervals):
+    """delivered + pending + dropped == generated, always."""
+    clock = GuestClock(get_profile(profile_name), boot_wall=0.0)
+    wall = 0.0
+    for dt, frac in intervals:
+        clock.on_service_interval(dt, dt * frac)
+        wall += dt
+        generated = wall * clock.tick_hz
+        accounted = (clock.stats.ticks_delivered + clock.pending_ticks
+                     + clock.stats.ticks_dropped)
+        assert abs(accounted - generated) < 1e-6 * max(1.0, generated)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_INTERVALS)
+def test_catchup_clock_bounded_error(intervals):
+    """VMware-style catch-up keeps the clock within one backlog window."""
+    clock = GuestClock(get_profile("vmplayer"), boot_wall=0.0)
+    wall = 0.0
+    for dt, frac in intervals:
+        clock.on_service_interval(dt, dt * frac)
+        wall += dt
+    # catch-up replays at >= real-time rate: error bounded by one interval
+    max_dt = max(dt for dt, _ in intervals)
+    assert clock.error_seconds(wall) <= max_dt + 2.0 / clock.tick_hz

@@ -1,0 +1,89 @@
+"""Sensitivity sweeps: the mechanisms respond to their parameters."""
+
+import pytest
+
+from repro.analysis import (
+    SweepResult,
+    sweep_catchup_cost,
+    sweep_l2_coefficient,
+    sweep_service_load,
+)
+from repro.errors import ExperimentError
+
+
+class TestSweepResult:
+    def test_add_and_series(self):
+        sweep = SweepResult("x")
+        sweep.add(1.0, y=2.0)
+        sweep.add(2.0, y=1.0)
+        assert sweep.values == [1.0, 2.0]
+        assert sweep.series("y") == [2.0, 1.0]
+
+    def test_unknown_series_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepResult("x").series("nope")
+
+    def test_monotonicity_check(self):
+        sweep = SweepResult("x")
+        for value in (1.0, 2.0, 3.0):
+            sweep.add(value, up=value, down=-value)
+        assert sweep.is_monotone("up", increasing=True)
+        assert sweep.is_monotone("down", increasing=False)
+        assert not sweep.is_monotone("up", increasing=False)
+
+    def test_render(self):
+        sweep = SweepResult("coeff")
+        sweep.add(0.5, usage=180.0)
+        text = sweep.render()
+        assert "coeff" in text and "usage" in text and "180" in text
+
+
+class TestL2Sweep:
+    """The L2 coefficient scales *throughput* (MIPS, Figure 8's axis);
+    the 7z usage metric is CPU-time-based and only sees barrier waits."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_l2_coefficient(values=(0.0, 0.37, 1.0), duration_s=5.0)
+
+    def test_mips_decreases_with_contention(self, sweep):
+        assert sweep.is_monotone("mips", increasing=False)
+
+    def test_paper_coefficient_costs_about_ten_percent(self, sweep):
+        mips = sweep.series("mips")
+        assert mips[1] / mips[0] == pytest.approx(0.90, abs=0.03)
+
+    def test_usage_is_contention_insensitive(self, sweep):
+        usages = sweep.series("usage_pct")
+        assert max(usages) - min(usages) < 10.0
+        assert all(u == pytest.approx(181, abs=8) for u in usages)
+
+
+class TestServiceSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_service_load(values=(0.0, 0.2, 0.5), duration_s=5.0)
+
+    def test_monotone_decrease(self, sweep):
+        assert sweep.is_monotone("usage_pct", increasing=False)
+
+    def test_zero_service_near_control(self, sweep):
+        # with no service load an idle-class VM is nearly invisible
+        assert sweep.series("usage_pct")[0] > 170.0
+
+    def test_each_service_point_costs_host_points(self, sweep):
+        usages = sweep.series("usage_pct")
+        # 0.5 cores of service should cost roughly 45 host points (x0.9)
+        assert usages[0] - usages[-1] == pytest.approx(45.0, abs=12.0)
+
+
+class TestCatchupSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_catchup_cost(values=(0.0, 6.2e6), duration_s=5.0)
+
+    def test_catchup_cost_drives_vmware_penalty(self, sweep):
+        usages = sweep.series("usage_pct")
+        assert usages[0] > usages[1] + 25.0
+        # the shipped profile value lands near the paper's 120%
+        assert usages[1] == pytest.approx(120.0, abs=10.0)

@@ -1,0 +1,100 @@
+"""BOINC server robustness: deadlines, duplicates, dead clients."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hardware.machine import Machine
+from repro.hardware.specs import core2duo_e6600
+from repro.osmodel.kernel import Kernel, ubuntu_params
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.simcore.rng import RngStreams
+from repro.workloads.boinc import BoincClient, BoincServer
+from repro.workloads.einstein import EinsteinWorkunit
+
+
+@pytest.fixture
+def project(engine, machine, kernel):
+    peer_machine = Machine(engine, core2duo_e6600("project"), RngStreams(41))
+    machine.nic.connect(peer_machine.nic)
+    peer = Kernel(engine, peer_machine, ubuntu_params(), name="project")
+    return peer
+
+
+def wu(i, templates=3):
+    return EinsteinWorkunit(workunit_id=f"wu-{i}", n_templates=templates,
+                            input_bytes=128 * 1024, output_bytes=16 * 1024)
+
+
+class TestReassignment:
+    def test_expired_assignment_requeued(self, engine, project):
+        server = BoincServer(project, reassign_timeout_s=50.0)
+        server.add_workunits([wu(0)])
+        record = server._assign("ghost-client")
+        assert record is not None
+        assert server.in_flight
+        engine.run(until=120.0)
+        assert not server.in_flight
+        assert len(server.pending) == 1
+        assert server.pending[0].reassignments == 1
+
+    def test_fresh_assignment_not_requeued(self, engine, project):
+        server = BoincServer(project, reassign_timeout_s=500.0)
+        server.add_workunits([wu(0)])
+        server._assign("slow-client")
+        engine.run(until=100.0)
+        assert server.in_flight  # deadline not yet passed
+
+    def test_bad_timeout_rejected(self, project):
+        with pytest.raises(WorkloadError):
+            BoincServer(project, port=31499, reassign_timeout_s=0.0)
+
+
+class TestDuplicates:
+    def test_late_result_after_reassignment_is_stale(self, engine, project):
+        server = BoincServer(project, reassign_timeout_s=50.0)
+        server.add_workunits([wu(0)])
+        server._assign("ghost")
+        engine.run(until=120.0)             # ghost's copy expires
+        record = server._assign("worker")   # reassigned
+        server._complete("worker", record.workunit.workunit_id, 1.0)
+        # the ghost reports afterwards: discarded, not an error
+        server._complete("ghost", record.workunit.workunit_id, 2.0)
+        assert server.stale_results == 1
+        assert len(server.completed) == 1
+        assert server.completed[0].completed_by == "worker"
+
+    def test_result_for_never_issued_workunit_rejected(self, engine, project):
+        server = BoincServer(project)
+        with pytest.raises(WorkloadError):
+            server._complete("evil", "wu-unknown", 0.0)
+
+
+class TestDeadClientRpc:
+    def test_server_survives_client_dying_mid_fetch(self, run, engine,
+                                                    project, kernel):
+        server = BoincServer(project, reassign_timeout_s=200.0)
+        server.RPC_TIMEOUT_S = 20.0
+        server.add_workunits([wu(0), wu(1)])
+
+        dead_thread = kernel.spawn_thread("dead", PRIORITY_NORMAL)
+        dead_ctx = kernel.context(dead_thread)
+
+        def half_fetch():
+            # connect and announce a fetch, then never read the input
+            sock = yield from kernel.net.connect(dead_thread, project.net,
+                                                 server.port)
+            BoincServer._message_queue(sock.peer).put(
+                {"kind": "fetch", "client": "dead"}
+            )
+            yield from sock.send(dead_thread, 1024)
+            # ... crash: stop participating
+
+        run(half_fetch())
+        engine.run(until=60.0)  # let the RPC watchdog fire
+
+        # a healthy client can still get work afterwards
+        healthy = BoincClient(server, client_id="healthy")
+        result = engine.run_until_event(
+            engine.process(healthy.run(dead_ctx, max_workunits=1), "ok")
+        )
+        assert result.metric("workunits_done") == 1

@@ -1,0 +1,112 @@
+"""Calibration maths and paper targets."""
+
+import pytest
+
+from repro.calibration.fitting import (
+    expected_mbps,
+    fit_cpu_multipliers,
+    fit_vnic_cycles,
+    predicted_slowdown,
+    service_steal_fraction,
+)
+from repro.calibration.targets import (
+    FIG1_SEVENZIP_RELATIVE,
+    FIG3_IOBENCH_RELATIVE,
+    FIG4_NETBENCH_MBPS,
+    FIG7_HOST_CPU_PCT,
+    check_relative_shape,
+    same_ordering,
+)
+from repro.errors import CalibrationError
+from repro.hardware.cpu import MIX_MATRIX, MIX_SEVENZIP
+
+
+class TestCpuFit:
+    def test_fit_solves_forward_model(self):
+        fit = fit_cpu_multipliers(1.25, 1.10, m_kernel=5.0)
+        t1 = predicted_slowdown(MIX_SEVENZIP, fit.m_int, fit.m_fp,
+                                fit.m_mem, 5.0)
+        t2 = predicted_slowdown(MIX_MATRIX, fit.m_int, fit.m_fp,
+                                fit.m_mem, 5.0)
+        assert t1 == pytest.approx(1.25, rel=1e-6)
+        assert t2 == pytest.approx(1.10, rel=1e-6)
+
+    def test_inconsistent_targets_rejected(self):
+        # a fast-int / slow-fp combo that forces sub-native multipliers
+        with pytest.raises(CalibrationError):
+            fit_cpu_multipliers(1.01, 2.5, m_kernel=12.0)
+
+    def test_m_mem_aliases_m_int(self):
+        fit = fit_cpu_multipliers(1.3, 1.2, m_kernel=6.0)
+        assert fit.m_mem == fit.m_int
+
+
+class TestVnicFit:
+    _ARGS = dict(frequency_hz=2.4e9, payload_bytes=1460,
+                 frame_overhead_bytes=36, line_rate_bps=12.5e6)
+
+    def test_fit_inverts_forward_model(self):
+        cycles = fit_vnic_cycles(35.56, guest_stack_cycles=22_400,
+                                 **self._ARGS)
+        mbps = expected_mbps(cycles, guest_stack_cycles=22_400, **self._ARGS)
+        assert mbps == pytest.approx(35.56, rel=1e-6)
+
+    def test_cheap_path_floors_at_minimum(self):
+        cycles = fit_vnic_cycles(99.0, guest_stack_cycles=0, **self._ARGS)
+        assert cycles == 500.0
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_vnic_cycles(0.0, guest_stack_cycles=0, **self._ARGS)
+
+
+class TestServiceSteal:
+    def test_paper_vmplayer_number(self):
+        steal = service_steal_fraction(120.0, 180.0)
+        assert steal == pytest.approx(2.0 - 1.2 / 0.9, rel=1e-9)  # ~0.667
+
+    def test_no_steal_when_unchanged(self):
+        assert service_steal_fraction(180.0, 180.0) == pytest.approx(0.0)
+
+    def test_bad_control_rejected(self):
+        with pytest.raises(CalibrationError):
+            service_steal_fraction(100.0, 0.0)
+
+
+class TestTargets:
+    def test_fig1_ordering_sane(self):
+        t = FIG1_SEVENZIP_RELATIVE
+        assert t["native"] < t["vmplayer"] < t["virtualbox"] \
+            < t["virtualpc"] < t["qemu"]
+
+    def test_fig3_qemu_is_worst(self):
+        assert FIG3_IOBENCH_RELATIVE["qemu"] == max(
+            FIG3_IOBENCH_RELATIVE.values()
+        )
+
+    def test_fig4_native_is_best(self):
+        assert FIG4_NETBENCH_MBPS["native"] == max(FIG4_NETBENCH_MBPS.values())
+
+    def test_fig7_covers_all_configs(self):
+        envs = {env for env, _ in FIG7_HOST_CPU_PCT}
+        assert envs == {"no-vm", "vmplayer", "qemu", "virtualbox",
+                        "virtualpc"}
+        assert all((env, t) in FIG7_HOST_CPU_PCT
+                   for env in envs for t in (1, 2))
+
+
+class TestShapeHelpers:
+    def test_check_relative_shape_reports_errors(self):
+        errors = check_relative_shape({"a": 1.1, "b": 2.0},
+                                      {"a": 1.0, "b": 2.0})
+        assert errors["a"] == pytest.approx(0.1)
+        assert errors["b"] == 0.0
+
+    def test_check_missing_key_rejected(self):
+        with pytest.raises(CalibrationError):
+            check_relative_shape({}, {"a": 1.0})
+
+    def test_same_ordering(self):
+        paper = {"x": 1.0, "y": 2.0, "z": 3.0}
+        assert same_ordering({"x": 10, "y": 20, "z": 30}, paper)
+        assert not same_ordering({"x": 30, "y": 20, "z": 10}, paper)

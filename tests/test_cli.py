@@ -1,0 +1,52 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for fig in ("fig1", "fig4", "fig8", "mem"):
+            assert fig in out
+
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "vmplayer" in out and "tick catch-up" in out
+        assert "cyc/pkt" in out
+
+    def test_unknown_figure_errors(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_unknown_sweep_errors(self, capsys):
+        assert main(["sweep", "nonsense"]) == 2
+        assert "unknown sweep" in capsys.readouterr().err
+
+    def test_l2_sweep_runs(self, capsys):
+        assert main(["sweep", "l2"]) == 0
+        out = capsys.readouterr().out
+        assert "l2_contention_coeff" in out and "mips" in out
+
+
+class TestFigureCommand:
+    def test_generates_memory_figure(self, capsys):
+        # 'mem' needs no repetitions, so it is CLI-test sized
+        assert main(["figure", "mem"]) == 0
+        out = capsys.readouterr().out
+        assert "MEM —" in out and "300" in out
+
+    def test_fast_fig2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_REPS", "1")
+        assert main(["figure", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG2" in out and "qemu" in out

@@ -1,0 +1,97 @@
+"""Repetition framework."""
+
+import pytest
+
+from repro.core.experiment import (
+    FAST_REPS,
+    PAPER_REPS,
+    Repeater,
+    repeat,
+    resolve_reps,
+)
+from repro.errors import ExperimentError
+
+
+class TestResolveReps:
+    def test_default_passthrough(self):
+        assert resolve_reps(7, env={}) == 7
+
+    def test_explicit_override_wins(self):
+        assert resolve_reps(7, env={"REPRO_REPS": "13", "REPRO_FULL": "1"}) == 13
+
+    def test_full_mode(self):
+        assert resolve_reps(7, env={"REPRO_FULL": "1"}) == PAPER_REPS
+
+    def test_fast_mode_caps(self):
+        assert resolve_reps(10, env={"REPRO_FAST": "1"}) == FAST_REPS
+        assert resolve_reps(2, env={"REPRO_FAST": "1"}) == 2
+
+    def test_bad_explicit_rejected(self):
+        with pytest.raises(ExperimentError):
+            resolve_reps(5, env={"REPRO_REPS": "0"})
+
+
+class TestRepeater:
+    def test_runs_requested_repetitions(self):
+        seen = []
+
+        def measure(seed):
+            seen.append(seed)
+            return {"x": float(len(seen))}
+
+        result = Repeater(base_seed=1, reps=5).run(measure)
+        assert result["x"].n == 5
+        assert len(set(seen)) == 5  # distinct seeds
+
+    def test_summaries_per_metric(self):
+        def measure(seed):
+            return {"a": 1.0, "b": float(seed % 7)}
+
+        result = Repeater(base_seed=2, reps=4).run(measure)
+        assert set(result.metrics) == {"a", "b"}
+        assert result["a"].mean == 1.0
+        assert result.raw["a"] == [1.0] * 4
+
+    def test_deterministic_given_base_seed(self):
+        def measure(seed):
+            return {"x": float(seed % 1000)}
+
+        first = Repeater(base_seed=3, reps=6).run(measure)
+        second = Repeater(base_seed=3, reps=6).run(measure)
+        assert first.raw == second.raw
+
+    def test_different_base_seeds_differ(self):
+        def measure(seed):
+            return {"x": float(seed % 100000)}
+
+        a = Repeater(base_seed=1, reps=3).run(measure)
+        b = Repeater(base_seed=2, reps=3).run(measure)
+        assert a.raw != b.raw
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(ExperimentError):
+            Repeater(reps=1).run(lambda seed: {})
+
+    def test_inconsistent_metrics_rejected(self):
+        calls = []
+
+        def measure(seed):
+            calls.append(seed)
+            return {"x": 1.0} if len(calls) == 1 else {"y": 1.0}
+
+        with pytest.raises(ExperimentError):
+            Repeater(reps=2).run(measure)
+
+    def test_unknown_metric_lookup_rejected(self):
+        result = Repeater(reps=1).run(lambda seed: {"x": 1.0})
+        with pytest.raises(ExperimentError, match="available"):
+            result["nope"]
+
+    def test_bad_reps_rejected(self):
+        with pytest.raises(ExperimentError):
+            Repeater(reps=0)
+
+    def test_repeat_helper_uses_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPS", "2")
+        result = repeat(lambda seed: {"x": 1.0}, default_reps=9)
+        assert result["x"].n == 2

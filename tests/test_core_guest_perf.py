@@ -1,0 +1,116 @@
+"""Guest-performance experiment plumbing."""
+
+import pytest
+
+from repro.core.guest_perf import (
+    GUEST_ENVIRONMENTS,
+    normalize_against_native,
+    parse_environment,
+    run_benchmark_in_environment,
+)
+from repro.core.stats import summarize
+from repro.core.testbed import ENV_NATIVE
+from repro.errors import ExperimentError
+from repro.simcore.rng import RngStreams
+from repro.workloads.sevenzip import SevenZipBenchmark, SevenZipConfig
+
+
+class TestParseEnvironment:
+    def test_plain_profile(self):
+        assert parse_environment("qemu") == ("qemu", None)
+
+    def test_profile_with_mode(self):
+        assert parse_environment("vmplayer:nat") == ("vmplayer", "nat")
+
+    def test_native(self):
+        assert parse_environment("native") == ("native", None)
+
+
+class TestEnvironmentList:
+    def test_native_first(self):
+        assert GUEST_ENVIRONMENTS[0] == ENV_NATIVE
+
+    def test_covers_all_profiles(self):
+        assert set(GUEST_ENVIRONMENTS[1:]) == {
+            "vmplayer", "qemu", "virtualbox", "virtualpc",
+        }
+
+
+class TestRunner:
+    def _factory(self, tb):
+        return SevenZipBenchmark(SevenZipConfig(n_blocks=2),
+                                 rng=RngStreams(1))
+
+    def test_native_run(self):
+        result = run_benchmark_in_environment("native", self._factory, seed=3)
+        assert result.metric("mips") > 1000
+
+    def test_guest_run_tags_environment(self):
+        result = run_benchmark_in_environment("virtualbox", self._factory,
+                                              seed=3)
+        assert result.environment == "virtualbox"
+        assert result.metric("mips") < 1400
+
+    def test_unknown_environment_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_benchmark_in_environment("xen", self._factory, seed=3)
+
+    def test_same_seed_is_deterministic(self):
+        a = run_benchmark_in_environment("native", self._factory, seed=4)
+        b = run_benchmark_in_environment("native", self._factory, seed=4)
+        assert a.metric("mips") == b.metric("mips")
+
+
+class TestNormalize:
+    def test_rate_metric(self):
+        results = {
+            ENV_NATIVE: summarize([100.0]),
+            "vmplayer": summarize([80.0]),
+        }
+        relative = normalize_against_native(results)
+        assert relative[ENV_NATIVE] == 1.0
+        assert relative["vmplayer"] == pytest.approx(1.25)
+
+    def test_time_metric_inverted(self):
+        results = {
+            ENV_NATIVE: summarize([2.0]),
+            "qemu": summarize([4.0]),
+        }
+        relative = normalize_against_native(results, invert=True)
+        assert relative["qemu"] == pytest.approx(2.0)
+
+    def test_missing_native_rejected(self):
+        with pytest.raises(ExperimentError):
+            normalize_against_native({"qemu": summarize([1.0])})
+
+    def test_zero_mean_rejected(self):
+        results = {
+            ENV_NATIVE: summarize([1.0]),
+            "qemu": summarize([0.0]),
+        }
+        with pytest.raises(ExperimentError):
+            normalize_against_native(results)
+
+
+class TestTestbedBuilders:
+    def test_native_testbed_is_linux(self):
+        from repro.core.testbed import build_native_testbed
+
+        testbed = build_native_testbed(1)
+        assert "linux" in testbed.kernel.params.name
+        assert testbed.peer_kernel is not None
+        assert testbed.timeserver is None
+
+    def test_host_testbed_is_windows_with_timeserver(self):
+        from repro.core.testbed import build_host_testbed
+
+        testbed = build_host_testbed(1)
+        assert "windows" in testbed.kernel.params.name
+        assert testbed.timeserver is not None
+
+    def test_guest_time_client_requires_timeserver(self):
+        from repro.core.testbed import build_host_testbed, guest_time_client
+
+        testbed = build_host_testbed(1, with_timeserver=False)
+        with pytest.raises(ValueError):
+            guest_time_client(testbed, vm=None)

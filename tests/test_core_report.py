@@ -1,0 +1,77 @@
+"""Report rendering."""
+
+import json
+
+import pytest
+
+from repro.core.figures import FigureData, MeasuredPoint
+from repro.core.report import (
+    ascii_bar_chart,
+    experiments_markdown,
+    figure_to_json,
+    markdown_table,
+)
+
+
+@pytest.fixture
+def fig():
+    figure = FigureData(fig_id="figX", title="Demo figure", unit="widgets")
+    figure.series["native"] = MeasuredPoint(1.0, 0.01)
+    figure.series["vmplayer"] = MeasuredPoint(1.15, 0.02)
+    figure.paper = {"native": 1.0, "vmplayer": 1.16}
+    figure.notes = "demo note"
+    return figure
+
+
+class TestAscii:
+    def test_contains_labels_values_and_paper(self, fig):
+        text = ascii_bar_chart(fig)
+        assert "FIGX" in text and "vmplayer" in text
+        assert "1.150" in text and "paper=1.16" in text
+        assert "demo note" in text
+
+    def test_bars_scale_with_values(self, fig):
+        lines = ascii_bar_chart(fig).splitlines()
+        native = next(l for l in lines if "native" in l)
+        vm = next(l for l in lines if "vmplayer" in l)
+        assert vm.count("#") >= native.count("#")
+
+    def test_empty_figure(self):
+        assert "(no data)" in ascii_bar_chart(FigureData("f", "t", "u"))
+
+
+class TestMarkdown:
+    def test_table_structure(self, fig):
+        text = markdown_table(fig)
+        assert "| environment |" in text
+        assert "| vmplayer | 1.150 |" in text
+
+    def test_relative_error_column(self, fig):
+        text = markdown_table(fig)
+        assert "0.9%" in text  # |1.15-1.16|/1.16
+
+    def test_missing_paper_value_dashed(self, fig):
+        fig.series["extra"] = MeasuredPoint(2.0)
+        assert "| extra | 2.000 | — | — | — |" in markdown_table(fig)
+
+    def test_experiments_markdown_combines(self, fig):
+        text = experiments_markdown([fig, fig], header="# Header")
+        assert text.startswith("# Header")
+        assert text.count("FIGX") == 2
+
+
+class TestJson:
+    def test_round_trips_through_json(self, fig):
+        payload = json.loads(figure_to_json(fig))
+        assert payload["fig_id"] == "figX"
+        assert payload["series"]["vmplayer"]["value"] == 1.15
+        assert payload["paper"]["vmplayer"] == 1.16
+
+
+class TestFigureData:
+    def test_rows_align_series_and_paper(self, fig):
+        rows = fig.rows()
+        assert ("vmplayer", 1.15, 0.02, 1.16) in rows
+
+    def test_measured_values(self, fig):
+        assert fig.measured_values() == {"native": 1.0, "vmplayer": 1.15}

@@ -1,0 +1,132 @@
+"""Statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import (
+    Summary,
+    bootstrap_ci,
+    geometric_mean,
+    ratio_of_means,
+    relative_change,
+    summarize,
+    t_quantile,
+)
+from repro.errors import ExperimentError
+
+
+class TestSummarize:
+    def test_basic_moments(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == 2.5
+        assert s.n == 4
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0 and s.std == 0.0 and s.ci95 == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize([])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize([1.0, float("nan")])
+
+    def test_ci_shrinks_with_n(self):
+        rng = np.random.Generator(np.random.PCG64(0))
+        small = summarize(list(rng.normal(10, 1, 5)))
+        large = summarize(list(rng.normal(10, 1, 100)))
+        assert large.ci95 < small.ci95
+
+    def test_ci_covers_true_mean_usually(self):
+        rng = np.random.Generator(np.random.PCG64(1))
+        hits = 0
+        for _ in range(100):
+            s = summarize(list(rng.normal(3.0, 1.0, 20)))
+            if abs(s.mean - 3.0) <= s.ci95:
+                hits += 1
+        assert hits >= 85  # ~95% nominal coverage
+
+    def test_cv(self):
+        assert summarize([2.0, 2.0]).cv == 0.0
+
+    def test_str_renders(self):
+        assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
+
+
+class TestTQuantile:
+    def test_known_values(self):
+        assert t_quantile(1) == pytest.approx(12.706)
+        assert t_quantile(10) == pytest.approx(2.228)
+
+    def test_interpolates_to_table_neighbours(self):
+        assert t_quantile(11) == pytest.approx(t_quantile(12))
+
+    def test_large_dof_approaches_z(self):
+        assert t_quantile(500) == pytest.approx(1.96)
+
+    def test_bad_dof_rejected(self):
+        with pytest.raises(ExperimentError):
+            t_quantile(0)
+
+
+class TestGeomean:
+    def test_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_between_min_and_max(self):
+        values = [0.5, 2.0, 8.0]
+        g = geometric_mean(values)
+        assert min(values) < g < max(values)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ExperimentError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            geometric_mean([])
+
+
+class TestRatios:
+    def test_ratio_of_means(self):
+        num = summarize([2.0, 2.0, 2.0])
+        den = summarize([1.0, 1.0, 1.0])
+        ratio, ci = ratio_of_means(num, den)
+        assert ratio == 2.0 and ci == 0.0
+
+    def test_ci_propagates_noise(self):
+        num = summarize([1.9, 2.0, 2.1])
+        den = summarize([0.9, 1.0, 1.1])
+        _, ci = ratio_of_means(num, den)
+        assert ci > 0.0
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ExperimentError):
+            ratio_of_means(summarize([1.0]), Summary(0.0, 0.0, 1, 0.0, 0.0))
+
+    def test_relative_change(self):
+        assert relative_change(1.2, 1.0) == pytest.approx(0.2)
+        with pytest.raises(ExperimentError):
+            relative_change(1.0, 0.0)
+
+
+class TestBootstrap:
+    def test_brackets_mean(self):
+        rng = np.random.Generator(np.random.PCG64(2))
+        values = list(rng.normal(5.0, 1.0, 40))
+        lo, hi = bootstrap_ci(values, seed=3)
+        assert lo < np.mean(values) < hi
+
+    def test_roughly_matches_t_interval(self):
+        rng = np.random.Generator(np.random.PCG64(4))
+        values = list(rng.normal(0.0, 1.0, 60))
+        s = summarize(values)
+        lo, hi = bootstrap_ci(values, seed=5)
+        assert (hi - lo) / 2 == pytest.approx(s.ci95, rel=0.3)
+
+    def test_degenerate_input(self):
+        assert bootstrap_ci([3.0]) == (3.0, 3.0)

@@ -1,0 +1,82 @@
+"""SVG figure rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.figures import FigureData, MeasuredPoint
+from repro.core.svg import figure_to_svg, write_svg
+
+
+@pytest.fixture
+def fig():
+    figure = FigureData(fig_id="figX", title="Demo & test", unit="x < 1")
+    figure.series["native"] = MeasuredPoint(1.0, 0.0)
+    figure.series["vmplayer"] = MeasuredPoint(1.15, 0.02)
+    figure.series["qemu"] = MeasuredPoint(2.2, 0.05)
+    figure.paper = {"vmplayer": 1.15, "qemu": 2.2}
+    return figure
+
+
+class TestSvg:
+    def test_is_wellformed_xml(self, fig):
+        root = ET.fromstring(figure_to_svg(fig))
+        assert root.tag.endswith("svg")
+
+    def test_special_characters_escaped(self, fig):
+        text = figure_to_svg(fig)
+        assert "Demo &amp; test" in text
+        assert "x &lt; 1" in text
+        ET.fromstring(text)  # still parses
+
+    def test_one_bar_per_series(self, fig):
+        root = ET.fromstring(figure_to_svg(fig))
+        ns = "{http://www.w3.org/2000/svg}"
+        bars = [r for r in root.iter(f"{ns}rect")
+                if r.get("fill") == "#4878a8" and float(r.get("width")) > 0]
+        # 3 series bars + 1 legend swatch
+        assert len(bars) == 4
+
+    def test_paper_markers_drawn(self, fig):
+        root = ET.fromstring(figure_to_svg(fig))
+        ns = "{http://www.w3.org/2000/svg}"
+        markers = [l for l in root.iter(f"{ns}line")
+                   if l.get("stroke") == "#c44e52"]
+        # 2 paper values + 1 legend sample
+        assert len(markers) == 3
+
+    def test_ci_whiskers_drawn_when_present(self, fig):
+        root = ET.fromstring(figure_to_svg(fig))
+        ns = "{http://www.w3.org/2000/svg}"
+        whiskers = [l for l in root.iter(f"{ns}line")
+                    if l.get("stroke") == "#2d2d2d"]
+        assert len(whiskers) == 2  # vmplayer + qemu have CIs; native has 0
+
+    def test_bars_scale_with_values(self, fig):
+        root = ET.fromstring(figure_to_svg(fig))
+        ns = "{http://www.w3.org/2000/svg}"
+        bars = [r for r in root.iter(f"{ns}rect")
+                if r.get("fill") == "#4878a8"]
+        widths = sorted(float(r.get("width")) for r in bars[:-1])
+        assert widths[-1] > 2 * widths[0] * 0.9  # qemu ~2.2x native
+
+    def test_empty_figure_renders(self):
+        text = figure_to_svg(FigureData("empty", "nothing", "u"))
+        ET.fromstring(text)
+
+    def test_write_svg(self, fig, tmp_path):
+        path = write_svg(fig, str(tmp_path / "fig.svg"))
+        content = (tmp_path / "fig.svg").read_text()
+        assert content.startswith("<svg")
+        assert path.endswith("fig.svg")
+
+
+class TestCliSvg:
+    def test_figure_command_writes_svg(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_REPS", "1")
+        out_dir = tmp_path / "charts"
+        assert main(["figure", "mem", "--svg", str(out_dir)]) == 0
+        assert (out_dir / "mem.svg").exists()
+        ET.fromstring((out_dir / "mem.svg").read_text())

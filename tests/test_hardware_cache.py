@@ -1,0 +1,87 @@
+"""Shared-L2 contention model."""
+
+import pytest
+
+from repro.hardware.cache import SharedL2Model
+from repro.hardware.cpu import MIX_EINSTEIN, MIX_IDLE, MIX_SEVENZIP
+from repro.workloads.nbench import kernels_for
+from repro.workloads.nbench.base import IndexGroup
+
+
+@pytest.fixture
+def l2():
+    return SharedL2Model(0.37)
+
+
+class TestFactor:
+    def test_solo_runs_at_full_speed(self, l2):
+        assert l2.factor(MIX_SEVENZIP, []) == 1.0
+
+    def test_corunner_slows_down(self, l2):
+        assert l2.factor(MIX_SEVENZIP, [MIX_SEVENZIP]) < 1.0
+
+    def test_idle_corunner_is_free(self, l2):
+        assert l2.factor(MIX_SEVENZIP, [MIX_IDLE]) == 1.0
+
+    def test_more_corunners_slower(self, l2):
+        one = l2.factor(MIX_SEVENZIP, [MIX_SEVENZIP])
+        two = l2.factor(MIX_SEVENZIP, [MIX_SEVENZIP, MIX_SEVENZIP])
+        assert two < one
+
+    def test_dual_sevenzip_calibrated_to_180_percent(self, l2):
+        # two 7z threads reach ~180% of one thread (paper §4.2.3)
+        factor = l2.factor(MIX_SEVENZIP, [MIX_SEVENZIP])
+        assert 2 * factor == pytest.approx(1.80, abs=0.03)
+
+    def test_zero_coefficient_disables_contention(self):
+        model = SharedL2Model(0.0)
+        assert model.factor(MIX_SEVENZIP, [MIX_SEVENZIP] * 4) == 1.0
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            SharedL2Model(-0.1)
+
+
+class TestPaperIndexSplit:
+    """The Fig 5/6/FP split: MEM suffers most, FP least, next to Einstein."""
+
+    def overhead(self, l2, kernel_mix):
+        return 1.0 - l2.factor(kernel_mix, [MIX_EINSTEIN])
+
+    def test_mem_kernels_under_5_percent(self, l2):
+        # the paper's <5% bound applies to the geometric-mean *index*;
+        # individual kernels may poke marginally above it
+        for kernel in kernels_for(IndexGroup.MEM):
+            assert 0.0 < self.overhead(l2, kernel.mix) < 0.055
+
+    def test_int_kernels_around_2_percent(self, l2):
+        for kernel in kernels_for(IndexGroup.INT):
+            assert self.overhead(l2, kernel.mix) < 0.03
+
+    def test_fp_kernels_negligible(self, l2):
+        for kernel in kernels_for(IndexGroup.FP):
+            assert self.overhead(l2, kernel.mix) < 0.01
+
+    def test_ordering_mem_gt_int_gt_fp(self, l2):
+        mem = max(self.overhead(l2, k.mix) for k in kernels_for(IndexGroup.MEM))
+        int_ = max(self.overhead(l2, k.mix) for k in kernels_for(IndexGroup.INT))
+        fp = max(self.overhead(l2, k.mix) for k in kernels_for(IndexGroup.FP))
+        assert mem > int_ > fp
+
+
+class TestFactors:
+    def test_per_core_dict(self, l2):
+        factors = l2.factors([MIX_SEVENZIP, None, MIX_EINSTEIN])
+        assert set(factors) == {0, 2}
+        assert factors[0] < 1.0
+
+    def test_symmetric_identical_mixes(self, l2):
+        factors = l2.factors([MIX_SEVENZIP, MIX_SEVENZIP])
+        assert factors[0] == factors[1]
+
+    def test_stats_observed(self, l2):
+        l2.observe(0.9, 1.0)
+        l2.observe(1.0, 2.0)
+        assert l2.stats.contended_seconds == 1.0
+        assert l2.stats.solo_seconds == 2.0
+        assert l2.stats.worst_factor == 0.9

@@ -1,0 +1,100 @@
+"""Rotational disk model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware.disk import Disk
+from repro.hardware.specs import DiskSpec
+from repro.simcore.rng import RngStreams
+from repro.units import KB, MB
+
+
+@pytest.fixture
+def disk(engine):
+    return Disk(engine, DiskSpec(seek_jitter_sigma=0.0), RngStreams(0))
+
+
+class TestServiceTime:
+    def test_first_access_pays_mechanical_latency(self, disk):
+        spec = disk.spec
+        t = disk.service_time(64 * KB, 0)
+        mechanical = spec.seek_time_s + spec.rotational_latency_s
+        assert t == pytest.approx(mechanical + 64 * KB / spec.transfer_rate_bps)
+
+    def test_sequential_continuation_skips_latency(self, disk):
+        disk.service_time(64 * KB, 0)
+        t = disk.service_time(64 * KB, 64 * KB)
+        assert t == pytest.approx(64 * KB / disk.spec.transfer_rate_bps)
+        assert disk.stats.sequential_hits == 1
+
+    def test_far_jump_pays_latency_again(self, disk):
+        disk.service_time(64 * KB, 0)
+        t = disk.service_time(64 * KB, 100 * MB)
+        assert t > 64 * KB / disk.spec.transfer_rate_bps
+
+    def test_larger_transfers_take_longer(self, disk):
+        small = disk.service_time(64 * KB, 0)
+        disk._last_stream_end = None
+        large = disk.service_time(4 * MB, 0)
+        assert large > small
+
+    def test_zero_bytes_rejected(self, disk):
+        with pytest.raises(SimulationError):
+            disk.service_time(0, 0)
+
+    def test_out_of_capacity_rejected(self, disk):
+        with pytest.raises(SimulationError):
+            disk.service_time(1024, disk.spec.capacity_bytes)
+
+    def test_seek_jitter_varies(self, engine):
+        disk = Disk(engine, DiskSpec(seek_jitter_sigma=0.3), RngStreams(1))
+        times = set()
+        for i in range(5):
+            times.add(disk.service_time(4 * KB, (i * 2 + 1) * 100 * MB))
+        assert len(times) > 1
+
+
+class TestQueueing:
+    def test_submit_completes_after_service(self, engine, disk):
+        ev = disk.submit(64 * KB, 0, is_write=False)
+        engine.run()
+        assert ev.triggered
+        assert engine.now > 0
+
+    def test_requests_serialise(self, engine, disk):
+        first = disk.submit(1 * MB, 0, is_write=False)
+        second = disk.submit(1 * MB, 1 * MB, is_write=False)
+        times = {}
+        first.add_callback(lambda e: times.setdefault("first", engine.now))
+        second.add_callback(lambda e: times.setdefault("second", engine.now))
+        engine.run()
+        assert times["second"] > times["first"]
+
+    def test_queue_delay_reflects_backlog(self, engine, disk):
+        assert disk.queue_delay == 0.0
+        disk.submit(10 * MB, 0, is_write=True)
+        assert disk.queue_delay > 0.0
+
+    def test_stats_accounting(self, engine, disk):
+        disk.submit(64 * KB, 0, is_write=False)
+        disk.submit(32 * KB, 64 * KB, is_write=True)
+        engine.run()
+        assert disk.stats.reads == 1 and disk.stats.writes == 1
+        assert disk.stats.bytes_read == 64 * KB
+        assert disk.stats.bytes_written == 32 * KB
+        assert disk.stats.total_requests == 2
+
+    def test_utilization_bounded(self, engine, disk):
+        disk.submit(1 * MB, 0, is_write=False)
+        engine.run()
+        assert 0.0 < disk.utilization(engine.now) <= 1.0
+
+    def test_sustained_throughput_near_spec(self, engine, disk):
+        total = 64 * MB
+        for i in range(64):
+            ev = disk.submit(1 * MB, i * MB, is_write=True)
+        engine.run()
+        rate = total / engine.now
+        # one initial seek then streaming: close to the spec rate
+        assert rate == pytest.approx(disk.spec.transfer_rate_bps, rel=0.05)
+        del ev

@@ -1,0 +1,73 @@
+"""Memory commitment accounting (§4.2.1 substrate)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware.memory import MemoryAccounting
+from repro.hardware.specs import MemorySpec
+from repro.units import GB, MB
+
+
+@pytest.fixture
+def memory():
+    return MemoryAccounting(MemorySpec(capacity_bytes=1 * GB, swap_bytes=1 * GB))
+
+
+class TestCommit:
+    def test_commit_and_free(self, memory):
+        memory.commit("vm0", 300 * MB)
+        assert memory.committed_bytes == 300 * MB
+        assert memory.free_bytes == 1 * GB - 300 * MB
+
+    def test_commit_stacks_per_owner(self, memory):
+        memory.commit("vm0", 100 * MB)
+        memory.commit("vm0", 50 * MB)
+        assert memory.commitments["vm0"] == 150 * MB
+
+    def test_release_partial(self, memory):
+        memory.commit("vm0", 300 * MB)
+        memory.release("vm0", 100 * MB)
+        assert memory.commitments["vm0"] == 200 * MB
+
+    def test_release_all_default(self, memory):
+        memory.commit("vm0", 300 * MB)
+        memory.release("vm0")
+        assert "vm0" not in memory.commitments
+
+    def test_over_release_rejected(self, memory):
+        memory.commit("vm0", 10 * MB)
+        with pytest.raises(SimulationError):
+            memory.release("vm0", 20 * MB)
+
+    def test_negative_commit_rejected(self, memory):
+        with pytest.raises(SimulationError):
+            memory.commit("vm0", -1)
+
+    def test_beyond_ram_plus_swap_rejected(self, memory):
+        with pytest.raises(SimulationError):
+            memory.commit("huge", 3 * GB)
+
+
+class TestOvercommit:
+    def test_not_overcommitted_within_ram(self, memory):
+        memory.commit("a", 900 * MB)
+        assert not memory.overcommitted
+        assert memory.paging_penalty_factor() == 1.0
+
+    def test_overcommit_detected(self, memory):
+        memory.commit("a", 1 * GB)
+        memory.commit("b", 200 * MB)
+        assert memory.overcommitted
+
+    def test_paging_penalty_degrades_smoothly(self, memory):
+        memory.commit("a", 1 * GB)
+        baseline = memory.paging_penalty_factor()
+        memory.commit("b", 512 * MB)
+        worse = memory.paging_penalty_factor()
+        assert baseline == 1.0
+        assert 0.0 < worse < 1.0
+
+    def test_paper_configuration_fits(self, memory):
+        # 300 MB guest + VMM overhead in a 1 GB host: no paging
+        memory.commit("vmplayer:vm0", 324 * MB)
+        assert memory.paging_penalty_factor() == 1.0

@@ -1,0 +1,89 @@
+"""Ethernet NIC model."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.hardware.nic import Nic
+from repro.hardware.specs import NicSpec
+
+
+@pytest.fixture
+def pair(engine):
+    a, b = Nic(engine, NicSpec(), "a"), Nic(engine, NicSpec(), "b")
+    a.connect(b)
+    return a, b
+
+
+class TestFrameTime:
+    def test_full_frame_time(self, pair):
+        a, _ = pair
+        expected = (1460 + 36) / a.spec.line_rate_bps
+        assert a.frame_time(1460) == pytest.approx(expected)
+
+    def test_oversize_payload_rejected(self, pair):
+        with pytest.raises(NetworkError):
+            pair[0].frame_time(2000)
+
+    def test_nonpositive_payload_rejected(self, pair):
+        with pytest.raises(NetworkError):
+            pair[0].frame_time(0)
+
+
+class TestTransmit:
+    def test_unlinked_nic_rejected(self, engine):
+        with pytest.raises(NetworkError):
+            Nic(engine, NicSpec()).transmit(100)
+
+    def test_completion_at_wire_exit(self, engine, pair):
+        a, _ = pair
+        ev = a.transmit(1460)
+        engine.run()
+        assert ev.triggered
+        assert engine.now == pytest.approx(a.frame_time(1460))
+
+    def test_delivery_after_link_latency(self, engine, pair):
+        a, _ = pair
+        delivered = []
+        a.transmit(1460, on_delivered=lambda: delivered.append(engine.now))
+        engine.run()
+        assert delivered[0] == pytest.approx(
+            a.frame_time(1460) + a.spec.link_latency_s
+        )
+
+    def test_frames_serialise_on_the_wire(self, engine, pair):
+        a, _ = pair
+        for _ in range(10):
+            ev = a.transmit(1460)
+        engine.run()
+        assert engine.now == pytest.approx(10 * a.frame_time(1460))
+        del ev
+
+    def test_full_duplex(self, engine, pair):
+        a, b = pair
+        a.transmit(1460)
+        b.transmit(1460)
+        engine.run()
+        # opposite directions do not serialise with each other
+        assert engine.now == pytest.approx(a.frame_time(1460))
+
+    def test_stats(self, engine, pair):
+        a, b = pair
+        a.transmit(1000)
+        engine.run()
+        assert a.stats.frames_sent == 1
+        assert a.stats.payload_bytes_sent == 1000
+        assert b.stats.frames_received == 1
+        assert b.stats.payload_bytes_received == 1000
+
+    def test_achieved_mbps(self, engine, pair):
+        a, _ = pair
+        for i in range(100):
+            a.transmit(1460)
+        engine.run()
+        assert a.achieved_mbps(engine.now) == pytest.approx(97.6, rel=0.01)
+
+    def test_mtu_property(self, pair):
+        assert pair[0].mtu_payload_bytes == 1460
+
+    def test_not_serializing_by_default(self, pair):
+        assert pair[0].serialize_tx is False

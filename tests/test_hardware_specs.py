@@ -1,0 +1,76 @@
+"""Hardware spec dataclasses."""
+
+import pytest
+
+from repro.hardware.specs import (
+    CpuSpec,
+    DiskSpec,
+    NicSpec,
+    core2duo_e6600,
+    lan_peer,
+    uniprocessor,
+)
+from repro.units import GB, GHZ, MB
+
+
+class TestCpuSpec:
+    def test_paper_machine(self):
+        spec = core2duo_e6600()
+        assert spec.cpu.frequency_hz == pytest.approx(2.4 * GHZ)
+        assert spec.cpu.n_cores == 2
+        assert spec.cpu.l2_size_bytes == 4 * MB
+        assert spec.memory.capacity_bytes == 1 * GB
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            CpuSpec(n_cores=0)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            CpuSpec(frequency_hz=-1.0)
+
+    def test_negative_contention_rejected(self):
+        with pytest.raises(ValueError):
+            CpuSpec(l2_contention_coeff=-0.1)
+
+    def test_uniprocessor_variant(self):
+        assert uniprocessor().cpu.n_cores == 1
+
+
+class TestDiskSpec:
+    def test_defaults_plausible(self):
+        spec = DiskSpec()
+        assert spec.transfer_rate_bps == 60 * MB
+        assert 0 < spec.seek_time_s < 0.02
+
+    def test_bad_transfer_rate_rejected(self):
+        with pytest.raises(ValueError):
+            DiskSpec(transfer_rate_bps=0)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DiskSpec(capacity_bytes=0)
+
+
+class TestNicSpec:
+    def test_payload_rate_below_line_rate(self):
+        spec = NicSpec()
+        assert spec.payload_rate_bps < spec.line_rate_bps
+
+    def test_calibrated_to_paper_native_iperf(self):
+        # 1460/(1460+36) of 100 Mbps == the paper's 97.60 Mbps native
+        spec = NicSpec()
+        payload_mbps = spec.payload_rate_bps * 8 / 1e6
+        assert payload_mbps == pytest.approx(97.6, rel=0.002)
+
+    def test_frame_bytes(self):
+        spec = NicSpec()
+        assert spec.frame_bytes == spec.mtu_payload_bytes + spec.frame_overhead_bytes
+
+
+class TestFactories:
+    def test_with_name(self):
+        assert core2duo_e6600().with_name("other").name == "other"
+
+    def test_lan_peer_same_class_of_machine(self):
+        assert lan_peer().cpu.n_cores == core2duo_e6600().cpu.n_cores

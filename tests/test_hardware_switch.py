@@ -1,0 +1,96 @@
+"""Switched-LAN model."""
+
+import pytest
+
+from repro.hardware.machine import Machine
+from repro.hardware.specs import core2duo_e6600
+from repro.hardware.switch import Switch
+from repro.osmodel.kernel import Kernel, ubuntu_params
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.simcore.rng import RngStreams
+from repro.units import MB
+
+
+@pytest.fixture
+def lan(engine):
+    """Three machines on one switch."""
+    switch = Switch(engine, "test-switch")
+    kernels = []
+    for index in range(3):
+        machine = Machine(engine, core2duo_e6600(f"m{index}"),
+                          RngStreams(index))
+        switch.attach(machine.nic)
+        kernels.append(Kernel(engine, machine, ubuntu_params(),
+                              name=f"m{index}"))
+    return switch, kernels
+
+
+class TestSwitch:
+    def test_ports_created(self, lan):
+        switch, _ = lan
+        assert switch.n_ports == 3
+
+    def test_any_to_any_transfer(self, run, engine, lan):
+        _, kernels = lan
+        src, dst = kernels[0], kernels[2]
+        sender = src.spawn_thread("tx", PRIORITY_NORMAL)
+        receiver = dst.spawn_thread("rx", PRIORITY_NORMAL)
+        queue = dst.net.listen(5001)
+        got = {}
+
+        def server():
+            sock = yield queue.get()
+            got["n"] = yield from sock.recv(receiver, 1 * MB)
+
+        def client():
+            sock = yield from src.net.connect(sender, dst.net, 5001)
+            yield from sock.send(sender, 1 * MB)
+
+        engine.process(server(), "rx")
+        run(client())
+        engine.run()
+        assert got["n"] == 1 * MB
+
+    def test_concurrent_senders_do_not_serialise(self, run, engine, lan):
+        """Full-duplex switched ports: two flows run at wire rate each."""
+        _, kernels = lan
+        n = 2 * MB
+        done_times = {}
+
+        def make_flow(src, dst, port, tag):
+            sender = src.spawn_thread(f"tx{tag}", PRIORITY_NORMAL)
+            receiver = dst.spawn_thread(f"rx{tag}", PRIORITY_NORMAL)
+            queue = dst.net.listen(port)
+
+            def server():
+                sock = yield queue.get()
+                yield from sock.recv(receiver, n)
+                done_times[tag] = engine.now
+
+            def client():
+                sock = yield from src.net.connect(sender, dst.net, port)
+                yield from sock.send(sender, n)
+
+            engine.process(server(), f"s{tag}")
+            engine.process(client(), f"c{tag}")
+
+        make_flow(kernels[0], kernels[2], 5001, "a")
+        make_flow(kernels[1], kernels[2], 5002, "b")
+        engine.run()
+        wire_time = n / (12.5e6 * 1460 / 1496)
+        # both finish in ~one transfer time, not two
+        assert max(done_times.values()) < 1.5 * wire_time
+
+    def test_port_stats_accumulate(self, run, engine, lan):
+        switch, kernels = lan
+        src, dst = kernels[0], kernels[1]
+        sender = src.spawn_thread("tx", PRIORITY_NORMAL)
+        sock = src.net.udp_socket(9000)
+
+        def body():
+            yield from sock.sendto(sender, dst.net, 9001, "x", nbytes=64)
+
+        dst.net.udp_socket(9001)
+        run(body())
+        engine.run()
+        assert switch.total_frames >= 1

@@ -1,0 +1,79 @@
+"""NBench harness: timed loops, indexes, clock sensitivity."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.nbench import IndexGroup, NBenchHarness
+
+
+class TestNativeRun:
+    def test_all_indexes_near_reference(self, run, worker):
+        _, ctx = worker
+        harness = NBenchHarness(min_measure_s=0.1)
+        result = run(harness.run(ctx))
+        for key in ("mem_index", "int_index", "fp_index"):
+            assert result.metric(key) == pytest.approx(1.0, rel=0.08)
+
+    def test_group_restriction(self, run, worker):
+        _, ctx = worker
+        harness = NBenchHarness(min_measure_s=0.05, groups=[IndexGroup.INT])
+        result = run(harness.run(ctx))
+        assert "int_index" in result.metrics
+        assert "mem_index" not in result.metrics
+        measurements = result.metric("result").measurements
+        assert all(m.group == "int" for m in measurements)
+
+    def test_each_kernel_measured_at_least_twice(self, run, worker):
+        _, ctx = worker
+        harness = NBenchHarness(min_measure_s=0.05)
+        result = run(harness.run(ctx))
+        for m in result.metric("result").measurements:
+            assert m.iterations >= 2
+
+    def test_true_and_clock_rates_agree_natively(self, run, worker):
+        _, ctx = worker
+        harness = NBenchHarness(min_measure_s=0.1,
+                                groups=[IndexGroup.FP])
+        result = run(harness.run(ctx))
+        for m in result.metric("result").measurements:
+            assert m.clock_rate == pytest.approx(m.true_rate, rel=0.05)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(WorkloadError):
+            NBenchHarness(min_measure_s=0.0)
+
+    def test_missing_group_raises(self, run, worker):
+        _, ctx = worker
+        harness = NBenchHarness(min_measure_s=0.05, groups=[IndexGroup.MEM])
+        result = run(harness.run(ctx)).metric("result")
+        with pytest.raises(WorkloadError):
+            result.index(IndexGroup.FP)
+
+
+class TestClockSensitivity:
+    """Why the paper could not run NBench inside guests (§4.2.2)."""
+
+    def test_coarse_slow_clock_distorts_indexes(self, run, kernel, engine):
+        from repro.osmodel.threads import PRIORITY_NORMAL
+
+        thread = kernel.spawn_thread("t", PRIORITY_NORMAL)
+        # a clock that runs at half speed with 100ms granularity — the
+        # flavour of wrongness a starved guest clock exhibits
+        lying = lambda: int(engine.now * 0.5 / 0.1) * 0.1
+        ctx = kernel.context(thread, time_source=lying)
+        harness = NBenchHarness(min_measure_s=0.1, groups=[IndexGroup.INT])
+        result = run(harness.run(ctx))
+        measured = result.metric("int_index")
+        # the lying clock inflates the apparent rate
+        assert measured > 1.3
+
+    def test_stuck_clock_hits_iteration_cap(self, run, kernel):
+        from repro.osmodel.threads import PRIORITY_NORMAL
+
+        thread = kernel.spawn_thread("t", PRIORITY_NORMAL)
+        ctx = kernel.context(thread, time_source=lambda: 0.0)
+        harness = NBenchHarness(min_measure_s=0.1, max_iterations=5,
+                                groups=[IndexGroup.FP])
+        result = run(harness.run(ctx))
+        for m in result.metric("result").measurements:
+            assert m.iterations == 5  # gave up, like nbench would

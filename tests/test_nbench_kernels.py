@@ -1,0 +1,245 @@
+"""NBench kernels: real-algorithm correctness beyond the self-verify."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads.nbench import (
+    IndexGroup,
+    all_kernels,
+    kernels_for,
+    reference_seconds,
+)
+from repro.workloads.nbench.assignment import (
+    brute_force_assignment,
+    solve_assignment,
+)
+from repro.workloads.nbench.bitfield import BitMap
+from repro.workloads.nbench.fourier import (
+    evaluate_series,
+    fourier_coefficients,
+    func,
+    trapezoid,
+)
+from repro.workloads.nbench.fp_emulation import SoftFloat
+from repro.workloads.nbench.huffman import build_code, decode, encode, is_prefix_free
+from repro.workloads.nbench.idea import decrypt, encrypt, expand_key
+from repro.workloads.nbench.lu_decomp import determinant, lu_decompose, lu_solve
+from repro.workloads.nbench.numeric_sort import heapsort
+from repro.workloads.nbench.string_sort import generate_strings, merge_sort_strings
+
+
+class TestSuiteShape:
+    def test_ten_kernels(self):
+        assert len(all_kernels()) == 10
+
+    def test_index_grouping_matches_nbench(self):
+        assert {k.name for k in kernels_for(IndexGroup.MEM)} == {
+            "string-sort", "bitfield", "assignment",
+        }
+        assert {k.name for k in kernels_for(IndexGroup.INT)} == {
+            "numeric-sort", "fp-emulation", "idea", "huffman",
+        }
+        assert {k.name for k in kernels_for(IndexGroup.FP)} == {
+            "fourier", "neural-net", "lu-decomposition",
+        }
+
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.name)
+    def test_every_kernel_self_verifies(self, kernel):
+        assert kernel.verify(kernel.run_native(seed=11))
+
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.name)
+    def test_reference_time_sane(self, kernel):
+        # every kernel iteration lands between 10 us and 100 ms native
+        assert 1e-5 < reference_seconds(kernel) < 0.1
+
+
+class TestHeapsort:
+    @pytest.mark.parametrize("data", [
+        [], [1], [2, 1], [3, 1, 2, 1, 3], list(range(100, 0, -1)),
+    ])
+    def test_sorts(self, data):
+        assert heapsort(list(data)) == sorted(data)
+
+    def test_duplicates_preserved(self):
+        data = [5, 5, 5, 1, 1]
+        assert heapsort(list(data)) == [1, 1, 5, 5, 5]
+
+
+class TestStringSort:
+    def test_matches_builtin(self):
+        strings = generate_strings(500, seed=3)
+        assert merge_sort_strings(strings) == sorted(strings)
+
+    def test_stable_length_preserved(self):
+        strings = [b"b", b"a", b"c"] * 10
+        assert len(merge_sort_strings(strings)) == 30
+
+
+class TestBitmap:
+    def test_set_clear_complement(self):
+        bm = BitMap(256)
+        bm.set_run(10, 20)
+        assert bm.popcount() == 20
+        bm.clear_run(15, 5)
+        assert bm.popcount() == 15
+        bm.complement_run(10, 30)
+        assert bm.test(16) and not bm.test(11)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            BitMap(64).set_run(60, 10)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            BitMap(10)
+
+
+class TestSoftFloat:
+    cases = [0.0, 1.0, -1.0, 3.14159, -0.001, 123456.78, 1e-6]
+
+    @pytest.mark.parametrize("value", cases)
+    def test_conversion_roundtrip(self, value):
+        assert SoftFloat.from_float(value).to_float() == pytest.approx(
+            value, rel=1e-8, abs=1e-12
+        )
+
+    @pytest.mark.parametrize("a,b", [(1.5, 2.25), (-3.0, 7.5), (0.1, 0.9)])
+    def test_arithmetic_matches_hardware(self, a, b):
+        sa, sb = SoftFloat.from_float(a), SoftFloat.from_float(b)
+        assert (sa + sb).to_float() == pytest.approx(a + b, rel=1e-7)
+        assert (sa - sb).to_float() == pytest.approx(a - b, rel=1e-7)
+        assert (sa * sb).to_float() == pytest.approx(a * b, rel=1e-7)
+        assert (sa / sb).to_float() == pytest.approx(a / b, rel=1e-7)
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            SoftFloat.from_float(1.0) / SoftFloat.zero()
+
+    def test_cancellation(self):
+        a = SoftFloat.from_float(5.0)
+        assert (a - a).to_float() == 0.0
+
+
+class TestAssignment:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_optimal_vs_brute_force(self, n):
+        rng = np.random.Generator(np.random.PCG64(n))
+        cost = rng.integers(1, 50, (n, n)).astype(float).tolist()
+        _, total = solve_assignment(cost)
+        assert total == pytest.approx(brute_force_assignment(cost))
+
+    def test_empty(self):
+        assert solve_assignment([]) == ([], 0.0)
+
+    def test_identity_cost(self):
+        cost = [[0.0 if i == j else 10.0 for j in range(4)] for i in range(4)]
+        assignment, total = solve_assignment(cost)
+        assert assignment == [0, 1, 2, 3] and total == 0.0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            solve_assignment([[1.0, 2.0]])
+
+
+class TestIdea:
+    def test_roundtrip(self):
+        key = bytes(range(16))
+        data = b"attack at dawn!!" * 8
+        assert decrypt(encrypt(data, key), key) == data
+
+    def test_different_keys_differ(self):
+        data = b"\x00" * 16
+        a = encrypt(data, bytes(16))
+        b = encrypt(data, bytes([1] * 16))
+        assert a != b
+
+    def test_key_schedule_produces_52_subkeys(self):
+        assert len(expand_key(bytes(range(16)))) == 52
+
+    def test_bad_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            encrypt(b"123", bytes(16))
+        with pytest.raises(ValueError):
+            expand_key(b"short")
+
+    def test_ciphertext_not_plaintext(self):
+        data = b"A" * 64
+        assert encrypt(data, bytes(range(16))) != data
+
+
+class TestHuffman:
+    def test_roundtrip(self):
+        data = b"mississippi riverbanks" * 20
+        code = build_code(data)
+        assert decode(encode(data, code), code, len(data)) == data
+
+    def test_prefix_free(self):
+        code = build_code(b"abracadabra" * 50)
+        assert is_prefix_free(code)
+
+    def test_frequent_symbols_get_short_codes(self):
+        data = b"a" * 1000 + b"b" * 10 + b"c"
+        code = build_code(data)
+        assert len(code[ord("a")]) <= len(code[ord("b")])
+        assert len(code[ord("b")]) <= len(code[ord("c")])
+
+    def test_single_symbol_alphabet(self):
+        code = build_code(b"zzzz")
+        assert decode(encode(b"zzzz", code), code, 4) == b"zzzz"
+
+    def test_empty(self):
+        assert build_code(b"") == {}
+
+
+class TestFourier:
+    def test_trapezoid_integrates_polynomial(self):
+        # integral of x^2 on [0, 2] = 8/3
+        got = trapezoid(lambda x: x * x, 0.0, 2.0, 2000)
+        assert got == pytest.approx(8.0 / 3.0, rel=1e-4)
+
+    def test_series_reconstructs_function(self):
+        a, b = fourier_coefficients(48, 300)
+        for x in (0.4, 1.0, 1.6):
+            assert evaluate_series(a, b, x) == pytest.approx(
+                func(x), rel=0.05, abs=0.05
+            )
+
+    def test_dc_coefficient_is_mean(self):
+        a, _ = fourier_coefficients(4, 400)
+        mean = trapezoid(func, 0.0, 2.0, 400) / 2.0
+        assert a[0] == pytest.approx(mean, rel=1e-9)
+
+    def test_bad_steps_rejected(self):
+        with pytest.raises(ValueError):
+            trapezoid(func, 0, 1, 0)
+
+
+class TestLu:
+    def test_solve_matches_numpy(self):
+        rng = np.random.Generator(np.random.PCG64(21))
+        a = rng.uniform(-1, 1, (20, 20)) + np.eye(20) * 20
+        b = rng.uniform(-1, 1, 20)
+        lu, perm, _ = lu_decompose(a.tolist())
+        x = lu_solve(lu, perm, b.tolist())
+        assert np.allclose(x, np.linalg.solve(a, b))
+
+    def test_determinant_matches_numpy(self):
+        rng = np.random.Generator(np.random.PCG64(22))
+        a = rng.uniform(-1, 1, (8, 8)) + np.eye(8) * 4
+        lu, _, sign = lu_decompose(a.tolist())
+        assert determinant(lu, sign) == pytest.approx(
+            float(np.linalg.det(a)), rel=1e-8
+        )
+
+    def test_singular_rejected(self):
+        singular = [[1.0, 2.0], [2.0, 4.0]]
+        with pytest.raises(ZeroDivisionError):
+            lu_decompose(singular)
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        a = [[0.0, 1.0], [1.0, 0.0]]
+        lu, perm, _ = lu_decompose(a)
+        x = lu_solve(lu, perm, [3.0, 5.0])
+        assert x == pytest.approx([5.0, 3.0])

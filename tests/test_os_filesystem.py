@@ -1,0 +1,246 @@
+"""Filesystem: page cache, block layer, flush semantics."""
+
+import pytest
+
+from repro.errors import FileSystemError
+from repro.osmodel.filesystem import PAGE_BYTES, _coalesce
+from repro.units import KB, MB
+
+
+@pytest.fixture
+def fs(kernel):
+    return kernel.fs
+
+
+class TestNamespace:
+    def test_create_and_stat(self, run, fs, worker):
+        thread, _ = worker
+
+        def body():
+            yield from fs.create(thread, "/a")
+            return fs.exists("/a"), fs.size_of("/a")
+
+        assert run(body()) == (True, 0)
+
+    def test_create_truncates_existing(self, run, fs, worker):
+        thread, _ = worker
+
+        def body():
+            yield from fs.create(thread, "/a")
+            yield from fs.write(thread, "/a", 0, 4 * KB)
+            yield from fs.create(thread, "/a")
+            return fs.size_of("/a")
+
+        assert run(body()) == 0
+
+    def test_delete(self, run, fs, worker):
+        thread, _ = worker
+
+        def body():
+            yield from fs.create(thread, "/a")
+            yield from fs.delete(thread, "/a")
+            return fs.exists("/a")
+
+        assert run(body()) is False
+
+    def test_delete_missing_rejected(self, run, fs, worker):
+        thread, _ = worker
+
+        def body():
+            yield from fs.delete(thread, "/missing")
+
+        with pytest.raises(FileSystemError):
+            run(body())
+
+    def test_stat_missing_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.size_of("/missing")
+
+
+class TestReadWrite:
+    def test_write_extends_size(self, run, fs, worker):
+        thread, _ = worker
+
+        def body():
+            yield from fs.create(thread, "/a")
+            yield from fs.write(thread, "/a", 0, 100 * KB)
+            yield from fs.write(thread, "/a", 100 * KB, 28 * KB)
+            return fs.size_of("/a")
+
+        assert run(body()) == 128 * KB
+
+    def test_read_past_eof_rejected(self, run, fs, worker):
+        thread, _ = worker
+
+        def body():
+            yield from fs.create(thread, "/a")
+            yield from fs.write(thread, "/a", 0, 4 * KB)
+            yield from fs.read(thread, "/a", 0, 8 * KB)
+
+        with pytest.raises(FileSystemError, match="EOF"):
+            run(body())
+
+    def test_region_limit_enforced(self, run, fs, worker):
+        thread, _ = worker
+
+        def body():
+            yield from fs.create(thread, "/a")
+            yield from fs.write(thread, "/a", 200 * MB, 4 * KB)
+
+        with pytest.raises(FileSystemError, match="region"):
+            run(body())
+
+    def test_size_hint_grows_region(self, run, fs, worker):
+        thread, _ = worker
+
+        def body():
+            yield from fs.create(thread, "/big", size_hint=512 * MB)
+            yield from fs.write(thread, "/big", 400 * MB, 4 * KB)
+            return fs.size_of("/big")
+
+        assert run(body()) == 400 * MB + 4 * KB
+
+    def test_zero_size_io_rejected(self, run, fs, worker):
+        thread, _ = worker
+
+        def body():
+            yield from fs.create(thread, "/a")
+            yield from fs.write(thread, "/a", 0, 0)
+
+        with pytest.raises(FileSystemError):
+            run(body())
+
+
+class TestCaching:
+    def test_warm_read_hits_cache(self, run, fs, worker, machine):
+        thread, _ = worker
+
+        def body():
+            yield from fs.create(thread, "/a")
+            yield from fs.write(thread, "/a", 0, 1 * MB)
+            reads_before = machine.disk.stats.reads
+            yield from fs.read(thread, "/a", 0, 1 * MB)
+            return machine.disk.stats.reads - reads_before
+
+        assert run(body()) == 0
+        assert fs.stats.cache_misses == 0
+
+    def test_cold_read_goes_to_disk(self, run, fs, worker, machine):
+        thread, _ = worker
+
+        def body():
+            yield from fs.create(thread, "/a")
+            yield from fs.write(thread, "/a", 0, 1 * MB)
+            yield from fs.fsync(thread, "/a")
+            fs.drop_caches()
+            reads_before = machine.disk.stats.reads
+            yield from fs.read(thread, "/a", 0, 1 * MB)
+            return machine.disk.stats.reads - reads_before
+
+        assert run(body()) > 0
+
+    def test_writes_are_buffered_until_fsync(self, run, fs, worker, machine):
+        thread, _ = worker
+
+        def body():
+            yield from fs.create(thread, "/a")
+            yield from fs.write(thread, "/a", 0, 4 * MB)
+            buffered = machine.disk.stats.writes
+            yield from fs.fsync(thread, "/a")
+            return buffered, machine.disk.stats.writes
+
+        buffered, after = run(body())
+        assert buffered == 0 and after > 0
+
+    def test_fsync_clears_dirty_pages(self, run, fs, worker):
+        thread, _ = worker
+
+        def body():
+            yield from fs.create(thread, "/a")
+            yield from fs.write(thread, "/a", 0, 1 * MB)
+            dirty_before = fs.dirty_pages
+            yield from fs.fsync(thread, "/a")
+            return dirty_before, fs.dirty_pages
+
+        dirty_before, dirty_after = run(body())
+        assert dirty_before > 0 and dirty_after == 0
+
+    def test_eviction_respects_capacity(self, run, worker, kernel, engine):
+        from repro.osmodel.filesystem import FileSystem
+
+        small = FileSystem(engine, kernel.params, kernel.machine.disk,
+                           kernel.charge_native, cache_bytes=16 * PAGE_BYTES)
+        thread, _ = worker
+
+        def body():
+            yield from small.create(thread, "/a")
+            yield from small.write(thread, "/a", 0, 64 * PAGE_BYTES)
+            return small.cached_pages
+
+        assert run(body()) <= 16
+        assert small.stats.evictions > 0
+
+    def test_dirty_eviction_writes_to_disk(self, run, worker, kernel,
+                                           engine, machine):
+        from repro.osmodel.filesystem import FileSystem
+
+        small = FileSystem(engine, kernel.params, machine.disk,
+                           kernel.charge_native, cache_bytes=8 * PAGE_BYTES)
+        thread, _ = worker
+
+        def body():
+            yield from small.create(thread, "/a")
+            yield from small.write(thread, "/a", 0, 32 * PAGE_BYTES)
+            return machine.disk.stats.writes
+
+        assert run(body()) > 0  # victims flushed on the way out
+
+    def test_cache_too_small_rejected(self, kernel, engine, machine):
+        from repro.osmodel.filesystem import FileSystem
+
+        with pytest.raises(FileSystemError):
+            FileSystem(engine, kernel.params, machine.disk,
+                       kernel.charge_native, cache_bytes=100)
+
+
+class TestTiming:
+    def test_fsync_dominated_by_disk_rate(self, run, fs, worker, engine):
+        thread, _ = worker
+        size = 32 * MB
+
+        def body():
+            yield from fs.create(thread, "/a")
+            offset = 0
+            while offset < size:
+                yield from fs.write(thread, "/a", offset, 1 * MB)
+                offset += 1 * MB
+            start = engine.now
+            yield from fs.fsync(thread, "/a")
+            return engine.now - start
+
+        elapsed = run(body())
+        expected = size / 60 / MB  # 60 MB/s spec rate
+        assert elapsed == pytest.approx(expected, rel=0.15)
+
+    def test_warm_reads_are_cpu_bound_fast(self, run, fs, worker, engine):
+        thread, _ = worker
+
+        def body():
+            yield from fs.create(thread, "/a")
+            yield from fs.write(thread, "/a", 0, 8 * MB)
+            start = engine.now
+            yield from fs.read(thread, "/a", 0, 8 * MB)
+            return engine.now - start
+
+        assert run(body()) < 0.05  # far faster than 8MB/60MBps = 133ms
+
+
+class TestCoalesce:
+    def test_contiguous_run(self):
+        assert _coalesce([0, 1, 2, 3]) == [(0, 4)]
+
+    def test_gaps_split_runs(self):
+        assert _coalesce([0, 1, 5, 6, 9]) == [(0, 2), (5, 2), (9, 1)]
+
+    def test_empty(self):
+        assert _coalesce([]) == []

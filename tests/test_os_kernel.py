@@ -1,0 +1,160 @@
+"""Kernel layer: contexts, processes, syscall costs, clocks."""
+
+import pytest
+
+from repro.hardware.cpu import MIX_SEVENZIP
+from repro.osmodel.kernel import (
+    CostKind,
+    ubuntu_params,
+    windows_xp_params,
+)
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.osmodel.timekeeping import StopwatchClock, SystemClock
+from repro.units import MB
+
+
+class TestParams:
+    def test_flavours_differ(self):
+        assert windows_xp_params().name != ubuntu_params().name
+        assert windows_xp_params().clock_resolution_s > \
+            ubuntu_params().clock_resolution_s
+
+    def test_cost_kinds_enumerated(self):
+        assert {k.value for k in CostKind} == {
+            "user", "kernel_control", "kernel_copy",
+        }
+
+
+class TestContext:
+    def test_compute_advances_time_by_cycles(self, run, engine, worker):
+        thread, ctx = worker
+
+        def body():
+            yield from ctx.compute(1e9, MIX_SEVENZIP)
+
+        run(body())
+        assert engine.now == pytest.approx(1e9 * MIX_SEVENZIP.cpi / 2.4e9)
+
+    def test_negative_instructions_rejected(self, run, worker):
+        _, ctx = worker
+
+        def body():
+            yield from ctx.compute(-5, MIX_SEVENZIP)
+
+        with pytest.raises(Exception):
+            run(body())
+
+    def test_cpu_time_tracks_compute(self, run, worker):
+        thread, ctx = worker
+
+        def body():
+            yield from ctx.compute(2.4e9 / MIX_SEVENZIP.cpi, MIX_SEVENZIP)
+            return ctx.cpu_time()
+
+        assert run(body()) == pytest.approx(1.0)
+
+    def test_instructions_metric(self, run, worker):
+        _, ctx = worker
+
+        def body():
+            yield from ctx.compute(5e6, MIX_SEVENZIP)
+            return ctx.instructions()
+
+        assert run(body()) == pytest.approx(5e6, rel=1e-6)
+
+    def test_syscall_costs_time(self, run, engine, worker):
+        _, ctx = worker
+
+        def body():
+            yield from ctx.syscall()
+
+        run(body())
+        assert engine.now > 0
+
+    def test_sleep(self, run, engine, worker):
+        _, ctx = worker
+
+        def body():
+            yield from ctx.sleep(1.5)
+
+        run(body())
+        assert engine.now == pytest.approx(1.5)
+
+    def test_timestamp_defaults_to_clock(self, run, worker):
+        _, ctx = worker
+
+        def body():
+            t = yield from ctx.timestamp()
+            return t
+
+        assert run(body()) == pytest.approx(0.0, abs=1e-3)
+
+    def test_custom_time_source(self, kernel):
+        thread = kernel.spawn_thread("t", PRIORITY_NORMAL)
+        ctx = kernel.context(thread, time_source=lambda: 42.0)
+        assert ctx.time() == 42.0
+
+    def test_file_helpers_wire_to_fs(self, run, worker, kernel):
+        _, ctx = worker
+
+        def body():
+            yield from ctx.fcreate("/x")
+            yield from ctx.fwrite("/x", 0, 4096)
+            yield from ctx.fsync("/x")
+            yield from ctx.fread("/x", 0, 4096)
+            yield from ctx.fdelete("/x")
+
+        run(body())
+        assert kernel.fs.stats.reads == 1
+        assert kernel.fs.stats.writes == 1
+
+
+class TestProcesses:
+    def test_create_process_commits_memory(self, kernel, machine):
+        kernel.create_process("app", memory_bytes=100 * MB)
+        assert machine.memory.committed_bytes == 100 * MB
+
+    def test_destroy_process_releases(self, kernel, machine):
+        process = kernel.create_process("app", memory_bytes=100 * MB)
+        kernel.spawn_thread("t", PRIORITY_NORMAL, process)
+        kernel.destroy_process(process)
+        assert machine.memory.committed_bytes == 0
+        assert process not in kernel.processes
+
+    def test_process_aggregates_thread_cpu(self, run, kernel, worker):
+        process = kernel.create_process("app")
+        thread = kernel.spawn_thread("t", PRIORITY_NORMAL, process)
+        ctx = kernel.context(thread)
+
+        def body():
+            yield from ctx.compute(2.4e9 / MIX_SEVENZIP.cpi, MIX_SEVENZIP)
+
+        run(body())
+        assert process.cpu_seconds == pytest.approx(1.0)
+
+
+class TestClocks:
+    def test_system_clock_quantises(self, engine):
+        clock = SystemClock(engine, resolution_s=0.010)
+        engine.schedule(0.0156, lambda: None)
+        engine.run()
+        assert clock.now() == pytest.approx(0.010)
+
+    def test_zero_resolution_is_exact(self, engine):
+        clock = SystemClock(engine, resolution_s=0.0)
+        engine.schedule(0.0123, lambda: None)
+        engine.run()
+        assert clock.now() == pytest.approx(0.0123)
+
+    def test_negative_resolution_rejected(self, engine):
+        with pytest.raises(ValueError):
+            SystemClock(engine, resolution_s=-1.0)
+
+    def test_stopwatch(self, engine):
+        clock = SystemClock(engine, resolution_s=0.0)
+        watch = StopwatchClock(clock.now)
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        assert watch.elapsed() == pytest.approx(2.0)
+        watch.restart()
+        assert watch.elapsed() == 0.0

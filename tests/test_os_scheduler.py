@@ -1,0 +1,200 @@
+"""Preemptive priority scheduler: the heart of the host-impact model."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.hardware.cpu import MIX_IDLE, MIX_SEVENZIP
+from repro.osmodel.scheduler import BoostPolicy, Scheduler
+from repro.osmodel.threads import (
+    PRIORITY_IDLE,
+    PRIORITY_NORMAL,
+    PRIORITY_REALTIME,
+    ThreadState,
+)
+
+FREQ = 2.4e9
+
+
+@pytest.fixture
+def scheduler(engine, machine):
+    return Scheduler(engine, machine, boost=BoostPolicy(enabled=False))
+
+
+def submit_and_run(engine, scheduler, thread, cycles, mix=MIX_IDLE):
+    done = scheduler.submit(thread, cycles, mix)
+    engine.run_until_event(done)
+    return engine.now
+
+
+class TestSingleThread:
+    def test_segment_takes_cycles_over_frequency(self, engine, scheduler):
+        thread = scheduler.spawn("t", PRIORITY_NORMAL)
+        finish = submit_and_run(engine, scheduler, thread, FREQ)  # 1s of work
+        assert finish == pytest.approx(1.0)
+
+    def test_cpu_time_accounted(self, engine, scheduler):
+        thread = scheduler.spawn("t", PRIORITY_NORMAL)
+        submit_and_run(engine, scheduler, thread, FREQ / 2)
+        assert scheduler.cpu_time(thread) == pytest.approx(0.5)
+
+    def test_instructions_accounted_through_cpi(self, engine, scheduler):
+        thread = scheduler.spawn("t", PRIORITY_NORMAL)
+        done = scheduler.submit(thread, MIX_SEVENZIP.cycles_for(1e6),
+                                MIX_SEVENZIP)
+        engine.run_until_event(done)
+        assert scheduler.instructions(thread) == pytest.approx(1e6, rel=1e-6)
+
+    def test_zero_cycle_segment_completes_immediately(self, engine, scheduler):
+        thread = scheduler.spawn("t", PRIORITY_NORMAL)
+        assert scheduler.submit(thread, 0.0, MIX_IDLE).triggered
+
+    def test_sequential_segments(self, engine, scheduler):
+        thread = scheduler.spawn("t", PRIORITY_NORMAL)
+        submit_and_run(engine, scheduler, thread, FREQ / 4)
+        finish = submit_and_run(engine, scheduler, thread, FREQ / 4)
+        assert finish == pytest.approx(0.5)
+
+
+class TestErrors:
+    def test_double_submit_rejected(self, scheduler):
+        thread = scheduler.spawn("t", PRIORITY_NORMAL)
+        scheduler.submit(thread, FREQ, MIX_IDLE)
+        with pytest.raises(SchedulerError):
+            scheduler.submit(thread, FREQ, MIX_IDLE)
+
+    def test_negative_cycles_rejected(self, scheduler):
+        thread = scheduler.spawn("t", PRIORITY_NORMAL)
+        with pytest.raises(SchedulerError):
+            scheduler.submit(thread, -1.0, MIX_IDLE)
+
+    def test_submit_after_exit_rejected(self, scheduler):
+        thread = scheduler.spawn("t", PRIORITY_NORMAL)
+        scheduler.exit_thread(thread)
+        with pytest.raises(SchedulerError):
+            scheduler.submit(thread, 1.0, MIX_IDLE)
+
+    def test_bad_quantum_rejected(self, engine, machine):
+        with pytest.raises(SchedulerError):
+            Scheduler(engine, machine, quantum=0.0)
+
+
+class TestMultiCore:
+    def test_two_threads_run_in_parallel(self, engine, scheduler):
+        a = scheduler.spawn("a", PRIORITY_NORMAL)
+        b = scheduler.spawn("b", PRIORITY_NORMAL)
+        da = scheduler.submit(a, FREQ, MIX_IDLE)  # MIX_IDLE: no L2 coupling
+        db = scheduler.submit(b, FREQ, MIX_IDLE)
+        engine.run_until_event(da)
+        engine.run_until_event(db)
+        assert engine.now == pytest.approx(1.0)  # not 2.0: both cores used
+
+    def test_three_threads_share_two_cores(self, engine, scheduler):
+        threads = [scheduler.spawn(f"t{i}", PRIORITY_NORMAL) for i in range(3)]
+        events = [scheduler.submit(t, FREQ, MIX_IDLE) for t in threads]
+        for ev in events:
+            engine.run_until_event(ev)
+        # 3 seconds of demand on 2 cores: finishes at 1.5s total
+        assert engine.now == pytest.approx(1.5, rel=0.02)
+        # round robin kept CPU shares equal
+        for thread in threads:
+            assert scheduler.cpu_time(thread) == pytest.approx(1.0, rel=0.05)
+
+    def test_l2_contention_slows_corunners(self, engine, scheduler):
+        a = scheduler.spawn("a", PRIORITY_NORMAL)
+        b = scheduler.spawn("b", PRIORITY_NORMAL)
+        da = scheduler.submit(a, MIX_SEVENZIP.cycles_for(1e9), MIX_SEVENZIP)
+        db = scheduler.submit(b, MIX_SEVENZIP.cycles_for(1e9), MIX_SEVENZIP)
+        engine.run_until_event(da)
+        engine.run_until_event(db)
+        solo = MIX_SEVENZIP.cycles_for(1e9) / FREQ
+        assert engine.now == pytest.approx(solo / 0.90, rel=0.02)
+
+
+class TestPriorities:
+    def test_high_priority_preempts(self, engine, scheduler):
+        lows = [scheduler.spawn(f"low{i}", PRIORITY_IDLE) for i in range(2)]
+        for low in lows:
+            scheduler.submit(low, 10 * FREQ, MIX_IDLE)
+        engine.run(until=0.1)
+        high = scheduler.spawn("high", PRIORITY_REALTIME)
+        done = scheduler.submit(high, FREQ / 10, MIX_IDLE)
+        engine.run_until_event(done)
+        # high-priority work finished in its own time despite busy cores
+        assert engine.now == pytest.approx(0.2)
+
+    def test_idle_thread_starves_under_normal_load(self, engine, machine):
+        scheduler = Scheduler(engine, machine,
+                              boost=BoostPolicy(enabled=False))
+        normals = [scheduler.spawn(f"n{i}", PRIORITY_NORMAL) for i in range(2)]
+        idle = scheduler.spawn("idle", PRIORITY_IDLE)
+        for n in normals:
+            scheduler.submit(n, 10 * FREQ, MIX_IDLE)
+        scheduler.submit(idle, FREQ, MIX_IDLE)
+        engine.run(until=2.0)
+        assert scheduler.cpu_time(idle) == pytest.approx(0.0, abs=1e-6)
+
+    def test_starvation_boost_gives_idle_thread_crumbs(self, engine, machine):
+        scheduler = Scheduler(engine, machine, boost=BoostPolicy(
+            enabled=True, scan_interval=1.0, starvation_threshold=3.0,
+            boost_cpu=0.04,
+        ))
+        normals = [scheduler.spawn(f"n{i}", PRIORITY_NORMAL) for i in range(2)]
+        idle = scheduler.spawn("idle", PRIORITY_IDLE)
+        for n in normals:
+            scheduler.submit(n, 100 * FREQ, MIX_IDLE)
+        scheduler.submit(idle, FREQ, MIX_IDLE)
+        engine.run(until=20.0)
+        crumbs = scheduler.cpu_time(idle)
+        assert 0.0 < crumbs < 0.6  # a few boost quanta, not a fair share
+
+    def test_group_preference_displaces_sibling(self, engine, scheduler):
+        # foreign normal thread + grouped (vcpu-like) normal thread busy;
+        # a grouped realtime burst must displace its sibling, not the
+        # foreign thread (VMM service work interrupts its own VM)
+        foreign = scheduler.spawn("nbench", PRIORITY_NORMAL)
+        sibling = scheduler.spawn("vcpu", PRIORITY_NORMAL, group="vm")
+        scheduler.submit(foreign, 10 * FREQ, MIX_IDLE)
+        scheduler.submit(sibling, 10 * FREQ, MIX_IDLE)
+        engine.run(until=1.0)
+        service = scheduler.spawn("svc", PRIORITY_REALTIME, group="vm")
+        done = scheduler.submit(service, FREQ, MIX_IDLE)
+        foreign_before = scheduler.cpu_time(foreign)
+        sibling_before = scheduler.cpu_time(sibling)
+        engine.run_until_event(done)
+        foreign_delta = scheduler.cpu_time(foreign) - foreign_before
+        sibling_delta = scheduler.cpu_time(sibling) - sibling_before
+        assert foreign_delta == pytest.approx(1.0, rel=0.05)   # undisturbed
+        assert sibling_delta == pytest.approx(0.0, abs=0.05)   # displaced
+
+
+class TestQuantum:
+    def test_round_robin_within_priority(self, engine, machine):
+        scheduler = Scheduler(engine, machine, quantum=0.02,
+                              boost=BoostPolicy(enabled=False))
+        threads = [scheduler.spawn(f"t{i}", PRIORITY_NORMAL) for i in range(4)]
+        for t in threads:
+            scheduler.submit(t, 2 * FREQ, MIX_IDLE)
+        engine.run(until=1.0)
+        shares = [scheduler.cpu_time(t) for t in threads]
+        assert max(shares) - min(shares) <= 0.03  # within ~one quantum
+
+    def test_exit_running_thread_frees_core(self, engine, scheduler):
+        a = scheduler.spawn("a", PRIORITY_NORMAL)
+        b = scheduler.spawn("b", PRIORITY_NORMAL)
+        c = scheduler.spawn("c", PRIORITY_NORMAL)
+        scheduler.submit(a, 10 * FREQ, MIX_IDLE)
+        scheduler.submit(b, 10 * FREQ, MIX_IDLE)
+        done_c = scheduler.submit(c, FREQ, MIX_IDLE)
+        engine.run(until=0.1)
+        scheduler.exit_thread(a)
+        engine.run_until_event(done_c)
+        assert a.state is ThreadState.DONE
+        assert engine.now < 2.0  # c finished promptly on the freed core
+
+    def test_core_utilization(self, engine, scheduler):
+        a = scheduler.spawn("a", PRIORITY_NORMAL)
+        done = scheduler.submit(a, FREQ, MIX_IDLE)
+        engine.run_until_event(done)
+        util = scheduler.core_utilization(engine.now)
+        assert util[0] == pytest.approx(1.0)
+        assert util[1] == pytest.approx(0.0)

@@ -1,0 +1,81 @@
+"""Scheduler tracing: causality visible through the Tracer."""
+
+import pytest
+
+from repro.hardware.cpu import MIX_IDLE
+from repro.hardware.machine import Machine
+from repro.hardware.specs import core2duo_e6600
+from repro.osmodel.scheduler import BoostPolicy, Scheduler
+from repro.osmodel.threads import PRIORITY_IDLE, PRIORITY_NORMAL
+from repro.simcore.engine import Engine
+from repro.simcore.rng import RngStreams
+from repro.simcore.trace import Tracer
+
+FREQ = 2.4e9
+
+
+@pytest.fixture
+def traced():
+    tracer = Tracer(enabled=True)
+    engine = Engine(trace=tracer)
+    machine = Machine(engine, core2duo_e6600("traced"), RngStreams(0))
+    scheduler = Scheduler(engine, machine, boost=BoostPolicy(
+        enabled=True, scan_interval=0.5, starvation_threshold=1.0,
+        boost_cpu=0.04,
+    ))
+    return engine, scheduler, tracer
+
+
+class TestTraceEvents:
+    def test_placement_recorded(self, traced):
+        engine, scheduler, tracer = traced
+        thread = scheduler.spawn("worker", PRIORITY_NORMAL)
+        scheduler.submit(thread, FREQ / 10, MIX_IDLE)
+        engine.run()
+        placements = tracer.by_category("sched.place")
+        assert placements and placements[0].fields["thread"] == "worker"
+        assert placements[0].fields["core"] in (0, 1)
+
+    def test_segment_completion_recorded(self, traced):
+        engine, scheduler, tracer = traced
+        thread = scheduler.spawn("worker", PRIORITY_NORMAL)
+        scheduler.submit(thread, FREQ / 10, MIX_IDLE)
+        engine.run()
+        done = tracer.by_category("sched.segment_done")
+        assert len(done) == 1
+        assert done[0].fields["segments"] == 1
+
+    def test_boost_recorded_for_starved_thread(self, traced):
+        engine, scheduler, tracer = traced
+        for index in range(2):
+            hog = scheduler.spawn(f"hog{index}", PRIORITY_NORMAL)
+            scheduler.submit(hog, 10 * FREQ, MIX_IDLE)
+        starved = scheduler.spawn("starved", PRIORITY_IDLE)
+        scheduler.submit(starved, FREQ, MIX_IDLE)
+        engine.run(until=4.0)
+        boosts = tracer.by_category("sched.boost")
+        assert any(b.fields["thread"] == "starved" for b in boosts)
+        # the boost then shows up as a placement of the starved thread
+        placements = [r for r in tracer.by_category("sched.place")
+                      if r.fields["thread"] == "starved"]
+        assert placements
+        boost_time = min(b.time for b in boosts)
+        assert any(p.time >= boost_time for p in placements)
+
+    def test_trace_disabled_costs_nothing(self):
+        engine = Engine()  # default: disabled tracer
+        machine = Machine(engine, core2duo_e6600("quiet"), RngStreams(0))
+        scheduler = Scheduler(engine, machine)
+        thread = scheduler.spawn("w", PRIORITY_NORMAL)
+        scheduler.submit(thread, FREQ / 100, MIX_IDLE)
+        engine.run()
+        assert len(engine.trace) == 0
+
+    def test_trace_timestamps_monotone(self, traced):
+        engine, scheduler, tracer = traced
+        for index in range(4):
+            thread = scheduler.spawn(f"t{index}", PRIORITY_NORMAL)
+            scheduler.submit(thread, FREQ / 20, MIX_IDLE)
+        engine.run()
+        times = [record.time for record in tracer]
+        assert times == sorted(times)

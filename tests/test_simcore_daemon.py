@@ -1,0 +1,82 @@
+"""Daemon events: housekeeping must not keep the world alive."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore.engine import Engine
+
+
+class TestDaemonSemantics:
+    def test_run_stops_when_only_daemons_remain(self, engine):
+        fired = {"real": 0, "daemon": 0}
+
+        def heartbeat():
+            fired["daemon"] += 1
+            engine.schedule(1.0, heartbeat, daemon=True)
+
+        engine.schedule(1.0, heartbeat, daemon=True)
+        engine.schedule(3.5, lambda: fired.__setitem__("real", 1))
+        engine.run()
+        assert fired["real"] == 1
+        # heartbeats up to the last real event fired, then run() returned
+        assert fired["daemon"] == 3
+        assert engine.now == pytest.approx(3.5)
+
+    def test_pure_daemon_world_does_not_run(self, engine):
+        fired = []
+        engine.schedule(1.0, fired.append, 1, daemon=True)
+        engine.run()
+        assert fired == []
+
+    def test_daemon_spawned_real_work_counts(self, engine):
+        """A daemon may schedule real work; that work then anchors run()."""
+        fired = []
+
+        def daemon():
+            engine.schedule(1.0, fired.append, "real")
+
+        engine.schedule(1.0, daemon, daemon=True)
+        engine.schedule(1.5, fired.append, "anchor")
+        engine.run()
+        assert "anchor" in fired and "real" in fired
+
+    def test_cancelling_last_real_event_stops_run(self, engine):
+        def heartbeat():
+            engine.schedule(0.5, heartbeat, daemon=True)
+
+        engine.schedule(0.5, heartbeat, daemon=True)
+        handle = engine.schedule(100.0, lambda: None)
+        handle.cancel()
+        engine.run()  # returns immediately: nothing real remains
+        assert engine.now == 0.0
+
+    def test_run_until_event_detects_daemon_only_queue(self, engine):
+        def heartbeat():
+            engine.schedule(0.5, heartbeat, daemon=True)
+
+        engine.schedule(0.5, heartbeat, daemon=True)
+        never = engine.event()
+        with pytest.raises(SimulationError, match="daemon"):
+            engine.run_until_event(never)
+
+    def test_run_with_until_processes_daemons(self, engine):
+        fired = []
+
+        def heartbeat():
+            fired.append(engine.now)
+            engine.schedule(1.0, heartbeat, daemon=True)
+
+        engine.schedule(1.0, heartbeat, daemon=True)
+        engine.run(until=5.5)
+        assert len(fired) == 5
+
+    def test_double_cancel_decrements_once(self, engine):
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        # if the counter went negative, the second event would be skipped
+        fired = []
+        engine.schedule(3.0, fired.append, True)
+        engine.run()
+        assert fired == [True]

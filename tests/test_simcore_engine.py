@@ -1,0 +1,147 @@
+"""Discrete-event engine: ordering, determinism, cancellation, run modes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, engine):
+        fired = []
+        engine.schedule(2.0, fired.append, "b")
+        engine.schedule(1.0, fired.append, "a")
+        engine.schedule(3.0, fired.append, "c")
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_instant_fires_in_scheduling_order(self, engine):
+        fired = []
+        for tag in "abcde":
+            engine.schedule(1.0, fired.append, tag)
+        engine.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self, engine):
+        times = []
+        engine.schedule(1.5, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [1.5]
+        assert engine.now == 1.5
+
+    def test_schedule_in_past_rejected(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule(-0.1, lambda: None)
+
+    def test_nested_scheduling_from_callback(self, engine):
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            engine.schedule(1.0, lambda: fired.append("inner"))
+
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert fired == ["outer", "inner"]
+        assert engine.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, engine):
+        fired = []
+        handle = engine.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, engine):
+        handle = engine.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_cancel_releases_references(self, engine):
+        big = object()
+        handle = engine.schedule(1.0, lambda x: None, big)
+        handle.cancel()
+        assert handle.args == ()
+
+
+class TestRunModes:
+    def test_run_until_stops_clock_at_limit(self, engine):
+        fired = []
+        engine.schedule(5.0, fired.append, "late")
+        engine.run(until=2.0)
+        assert fired == []
+        assert engine.now == 2.0
+        engine.run()  # remaining event still fires later
+        assert fired == ["late"]
+
+    def test_run_until_in_past_rejected(self, engine):
+        engine.schedule(3.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.run(until=1.0)
+
+    def test_step_returns_false_when_empty(self, engine):
+        assert engine.step() is False
+
+    def test_run_until_event_returns_value(self, engine):
+        ev = engine.event()
+        engine.schedule(1.0, ev.succeed, 42)
+        assert engine.run_until_event(ev) == 42
+
+    def test_run_until_event_raises_on_failure(self, engine):
+        ev = engine.event()
+        engine.schedule(1.0, ev.fail, ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            engine.run_until_event(ev)
+
+    def test_run_until_event_detects_drained_queue(self, engine):
+        ev = engine.event()
+        with pytest.raises(SimulationError, match="drained"):
+            engine.run_until_event(ev)
+
+    def test_run_until_event_respects_limit(self, engine):
+        ev = engine.event()
+        engine.schedule(10.0, ev.succeed, None)
+        # keep the heap busy so only the limit stops us
+        def tick():
+            engine.schedule(0.5, tick)
+        engine.schedule(0.5, tick)
+        with pytest.raises(SimulationError, match="limit"):
+            engine.run_until_event(ev, limit=3.0)
+
+    def test_reentrant_run_rejected(self, engine):
+        def evil():
+            with pytest.raises(SimulationError):
+                engine.run()
+
+        engine.schedule(1.0, evil)
+        engine.run()
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def build():
+            engine = Engine()
+            order = []
+            for i in range(50):
+                engine.schedule((i * 7919 % 13) / 10.0, order.append, i)
+            engine.run()
+            return order
+
+        assert build() == build()
+
+    def test_events_processed_counts_fired_only(self, engine):
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        handle.cancel()
+        engine.run()
+        assert engine.events_processed == 1

@@ -1,0 +1,115 @@
+"""SimEvent condition variables and their compositions."""
+
+import pytest
+
+from repro.errors import SimulationError
+
+
+class TestSimEvent:
+    def test_untriggered_state(self, engine):
+        ev = engine.event()
+        assert not ev.triggered
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_succeed_carries_value(self, engine):
+        ev = engine.event().succeed({"answer": 42})
+        assert ev.triggered and ev.ok
+        assert ev.value == {"answer": 42}
+
+    def test_fail_carries_exception(self, engine):
+        error = RuntimeError("nope")
+        ev = engine.event().fail(error)
+        assert ev.triggered and not ev.ok
+        assert ev.value is error
+
+    def test_double_trigger_rejected(self, engine):
+        ev = engine.event().succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self, engine):
+        with pytest.raises(TypeError):
+            engine.event().fail("not an exception")
+
+    def test_callback_after_trigger_fires_immediately(self, engine):
+        ev = engine.event().succeed("x")
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+    def test_callbacks_fire_in_registration_order(self, engine):
+        ev = engine.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(1))
+        ev.add_callback(lambda e: seen.append(2))
+        ev.succeed(None)
+        assert seen == [1, 2]
+
+
+class TestTimeout:
+    def test_timeout_fires_at_delay(self, engine):
+        ev = engine.timeout(2.5, "done")
+        engine.run()
+        assert ev.triggered and ev.value == "done"
+        assert engine.now == 2.5
+
+    def test_negative_timeout_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.timeout(-1.0)
+
+    def test_zero_timeout_fires(self, engine):
+        ev = engine.timeout(0.0)
+        engine.run()
+        assert ev.triggered
+
+
+class TestAllOf:
+    def test_waits_for_all(self, engine):
+        events = [engine.timeout(t) for t in (1.0, 3.0, 2.0)]
+        barrier = engine.all_of(events)
+        engine.run(until=2.5)
+        assert not barrier.triggered
+        engine.run()
+        assert barrier.triggered
+
+    def test_values_in_construction_order(self, engine):
+        events = [engine.timeout(3.0, "a"), engine.timeout(1.0, "b")]
+        barrier = engine.all_of(events)
+        engine.run()
+        assert barrier.value == ["a", "b"]
+
+    def test_empty_succeeds_immediately(self, engine):
+        assert engine.all_of([]).triggered
+
+    def test_child_failure_fails_barrier(self, engine):
+        good = engine.event()
+        bad = engine.event()
+        barrier = engine.all_of([good, bad])
+        bad.fail(ValueError("x"))
+        assert barrier.triggered and not barrier.ok
+
+
+class TestAnyOf:
+    def test_first_wins(self, engine):
+        events = [engine.timeout(2.0, "slow"), engine.timeout(1.0, "fast")]
+        race = engine.any_of(events)
+        engine.run()
+        assert race.value == (1, "fast")
+
+    def test_empty_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.any_of([])
+
+    def test_late_triggers_ignored(self, engine):
+        events = [engine.timeout(1.0, "a"), engine.timeout(2.0, "b")]
+        race = engine.any_of(events)
+        engine.run()
+        assert race.value == (0, "a")  # second trigger did not overwrite
+
+    def test_pretriggered_child_wins_immediately(self, engine):
+        done = engine.event().succeed("now")
+        race = engine.any_of([engine.event(), done])
+        assert race.triggered and race.value == (1, "now")

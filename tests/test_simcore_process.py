@@ -1,0 +1,151 @@
+"""Generator processes: suspension, values, failures, interruption."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore.process import Interrupted
+
+
+class TestBasics:
+    def test_process_runs_and_returns(self, engine, run):
+        def body():
+            yield engine.timeout(1.0)
+            yield engine.timeout(2.0)
+            return "done"
+
+        assert run(body()) == "done"
+        assert engine.now == 3.0
+
+    def test_yield_value_is_event_payload(self, engine, run):
+        def body():
+            value = yield engine.timeout(1.0, "payload")
+            return value
+
+        assert run(body()) == "payload"
+
+    def test_process_waits_on_plain_event(self, engine, run):
+        ev = engine.event()
+        engine.schedule(5.0, ev.succeed, 99)
+
+        def body():
+            got = yield ev
+            return got
+
+        assert run(body()) == 99
+
+    def test_process_is_waitable_by_other_process(self, engine, run):
+        def child():
+            yield engine.timeout(2.0)
+            return "child-result"
+
+        def parent():
+            result = yield engine.process(child(), "child")
+            return f"got:{result}"
+
+        assert run(parent()) == "got:child-result"
+
+    def test_creation_does_not_run_body_inline(self, engine):
+        ran = []
+
+        def body():
+            ran.append(True)
+            yield engine.timeout(1.0)
+
+        engine.process(body(), "p")
+        assert ran == []  # first resume only happens via the engine
+        engine.run()
+        assert ran == [True]
+
+    def test_non_generator_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.process(lambda: None, "bad")
+
+
+class TestFailures:
+    def test_exception_propagates_to_waiter(self, engine, run):
+        def body():
+            yield engine.timeout(1.0)
+            raise KeyError("inner")
+
+        with pytest.raises(KeyError):
+            run(body())
+
+    def test_failed_event_reraises_inside_generator(self, engine, run):
+        ev = engine.event()
+        engine.schedule(1.0, ev.fail, ValueError("deliberate"))
+
+        def body():
+            try:
+                yield ev
+            except ValueError as error:
+                return f"caught:{error}"
+
+        assert run(body()) == "caught:deliberate"
+
+    def test_yielding_non_event_fails_process(self, engine, run):
+        def body():
+            yield 42
+
+        with pytest.raises(SimulationError, match="expected a SimEvent"):
+            run(body())
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_exception_at_wait_point(self, engine):
+        def body():
+            try:
+                yield engine.timeout(100.0)
+            except Interrupted as interrupt:
+                return f"interrupted:{interrupt.cause}"
+
+        proc = engine.process(body(), "p")
+        engine.schedule(1.0, proc.interrupt, "shutdown")
+        assert engine.run_until_event(proc) == "interrupted:shutdown"
+        assert engine.now < 100.0
+
+    def test_uncaught_interrupt_fails_process(self, engine):
+        def body():
+            yield engine.timeout(100.0)
+
+        proc = engine.process(body(), "p")
+        engine.schedule(1.0, proc.interrupt)
+        engine.run()
+        assert proc.triggered and not proc.ok
+        assert isinstance(proc.value, Interrupted)
+
+    def test_interrupt_before_first_resume_cancels(self, engine):
+        ran = []
+
+        def body():
+            ran.append(True)
+            yield engine.timeout(1.0)
+
+        proc = engine.process(body(), "p")
+        proc.interrupt("never mind")
+        engine.run()
+        assert ran == []
+        assert proc.triggered and not proc.ok
+
+    def test_interrupt_finished_process_is_noop(self, engine, run):
+        def body():
+            yield engine.timeout(1.0)
+            return "ok"
+
+        proc = engine.process(body(), "p")
+        engine.run()
+        proc.interrupt()  # no exception, no state change
+        assert proc.ok and proc.value == "ok"
+
+    def test_process_can_rewait_after_catching_interrupt(self, engine):
+        def body():
+            try:
+                yield engine.timeout(100.0)
+            except Interrupted:
+                pass
+            yield engine.timeout(1.0)
+            return "recovered"
+
+        proc = engine.process(body(), "p")
+        engine.schedule(2.0, proc.interrupt)
+        assert engine.run_until_event(proc) == "recovered"
+        assert engine.now == pytest.approx(3.0)

@@ -1,0 +1,116 @@
+"""Resources, mutexes and stores."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore.resources import Mutex, Resource, Store
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, engine):
+        res = Resource(engine, capacity=2)
+        first, second, third = res.request(), res.request(), res.request()
+        assert first.triggered and second.triggered
+        assert not third.triggered
+
+    def test_release_grants_fifo(self, engine):
+        res = Resource(engine, capacity=1)
+        res.request()
+        second = res.request()
+        third = res.request()
+        res.release()
+        assert second.triggered and not third.triggered
+
+    def test_priority_order(self, engine):
+        res = Resource(engine, capacity=1)
+        res.request()
+        low = res.request(priority=10)
+        high = res.request(priority=1)
+        res.release()
+        assert high.triggered and not low.triggered
+
+    def test_cancelled_request_is_skipped(self, engine):
+        res = Resource(engine, capacity=1)
+        res.request()
+        second = res.request()
+        third = res.request()
+        second.cancel()
+        res.release()
+        assert not second.triggered and third.triggered
+
+    def test_release_idle_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            Resource(engine).release()
+
+    def test_bad_capacity_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            Resource(engine, capacity=0)
+
+    def test_queue_length_excludes_cancelled(self, engine):
+        res = Resource(engine, capacity=1)
+        res.request()
+        pending = [res.request() for _ in range(3)]
+        pending[1].cancel()
+        assert res.queue_length == 2
+
+    def test_acquire_helper_in_process(self, engine, run):
+        res = Mutex(engine)
+        order = []
+
+        def worker(tag, hold):
+            yield from res.acquire()
+            order.append(f"{tag}-in")
+            yield engine.timeout(hold)
+            order.append(f"{tag}-out")
+            res.release()
+
+        engine.process(worker("a", 2.0), "a")
+        engine.process(worker("b", 1.0), "b")
+        engine.run()
+        assert order == ["a-in", "a-out", "b-in", "b-out"]
+
+
+class TestStore:
+    def test_put_then_get(self, engine):
+        store = Store(engine)
+        store.put("item")
+        got = store.get()
+        assert got.triggered and got.value == "item"
+
+    def test_get_blocks_until_put(self, engine):
+        store = Store(engine)
+        got = store.get()
+        assert not got.triggered
+        store.put("later")
+        assert got.triggered and got.value == "later"
+
+    def test_fifo_ordering(self, engine):
+        store = Store(engine)
+        for i in range(3):
+            store.put(i)
+        assert [store.get().value for _ in range(3)] == [0, 1, 2]
+
+    def test_multiple_waiters_fifo(self, engine):
+        store = Store(engine)
+        first, second = store.get(), store.get()
+        store.put("x")
+        assert first.triggered and not second.triggered
+
+    def test_capacity_blocks_putters(self, engine):
+        store = Store(engine, capacity=1)
+        ok = store.put("a")
+        blocked = store.put("b")
+        assert ok.triggered and not blocked.triggered
+        store.get()
+        assert blocked.triggered
+        assert store.level == 1
+
+    def test_try_get(self, engine):
+        store = Store(engine)
+        assert store.try_get() == (False, None)
+        store.put(7)
+        assert store.try_get() == (True, 7)
+
+    def test_bad_capacity_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            Store(engine, capacity=0)

@@ -1,0 +1,81 @@
+"""Deterministic named RNG streams."""
+
+import pytest
+
+from repro.simcore.rng import RngStreams, derive_rep_seed
+
+
+class TestStreams:
+    def test_same_name_same_sequence(self):
+        a = RngStreams(42).stream("disk.seek")
+        b = RngStreams(42).stream("disk.seek")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_differ(self):
+        streams = RngStreams(42)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_different_roots_differ(self):
+        a = RngStreams(1).stream("x").random()
+        b = RngStreams(2).stream("x").random()
+        assert a != b
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_adding_consumer_does_not_perturb_others(self):
+        lhs = RngStreams(7)
+        baseline = [lhs.stream("stable").random() for _ in range(3)]
+        rhs = RngStreams(7)
+        rhs.stream("newcomer").random()  # extra consumer first
+        perturbed = [rhs.stream("stable").random() for _ in range(3)]
+        assert baseline == perturbed
+
+
+class TestDraws:
+    def test_uniform_bounds(self):
+        streams = RngStreams(3)
+        values = [streams.uniform("u", 2.0, 5.0) for _ in range(200)]
+        assert all(2.0 <= v < 5.0 for v in values)
+
+    def test_lognormal_factor_unit_when_sigma_zero(self):
+        assert RngStreams(0).lognormal_factor("x", 0.0) == 1.0
+
+    def test_lognormal_factor_positive(self):
+        streams = RngStreams(5)
+        assert all(streams.lognormal_factor("j", 0.4) > 0 for _ in range(100))
+
+    def test_exponential_requires_positive_mean(self):
+        with pytest.raises(ValueError):
+            RngStreams(0).exponential("e", 0.0)
+
+    def test_integers_range(self):
+        streams = RngStreams(9)
+        values = [streams.integers("i", 10, 20) for _ in range(200)]
+        assert all(10 <= v < 20 for v in values)
+
+    def test_bytes_length_and_determinism(self):
+        assert RngStreams(4).bytes("b", 16) == RngStreams(4).bytes("b", 16)
+        assert len(RngStreams(4).bytes("b", 33)) == 33
+
+
+class TestRepSeeds:
+    def test_distinct_per_repetition(self):
+        seeds = {derive_rep_seed(0, k) for k in range(100)}
+        assert len(seeds) == 100
+
+    def test_deterministic(self):
+        assert derive_rep_seed(12, 3) == derive_rep_seed(12, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            derive_rep_seed(0, -1)
+
+    def test_fork_independent(self):
+        root = RngStreams(11)
+        child_a = root.fork("vm-a")
+        child_b = root.fork("vm-b")
+        assert child_a.stream("x").random() != child_b.stream("x").random()

@@ -1,0 +1,57 @@
+"""Structured tracer."""
+
+from repro.simcore.trace import Tracer
+
+
+class TestTracer:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record("cat", time=1.0, key="value")
+        assert len(tracer) == 0
+
+    def test_records_fields(self):
+        tracer = Tracer()
+        tracer.record("sched", time=2.0, thread="t1")
+        record = tracer.records[0]
+        assert record.category == "sched"
+        assert record.fields == {"thread": "t1"}
+        assert record.time == 2.0
+
+    def test_category_filter(self):
+        tracer = Tracer(categories={"keep"})
+        tracer.record("keep", time=0.0)
+        tracer.record("drop", time=0.0)
+        assert [r.category for r in tracer] == ["keep"]
+
+    def test_by_category(self):
+        tracer = Tracer()
+        tracer.record("a", time=0.0)
+        tracer.record("b", time=0.0)
+        tracer.record("a", time=1.0)
+        assert len(tracer.by_category("a")) == 2
+
+    def test_max_records_drops_and_counts(self):
+        tracer = Tracer(max_records=2)
+        for i in range(5):
+            tracer.record("x", time=float(i))
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert "dropped" in tracer.dump()
+
+    def test_bound_clock_supplies_time(self, engine):
+        tracer = Tracer()
+        tracer.bind_clock(lambda: engine.now)
+        engine.schedule(3.0, tracer.record, "late")
+        engine.run()
+        assert tracer.records[0].time == 3.0
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record("x", time=0.0)
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_dump_renders_rows(self):
+        tracer = Tracer()
+        tracer.record("cat", time=1.5, a=1)
+        assert "cat" in tracer.dump() and "a=1" in tracer.dump()

@@ -1,0 +1,69 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestDataRates:
+    def test_mbps_roundtrip(self):
+        rate = units.mbps_to_bytes_per_sec(100.0)
+        assert units.bytes_per_sec_to_mbps(rate) == pytest.approx(100.0)
+
+    def test_100mbps_is_12_5_megabytes(self):
+        assert units.mbps_to_bytes_per_sec(100.0) == pytest.approx(12.5e6)
+
+    def test_zero(self):
+        assert units.mbps_to_bytes_per_sec(0.0) == 0.0
+
+
+class TestCycles:
+    def test_cycles_to_seconds(self):
+        assert units.cycles_to_seconds(2.4e9, 2.4e9) == pytest.approx(1.0)
+
+    def test_seconds_to_cycles(self):
+        assert units.seconds_to_cycles(0.5, 2.4e9) == pytest.approx(1.2e9)
+
+    def test_roundtrip(self):
+        cycles = 123456.0
+        seconds = units.cycles_to_seconds(cycles, 3.1e9)
+        assert units.seconds_to_cycles(seconds, 3.1e9) == pytest.approx(cycles)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_bad_frequency_rejected(self, bad):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(1.0, bad)
+        with pytest.raises(ValueError):
+            units.seconds_to_cycles(1.0, bad)
+
+
+class TestSizes:
+    def test_powers(self):
+        assert units.MB == 1024 * units.KB
+        assert units.GB == 1024 * units.MB
+
+    def test_mib(self):
+        assert units.mib(32 * units.MB) == pytest.approx(32.0)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("nbytes,expected", [
+        (512, "512 B"),
+        (1536, "1.5 KB"),
+        (32 * units.MB, "32.0 MB"),
+        (3 * units.GB, "3.0 GB"),
+    ])
+    def test_fmt_bytes(self, nbytes, expected):
+        assert units.fmt_bytes(nbytes) == expected
+
+    @pytest.mark.parametrize("seconds,needle", [
+        (5e-7, "us"),
+        (2e-3, "ms"),
+        (1.5, "s"),
+        (300.0, "min"),
+    ])
+    def test_fmt_duration_unit_selection(self, seconds, needle):
+        assert needle in units.fmt_duration(seconds)
+
+    def test_fmt_duration_negative(self):
+        assert units.fmt_duration(-0.5).startswith("-")

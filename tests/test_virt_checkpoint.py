@@ -1,0 +1,123 @@
+"""VM checkpoint save / transfer / restore."""
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.hardware.cpu import MIX_EINSTEIN
+from repro.hardware.machine import Machine
+from repro.hardware.specs import core2duo_e6600
+from repro.osmodel.kernel import Kernel, windows_xp_params
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.simcore.rng import RngStreams
+from repro.virt.checkpoint import (
+    restore_checkpoint,
+    save_checkpoint,
+    transfer_checkpoint,
+)
+from repro.virt.profiles import get_profile
+from repro.virt.vm import VirtualMachine, VmConfig, VmState
+
+
+@pytest.fixture
+def running_vm(run, host_kernel):
+    vm = VirtualMachine(host_kernel, get_profile("vmplayer"),
+                        VmConfig(priority=PRIORITY_NORMAL))
+
+    def driver():
+        yield from vm.boot()
+        ctx = vm.guest_context()
+        yield from ctx.compute(5e7, MIX_EINSTEIN)
+
+    run(driver())
+    return vm
+
+
+class TestSave:
+    def test_checkpoint_writes_memory_image(self, run, running_vm,
+                                            host_kernel):
+        def body():
+            image = yield from save_checkpoint(running_vm,
+                                               workload_state={"tpl": 17})
+            return image
+
+        image = run(body())
+        assert image.size_bytes == running_vm.committed_bytes
+        assert host_kernel.fs.size_of(image.path) == image.size_bytes
+        assert image.workload_state == {"tpl": 17}
+        assert image.guest_instructions == pytest.approx(5e7)
+        assert running_vm.state is VmState.SUSPENDED
+
+    def test_checkpoint_requires_running(self, run, host_kernel):
+        vm = VirtualMachine(host_kernel, get_profile("qemu"))
+
+        def body():
+            yield from save_checkpoint(vm)
+
+        with pytest.raises(CheckpointError):
+            run(body())
+
+    def test_resume_after_checkpoint(self, run, running_vm):
+        def body():
+            yield from save_checkpoint(running_vm)
+
+        run(body())
+        running_vm.resume()
+        assert running_vm.state is VmState.RUNNING
+
+
+class TestRestore:
+    def test_restore_on_same_host_carries_counters(self, run, running_vm,
+                                                   host_kernel):
+        def body():
+            image = yield from save_checkpoint(running_vm)
+            running_vm.shutdown()
+            new_vm = yield from restore_checkpoint(host_kernel, image)
+            return new_vm
+
+        new_vm = run(body())
+        assert new_vm.state is VmState.RUNNING
+        assert new_vm.vcpu.guest_instructions == pytest.approx(5e7)
+        new_vm.shutdown()
+
+    def test_profile_mismatch_rejected(self, run, running_vm, host_kernel):
+        def body():
+            image = yield from save_checkpoint(running_vm)
+            running_vm.shutdown()
+            yield from restore_checkpoint(host_kernel, image,
+                                          profile=get_profile("qemu"))
+
+        with pytest.raises(CheckpointError):
+            run(body())
+
+
+class TestMigration:
+    def test_transfer_to_second_host_over_lan(self, run, engine, host_kernel):
+        from repro.units import MB
+
+        # small VM so the simulated transfer stays test-sized
+        vm = VirtualMachine(host_kernel, get_profile("vmplayer"),
+                            VmConfig(priority=PRIORITY_NORMAL,
+                                     memory_bytes=32 * MB))
+        machine2 = Machine(engine, core2duo_e6600("host2"), RngStreams(5))
+        host_kernel.machine.nic.connect(machine2.nic)
+        host2 = Kernel(engine, machine2, windows_xp_params(), name="host2")
+        mover = host_kernel.spawn_thread("mover", PRIORITY_NORMAL)
+
+        def body():
+            yield from vm.boot()
+            ctx = vm.guest_context()
+            yield from ctx.compute(5e7, MIX_EINSTEIN)
+            image = yield from save_checkpoint(vm)
+            vm.shutdown()
+            duration = yield from transfer_checkpoint(image, host_kernel,
+                                                      host2, mover)
+            new_vm = yield from restore_checkpoint(host2, image)
+            return image, duration, new_vm
+
+        image, duration, new_vm = run(body())
+        # 56 MB (32 + VMM overhead) over ~97.6 Mbps payload wire time
+        expected = image.size_bytes * 8 / (97.6e6)
+        assert duration > expected * 0.9
+        assert new_vm.host_kernel is host2
+        assert new_vm.vcpu.guest_instructions == pytest.approx(5e7)
+        new_vm.shutdown()

@@ -1,0 +1,125 @@
+"""Virtual disk and virtual NIC device models."""
+
+import pytest
+
+from repro.errors import VirtualizationError
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.units import KB, MB
+from repro.virt.profiles import get_profile
+from repro.virt.vm import VirtualMachine, VmConfig
+
+
+@pytest.fixture
+def booted_vm(run, host_kernel):
+    vm = VirtualMachine(host_kernel, get_profile("vmplayer"),
+                        VmConfig(priority=PRIORITY_NORMAL))
+
+    def driver():
+        yield from vm.boot()
+
+    run(driver())
+    yield vm
+    vm.shutdown()
+
+
+class TestVirtualDisk:
+    def test_guest_write_lands_in_host_image(self, run, booted_vm,
+                                             host_kernel):
+        ctx = booted_vm.guest_context()
+
+        def body():
+            yield from ctx.fcreate("/f")
+            yield from ctx.fwrite("/f", 0, 1 * MB)
+            yield from ctx.fsync("/f")
+
+        run(body())
+        assert host_kernel.fs.size_of(booted_vm.image_path) > 0
+        assert booted_vm.vdisk.stats.requests > 0
+        assert booted_vm.vdisk.stats.bytes_moved >= 1 * MB
+
+    def test_emulation_cycles_accounted(self, run, booted_vm):
+        ctx = booted_vm.guest_context()
+
+        def body():
+            yield from ctx.fcreate("/f")
+            yield from ctx.fwrite("/f", 0, 256 * KB)
+            yield from ctx.fsync("/f")
+
+        run(body())
+        profile = booted_vm.profile
+        expected_min = profile.disk_per_kb_cycles * 256
+        assert booted_vm.vdisk.stats.emulation_cycles >= expected_min
+
+    def test_out_of_range_request_fails_cleanly(self, run, engine, booted_vm):
+        ev_holder = {}
+
+        def body():
+            ev_holder["ev"] = booted_vm.vdisk.submit(
+                1 * KB, booted_vm.vdisk.capacity_bytes + 1, is_write=True
+            )
+            yield ev_holder["ev"]
+
+        with pytest.raises(VirtualizationError):
+            run(body())
+
+    def test_zero_byte_request_rejected(self, booted_vm):
+        with pytest.raises(VirtualizationError):
+            booted_vm.vdisk.submit(0, 0, is_write=False)
+
+    def test_guest_io_slower_than_host_io(self, run, engine, booted_vm,
+                                          host_kernel):
+        gctx = booted_vm.guest_context()
+        host_thread = host_kernel.spawn_thread("h", PRIORITY_NORMAL)
+        hctx = host_kernel.context(host_thread)
+
+        def timed(ctx, path):
+            yield from ctx.fcreate(path)
+            start = engine.now
+            yield from ctx.fwrite(path, 0, 4 * MB)
+            yield from ctx.fsync(path)
+            return engine.now - start
+
+        guest_time = run(timed(gctx, "/g"))
+        host_time = run(timed(hctx, "/h"))
+        assert guest_time > host_time
+
+
+class TestVirtualNic:
+    def test_serializes_transmit(self, booted_vm):
+        assert booted_vm.vnic.serialize_tx is True
+
+    def test_mtu_mirrors_host_nic(self, booted_vm, host_kernel):
+        assert (booted_vm.vnic.mtu_payload_bytes
+                == host_kernel.machine.nic.mtu_payload_bytes)
+
+    def test_zero_payload_rejected(self, booted_vm):
+        with pytest.raises(Exception):
+            booted_vm.vnic.transmit(0)
+
+    def test_emulation_cycles_accounted(self, run, booted_vm, host_kernel):
+        # guest -> host stack traffic goes through the vNIC internally
+        ts_sock = host_kernel.net.udp_socket(5353)
+        guest_sock = booted_vm.guest_net.udp_socket(41000)
+        thread = booted_vm.vcpu.thread
+
+        def body():
+            yield from guest_sock.sendto(thread, host_kernel.net, 5353,
+                                         "hello", nbytes=64)
+
+        run(body())
+        assert booted_vm.vnic.stats.frames == 1
+        assert booted_vm.vnic.stats.emulation_cycles > 0
+        del ts_sock
+
+    def test_guest_to_host_bypasses_wire(self, run, booted_vm, host_kernel):
+        host_kernel.net.udp_socket(5354)
+        guest_sock = booted_vm.guest_net.udp_socket(41001)
+        thread = booted_vm.vcpu.thread
+        frames_before = host_kernel.machine.nic.stats.frames_sent
+
+        def body():
+            yield from guest_sock.sendto(thread, host_kernel.net, 5354,
+                                         "x", nbytes=64)
+
+        run(body())
+        assert host_kernel.machine.nic.stats.frames_sent == frames_before

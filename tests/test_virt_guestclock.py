@@ -1,0 +1,84 @@
+"""Guest clock: tick delivery, loss, catch-up."""
+
+import pytest
+
+from repro.virt.guestclock import GuestClock
+from repro.virt.profiles import get_profile
+
+
+@pytest.fixture
+def drop_clock():
+    return GuestClock(get_profile("qemu"), boot_wall=0.0)
+
+
+@pytest.fixture
+def catchup_clock():
+    return GuestClock(get_profile("vmplayer"), boot_wall=0.0)
+
+
+class TestHealthyDelivery:
+    def test_full_speed_guest_keeps_time(self, drop_clock):
+        for _ in range(100):
+            drop_clock.on_service_interval(0.01, 0.01)
+        assert drop_clock.uptime() == pytest.approx(1.0, abs=0.02)
+        assert drop_clock.error_seconds(1.0) == pytest.approx(0.0, abs=0.03)
+
+    def test_now_quantised_to_tick(self, drop_clock):
+        drop_clock.on_service_interval(0.0101, 0.0101)
+        period = 1.0 / drop_clock.tick_hz
+        assert drop_clock.now() % period == pytest.approx(0.0, abs=1e-12)
+
+    def test_boot_offset_carried(self):
+        clock = GuestClock(get_profile("qemu"), boot_wall=50.0)
+        assert clock.now() == 50.0
+
+    def test_negative_interval_rejected(self, drop_clock):
+        with pytest.raises(ValueError):
+            drop_clock.on_service_interval(-0.01, 0.0)
+
+
+class TestStarvation:
+    def test_drop_policy_clock_falls_behind(self, drop_clock):
+        # vCPU completely starved for 10 seconds
+        for _ in range(1000):
+            drop_clock.on_service_interval(0.01, 0.0)
+        assert drop_clock.uptime() < 1.0
+        assert drop_clock.error_seconds(10.0) > 9.0
+        assert drop_clock.stats.ticks_dropped > 0
+
+    def test_backlog_capped_at_limit(self, drop_clock):
+        for _ in range(1000):
+            drop_clock.on_service_interval(0.01, 0.0)
+        limit = drop_clock.profile.tick_backlog_limit_s * drop_clock.tick_hz
+        assert drop_clock.pending_ticks <= limit + 1e-9
+
+    def test_catchup_policy_keeps_clock_accurate(self, catchup_clock):
+        for _ in range(1000):
+            catchup_clock.on_service_interval(0.01, 0.0)
+        assert catchup_clock.error_seconds(10.0) < 0.1
+        assert catchup_clock.stats.ticks_caught_up > 0
+
+    def test_catchup_costs_cycles(self, catchup_clock):
+        work = catchup_clock.on_service_interval(0.01, 0.0)
+        assert work > 0
+
+    def test_drop_policy_costs_nothing(self, drop_clock):
+        work = drop_clock.on_service_interval(0.01, 0.0)
+        assert work == 0.0
+
+    def test_partial_starvation_partial_loss(self, drop_clock):
+        # guest gets half its CPU: roughly half the ticks arrive
+        for _ in range(1000):
+            drop_clock.on_service_interval(0.01, 0.005)
+        assert drop_clock.uptime() == pytest.approx(5.4, rel=0.05)
+
+
+class TestRecovery:
+    def test_drop_clock_resumes_after_load_clears(self, drop_clock):
+        for _ in range(100):
+            drop_clock.on_service_interval(0.01, 0.0)   # starved 1s
+        behind = drop_clock.error_seconds(1.0)
+        for _ in range(100):
+            drop_clock.on_service_interval(0.01, 0.01)  # healthy again
+        # clock ticks normally again, but lost time stays lost
+        assert drop_clock.error_seconds(2.0) == pytest.approx(behind, abs=0.1)

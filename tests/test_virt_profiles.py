@@ -1,0 +1,128 @@
+"""Hypervisor profiles and their calibration provenance."""
+
+import pytest
+
+from repro.calibration.fitting import fit_cpu_multipliers, predicted_slowdown
+from repro.calibration.targets import (
+    FIG1_SEVENZIP_RELATIVE,
+    FIG2_MATRIX_RELATIVE,
+)
+from repro.hardware.cpu import MIX_MATRIX, MIX_SEVENZIP
+from repro.virt.profiles import (
+    ALL_PROFILES,
+    PROFILE_ORDER,
+    HypervisorProfile,
+    NetMode,
+    ServiceLoadSpec,
+    get_profile,
+)
+
+
+class TestRegistry:
+    def test_four_profiles(self):
+        assert set(ALL_PROFILES) == {"vmplayer", "qemu", "virtualbox",
+                                     "virtualpc"}
+        assert set(PROFILE_ORDER) == set(ALL_PROFILES)
+
+    def test_get_profile(self):
+        assert get_profile("qemu").name == "qemu"
+
+    def test_get_unknown_profile_rejected(self):
+        with pytest.raises(KeyError, match="available"):
+            get_profile("xen")
+
+    def test_display_names_carry_versions(self):
+        for profile in ALL_PROFILES.values():
+            assert any(ch.isdigit() for ch in profile.display_name)
+
+
+class TestValidation:
+    def test_sub_native_multiplier_rejected(self):
+        with pytest.raises(ValueError, match="never beats native"):
+            HypervisorProfile(
+                name="bogus", display_name="b", m_int=0.9, m_fp=1.0,
+                m_mem=1.0, m_kernel=1.0, m_copy=1.0,
+                disk_per_request_cycles=0, disk_per_kb_cycles=0,
+                net_modes=(NetMode("x", 1.0),),
+                service_loads=(ServiceLoadSpec("s", 0.1),),
+            )
+
+    def test_missing_net_modes_rejected(self):
+        with pytest.raises(ValueError, match="net mode"):
+            HypervisorProfile(
+                name="bogus", display_name="b", m_int=1.0, m_fp=1.0,
+                m_mem=1.0, m_kernel=1.0, m_copy=1.0,
+                disk_per_request_cycles=0, disk_per_kb_cycles=0,
+                net_modes=(), service_loads=(),
+            )
+
+    def test_net_mode_lookup(self):
+        vmplayer = get_profile("vmplayer")
+        assert vmplayer.net_mode("nat").name == "nat"
+        assert vmplayer.default_net_mode.name == "bridged"
+        with pytest.raises(KeyError):
+            vmplayer.net_mode("hostonly")
+
+    def test_total_service_frac(self):
+        qemu = get_profile("qemu")
+        assert qemu.total_service_frac == pytest.approx(
+            sum(s.base_frac for s in qemu.service_loads)
+        )
+
+
+class TestCalibrationProvenance:
+    """Profiles are refits of the paper targets, not hand-waves."""
+
+    @pytest.mark.parametrize("name", PROFILE_ORDER)
+    def test_cpu_multipliers_match_refit(self, name):
+        profile = get_profile(name)
+        fit = fit_cpu_multipliers(
+            FIG1_SEVENZIP_RELATIVE[name], FIG2_MATRIX_RELATIVE[name],
+            profile.m_kernel,
+        )
+        assert profile.m_int == pytest.approx(fit.m_int, rel=0.02)
+        assert profile.m_fp == pytest.approx(fit.m_fp, rel=0.02)
+        assert profile.m_mem == pytest.approx(fit.m_mem, rel=0.02)
+
+    @pytest.mark.parametrize("name", PROFILE_ORDER)
+    def test_forward_model_recovers_fig1(self, name):
+        profile = get_profile(name)
+        predicted = predicted_slowdown(
+            MIX_SEVENZIP, profile.m_int, profile.m_fp, profile.m_mem,
+            profile.m_kernel,
+        )
+        assert predicted == pytest.approx(FIG1_SEVENZIP_RELATIVE[name],
+                                          rel=0.02)
+
+    @pytest.mark.parametrize("name", PROFILE_ORDER)
+    def test_forward_model_recovers_fig2(self, name):
+        profile = get_profile(name)
+        predicted = predicted_slowdown(
+            MIX_MATRIX, profile.m_int, profile.m_fp, profile.m_mem,
+            profile.m_kernel,
+        )
+        assert predicted == pytest.approx(FIG2_MATRIX_RELATIVE[name],
+                                          rel=0.02)
+
+
+class TestCharacter:
+    def test_qemu_worst_at_integer_translation(self):
+        assert get_profile("qemu").m_int == max(
+            p.m_int for p in ALL_PROFILES.values()
+        )
+
+    def test_vmplayer_fastest_disk(self):
+        assert get_profile("vmplayer").disk_per_kb_cycles == min(
+            p.disk_per_kb_cycles for p in ALL_PROFILES.values()
+        )
+
+    def test_virtualbox_nat_most_expensive_packets(self):
+        vbox_cost = get_profile("virtualbox").default_net_mode.per_packet_cycles
+        for name in ("vmplayer", "qemu", "virtualpc"):
+            for mode in get_profile(name).net_modes:
+                assert mode.per_packet_cycles < vbox_cost
+
+    def test_only_vmplayer_catches_up_ticks(self):
+        assert get_profile("vmplayer").tick_catchup
+        for name in ("qemu", "virtualbox", "virtualpc"):
+            assert not get_profile(name).tick_catchup

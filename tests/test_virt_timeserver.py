@@ -1,0 +1,73 @@
+"""UDP time server and guest time client."""
+
+import pytest
+
+from repro.hardware.cpu import MIX_SEVENZIP
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.virt.profiles import get_profile
+from repro.virt.timeserver import GuestTimeClient, UdpTimeServer
+from repro.virt.vm import VirtualMachine, VmConfig
+
+
+class TestServer:
+    def test_query_from_host_returns_accurate_time(self, run, engine,
+                                                   host_kernel):
+        server = UdpTimeServer(host_kernel)
+        thread = host_kernel.spawn_thread("client", PRIORITY_NORMAL)
+        client = GuestTimeClient(host_kernel.net, thread, server,
+                                 reply_port=45000)
+
+        def body():
+            yield engine.timeout(3.0)
+            t = yield from client.query()
+            return t
+
+        reported = run(body())
+        assert reported == pytest.approx(engine.now, abs=0.001)
+        assert server.queries_served == 1
+
+    def test_stop_interrupts_server(self, run, engine, host_kernel):
+        server = UdpTimeServer(host_kernel, port=372)
+        server.stop()
+        engine.run()
+        assert not server._running
+
+
+class TestGuestQueries:
+    def test_guest_timestamp_accurate_despite_guest_clock(self, run, engine,
+                                                          host_kernel):
+        server = UdpTimeServer(host_kernel)
+        vm = VirtualMachine(host_kernel, get_profile("qemu"),
+                            VmConfig(priority=PRIORITY_NORMAL))
+
+        def driver():
+            yield from vm.boot()
+            client = GuestTimeClient(vm.guest_net, vm.vcpu.thread, server)
+            ctx = vm.guest_context(timestamp_source=client.query)
+            t0 = yield from ctx.timestamp()
+            yield from ctx.compute(2.4e9, MIX_SEVENZIP)
+            t1 = yield from ctx.timestamp()
+            return t1 - t0
+
+        measured = run(driver())
+        vm.shutdown()
+        # external timestamps track true duration within the UDP RTT
+        expected = MIX_SEVENZIP.cpi * 2.4e9 / 2.4e9 * get_profile("qemu").m_int
+        assert measured == pytest.approx(expected, rel=0.1)
+
+    def test_query_costs_guest_time(self, run, engine, host_kernel):
+        server = UdpTimeServer(host_kernel)
+        vm = VirtualMachine(host_kernel, get_profile("virtualbox"),
+                            VmConfig(priority=PRIORITY_NORMAL))
+
+        def driver():
+            yield from vm.boot()
+            client = GuestTimeClient(vm.guest_net, vm.vcpu.thread, server)
+            start = engine.now
+            t = yield from client.query()
+            del t
+            return engine.now - start
+
+        rtt = run(driver())
+        vm.shutdown()
+        assert rtt > 0.001  # VirtualBox NAT makes even a timestamp pricey

@@ -1,0 +1,158 @@
+"""VirtualMachine lifecycle and guest execution."""
+
+import pytest
+
+from repro.errors import VirtualizationError
+from repro.hardware.cpu import MIX_SEVENZIP
+from repro.osmodel.threads import PRIORITY_IDLE, PRIORITY_NORMAL
+from repro.units import MB
+from repro.virt.profiles import get_profile
+from repro.virt.vm import VirtualMachine, VmConfig, VmState
+
+
+@pytest.fixture
+def vm(host_kernel):
+    return VirtualMachine(host_kernel, get_profile("vmplayer"),
+                          VmConfig(priority=PRIORITY_NORMAL))
+
+
+def boot(run, vm):
+    def driver():
+        yield from vm.boot()
+
+    run(driver())
+    return vm
+
+
+class TestLifecycle:
+    def test_boot_transitions_state(self, run, vm):
+        assert vm.state is VmState.CREATED
+        boot(run, vm)
+        assert vm.state is VmState.RUNNING
+
+    def test_boot_commits_configured_memory(self, run, vm, host_kernel):
+        boot(run, vm)
+        committed = host_kernel.machine.memory.committed_bytes
+        assert committed == 300 * MB + vm.profile.vmm_overhead_bytes
+
+    def test_shutdown_releases_memory(self, run, vm, host_kernel):
+        boot(run, vm)
+        vm.shutdown()
+        assert vm.state is VmState.STOPPED
+        assert host_kernel.machine.memory.committed_bytes == 0
+
+    def test_double_boot_rejected(self, run, vm):
+        boot(run, vm)
+
+        def again():
+            yield from vm.boot()
+
+        with pytest.raises(VirtualizationError):
+            run(again())
+
+    def test_boot_creates_host_image_file(self, run, vm, host_kernel):
+        boot(run, vm)
+        assert host_kernel.fs.exists(vm.image_path)
+
+    def test_boot_delay(self, run, engine, host_kernel):
+        vm = VirtualMachine(host_kernel, get_profile("qemu"),
+                            VmConfig(boot_delay_s=2.0))
+        boot(run, vm)
+        assert engine.now >= 2.0
+        vm.shutdown()
+
+    def test_pause_resume(self, run, vm):
+        boot(run, vm)
+        vm.pause()
+        assert vm.state is VmState.SUSPENDED
+        vm.resume()
+        assert vm.state is VmState.RUNNING
+
+    def test_pause_requires_running(self, vm):
+        with pytest.raises(VirtualizationError):
+            vm.pause()
+
+    def test_service_threads_spawned_per_profile(self, run, vm):
+        boot(run, vm)
+        assert len(vm.service_threads) == len(vm.profile.service_loads)
+
+    def test_shutdown_is_idempotent(self, run, vm):
+        boot(run, vm)
+        vm.shutdown()
+        vm.shutdown()
+        assert vm.state is VmState.STOPPED
+
+
+class TestGuestContext:
+    def test_context_requires_running(self, vm):
+        with pytest.raises(VirtualizationError):
+            vm.guest_context()
+
+    def test_guest_compute_slower_than_native(self, run, engine, vm):
+        boot(run, vm)
+        ctx = vm.guest_context()
+        start = engine.now
+
+        def body():
+            yield from ctx.compute(1e9, MIX_SEVENZIP)
+
+        run(body())
+        elapsed = engine.now - start
+        native = MIX_SEVENZIP.cycles_for(1e9) / 2.4e9
+        assert elapsed > native * 1.1
+        vm.shutdown()
+
+    def test_guest_instruction_accounting_is_guest_side(self, run, vm):
+        boot(run, vm)
+        ctx = vm.guest_context()
+
+        def body():
+            yield from ctx.compute(7e6, MIX_SEVENZIP)
+            return ctx.instructions()
+
+        assert run(body()) == pytest.approx(7e6)
+        vm.shutdown()
+
+    def test_default_time_source_is_guest_clock(self, run, vm):
+        boot(run, vm)
+        ctx = vm.guest_context()
+        assert ctx.time() == pytest.approx(vm.guest_clock.now())
+        vm.shutdown()
+
+    def test_guest_fs_isolated_from_host_fs(self, run, vm, host_kernel):
+        boot(run, vm)
+        ctx = vm.guest_context()
+
+        def body():
+            yield from ctx.fcreate("/guestfile")
+            yield from ctx.fwrite("/guestfile", 0, 4096)
+
+        run(body())
+        assert vm.guest_fs.exists("/guestfile")
+        assert not host_kernel.fs.exists("/guestfile")
+        vm.shutdown()
+
+
+class TestVolunteerPriority:
+    def test_idle_vm_yields_to_host_load(self, run, engine, host_kernel):
+        vm = VirtualMachine(host_kernel, get_profile("virtualbox"),
+                            VmConfig(priority=PRIORITY_IDLE))
+        boot(run, vm)
+        ctx = vm.guest_context()
+        # guest grinds in the background
+        def grind():
+            while True:
+                yield from ctx.compute(1e8, MIX_SEVENZIP)
+
+        engine.process(grind(), "grind")
+        # two host threads saturate both cores
+        threads = [host_kernel.spawn_thread(f"h{i}", PRIORITY_NORMAL)
+                   for i in range(2)]
+        done = [host_kernel.scheduler.submit(t, 2.4e9 * 2, MIX_SEVENZIP)
+                for t in threads]
+        for ev in done:
+            engine.run_until_event(ev)
+        vcpu_cpu = host_kernel.scheduler.cpu_time(vm.vcpu.thread)
+        host_cpu = sum(host_kernel.scheduler.cpu_time(t) for t in threads)
+        assert vcpu_cpu < 0.2 * host_cpu  # the volunteer stayed out of the way
+        vm.shutdown()

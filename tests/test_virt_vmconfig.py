@@ -1,0 +1,45 @@
+"""VmConfig validation and derived settings."""
+
+import pytest
+
+from repro.errors import VirtualizationError
+from repro.units import MB
+from repro.virt.vm import VmConfig
+
+
+class TestValidation:
+    def test_defaults_are_the_papers(self):
+        config = VmConfig()
+        assert config.memory_bytes == 300 * MB
+        assert config.priority == 4  # idle class
+
+    @pytest.mark.parametrize("kwargs", [
+        {"memory_bytes": 0},
+        {"memory_bytes": -1},
+        {"priority": 0},
+        {"priority": 16},
+        {"vdisk_capacity_bytes": 0},
+        {"boot_delay_s": -1.0},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(VirtualizationError):
+            VmConfig(**kwargs)
+
+    def test_cache_cannot_exceed_ram(self):
+        with pytest.raises(VirtualizationError):
+            VmConfig(memory_bytes=64 * MB, guest_cache_bytes=128 * MB)
+
+
+class TestEffectiveCache:
+    def test_default_cache_for_paper_vm(self):
+        # half of the configured 300 MB (the 160 MB cap only binds for
+        # guests with more than 320 MB of RAM)
+        assert VmConfig().effective_guest_cache_bytes == 150 * MB
+
+    def test_small_vm_gets_half_its_ram(self):
+        config = VmConfig(memory_bytes=64 * MB)
+        assert config.effective_guest_cache_bytes == 32 * MB
+
+    def test_explicit_cache_respected(self):
+        config = VmConfig(guest_cache_bytes=100 * MB)
+        assert config.effective_guest_cache_bytes == 100 * MB

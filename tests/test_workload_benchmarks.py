@@ -1,0 +1,189 @@
+"""The four guest benchmarks: 7z, Matrix, IOBench, NetBench."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hardware.machine import Machine
+from repro.hardware.specs import core2duo_e6600
+from repro.osmodel.kernel import Kernel, ubuntu_params
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.simcore.rng import RngStreams
+from repro.units import KB, MB
+from repro.workloads.iobench import IoBench, IoBenchConfig, size_ladder
+from repro.workloads.matrix import (
+    MatrixBenchmark,
+    MatrixConfig,
+    blocked_matmul,
+    flops,
+    iterations,
+    naive_matmul,
+)
+from repro.workloads.netbench import IperfServer, NetBench, NetBenchConfig
+from repro.workloads.sevenzip import (
+    SevenZipBenchmark,
+    SevenZipConfig,
+    SevenZipHostBenchmark,
+)
+
+
+class TestSevenZip:
+    def test_reports_plausible_native_mips(self, run, worker):
+        _, ctx = worker
+        bench = SevenZipBenchmark(SevenZipConfig(n_blocks=4),
+                                  rng=RngStreams(3))
+        result = run(bench.run(ctx))
+        # 2.4 GHz / CPI 1.7 ~ 1410 MIPS
+        assert result.metric("mips") == pytest.approx(1410, rel=0.05)
+
+    def test_multithread_config_needs_host_flavour(self, run, worker):
+        _, ctx = worker
+        bench = SevenZipBenchmark(SevenZipConfig(threads=2))
+        with pytest.raises(WorkloadError):
+            run(bench.run(ctx))
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(WorkloadError):
+            SevenZipConfig(threads=0)
+        with pytest.raises(WorkloadError):
+            SevenZipConfig(n_blocks=0)
+
+    def test_host_benchmark_single_thread_full_usage(self, engine, kernel):
+        bench = SevenZipHostBenchmark(kernel, threads=1, duration_s=5.0,
+                                      rng=RngStreams(4))
+        result = engine.run_until_event(engine.process(bench.run(), "b"))
+        assert result.metric("usage_pct") == pytest.approx(100.0, abs=1.0)
+
+    def test_host_benchmark_dual_thread_near_180(self, engine, kernel):
+        bench = SevenZipHostBenchmark(kernel, threads=2, duration_s=10.0,
+                                      rng=RngStreams(5))
+        result = engine.run_until_event(engine.process(bench.run(), "b"))
+        assert result.metric("usage_pct") == pytest.approx(180.0, abs=8.0)
+
+    def test_host_benchmark_rejects_zero_threads(self, kernel):
+        with pytest.raises(WorkloadError):
+            SevenZipHostBenchmark(kernel, threads=0)
+
+
+class TestMatrixAlgorithms:
+    def test_naive_matches_numpy(self):
+        rng = np.random.Generator(np.random.PCG64(1))
+        a = rng.uniform(-1, 1, (12, 12))
+        b = rng.uniform(-1, 1, (12, 12))
+        got = np.asarray(naive_matmul(a.tolist(), b.tolist()))
+        assert np.allclose(got, a @ b)
+
+    def test_blocked_matches_numpy(self):
+        rng = np.random.Generator(np.random.PCG64(2))
+        a = rng.uniform(-1, 1, (96, 96))
+        b = rng.uniform(-1, 1, (96, 96))
+        assert np.allclose(blocked_matmul(a, b, block=32), a @ b)
+
+    def test_identity(self):
+        eye = [[1.0 if i == j else 0.0 for j in range(8)] for i in range(8)]
+        m = [[float(i * 8 + j) for j in range(8)] for i in range(8)]
+        assert naive_matmul(m, eye) == m
+
+    def test_non_square_rejected(self):
+        with pytest.raises(WorkloadError):
+            naive_matmul([[1.0, 2.0]], [[1.0], [2.0]])
+
+    def test_counts(self):
+        assert iterations(512) == 512 ** 3
+        assert flops(512) == 2 * 512 ** 3
+
+
+class TestMatrixBenchmark:
+    def test_native_duration_matches_instruction_model(self, run, worker,
+                                                       engine):
+        _, ctx = worker
+        bench = MatrixBenchmark(MatrixConfig(size=512))
+        result = run(bench.run(ctx))
+        # 8 instr/iter * 512^3 iters * 2.2 CPI / 2.4GHz
+        expected = 8 * 512 ** 3 * 2.2 / 2.4e9
+        assert result.metric("seconds_per_multiply") == pytest.approx(
+            expected, rel=0.02
+        )
+
+    def test_1024_is_8x_512(self, run, worker):
+        _, ctx = worker
+        small = MatrixBenchmark(MatrixConfig(size=512))
+        large = MatrixBenchmark(MatrixConfig(size=1024))
+        t_small = run(small.run(ctx)).metric("seconds_per_multiply")
+        t_large = run(large.run(ctx)).metric("seconds_per_multiply")
+        assert t_large / t_small == pytest.approx(8.0, rel=0.02)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(WorkloadError):
+            MatrixConfig(size=0)
+
+
+class TestIoBench:
+    def test_size_ladder_doubles(self):
+        ladder = size_ladder()
+        assert ladder[0] == 128 * KB and ladder[-1] == 32 * MB
+        assert all(b == 2 * a for a, b in zip(ladder, ladder[1:]))
+
+    def test_bad_ladder_rejected(self):
+        with pytest.raises(WorkloadError):
+            size_ladder(0, 100)
+
+    def test_run_produces_full_series(self, run, worker):
+        _, ctx = worker
+        bench = IoBench(IoBenchConfig(max_bytes=1 * MB))
+        result = run(bench.run(ctx))
+        series = result.metric("series")
+        assert [r.size_bytes for r in series] == size_ladder(128 * KB, 1 * MB)
+        assert all(r.write_mbps > 0 and r.read_mbps > 0 for r in series)
+
+    def test_reads_faster_than_synced_writes(self, run, worker):
+        _, ctx = worker
+        bench = IoBench(IoBenchConfig(max_bytes=1 * MB))
+        result = run(bench.run(ctx))
+        for row in result.metric("series"):
+            assert row.read_mbps > row.write_mbps
+
+    def test_files_deleted_by_default(self, run, worker, kernel):
+        _, ctx = worker
+        bench = IoBench(IoBenchConfig(max_bytes=256 * KB))
+        run(bench.run(ctx))
+        assert not kernel.fs.exists("/iobench/file0")
+
+    def test_aggregate_consistent_with_series(self, run, worker):
+        _, ctx = worker
+        bench = IoBench(IoBenchConfig(max_bytes=512 * KB))
+        result = run(bench.run(ctx))
+        series = result.metric("series")
+        total_bytes = sum(2 * r.size_bytes for r in series)
+        total_time = sum(r.write_seconds + r.read_seconds for r in series)
+        assert result.metric("aggregate_mbps") == pytest.approx(
+            total_bytes / 1e6 / total_time
+        )
+
+
+class TestNetBench:
+    @pytest.fixture
+    def peer(self, engine, machine):
+        peer_machine = Machine(engine, core2duo_e6600("peer"), RngStreams(6))
+        machine.nic.connect(peer_machine.nic)
+        return Kernel(engine, peer_machine, ubuntu_params(), name="peer")
+
+    def test_native_hits_wire_rate(self, run, worker, peer):
+        _, ctx = worker
+        IperfServer(peer, expected_bytes=2 * MB)
+        bench = NetBench(peer, NetBenchConfig(transfer_bytes=2 * MB))
+        result = run(bench.run(ctx))
+        assert result.metric("mbps") == pytest.approx(97.6, rel=0.02)
+
+    def test_server_counts_transfers(self, run, engine, worker, peer):
+        _, ctx = worker
+        server = IperfServer(peer, expected_bytes=1 * MB)
+        bench = NetBench(peer, NetBenchConfig(transfer_bytes=1 * MB))
+        run(bench.run(ctx))
+        engine.run()
+        assert server.transfers == 1
+        assert server.bytes_received == 1 * MB
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(WorkloadError):
+            NetBenchConfig(transfer_bytes=0)

@@ -1,0 +1,75 @@
+"""BOINC middleware: fetch / compute / report loop."""
+
+import pytest
+
+from repro.hardware.machine import Machine
+from repro.hardware.specs import core2duo_e6600
+from repro.osmodel.kernel import Kernel, ubuntu_params
+from repro.osmodel.threads import PRIORITY_NORMAL
+from repro.simcore.rng import RngStreams
+from repro.workloads.boinc import BoincClient, BoincServer
+from repro.workloads.einstein import EinsteinWorkunit
+
+
+@pytest.fixture
+def project(engine, machine, kernel):
+    """BOINC server on a LAN peer, client context on the local kernel."""
+    peer_machine = Machine(engine, core2duo_e6600("project"), RngStreams(31))
+    machine.nic.connect(peer_machine.nic)
+    peer = Kernel(engine, peer_machine, ubuntu_params(), name="project")
+    server = BoincServer(peer)
+    thread = kernel.spawn_thread("volunteer", PRIORITY_NORMAL)
+    ctx = kernel.context(thread)
+    return server, ctx
+
+
+def make_workunits(n, templates=3):
+    return [EinsteinWorkunit(workunit_id=f"wu-{i}", n_templates=templates,
+                             input_bytes=256 * 1024, output_bytes=32 * 1024)
+            for i in range(n)]
+
+
+class TestClientLoop:
+    def test_processes_all_workunits(self, run, project):
+        server, ctx = project
+        server.add_workunits(make_workunits(3))
+        client = BoincClient(server)
+        result = run(client.run(ctx))
+        assert result.metric("workunits_done") == 3
+        assert server.results_received == 3
+        assert not server.pending and not server.in_flight
+
+    def test_stops_at_cap(self, run, project):
+        server, ctx = project
+        server.add_workunits(make_workunits(5))
+        client = BoincClient(server)
+        result = run(client.run(ctx, max_workunits=2))
+        assert result.metric("workunits_done") == 2
+        assert len(server.pending) == 3
+
+    def test_empty_server_returns_immediately(self, run, project):
+        server, ctx = project
+        client = BoincClient(server)
+        result = run(client.run(ctx))
+        assert result.metric("workunits_done") == 0
+
+    def test_input_files_downloaded_into_local_fs(self, run, project, kernel):
+        server, ctx = project
+        server.add_workunits(make_workunits(1))
+        client = BoincClient(server)
+        run(client.run(ctx))
+        assert kernel.fs.exists("/boinc/wu-0.input")
+
+    def test_records_track_completion(self, run, project):
+        server, ctx = project
+        server.add_workunits(make_workunits(2))
+        client = BoincClient(server, client_id="volunteer-42")
+        run(client.run(ctx))
+        assert all(r.completed_by == "volunteer-42" for r in server.completed)
+
+    def test_templates_counted(self, run, project):
+        server, ctx = project
+        server.add_workunits(make_workunits(2, templates=4))
+        client = BoincClient(server)
+        result = run(client.run(ctx))
+        assert result.metric("templates_done") == 8

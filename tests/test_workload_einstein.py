@@ -1,0 +1,91 @@
+"""Einstein@home workload: real search + simulated task."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.einstein import (
+    EinsteinProgress,
+    EinsteinTask,
+    EinsteinWorkunit,
+    matched_filter_power,
+    synthesize_strain,
+    template_search,
+)
+
+
+class TestRealSearch:
+    def test_recovers_injected_frequency(self):
+        strain = synthesize_strain(2048, signal_freq=37.0, snr=3.0, seed=1)
+        grid = np.arange(10.0, 100.0, 1.0)
+        best, powers = template_search(strain, grid)
+        assert best == pytest.approx(37.0)
+        assert powers.max() > 5 * np.median(powers)
+
+    def test_pure_noise_has_no_dominant_peak(self):
+        strain = synthesize_strain(2048, signal_freq=37.0, snr=0.0, seed=2)
+        grid = np.arange(10.0, 100.0, 1.0)
+        _, powers = template_search(strain, grid)
+        assert powers.max() < 10 * np.median(powers)
+
+    def test_power_scales_with_snr(self):
+        grid = np.array([37.0])
+        weak = matched_filter_power(
+            synthesize_strain(2048, 37.0, snr=1.0, seed=3), 37.0)
+        strong = matched_filter_power(
+            synthesize_strain(2048, 37.0, snr=5.0, seed=3), 37.0)
+        assert strong > weak
+        del grid
+
+    def test_out_of_band_frequency_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthesize_strain(128, signal_freq=100.0, snr=1.0, seed=0)
+
+
+class TestSimulatedTask:
+    def test_completes_all_templates(self, run, worker):
+        _, ctx = worker
+        task = EinsteinTask(EinsteinWorkunit(n_templates=5))
+        result = run(task.run(ctx))
+        assert result.metric("templates") == 5
+        assert task.progress.next_template == 5
+
+    def test_checkpoints_written_periodically(self, run, worker):
+        _, ctx = worker
+        # templates are ~80ms each; checkpoint every 0.2s
+        task = EinsteinTask(EinsteinWorkunit(n_templates=20),
+                            checkpoint_interval_s=0.2)
+        result = run(task.run(ctx))
+        assert result.metric("checkpoints") >= 5
+
+    def test_resume_from_progress_skips_done_templates(self, run, worker,
+                                                       engine):
+        _, ctx = worker
+        wu = EinsteinWorkunit(workunit_id="wu-7", n_templates=10)
+        fresh = EinsteinTask(wu)
+        start = engine.now
+        run(fresh.run(ctx))
+        full_duration = engine.now - start
+
+        resumed = EinsteinTask(
+            wu, progress=EinsteinProgress("wu-7", next_template=8),
+            checkpoint_path="/boinc/resumed.ckpt",
+        )
+        start = engine.now
+        run(resumed.run(ctx))
+        assert engine.now - start < full_duration / 2
+
+    def test_progress_dict_roundtrip(self):
+        progress = EinsteinProgress("wu-1", next_template=4, best_power=2.5)
+        assert EinsteinProgress.from_dict(progress.as_dict()) == progress
+
+    def test_wrong_workunit_progress_rejected(self, run, worker):
+        _, ctx = worker
+        task = EinsteinTask(EinsteinWorkunit(workunit_id="wu-a"),
+                            progress=EinsteinProgress("wu-b"))
+        with pytest.raises(WorkloadError):
+            run(task.run(ctx))
+
+    def test_bad_workunit_rejected(self):
+        with pytest.raises(WorkloadError):
+            EinsteinWorkunit(n_templates=0)

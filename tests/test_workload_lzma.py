@@ -1,0 +1,153 @@
+"""LZMA-lite compressor: correctness and operation accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.lzma_lite import (
+    Compressor,
+    RangeDecoder,
+    RangeEncoder,
+    compress,
+    decompress,
+)
+
+_PROB_INIT = 1 << 10
+
+
+def _roundtrip(data: bytes, **kwargs) -> bytes:
+    return decompress(compress(data, **kwargs))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("data", [
+        b"",
+        b"a",
+        b"ab",
+        b"aaaa" * 100,
+        b"the quick brown fox jumps over the lazy dog " * 40,
+        bytes(range(256)),
+    ])
+    def test_known_inputs(self, data):
+        assert _roundtrip(data) == data
+
+    def test_random_bytes(self):
+        rng = np.random.Generator(np.random.PCG64(7))
+        data = rng.bytes(3000)
+        assert _roundtrip(data) == data
+
+    def test_low_entropy_bytes(self):
+        rng = np.random.Generator(np.random.PCG64(8))
+        data = bytes(int(v) for v in rng.integers(97, 101, 5000))
+        assert _roundtrip(data) == data
+
+    def test_overlapping_match_copies(self):
+        # distance 1, long run: the classic overlap case
+        assert _roundtrip(b"x" + b"y" * 500) == b"x" + b"y" * 500
+
+    def test_shallow_chain_still_correct(self):
+        data = b"abcabcabc" * 50
+        assert decompress(compress(data, max_chain=1)) == data
+
+
+class TestCompression:
+    def test_repetitive_data_compresses(self):
+        data = b"hello world, " * 200
+        assert len(compress(data)) < len(data) / 3
+
+    def test_random_data_does_not_explode(self):
+        rng = np.random.Generator(np.random.PCG64(9))
+        data = rng.bytes(4000)
+        assert len(compress(data)) < len(data) * 1.2
+
+    def test_deeper_chain_compresses_no_worse(self):
+        data = (b"pattern-one pattern-two pattern-one pattern-three " * 60)
+        shallow = len(compress(data, max_chain=1))
+        deep = len(compress(data, max_chain=64))
+        assert deep <= shallow
+
+
+class TestStats:
+    def test_counters_populate(self):
+        comp = Compressor()
+        comp.compress(b"abcabcabcabc" * 30)
+        stats = comp.stats
+        assert stats.matches > 0
+        assert stats.literals > 0
+        assert stats.coded_bits > 0
+        assert stats.estimated_instructions() > 0
+
+    def test_instruction_estimate_scales_with_input(self):
+        rng = np.random.Generator(np.random.PCG64(10))
+        small_comp, large_comp = Compressor(), Compressor()
+        small_comp.compress(rng.bytes(1000))
+        large_comp.compress(rng.bytes(4000))
+        ratio = (large_comp.stats.estimated_instructions()
+                 / small_comp.stats.estimated_instructions())
+        assert 2.5 < ratio < 6.0  # roughly linear in input size
+
+    def test_estimate_in_model_ballpark(self):
+        """The simulated 7z cost (220 instr/byte) matches the real coder."""
+        from repro.workloads.sevenzip import INSTR_PER_BYTE
+
+        rng = np.random.Generator(np.random.PCG64(11))
+        # text-like data (the benchmark compresses mixed content)
+        data = bytes(int(v) for v in rng.integers(97, 123, 8000))
+        comp = Compressor()
+        comp.compress(data)
+        per_byte = comp.stats.estimated_instructions() / len(data)
+        assert 0.3 * INSTR_PER_BYTE < per_byte < 3.0 * INSTR_PER_BYTE
+
+
+class TestErrors:
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(WorkloadError):
+            decompress(b"\x01")
+
+    def test_corrupt_distance_detected(self):
+        blob = bytearray(compress(b"abcabcabcabcabcabc" * 20))
+        blob[10] ^= 0xFF  # scramble the coded stream
+        try:
+            result = decompress(bytes(blob))
+        except WorkloadError:
+            return  # detected corruption
+        # or it decoded to the wrong thing; either is acceptable for a
+        # format without checksums — it must just not crash elsewhere
+        assert isinstance(result, bytes)
+
+    def test_bad_chain_config_rejected(self):
+        with pytest.raises(WorkloadError):
+            Compressor(max_chain=0)
+
+
+class TestRangeCoder:
+    def test_bit_roundtrip(self):
+        rng = np.random.Generator(np.random.PCG64(12))
+        bits = [int(b) for b in rng.integers(0, 2, 2000)]
+        enc = RangeEncoder()
+        model = [_PROB_INIT] * 4
+        for bit in bits:
+            enc.encode_bit(model, 1, bit)
+        blob = enc.flush()
+        dec = RangeDecoder(blob)
+        model = [_PROB_INIT] * 4
+        assert [dec.decode_bit(model, 1) for _ in bits] == bits
+
+    def test_direct_bits_roundtrip(self):
+        values = [0, 1, 1000, 65535, 12345]
+        enc = RangeEncoder()
+        for value in values:
+            enc.encode_direct(value, 16)
+        dec = RangeDecoder(enc.flush())
+        assert [dec.decode_direct(16) for _ in values] == values
+
+    def test_biased_bits_compress(self):
+        enc = RangeEncoder()
+        model = [_PROB_INIT] * 2
+        for _ in range(8000):
+            enc.encode_bit(model, 0, 0)  # all zeros: adaptive model learns
+        assert len(enc.flush()) < 300
+
+    def test_short_stream_rejected(self):
+        with pytest.raises(WorkloadError):
+            RangeDecoder(b"ab")
