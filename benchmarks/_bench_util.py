@@ -1,7 +1,20 @@
 """Shared helper for the benchmark files (kept out of conftest so the
 module name stays import-unambiguous next to tests/conftest.py)."""
 
+from repro.core.figures import generate_figure
+
 
 def once(benchmark, fn):
     """Run an expensive harness exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def figure_once(benchmark, fig_id, **kwargs):
+    """Regenerate one registry figure exactly once under pytest-benchmark.
+
+    Goes through :func:`generate_figure`, so ``REPRO_CACHE=1`` lets the
+    suite skip recomputing identical seeded runs (the recorded time then
+    measures a cache hit — useful for re-rendering, not for profiling).
+    """
+    return benchmark.pedantic(lambda: generate_figure(fig_id, **kwargs),
+                              rounds=1, iterations=1)

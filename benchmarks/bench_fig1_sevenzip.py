@@ -2,14 +2,13 @@
 
 import pytest
 
-from _bench_util import once
+from _bench_util import figure_once
 from repro.calibration.targets import FIG1_SEVENZIP_RELATIVE, same_ordering
-from repro.core.figures import figure1_sevenzip
 
 
 @pytest.mark.benchmark(group="figures")
 def test_fig1_sevenzip(benchmark, record_figure):
-    fig = once(benchmark, figure1_sevenzip)
+    fig = figure_once(benchmark, "fig1")
     record_figure(fig)
     measured = fig.measured_values()
     assert same_ordering(measured, FIG1_SEVENZIP_RELATIVE)

@@ -2,14 +2,13 @@
 
 import pytest
 
-from _bench_util import once
+from _bench_util import figure_once
 from repro.calibration.targets import FIG2_MATRIX_RELATIVE, same_ordering
-from repro.core.figures import figure2_matrix
 
 
 @pytest.mark.benchmark(group="figures")
 def test_fig2_matrix(benchmark, record_figure):
-    fig = once(benchmark, figure2_matrix)
+    fig = figure_once(benchmark, "fig2")
     record_figure(fig)
     measured = fig.measured_values()
     assert same_ordering(measured, FIG2_MATRIX_RELATIVE)
@@ -20,7 +19,7 @@ def test_fig2_matrix(benchmark, record_figure):
 @pytest.mark.benchmark(group="figures")
 def test_fig2_matrix_1024(benchmark, record_figure):
     """The paper's second size; slowdowns must match the 512 case."""
-    fig = once(benchmark, lambda: figure2_matrix(size=1024, default_reps=3))
+    fig = figure_once(benchmark, "fig2", size=1024, default_reps=3)
     fig.fig_id = "fig2-1024"
     record_figure(fig)
     measured = fig.measured_values()

@@ -2,14 +2,13 @@
 
 import pytest
 
-from _bench_util import once
+from _bench_util import figure_once
 from repro.calibration.targets import FIG3_IOBENCH_RELATIVE, same_ordering
-from repro.core.figures import figure3_iobench
 
 
 @pytest.mark.benchmark(group="figures")
 def test_fig3_iobench(benchmark, record_figure):
-    fig = once(benchmark, figure3_iobench)
+    fig = figure_once(benchmark, "fig3")
     record_figure(fig)
     measured = fig.measured_values()
     assert same_ordering(measured, FIG3_IOBENCH_RELATIVE)

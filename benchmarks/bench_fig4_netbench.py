@@ -2,14 +2,13 @@
 
 import pytest
 
-from _bench_util import once
+from _bench_util import figure_once
 from repro.calibration.targets import FIG4_NETBENCH_MBPS, same_ordering
-from repro.core.figures import figure4_netbench
 
 
 @pytest.mark.benchmark(group="figures")
 def test_fig4_netbench(benchmark, record_figure):
-    fig = once(benchmark, lambda: figure4_netbench(default_reps=3))
+    fig = figure_once(benchmark, "fig4", default_reps=3)
     record_figure(fig)
     measured = fig.measured_values()
     assert same_ordering(measured, FIG4_NETBENCH_MBPS)

@@ -2,14 +2,13 @@
 
 import pytest
 
-from _bench_util import once
+from _bench_util import figure_once
 from repro.calibration.targets import FIG5_MEM_OVERHEAD_MAX
-from repro.core.figures import figure5_nbench_mem
 
 
 @pytest.mark.benchmark(group="figures")
 def test_fig5_nbench_mem(benchmark, record_figure):
-    fig = once(benchmark, figure5_nbench_mem)
+    fig = figure_once(benchmark, "fig5")
     record_figure(fig)
     measured = fig.measured_values()
     # "even for the worst case, it is under 5%"

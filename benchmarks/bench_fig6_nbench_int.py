@@ -3,14 +3,13 @@
 import numpy as np
 import pytest
 
-from _bench_util import once
+from _bench_util import figure_once
 from repro.calibration.targets import FIG6_INT_OVERHEAD_APPROX
-from repro.core.figures import figure6_nbench_int
 
 
 @pytest.mark.benchmark(group="figures")
 def test_fig6_nbench_int(benchmark, record_figure):
-    fig = once(benchmark, figure6_nbench_int)
+    fig = figure_once(benchmark, "fig6")
     record_figure(fig)
     measured = fig.measured_values()
     # "overhead averages 2% for all the virtual environments"

@@ -3,14 +3,13 @@
 
 import pytest
 
-from _bench_util import once
+from _bench_util import figure_once
 from repro.calibration.targets import FIG6B_FP_OVERHEAD_MAX
-from repro.core.figures import figure6b_nbench_fp
 
 
 @pytest.mark.benchmark(group="figures")
 def test_fig6b_nbench_fp(benchmark, record_figure):
-    fig = once(benchmark, figure6b_nbench_fp)
+    fig = figure_once(benchmark, "fig6b")
     record_figure(fig)
     measured = fig.measured_values()
     assert max(abs(v) for v in measured.values()) < FIG6B_FP_OVERHEAD_MAX + 0.005

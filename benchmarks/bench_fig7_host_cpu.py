@@ -2,14 +2,13 @@
 
 import pytest
 
-from _bench_util import once
+from _bench_util import figure_once
 from repro.calibration.targets import FIG7_HOST_CPU_PCT
-from repro.core.figures import figure7_host_cpu
 
 
 @pytest.mark.benchmark(group="figures")
 def test_fig7_host_cpu(benchmark, record_figure):
-    fig = once(benchmark, figure7_host_cpu)
+    fig = figure_once(benchmark, "fig7")
     record_figure(fig)
     measured = fig.measured_values()
     for (env, threads), paper in FIG7_HOST_CPU_PCT.items():

@@ -2,14 +2,13 @@
 
 import pytest
 
-from _bench_util import once
+from _bench_util import figure_once
 from repro.calibration.targets import FIG8_MIPS_RATIO
-from repro.core.figures import figure8_host_mips
 
 
 @pytest.mark.benchmark(group="figures")
 def test_fig8_host_mips(benchmark, record_figure):
-    fig = once(benchmark, figure8_host_mips)
+    fig = figure_once(benchmark, "fig8")
     record_figure(fig)
     measured = fig.measured_values()
     for env, paper in FIG8_MIPS_RATIO.items():

@@ -2,13 +2,12 @@
 
 import pytest
 
-from _bench_util import once
-from repro.core.figures import memory_footprint_figure
+from _bench_util import figure_once
 
 
 @pytest.mark.benchmark(group="intrusiveness")
 def test_memory_footprint(benchmark, record_figure):
-    fig = once(benchmark, memory_footprint_figure)
+    fig = figure_once(benchmark, "mem")
     record_figure(fig)
     measured = fig.measured_values()
     assert measured["before boot"] == 0.0

@@ -1,0 +1,115 @@
+"""Parallel repetition scaling: throughput at jobs = 1, 2, 4.
+
+Runs a real figure workload (the Figure 7 host-impact measurement, one of
+the two heavy figures) through the repetition harness at several worker
+counts, checks that every parallel run reproduces the serial metrics
+**exactly**, and records the wall-clock trajectory to
+``benchmarks/BENCH_parallel_scaling.json`` so future PRs can compare.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py \
+        [--reps N] [--jobs 1,2,4] [--duration S]
+
+Interpretation: speedup tracks the machine's core count.  On an N-core
+box expect roughly min(jobs, N)x minus pool start-up; on a single-core
+container all job counts collapse to ~1x (the recorded ``cpu_count``
+field says which situation produced the numbers).
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+from repro.core.experiment import Repeater
+from repro.core.host_impact import HostImpactConfig, SevenZipImpactMeasure
+from repro.core.parallel import ParallelRepeater
+
+RESULTS_PATH = pathlib.Path(__file__).resolve().parent / \
+    "BENCH_parallel_scaling.json"
+
+
+def build_measure(duration_s: float) -> SevenZipImpactMeasure:
+    """The Figure 7/8 inner loop: host 7z vs an Einstein@home VM."""
+    config = HostImpactConfig(environment="vmplayer", vm_priority="idle",
+                              duration_s=duration_s)
+    return SevenZipImpactMeasure(config, threads=2)
+
+
+def run_scaling(reps: int, job_counts, duration_s: float) -> dict:
+    measure = build_measure(duration_s)
+    record = {
+        "benchmark": "parallel_scaling",
+        "workload": "fig7/fig8 sevenzip host-impact (vmplayer, 2 threads)",
+        "reps": reps,
+        "duration_s": duration_s,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "runs": [],
+    }
+    serial_raw = None
+    serial_wall = None
+    for jobs in job_counts:
+        started = time.perf_counter()
+        if jobs == 1:
+            result = Repeater(base_seed=7, reps=reps).run(measure)
+        else:
+            result = ParallelRepeater(base_seed=7, reps=reps,
+                                      jobs=jobs).run(measure)
+        wall = time.perf_counter() - started
+        if serial_raw is None:
+            serial_raw, serial_wall = result.raw, wall
+        exact = result.raw == serial_raw
+        run = {
+            "jobs": jobs,
+            "wall_s": round(wall, 3),
+            "reps_per_s": round(reps / wall, 3),
+            "speedup_vs_serial": round(serial_wall / wall, 3),
+            "exact_match_vs_serial": exact,
+        }
+        record["runs"].append(run)
+        print(f"jobs={jobs}: {wall:7.2f}s wall  "
+              f"{run['reps_per_s']:6.2f} reps/s  "
+              f"speedup {run['speedup_vs_serial']:.2f}x  "
+              f"exact={exact}")
+        if not exact:
+            raise SystemExit(
+                f"jobs={jobs} produced different metrics than the serial run")
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=8,
+                        help="repetitions per job count (default 8)")
+    parser.add_argument("--jobs", default="1,2,4",
+                        help="comma-separated worker counts (default 1,2,4)")
+    parser.add_argument("--duration", type=float, default=20.0,
+                        help="simulated benchmark duration per rep")
+    parser.add_argument("--out", default=str(RESULTS_PATH),
+                        help="JSON trajectory file to write")
+    args = parser.parse_args(argv)
+    job_counts = [int(part) for part in args.jobs.split(",") if part]
+    if job_counts[0] != 1:
+        job_counts.insert(0, 1)  # the serial baseline anchors speedups
+    record = run_scaling(args.reps, job_counts, args.duration)
+    out = pathlib.Path(args.out)
+    history = []
+    if out.exists():
+        try:
+            history = json.loads(out.read_text())
+        except ValueError:
+            history = []
+    history.append(record)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"recorded -> {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

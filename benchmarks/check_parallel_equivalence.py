@@ -1,0 +1,79 @@
+"""Serial-vs-parallel equivalence smoke check.
+
+For one measure from every figure family, runs the repetition harness
+serially and with a 4-worker process pool and asserts the raw per-rep
+metric lists are **exactly** equal (same floats, same ordering) — the
+bit-identical guarantee the parallel harness makes.
+
+Exit status 0 on success, 1 on any mismatch.  Usage::
+
+    PYTHONPATH=src python benchmarks/check_parallel_equivalence.py [--reps N]
+"""
+
+import argparse
+import functools
+import sys
+
+from repro.core.experiment import Repeater
+from repro.core.figures import (
+    _iobench_guest_factory,
+    _matrix_guest_factory,
+    _netbench_factory,
+    _sevenzip_guest_factory,
+)
+from repro.core.guest_perf import EnvironmentMeasure
+from repro.core.host_impact import (
+    HostImpactConfig,
+    NBenchImpactMeasure,
+    SevenZipImpactMeasure,
+)
+from repro.core.parallel import ParallelRepeater
+from repro.workloads.nbench import IndexGroup
+
+
+def measures():
+    """(label, measure) pairs spanning every figure family."""
+    yield ("fig1:7z/vmplayer", EnvironmentMeasure(
+        "vmplayer", _sevenzip_guest_factory, "mips"))
+    yield ("fig2:matrix/qemu", EnvironmentMeasure(
+        "qemu", functools.partial(_matrix_guest_factory, size=128),
+        "seconds_per_multiply"))
+    yield ("fig3:iobench/virtualbox", EnvironmentMeasure(
+        "virtualbox", _iobench_guest_factory, "aggregate_mbps"))
+    yield ("fig4:netbench/vmplayer:nat", EnvironmentMeasure(
+        "vmplayer:nat", _netbench_factory, "mbps"))
+    yield ("fig5:nbench-mem/qemu", NBenchImpactMeasure(
+        HostImpactConfig(environment="qemu"), IndexGroup.MEM))
+    yield ("fig7:7z-impact/vmplayer", SevenZipImpactMeasure(
+        HostImpactConfig(environment="vmplayer", duration_s=10.0), 2))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args(argv)
+    failures = 0
+    for label, measure in measures():
+        serial = Repeater(base_seed=42, reps=args.reps).run(measure)
+        parallel = ParallelRepeater(base_seed=42, reps=args.reps,
+                                    jobs=args.jobs).run(measure)
+        ok = serial.raw == parallel.raw and serial.metrics == parallel.metrics
+        print(f"{'OK  ' if ok else 'FAIL'} {label}: "
+              f"{sum(len(v) for v in serial.raw.values())} raw values")
+        if not ok:
+            failures += 1
+            for key in serial.raw:
+                if serial.raw[key] != parallel.raw.get(key):
+                    print(f"      {key}: serial={serial.raw[key]} "
+                          f"parallel={parallel.raw.get(key)}",
+                          file=sys.stderr)
+    if failures:
+        print(f"{failures} measure(s) diverged", file=sys.stderr)
+        return 1
+    print(f"all measures identical at jobs={args.jobs} vs serial")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,24 +4,48 @@ Subcommands
 -----------
 * ``repro list``               — figures available for regeneration
 * ``repro figure fig1 [...]``  — regenerate figures, print ASCII charts
+  (``repro figures`` is an alias; with no ids, regenerates everything)
 * ``repro report [--out F]``   — regenerate everything, emit markdown
 * ``repro profiles``           — show the calibrated hypervisor profiles
 * ``repro sweep l2|service|catchup|checkpoint`` — sensitivity sweeps
+* ``repro cache stats|clear``  — inspect / empty the on-disk result cache
 
 Repetition counts honour ``REPRO_REPS`` / ``REPRO_FULL`` / ``REPRO_FAST``
-(see :mod:`repro.core.experiment`).
+(see :mod:`repro.core.experiment`).  Worker counts honour ``--jobs`` /
+``REPRO_JOBS`` (default: all cores; see :mod:`repro.core.parallel`).
+Figure and report runs consult the seeded result cache unless
+``REPRO_CACHE=0`` (see :mod:`repro.core.cache`); cache hits are logged to
+stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 import time
 from typing import List, Optional
 
+from repro.core.cache import ResultCache, cache_enabled
 from repro.core.figures import FIGURES, generate_figure
 from repro.core.report import ascii_bar_chart, experiments_markdown
 from repro.virt.profiles import ALL_PROFILES
+
+
+def _apply_jobs(args: argparse.Namespace) -> None:
+    """Propagate ``--jobs`` to everything downstream via ``REPRO_JOBS``."""
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None:
+        if jobs < 1:
+            raise SystemExit(f"--jobs must be >= 1, got {jobs}")
+        os.environ["REPRO_JOBS"] = str(jobs)
+
+
+def _cli_use_cache() -> bool:
+    # The CLI caches by default (REPRO_CACHE=0 opts out); library callers
+    # must opt in.
+    return cache_enabled(default=True)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -32,21 +56,22 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    _apply_jobs(args)
+    use_cache = _cli_use_cache()
+    figure_ids = args.figures or list(FIGURES)
     status = 0
-    for fig_id in args.figures:
+    for fig_id in figure_ids:
         if fig_id not in FIGURES:
             print(f"unknown figure {fig_id!r}; try `repro list`",
                   file=sys.stderr)
             status = 2
             continue
         started = time.time()
-        fig = generate_figure(fig_id)
+        fig = generate_figure(fig_id, use_cache=use_cache)
         elapsed = time.time() - started
         print(ascii_bar_chart(fig))
         print(f"  ({elapsed:.1f}s wall)")
         if args.svg:
-            import os
-
             from repro.core.svg import write_svg
 
             os.makedirs(args.svg, exist_ok=True)
@@ -57,10 +82,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    _apply_jobs(args)
+    use_cache = _cli_use_cache()
     figures = []
     for fig_id in FIGURES:
         print(f"generating {fig_id} ...", file=sys.stderr)
-        figures.append(generate_figure(fig_id))
+        figures.append(generate_figure(fig_id, use_cache=use_cache))
     header = (
         "# Reproduction report — 'Evaluating the Performance and "
         "Intrusiveness of Virtual Machines for Desktop Grid Computing'"
@@ -86,6 +113,7 @@ _SWEEPS = {
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import repro.analysis as analysis
 
+    _apply_jobs(args)
     if args.sweep not in _SWEEPS:
         print(f"unknown sweep {args.sweep!r}; available: {sorted(_SWEEPS)}",
               file=sys.stderr)
@@ -122,6 +150,31 @@ def _cmd_profiles(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache()
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache root: {stats['root']}")
+        print(f"entries:    {stats['entries']}")
+        print(f"size:       {stats['bytes']} bytes")
+        print(f"enabled:    {_cli_use_cache()}")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    print(f"unknown cache action {args.action!r}; use stats or clear",
+          file=sys.stderr)
+    return 2
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, metavar="N",
+        help="worker processes for repetitions (default: REPRO_JOBS "
+             "or all cores)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -133,15 +186,19 @@ def build_parser() -> argparse.ArgumentParser:
         fn=_cmd_list
     )
 
-    figure = sub.add_parser("figure", help="regenerate specific figures")
-    figure.add_argument("figures", nargs="+", metavar="FIG",
-                        help="figure ids (see `repro list`)")
+    figure = sub.add_parser("figure", aliases=["figures"],
+                            help="regenerate figures (all when none given)")
+    figure.add_argument("figures", nargs="*", metavar="FIG",
+                        help="figure ids (see `repro list`); "
+                             "default: every figure")
     figure.add_argument("--svg", metavar="DIR",
                         help="also write an SVG chart per figure into DIR")
+    _add_jobs_flag(figure)
     figure.set_defaults(fn=_cmd_figure)
 
     report = sub.add_parser("report", help="regenerate every figure")
     report.add_argument("--out", help="write markdown to a file")
+    _add_jobs_flag(report)
     report.set_defaults(fn=_cmd_report)
 
     sub.add_parser("profiles",
@@ -154,11 +211,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("sweep", metavar="NAME",
                        help=f"one of {sorted(_SWEEPS)}")
+    _add_jobs_flag(sweep)
     sweep.set_defaults(fn=_cmd_sweep)
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", metavar="ACTION",
+                       help="one of: stats, clear")
+    cache.set_defaults(fn=_cmd_cache)
     return parser
 
 
+class _LiveStderrHandler(logging.StreamHandler):
+    """Writes to whatever ``sys.stderr`` is *now* (capture/redirect safe)."""
+
+    def __init__(self):
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+
+def _configure_cache_logging() -> None:
+    """Surface cache hit/store lines on stderr without touching root logging."""
+    log = logging.getLogger("repro.cache")
+    if not log.handlers:
+        handler = _LiveStderrHandler()
+        handler.setFormatter(logging.Formatter("[%(name)s] %(message)s"))
+        log.addHandler(handler)
+        log.setLevel(logging.INFO)
+        log.propagate = False
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    _configure_cache_logging()
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

@@ -1,0 +1,168 @@
+"""Content-addressed on-disk cache for seeded experiment results.
+
+Every figure/report run is a pure function of (experiment name, the full
+parameter/seed/repetition fingerprint, the package version, and the
+package source itself) — simulations are deterministic per seed, so a
+recomputation with an identical fingerprint must produce byte-identical
+output.  The cache exploits that: keys are SHA-256 digests of a canonical
+JSON encoding of the fingerprint, values are small JSON envelopes stored
+one-per-file under the cache root.
+
+Invalidation rules (any of these changes the key, so stale entries are
+simply never read again):
+
+* any experiment parameter, base seed, or the resolved repetition policy
+  (``REPRO_REPS`` / ``REPRO_FULL`` / ``REPRO_FAST``);
+* the package version;
+* any ``.py`` source file inside the ``repro`` package (a source
+  fingerprint is folded into every key, so editing the simulator never
+  serves stale results).
+
+Location: ``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro-ipps09``.
+``REPRO_CACHE=0`` disables reads and writes; ``repro cache stats|clear``
+inspect and empty the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import pathlib
+from typing import Any, Dict, Mapping, Optional
+
+from repro import __version__
+
+log = logging.getLogger("repro.cache")
+
+#: Environment variable overriding the on-disk location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Environment variable toggling the cache ("0"/"false"/"off" disable it).
+CACHE_TOGGLE_ENV = "REPRO_CACHE"
+
+_FALSEY = {"0", "false", "no", "off", ""}
+
+_source_fingerprint: Optional[str] = None
+
+
+def cache_enabled(default: bool = False,
+                  env: Optional[Mapping[str, str]] = None) -> bool:
+    """Resolve the ``REPRO_CACHE`` toggle (unset -> ``default``)."""
+    env = env if env is not None else os.environ
+    raw = env.get(CACHE_TOGGLE_ENV)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in _FALSEY
+
+
+def source_fingerprint() -> str:
+    """Digest of every ``.py`` file in the repro package (cached).
+
+    Folding this into cache keys makes invalidation automatic across code
+    edits: results computed by different source trees never collide.
+    """
+    global _source_fingerprint
+    if _source_fingerprint is None:
+        package_root = pathlib.Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(hashlib.sha256(path.read_bytes()).digest())
+        _source_fingerprint = digest.hexdigest()[:16]
+    return _source_fingerprint
+
+
+def default_cache_dir(env: Optional[Mapping[str, str]] = None) -> pathlib.Path:
+    env = env if env is not None else os.environ
+    override = env.get(CACHE_DIR_ENV)
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path(os.path.expanduser("~")) / ".cache" / "repro-ipps09"
+
+
+class ResultCache:
+    """One-file-per-entry JSON store addressed by content fingerprint."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = pathlib.Path(root) if root is not None \
+            else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys -----------------------------------------------------------
+
+    def key(self, experiment: str, params: Mapping[str, Any]) -> str:
+        """Content address for one seeded run of ``experiment``."""
+        fingerprint = json.dumps(
+            {
+                "experiment": experiment,
+                "params": params,
+                "version": __version__,
+                "source": source_fingerprint(),
+            },
+            sort_keys=True, default=repr,
+        )
+        return hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    # -- read/write ------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """The stored payload for ``key``, or None on a miss."""
+        path = self._path(key)
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        log.info("cache hit: %s (%s)", envelope.get("experiment", "?"),
+                 key[:12])
+        return envelope.get("payload")
+
+    def put(self, key: str, payload: Any, experiment: str = "",
+            params: Optional[Mapping[str, Any]] = None) -> None:
+        """Store ``payload`` (atomic rename; concurrent writers race safely)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "experiment": experiment,
+            "params": params,
+            "version": __version__,
+            "payload": payload,
+        }
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(envelope, default=repr), encoding="utf-8")
+        tmp.replace(path)
+        log.info("cache store: %s (%s)", experiment or "?", key[:12])
+
+    # -- maintenance -----------------------------------------------------
+
+    def _entries(self):
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+    def stats(self) -> Dict[str, Any]:
+        entries = self._entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

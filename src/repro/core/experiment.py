@@ -10,13 +10,22 @@ expensive for the heavier figures, so counts resolve as:
 * ``REPRO_FULL=1``    — the paper's 50 everywhere;
 * ``REPRO_FAST=1``    — 3 (CI smoke);
 * otherwise           — the per-experiment default passed by the caller.
+
+Parallelism
+-----------
+Repetitions are independent by construction (each gets its own world via
+:func:`derive_rep_seed`), so :func:`repeat` fans them out over a process
+pool when more than one job is available (``REPRO_JOBS`` / ``jobs=``; see
+:mod:`repro.core.parallel`).  Parallel runs are **bit-identical** to the
+serial path: same derived seeds, same repetition ordering, same
+``summarize`` inputs.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.stats import Summary, summarize
 from repro.errors import ExperimentError
@@ -61,6 +70,40 @@ class RepeatedResult:
             ) from None
 
 
+def collect_repetitions(
+    results: Iterable[Tuple[int, int, Mapping[str, float]]],
+) -> RepeatedResult:
+    """Fold ``(repetition, seed, metrics)`` triples into a result.
+
+    Shared by the serial and parallel paths so both produce identical
+    ``raw`` dictionaries (same key order, same value order) and raise
+    identical errors.  Triples must arrive in repetition order.  Error
+    messages carry the derived seed so a failing repetition can be
+    reproduced standalone via ``measure(seed)``.
+    """
+    raw: Dict[str, List[float]] = {}
+    expected_keys = None
+    for repetition, seed, metrics in results:
+        if not metrics:
+            raise ExperimentError(
+                f"repetition {repetition} (seed {seed}) returned no metrics"
+            )
+        keys = set(metrics)
+        if expected_keys is None:
+            expected_keys = keys
+        elif keys != expected_keys:
+            raise ExperimentError(
+                f"repetition {repetition} (seed {seed}) returned metrics "
+                f"{sorted(keys)}, expected {sorted(expected_keys)}"
+            )
+        for key, value in metrics.items():
+            raw.setdefault(key, []).append(float(value))
+    return RepeatedResult(
+        metrics={k: summarize(v) for k, v in raw.items()},
+        raw=raw,
+    )
+
+
 class Repeater:
     """Runs a :data:`MeasureFn` across seeds derived from a base seed."""
 
@@ -70,31 +113,29 @@ class Repeater:
         self.base_seed = base_seed
         self.reps = reps
 
-    def run(self, measure: MeasureFn) -> RepeatedResult:
-        raw: Dict[str, List[float]] = {}
-        expected_keys = None
+    def _results(self, measure: MeasureFn):
         for repetition in range(self.reps):
             seed = derive_rep_seed(self.base_seed, repetition)
-            metrics = measure(seed)
-            if not metrics:
-                raise ExperimentError("measurement returned no metrics")
-            keys = set(metrics)
-            if expected_keys is None:
-                expected_keys = keys
-            elif keys != expected_keys:
-                raise ExperimentError(
-                    f"repetition {repetition} returned metrics {sorted(keys)}"
-                    f", expected {sorted(expected_keys)}"
-                )
-            for key, value in metrics.items():
-                raw.setdefault(key, []).append(float(value))
-        return RepeatedResult(
-            metrics={k: summarize(v) for k, v in raw.items()},
-            raw=raw,
-        )
+            yield repetition, seed, measure(seed)
+
+    def run(self, measure: MeasureFn) -> RepeatedResult:
+        return collect_repetitions(self._results(measure))
 
 
 def repeat(measure: MeasureFn, *, base_seed: int = 0,
-           default_reps: int = 5) -> RepeatedResult:
-    """Convenience: resolve reps from the environment and run."""
-    return Repeater(base_seed, resolve_reps(default_reps)).run(measure)
+           default_reps: int = 5, jobs: Optional[int] = None) -> RepeatedResult:
+    """Convenience: resolve reps/jobs from the environment and run.
+
+    With more than one job and more than one repetition the work is fanned
+    out over a process pool (bit-identical results; see
+    :class:`repro.core.parallel.ParallelRepeater`).  ``jobs=1``, a single
+    repetition, or an unpicklable ``measure`` all fall back to the serial
+    :class:`Repeater`.
+    """
+    from repro.core.parallel import ParallelRepeater, resolve_jobs
+
+    reps = resolve_reps(default_reps)
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs > 1 and reps > 1:
+        return ParallelRepeater(base_seed, reps, jobs=n_jobs).run(measure)
+    return Repeater(base_seed, reps).run(measure)

@@ -7,8 +7,9 @@ renderer and the shape-checking tests need.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field, replace as dc_replace
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.calibration import targets
 from repro.core.guest_perf import (
@@ -68,11 +69,24 @@ class FigureData:
 # Experiment 1: guest performance (Figures 1-4)
 # ---------------------------------------------------------------------------
 
+def _sevenzip_guest_factory(tb):
+    # Module-level (not a lambda) so repetitions can run in worker processes.
+    return SevenZipBenchmark(SevenZipConfig(n_blocks=16),
+                             rng=tb.rng.fork("7z"))
+
+
+def _matrix_guest_factory(tb, size: int):
+    return MatrixBenchmark(MatrixConfig(size=size))
+
+
+def _iobench_guest_factory(tb):
+    return IoBench()
+
+
 def figure1_sevenzip(base_seed: int = 1, default_reps: int = 10) -> FigureData:
     """7z relative performance on virtual machines."""
     results = guest_perf_experiment(
-        lambda tb: SevenZipBenchmark(SevenZipConfig(n_blocks=16),
-                                     rng=tb.rng.fork("7z")),
+        _sevenzip_guest_factory,
         metric="mips", environments=GUEST_ENVIRONMENTS,
         base_seed=base_seed, default_reps=default_reps,
     )
@@ -93,7 +107,7 @@ def figure2_matrix(base_seed: int = 2, default_reps: int = 10,
                    size: int = 512) -> FigureData:
     """Matrix relative performance on virtual machines."""
     results = guest_perf_experiment(
-        lambda tb: MatrixBenchmark(MatrixConfig(size=size)),
+        functools.partial(_matrix_guest_factory, size=size),
         metric="seconds_per_multiply", environments=GUEST_ENVIRONMENTS,
         base_seed=base_seed, default_reps=default_reps,
     )
@@ -115,7 +129,7 @@ def figure2_matrix(base_seed: int = 2, default_reps: int = 10,
 def figure3_iobench(base_seed: int = 3, default_reps: int = 5) -> FigureData:
     """IOBench relative performance on virtual machines."""
     results = guest_perf_experiment(
-        lambda tb: IoBench(),
+        _iobench_guest_factory,
         metric="aggregate_mbps", environments=GUEST_ENVIRONMENTS,
         base_seed=base_seed, default_reps=default_reps,
     )
@@ -322,15 +336,72 @@ FIGURES = {
     "mem": memory_footprint_figure,
 }
 
+#: Environment variables that change repetition counts, and therefore the
+#: cache identity of a figure (see :mod:`repro.core.cache`).
+_REPS_ENV_VARS = ("REPRO_REPS", "REPRO_FULL", "REPRO_FAST")
 
-def generate_figure(fig_id: str, **kwargs) -> FigureData:
+
+def figure_to_payload(fig: FigureData) -> Dict[str, Any]:
+    """JSON-safe, order-preserving encoding for the result cache."""
+    return {
+        "fig_id": fig.fig_id,
+        "title": fig.title,
+        "unit": fig.unit,
+        "notes": fig.notes,
+        "series": [[label, point.value, point.ci95]
+                   for label, point in fig.series.items()],
+        "paper": [[label, value] for label, value in fig.paper.items()],
+    }
+
+
+def figure_from_payload(payload: Mapping[str, Any]) -> FigureData:
+    """Inverse of :func:`figure_to_payload` (exact float round-trip)."""
+    fig = FigureData(
+        fig_id=payload["fig_id"], title=payload["title"],
+        unit=payload["unit"], notes=payload["notes"],
+        paper={label: value for label, value in payload["paper"]},
+    )
+    for label, value, ci95 in payload["series"]:
+        fig.series[label] = MeasuredPoint(value, ci95)
+    return fig
+
+
+def generate_figure(fig_id: str, use_cache: Optional[bool] = None,
+                    **kwargs) -> FigureData:
+    """Generate (or fetch from the result cache) one figure.
+
+    ``use_cache=None`` consults the ``REPRO_CACHE`` environment toggle
+    (off by default for library callers; the CLI and benchmark suite turn
+    it on).  Cache identity covers the figure id, every keyword argument,
+    the repetition-count environment, the package version and a source
+    fingerprint — see :mod:`repro.core.cache` for the invalidation rules.
+    """
+    import os
+
+    from repro.core.cache import ResultCache, cache_enabled
+
     try:
         factory = FIGURES[fig_id]
     except KeyError:
         raise KeyError(
             f"unknown figure {fig_id!r}; available: {sorted(FIGURES)}"
         ) from None
-    return factory(**kwargs)
+    cache_on = cache_enabled(default=False) if use_cache is None else use_cache
+    if not cache_on:
+        return factory(**kwargs)
+    cache = ResultCache()
+    params = {
+        "kwargs": dict(sorted(kwargs.items())),
+        "reps_env": {name: os.environ.get(name) for name in _REPS_ENV_VARS},
+    }
+    key = cache.key(f"figure:{fig_id}", params)
+    payload = cache.get(key)
+    if payload is not None:
+        return figure_from_payload(payload)
+    fig = factory(**kwargs)
+    cache.put(key, figure_to_payload(fig), experiment=f"figure:{fig_id}",
+              params=params)
+    return fig
 
 
 def _ratio_ci(numerator: Summary, denominator: Summary) -> Tuple[float, float]:

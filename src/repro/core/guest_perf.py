@@ -77,23 +77,43 @@ def run_benchmark_in_environment(env: str, bench_factory: BenchFactory,
     return testbed.run_to_completion(proc)
 
 
+class EnvironmentMeasure:
+    """Picklable measure fn: one repetition of a benchmark in one env.
+
+    A plain class (not a closure) so the parallel repetition harness can
+    ship it to worker processes; it is picklable whenever the benchmark
+    factory is (module-level function, ``functools.partial`` of one, or a
+    class instance).
+    """
+
+    __slots__ = ("env", "bench_factory", "metric")
+
+    def __init__(self, env: str, bench_factory: BenchFactory, metric: str):
+        self.env = env
+        self.bench_factory = bench_factory
+        self.metric = metric
+
+    def __call__(self, seed: int) -> Mapping[str, float]:
+        result = run_benchmark_in_environment(self.env, self.bench_factory,
+                                              seed)
+        return {self.metric: float(result.metric(self.metric)),
+                "duration_s": result.duration_s}
+
+
 def guest_perf_experiment(bench_factory: BenchFactory, metric: str,
                           environments=GUEST_ENVIRONMENTS,
                           base_seed: int = 0,
-                          default_reps: int = 10) -> Dict[str, Summary]:
+                          default_reps: int = 10,
+                          jobs: Optional[int] = None) -> Dict[str, Summary]:
     """Repeated runs of one benchmark across environments.
 
     Returns ``{environment: Summary-of-metric}``.
     """
     out: Dict[str, Summary] = {}
     for env in environments:
-        def measure(seed: int, _env=env) -> Mapping[str, float]:
-            result = run_benchmark_in_environment(_env, bench_factory, seed)
-            return {metric: float(result.metric(metric)),
-                    "duration_s": result.duration_s}
-
-        repeated = repeat(measure, base_seed=base_seed,
-                          default_reps=default_reps)
+        repeated = repeat(EnvironmentMeasure(env, bench_factory, metric),
+                          base_seed=base_seed, default_reps=default_reps,
+                          jobs=jobs)
         out[env] = repeated[metric]
     return out
 

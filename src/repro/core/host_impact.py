@@ -108,29 +108,54 @@ def run_nbench_impact(config: HostImpactConfig, group: IndexGroup,
     return metrics
 
 
+class SevenZipImpactMeasure:
+    """Picklable measure fn for one Figure 7/8 configuration."""
+
+    __slots__ = ("config", "threads")
+
+    def __init__(self, config: HostImpactConfig, threads: int):
+        self.config = config
+        self.threads = threads
+
+    def __call__(self, seed: int) -> Mapping[str, float]:
+        return run_sevenzip_impact(self.config, self.threads, seed)
+
+
+class NBenchImpactMeasure:
+    """Picklable measure fn for one Figure 5/6 configuration."""
+
+    __slots__ = ("config", "group")
+
+    def __init__(self, config: HostImpactConfig, group: IndexGroup):
+        self.config = config
+        self.group = group
+
+    def __call__(self, seed: int) -> Mapping[str, float]:
+        return run_nbench_impact(self.config, self.group, seed)
+
+
 def sevenzip_impact_experiment(environments, threads: int,
                                vm_priority: str = "idle",
                                duration_s: float = 20.0, base_seed: int = 0,
-                               default_reps: int = 5
+                               default_reps: int = 5,
+                               jobs: Optional[int] = None
                                ) -> Dict[str, Dict[str, Summary]]:
     """Figure 7/8 sweep.  Returns ``{env: {metric: Summary}}``."""
     out: Dict[str, Dict[str, Summary]] = {}
     for env in environments:
         config = HostImpactConfig(environment=env, vm_priority=vm_priority,
                                   duration_s=duration_s)
-
-        def measure(seed: int, _config=config) -> Mapping[str, float]:
-            return run_sevenzip_impact(_config, threads, seed)
-
-        repeated = repeat(measure, base_seed=base_seed,
-                          default_reps=default_reps)
+        repeated = repeat(SevenZipImpactMeasure(config, threads),
+                          base_seed=base_seed, default_reps=default_reps,
+                          jobs=jobs)
         out[env] = repeated.metrics
     return out
 
 
 def nbench_impact_experiment(environments, group: IndexGroup,
                              priorities=("normal", "idle"),
-                             base_seed: int = 0, default_reps: int = 5
+                             base_seed: int = 0, default_reps: int = 5,
+                             jobs: Optional[int] = None
                              ) -> Dict[str, Dict[str, Summary]]:
     """Figure 5/6 sweep.
 
@@ -147,11 +172,8 @@ def nbench_impact_experiment(environments, group: IndexGroup,
                 vm_priority=priority if priority else "idle",
             )
             label = env if priority is None else f"{env}/{priority}"
-
-            def measure(seed: int, _config=config) -> Mapping[str, float]:
-                return run_nbench_impact(_config, group, seed)
-
-            repeated = repeat(measure, base_seed=base_seed,
-                              default_reps=default_reps)
+            repeated = repeat(NBenchImpactMeasure(config, group),
+                              base_seed=base_seed, default_reps=default_reps,
+                              jobs=jobs)
             out[label] = repeated.metrics
     return out

@@ -1,0 +1,145 @@
+"""Parallel repetition execution: fan independent seeded runs over cores.
+
+The paper's methodology repeats every test >= 50 times; repetitions are
+independent by construction (each builds a fresh simulated world from its
+own :func:`derive_rep_seed` seed), which makes them the natural unit of
+scale-out.  :class:`ParallelRepeater` submits one task per repetition to a
+``ProcessPoolExecutor`` and folds the results back **in repetition
+order**, so the resulting :class:`RepeatedResult` is bit-identical to the
+serial :class:`repro.core.experiment.Repeater` — same seeds, same raw
+value ordering, same ``summarize`` inputs.
+
+Worker-count policy (first match wins):
+
+* explicit ``jobs=`` argument;
+* ``REPRO_JOBS=<n>`` environment variable (the ``--jobs`` CLI flag sets
+  this);
+* ``os.cpu_count()``.
+
+Fallbacks: ``jobs=1``, a single repetition, or a measurement function the
+pickle module cannot serialise (e.g. a test-local closure) run serially
+in-process.  Worker failures are re-raised as :class:`ExperimentError`
+carrying the offending repetition index and derived seed plus the remote
+traceback, so any failing repetition can be reproduced standalone with
+``measure(seed)``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.experiment import (
+    MeasureFn,
+    Repeater,
+    RepeatedResult,
+    collect_repetitions,
+)
+from repro.errors import ExperimentError
+from repro.simcore.rng import derive_rep_seed
+
+#: Environment variable consulted for the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None,
+                 env: Optional[Mapping[str, str]] = None) -> int:
+    """Worker-count policy: explicit arg, then ``REPRO_JOBS``, then cores."""
+    env = env if env is not None else os.environ
+    if jobs is None:
+        raw = env.get(JOBS_ENV)
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ExperimentError(
+                    f"{JOBS_ENV} must be an integer, got {raw!r}"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def measure_is_picklable(measure: MeasureFn) -> bool:
+    """Whether ``measure`` can cross a process boundary."""
+    try:
+        pickle.dumps(measure)
+        return True
+    except Exception:
+        return False
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the warm interpreter) when available."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _run_repetition(measure: MeasureFn, repetition: int, seed: int
+                    ) -> Tuple[int, int, Optional[Dict[str, float]],
+                               Optional[str]]:
+    """Worker body: one repetition, exceptions captured as text."""
+    try:
+        metrics = measure(seed)
+        # dict() preserves insertion order across the pickle boundary, so
+        # the parent rebuilds `raw` exactly as the serial path would.
+        return repetition, seed, dict(metrics), None
+    except Exception:
+        return repetition, seed, None, traceback.format_exc()
+
+
+class ParallelRepeater:
+    """Drop-in :class:`Repeater` that spreads repetitions over processes."""
+
+    def __init__(self, base_seed: int = 0, reps: int = 5,
+                 jobs: Optional[int] = None):
+        if reps < 1:
+            raise ExperimentError(f"reps must be >= 1, got {reps}")
+        self.base_seed = base_seed
+        self.reps = reps
+        self.jobs = resolve_jobs(jobs)
+
+    def run(self, measure: MeasureFn) -> RepeatedResult:
+        workers = min(self.jobs, self.reps)
+        if workers <= 1 or not measure_is_picklable(measure):
+            return Repeater(self.base_seed, self.reps).run(measure)
+        seeds = [derive_rep_seed(self.base_seed, repetition)
+                 for repetition in range(self.reps)]
+        results = []
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=_pool_context()) as pool:
+            futures = [
+                pool.submit(_run_repetition, measure, repetition, seed)
+                for repetition, seed in enumerate(seeds)
+            ]
+            # Collect in repetition order; the lowest failing index wins,
+            # matching the serial path's first-failure semantics.
+            for repetition, future in enumerate(futures):
+                try:
+                    results.append(future.result())
+                except Exception as exc:
+                    raise ExperimentError(
+                        f"repetition {repetition} "
+                        f"(seed {seeds[repetition]}) broke the worker "
+                        f"pool: {exc}"
+                    ) from exc
+        for repetition, seed, _metrics, error in results:
+            if error is not None:
+                raise ExperimentError(
+                    f"repetition {repetition} (seed {seed}) failed in a "
+                    f"worker; reproduce with measure({seed}).\n"
+                    f"Worker traceback:\n{error}"
+                )
+        return collect_repetitions(
+            (repetition, seed, metrics)
+            for repetition, seed, metrics, _error in results
+        )

@@ -232,11 +232,12 @@ class Scheduler:
                 thread.state = ThreadState.BLOCKED
                 thread.remaining_cycles = 0.0
                 thread.segments_completed += 1
-                self.engine.trace.record(
-                    "sched.segment_done", time=self.engine.now,
-                    thread=thread.name,
-                    segments=thread.segments_completed,
-                )
+                if self.engine.trace.enabled:
+                    self.engine.trace.record(
+                        "sched.segment_done", time=self.engine.now,
+                        thread=thread.name,
+                        segments=thread.segments_completed,
+                    )
                 completion, thread.completion = thread.completion, None
                 if completion is not None and not completion.triggered:
                     # may synchronously resume a process that submits again;
@@ -273,11 +274,12 @@ class Scheduler:
                 core.thread = thread
                 thread.state = ThreadState.RUNNING
                 thread.core = core.index
-                self.engine.trace.record(
-                    "sched.place", time=self.engine.now,
-                    core=core.index, thread=thread.name,
-                    priority=thread.effective_priority,
-                )
+                if self.engine.trace.enabled:
+                    self.engine.trace.record(
+                        "sched.place", time=self.engine.now,
+                        core=core.index, thread=thread.name,
+                        priority=thread.effective_priority,
+                    )
         for t in self.threads:
             if t.state is ThreadState.READY:
                 t.core = None
@@ -369,10 +371,11 @@ class Scheduler:
                 thread.boost_cpu_remaining = self.boost.boost_cpu
                 thread.rr_seq = self._next_rr()
                 boosted = True
-                self.engine.trace.record(
-                    "sched.boost", time=now, thread=thread.name,
-                    starved_for=round(starved_for, 3),
-                )
+                if self.engine.trace.enabled:
+                    self.engine.trace.record(
+                        "sched.boost", time=now, thread=thread.name,
+                        starved_for=round(starved_for, 3),
+                    )
         if boosted:
             self._decide()
         self.engine.schedule(self.boost.scan_interval, self._boost_scan,

@@ -2,13 +2,19 @@
 
 Design notes
 ------------
-* The heap holds :class:`EventHandle` objects ordered by ``(time, seq)``.
-  ``seq`` is a monotone insertion counter, so same-instant events fire in
-  scheduling order — this makes every run bit-for-bit deterministic for a
-  given seed, which the experiment harness relies on (repetitions differ
-  only through their RNG streams).
+* The heap holds plain ``(time, seq, EventHandle)`` tuples.  ``seq`` is a
+  monotone insertion counter, so same-instant events fire in scheduling
+  order — this makes every run bit-for-bit deterministic for a given
+  seed, which the experiment harness relies on (repetitions differ only
+  through their RNG streams).  Tuple keys keep heap sift comparisons in
+  C (``seq`` is unique, so the handle itself is never compared), which is
+  the single hottest operation in the simulator.
 * Cancellation is O(1): handles are flagged and skipped when popped
   (lazy deletion), the standard technique for binary-heap timer wheels.
+* :meth:`run` inlines the pop/dispatch loop (rather than calling
+  :meth:`step` per event) and drains same-instant batches without
+  re-touching the clock; :meth:`step` remains the one-event-at-a-time
+  API for tests and debuggers.
 * The engine knows nothing about processes, CPUs or OSes; those layers
   build on :meth:`schedule`/:meth:`schedule_at` plus ``SimEvent``.
 """
@@ -16,7 +22,8 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.simcore.events import AllOf, AnyOf, EventHandle, SimEvent, Timeout
@@ -28,11 +35,14 @@ class Engine:
 
     def __init__(self, *, trace: Optional[Tracer] = None, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: List[EventHandle] = []
+        self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq = 0
         self._running = False
         self._processed = 0
         self._non_daemon_pending = 0
+        # Bound once: building a bound method per schedule() is measurable
+        # on the hot path.
+        self._decrement_non_daemon = self._make_decrement()
         self.trace = trace if trace is not None else Tracer(enabled=False)
 
     # -- clock -----------------------------------------------------------
@@ -70,21 +80,37 @@ class Engine:
         if not daemon:
             self._non_daemon_pending += 1
             on_cancel = self._decrement_non_daemon
-        handle = EventHandle(max(time, self._now), self._seq, fn, tuple(args),
-                             daemon=daemon, on_cancel=on_cancel)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
+        when = time if time > self._now else self._now
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(when, seq, fn, args, daemon, on_cancel)
+        heappush(self._heap, (when, seq, handle))
         return handle
 
-    def _decrement_non_daemon(self) -> None:
-        self._non_daemon_pending -= 1
+    def _make_decrement(self) -> Callable[[], None]:
+        def decrement() -> None:
+            self._non_daemon_pending -= 1
+
+        return decrement
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any,
                  daemon: bool = False) -> EventHandle:
         """Schedule ``fn(*args)`` after ``delay`` seconds."""
+        # Inlined schedule_at: relative delays cannot land in the past, so
+        # the past-check and the when/now clamp are statically satisfied.
+        # This is the simulator's single most-called function.
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.schedule_at(self._now + delay, fn, *args, daemon=daemon)
+        on_cancel = None
+        if not daemon:
+            self._non_daemon_pending += 1
+            on_cancel = self._decrement_non_daemon
+        when = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(when, seq, fn, args, daemon, on_cancel)
+        heappush(self._heap, (when, seq, handle))
+        return handle
 
     # -- event constructors ------------------------------------------------
 
@@ -112,15 +138,17 @@ class Engine:
 
     def step(self) -> bool:
         """Fire the next non-cancelled event.  Returns False when empty."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.cancelled:
+        heap = self._heap
+        while heap:
+            when, _seq, handle = heapq.heappop(heap)
+            if handle._cancelled:
                 continue
-            if handle.time < self._now - 1e-12:
+            if when < self._now - 1e-12:
                 raise SimulationError("heap yielded an event from the past")
             if not handle.daemon:
                 self._non_daemon_pending -= 1
-            self._now = handle.time
+                handle._on_cancel = None  # fired: a late cancel() is a no-op
+            self._now = when
             self._processed += 1
             handle.fn(*handle.args)
             return True
@@ -136,24 +164,58 @@ class Engine:
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
         try:
             if until is None:
-                # daemon housekeeping must not keep the world spinning
-                while self._non_daemon_pending > 0 and self.step():
-                    pass
+                # Inlined hot loop (one Python frame for the whole drain).
+                # Daemon housekeeping must not keep the world spinning, so
+                # the non-daemon count is re-checked before every dispatch.
+                while self._non_daemon_pending > 0 and heap:
+                    when, _seq, handle = pop(heap)
+                    if handle._cancelled:
+                        continue
+                    if when < self._now - 1e-12:
+                        raise SimulationError(
+                            "heap yielded an event from the past")
+                    if not handle.daemon:
+                        self._non_daemon_pending -= 1
+                        handle._on_cancel = None
+                    self._now = when
+                    self._processed += 1
+                    handle.fn(*handle.args)
+                    # Same-instant batch: deliver everything already due at
+                    # `when` (timeout fan-outs, zero-delay resumes) without
+                    # touching the clock again.
+                    while (heap and heap[0][0] == when
+                           and self._non_daemon_pending > 0):
+                        _w, _s, handle = pop(heap)
+                        if handle._cancelled:
+                            continue
+                        if not handle.daemon:
+                            self._non_daemon_pending -= 1
+                            handle._on_cancel = None
+                        self._processed += 1
+                        handle.fn(*handle.args)
             else:
                 if until < self._now:
                     raise SimulationError(
                         f"run(until={until}) is before now={self._now}"
                     )
-                while self._heap:
-                    head = self._heap[0]
-                    if head.cancelled:
-                        heapq.heappop(self._heap)
+                while heap:
+                    when, _seq, handle = heap[0]
+                    if handle._cancelled:
+                        pop(heap)
                         continue
-                    if head.time > until:
+                    if when > until:
                         break
-                    self.step()
+                    pop(heap)
+                    if not handle.daemon:
+                        self._non_daemon_pending -= 1
+                        handle._on_cancel = None
+                    self._now = when
+                    self._processed += 1
+                    handle.fn(*handle.args)
                 self._now = max(self._now, until)
         finally:
             self._running = False

@@ -27,7 +27,8 @@ class EventHandle:
 
     Instances are created by :meth:`Engine.schedule` / ``schedule_at`` and
     should be treated as opaque apart from :meth:`cancel` and
-    :attr:`active`.
+    :attr:`active`.  Heap ordering lives in the engine's ``(time, seq)``
+    tuple keys, not here — handles are payload, never compared.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "_cancelled", "daemon",
@@ -66,12 +67,6 @@ class EventHandle:
     @property
     def active(self) -> bool:
         return not self._cancelled
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        # heapq tie-break: time first, then insertion order for determinism.
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self._cancelled else "active"

@@ -26,7 +26,16 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects trace records; optionally filters by category."""
+    """Collects trace records; optionally filters by category.
+
+    Hot-path contract: callers on performance-critical paths guard with
+    ``if tracer.enabled:`` before building ``record(...)`` kwargs, so a
+    disabled tracer costs a single attribute read per site (``record``
+    itself also early-returns, as a second line of defence).
+    """
+
+    __slots__ = ("enabled", "categories", "max_records", "records",
+                 "dropped", "_time_source")
 
     def __init__(
         self,

@@ -47,6 +47,52 @@ class TestFigureCommand:
 
     def test_fast_fig2(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_REPS", "1")
+        monkeypatch.setenv("REPRO_CACHE", "0")
         assert main(["figure", "fig2"]) == 0
         out = capsys.readouterr().out
         assert "FIG2" in out and "qemu" in out
+
+    def test_figures_alias_accepts_ids(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert main(["figures", "mem"]) == 0
+        assert "MEM —" in capsys.readouterr().out
+
+    def test_jobs_flag_sets_env(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        import os
+
+        assert main(["figure", "mem", "--jobs", "2"]) == 0
+        assert os.environ.get("REPRO_JOBS") == "2"
+
+    def test_bad_jobs_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        with pytest.raises(SystemExit):
+            main(["figure", "mem", "--jobs", "0"])
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_cache(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    0" in out
+
+    def test_unknown_action_errors(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["cache", "nonsense"]) == 2
+        assert "unknown cache action" in capsys.readouterr().err
+
+    def test_figure_populates_then_hits_cache(self, capsys, monkeypatch,
+                                              tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert main(["figure", "mem"]) == 0
+        cold = capsys.readouterr()
+        assert main(["figure", "mem"]) == 0
+        warm = capsys.readouterr()
+        # identical chart, and the hit is logged on stderr
+        assert warm.out.splitlines()[0] == cold.out.splitlines()[0]
+        assert "cache hit" in warm.err
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out

@@ -1,0 +1,127 @@
+"""Result cache: keys, round-trips, invalidation, figure integration."""
+
+import json
+
+import pytest
+
+from repro.core.cache import ResultCache, cache_enabled, source_fingerprint
+from repro.core.figures import (
+    FigureData,
+    MeasuredPoint,
+    figure_from_payload,
+    figure_to_payload,
+    generate_figure,
+)
+from repro.core.report import figure_to_json
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path / "cache")
+
+
+class TestToggle:
+    def test_unset_uses_default(self):
+        assert cache_enabled(default=True, env={}) is True
+        assert cache_enabled(default=False, env={}) is False
+
+    def test_falsey_values_disable(self):
+        for value in ("0", "false", "off", "no", ""):
+            assert cache_enabled(default=True,
+                                 env={"REPRO_CACHE": value}) is False
+
+    def test_truthy_values_enable(self):
+        assert cache_enabled(default=False, env={"REPRO_CACHE": "1"}) is True
+
+
+class TestStore:
+    def test_miss_then_hit(self, cache):
+        key = cache.key("figure:fig1", {"kwargs": {}})
+        assert cache.get(key) is None
+        cache.put(key, {"answer": 42}, experiment="figure:fig1")
+        assert cache.get(key) == {"answer": 42}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_key_changes_with_params(self, cache):
+        a = cache.key("figure:fig1", {"kwargs": {"base_seed": 1}})
+        b = cache.key("figure:fig1", {"kwargs": {"base_seed": 2}})
+        c = cache.key("figure:fig2", {"kwargs": {"base_seed": 1}})
+        assert len({a, b, c}) == 3
+
+    def test_source_fingerprint_in_key_is_stable(self, cache):
+        assert source_fingerprint() == source_fingerprint()
+        a = cache.key("x", {})
+        assert a == cache.key("x", {})
+
+    def test_stats_and_clear(self, cache):
+        for index in range(3):
+            cache.put(cache.key("exp", {"i": index}), {"i": index})
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+        assert cache.clear() == 3
+        assert cache.stats()["entries"] == 0
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        key = cache.key("exp", {})
+        cache.put(key, {"ok": True})
+        path = cache.root / f"{key}.json"
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+
+class TestFigurePayloadRoundTrip:
+    def _figure(self):
+        fig = FigureData(fig_id="figx", title="t", unit="u", notes="n",
+                         paper={"qemu": 1.25, "native": 1.0})
+        fig.series["native"] = MeasuredPoint(1.0, 0.0)
+        fig.series["qemu"] = MeasuredPoint(1.2345678901234567, 0.0321)
+        return fig
+
+    def test_round_trip_preserves_everything(self):
+        fig = self._figure()
+        back = figure_from_payload(figure_to_payload(fig))
+        assert back.fig_id == fig.fig_id
+        assert back.series == fig.series
+        assert back.paper == fig.paper
+        assert list(back.series) == list(fig.series)  # ordering too
+
+    def test_round_trip_through_json_is_byte_identical(self):
+        fig = self._figure()
+        payload = json.loads(json.dumps(figure_to_payload(fig)))
+        back = figure_from_payload(payload)
+        assert figure_to_json(back) == figure_to_json(fig)
+
+
+class TestGenerateFigureIntegration:
+    def test_warm_cache_skips_recompute_and_is_byte_identical(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_REPS", "1")
+        cold = generate_figure("fig2", use_cache=True, size=64)
+        # poison the factory: a true cache hit must not call it
+        monkeypatch.setitem(
+            __import__("repro.core.figures", fromlist=["FIGURES"]).FIGURES,
+            "fig2",
+            lambda **kwargs: (_ for _ in ()).throw(AssertionError("recomputed")),
+        )
+        warm = generate_figure("fig2", use_cache=True, size=64)
+        assert figure_to_json(warm) == figure_to_json(cold)
+        assert list(warm.series) == list(cold.series)
+
+    def test_cache_off_by_default_for_library_callers(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_REPS", "1")
+        generate_figure("mem")
+        assert not (tmp_path / "cache").exists()
+
+    def test_reps_env_is_part_of_identity(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_REPS", "1")
+        generate_figure("mem", use_cache=True)
+        monkeypatch.setenv("REPRO_REPS", "2")
+        generate_figure("mem", use_cache=True)
+        entries = list((tmp_path / "cache").glob("*.json"))
+        assert len(entries) == 2

@@ -6,10 +6,12 @@ from repro.core.experiment import (
     FAST_REPS,
     PAPER_REPS,
     Repeater,
+    collect_repetitions,
     repeat,
     resolve_reps,
 )
 from repro.errors import ExperimentError
+from repro.simcore.rng import derive_rep_seed
 
 
 class TestResolveReps:
@@ -82,6 +84,24 @@ class TestRepeater:
         with pytest.raises(ExperimentError):
             Repeater(reps=2).run(measure)
 
+    def test_mismatch_error_reports_repetition_and_seed(self):
+        """A failing rep must be reproducible standalone via its seed."""
+        calls = []
+
+        def measure(seed):
+            calls.append(seed)
+            return {"x": 1.0} if len(calls) == 1 else {"y": 1.0}
+
+        bad_seed = derive_rep_seed(7, 1)
+        with pytest.raises(ExperimentError,
+                           match=rf"repetition 1 \(seed {bad_seed}\)"):
+            Repeater(base_seed=7, reps=2).run(measure)
+
+    def test_empty_metrics_error_reports_seed(self):
+        seed = derive_rep_seed(0, 0)
+        with pytest.raises(ExperimentError, match=rf"seed {seed}"):
+            Repeater(reps=1).run(lambda s: {})
+
     def test_unknown_metric_lookup_rejected(self):
         result = Repeater(reps=1).run(lambda seed: {"x": 1.0})
         with pytest.raises(ExperimentError, match="available"):
@@ -95,3 +115,21 @@ class TestRepeater:
         monkeypatch.setenv("REPRO_REPS", "2")
         result = repeat(lambda seed: {"x": 1.0}, default_reps=9)
         assert result["x"].n == 2
+
+
+class TestCollectRepetitions:
+    def test_preserves_order_and_key_insertion(self):
+        triples = [
+            (0, 10, {"b": 1.0, "a": 2.0}),
+            (1, 11, {"b": 3.0, "a": 4.0}),
+        ]
+        result = collect_repetitions(triples)
+        assert list(result.raw) == ["b", "a"]
+        assert result.raw["b"] == [1.0, 3.0]
+        assert result.raw["a"] == [2.0, 4.0]
+
+    def test_mismatch_raises_with_offending_triple(self):
+        triples = [(0, 10, {"x": 1.0}), (1, 11, {"z": 1.0})]
+        with pytest.raises(ExperimentError,
+                           match=r"repetition 1 \(seed 11\)"):
+            collect_repetitions(triples)

@@ -1,0 +1,144 @@
+"""Parallel repetition harness: equivalence, fallbacks, failure reporting."""
+
+import os
+
+import pytest
+
+from repro.core.experiment import Repeater, repeat
+from repro.core.parallel import (
+    ParallelRepeater,
+    measure_is_picklable,
+    resolve_jobs,
+)
+from repro.errors import ExperimentError
+from repro.simcore.rng import derive_rep_seed
+
+
+def picklable_measure(seed):
+    return {"x": float(seed % 1000), "y": float(seed % 7)}
+
+
+def failing_measure(seed):
+    if seed % 2 == 0:
+        raise ValueError(f"boom for seed {seed}")
+    return {"x": 1.0}
+
+
+def empty_measure(seed):
+    return {}
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self):
+        assert resolve_jobs(3, env={"REPRO_JOBS": "8"}) == 3
+
+    def test_env_fallback(self):
+        assert resolve_jobs(env={"REPRO_JOBS": "6"}) == 6
+
+    def test_cpu_count_default(self):
+        assert resolve_jobs(env={}) == (os.cpu_count() or 1)
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ExperimentError):
+            resolve_jobs(0, env={})
+
+    def test_non_integer_env_rejected_cleanly(self):
+        with pytest.raises(ExperimentError, match="REPRO_JOBS"):
+            resolve_jobs(env={"REPRO_JOBS": "banana"})
+
+
+class TestPicklability:
+    def test_module_level_function(self):
+        assert measure_is_picklable(picklable_measure)
+
+    def test_local_closure_is_not(self):
+        captured = []
+
+        def measure(seed):
+            captured.append(seed)
+            return {"x": 1.0}
+
+        assert not measure_is_picklable(measure)
+        assert not measure_is_picklable(lambda seed: {"x": 1.0})
+
+
+class TestEquivalence:
+    def test_bit_identical_to_serial(self):
+        serial = Repeater(base_seed=9, reps=6).run(picklable_measure)
+        parallel = ParallelRepeater(base_seed=9, reps=6,
+                                    jobs=4).run(picklable_measure)
+        assert parallel.raw == serial.raw
+        assert parallel.metrics == serial.metrics
+
+    def test_repetition_order_preserved(self):
+        result = ParallelRepeater(base_seed=3, reps=5,
+                                  jobs=3).run(picklable_measure)
+        expected = [float(derive_rep_seed(3, rep) % 1000) for rep in range(5)]
+        assert result.raw["x"] == expected
+
+    def test_key_order_matches_serial(self):
+        serial = Repeater(base_seed=1, reps=2).run(picklable_measure)
+        parallel = ParallelRepeater(base_seed=1, reps=2,
+                                    jobs=2).run(picklable_measure)
+        assert list(parallel.raw) == list(serial.raw)
+
+
+class TestFallbacks:
+    def test_jobs_one_runs_serially(self):
+        result = ParallelRepeater(base_seed=1, reps=3,
+                                  jobs=1).run(picklable_measure)
+        assert result["x"].n == 3
+
+    def test_unpicklable_measure_falls_back(self):
+        seen = []
+
+        def measure(seed):
+            seen.append(seed)
+            return {"x": float(len(seen))}
+
+        result = ParallelRepeater(base_seed=2, reps=4, jobs=4).run(measure)
+        # the closure ran in-process: side effects are visible here
+        assert len(seen) == 4
+        assert result["x"].n == 4
+
+    def test_single_rep_runs_serially(self):
+        result = ParallelRepeater(base_seed=2, reps=1,
+                                  jobs=8).run(picklable_measure)
+        assert result["x"].n == 1
+
+    def test_bad_reps_rejected(self):
+        with pytest.raises(ExperimentError):
+            ParallelRepeater(reps=0, jobs=2)
+
+
+class TestFailureReporting:
+    def test_worker_failure_names_repetition_and_seed(self):
+        failing_rep = next(
+            rep for rep in range(8)
+            if derive_rep_seed(5, rep) % 2 == 0
+        )
+        seed = derive_rep_seed(5, failing_rep)
+        with pytest.raises(ExperimentError) as excinfo:
+            ParallelRepeater(base_seed=5, reps=8, jobs=4).run(failing_measure)
+        message = str(excinfo.value)
+        assert f"repetition {failing_rep}" in message
+        assert f"seed {seed}" in message
+        assert "boom" in message  # the remote traceback is carried along
+
+    def test_empty_metrics_rejected_with_seed(self):
+        with pytest.raises(ExperimentError, match=r"seed \d+"):
+            ParallelRepeater(base_seed=0, reps=2, jobs=2).run(empty_measure)
+
+
+class TestRepeatDispatch:
+    def test_repeat_honours_jobs_argument(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPS", "4")
+        result = repeat(picklable_measure, base_seed=4, default_reps=4, jobs=2)
+        serial = Repeater(base_seed=4, reps=4).run(picklable_measure)
+        assert result.raw == serial.raw
+
+    def test_repeat_honours_jobs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        monkeypatch.setenv("REPRO_REPS", "3")
+        result = repeat(picklable_measure, base_seed=4)
+        assert result["x"].n == 3

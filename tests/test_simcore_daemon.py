@@ -80,3 +80,71 @@ class TestDaemonSemantics:
         engine.schedule(3.0, fired.append, True)
         engine.run()
         assert fired == [True]
+
+
+class TestCancellationAccounting:
+    """The `_non_daemon_pending` counter is the run()-termination anchor;
+    every path that touches it must move it exactly once per event."""
+
+    def test_schedule_increments_cancel_decrements(self, engine):
+        assert engine._non_daemon_pending == 0
+        handle = engine.schedule(1.0, lambda: None)
+        assert engine._non_daemon_pending == 1
+        handle.cancel()
+        assert engine._non_daemon_pending == 0
+
+    def test_double_cancel_is_exactly_once(self, engine):
+        handle = engine.schedule(1.0, lambda: None)
+        for _ in range(3):
+            handle.cancel()
+        assert engine._non_daemon_pending == 0
+
+    def test_daemon_events_never_touch_the_counter(self, engine):
+        handle = engine.schedule(1.0, lambda: None, daemon=True)
+        assert engine._non_daemon_pending == 0
+        handle.cancel()
+        assert engine._non_daemon_pending == 0
+
+    def test_firing_decrements_and_cancel_after_fire_is_noop(self, engine):
+        handle = engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine._non_daemon_pending == 0
+        handle.cancel()  # fired handles are cancel-safe
+        assert engine._non_daemon_pending == 0
+
+    def test_schedule_at_and_schedule_agree(self, engine):
+        engine.schedule_at(1.0, lambda: None)
+        engine.schedule(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None, daemon=True)
+        assert engine._non_daemon_pending == 2
+
+    def test_run_terminates_with_only_daemon_housekeeping_left(self, engine):
+        """Mixed cancel/fire traffic must still land the counter on zero,
+        so run() stops the moment only daemon housekeeping remains."""
+        ticks = []
+
+        def heartbeat():
+            ticks.append(engine.now)
+            engine.schedule(0.25, heartbeat, daemon=True)
+
+        engine.schedule(0.25, heartbeat, daemon=True)
+        keep = engine.schedule(2.0, lambda: None)
+        drop = engine.schedule(50.0, lambda: None)
+        drop.cancel()
+        drop.cancel()
+        engine.run()
+        assert keep.active  # fired, never cancelled
+        assert engine._non_daemon_pending == 0
+        assert engine.now == pytest.approx(2.0)  # not 50.0: daemons let go
+
+    def test_cancel_inside_callback_keeps_counter_consistent(self, engine):
+        target = engine.schedule(5.0, lambda: None)
+
+        def cancel_target():
+            target.cancel()
+            target.cancel()
+
+        engine.schedule(1.0, cancel_target)
+        engine.run()
+        assert engine._non_daemon_pending == 0
+        assert engine.now == pytest.approx(1.0)
