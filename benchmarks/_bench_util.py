@@ -1,7 +1,7 @@
 """Shared helper for the benchmark files (kept out of conftest so the
 module name stays import-unambiguous next to tests/conftest.py)."""
 
-from repro.core.figures import generate_figure
+from repro.api import RunConfig, run_figure
 
 
 def once(benchmark, fn):
@@ -9,12 +9,20 @@ def once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 
-def figure_once(benchmark, fig_id, **kwargs):
+def figure_once(benchmark, fig_id, config=None, **kwargs):
     """Regenerate one registry figure exactly once under pytest-benchmark.
 
-    Goes through :func:`generate_figure`, so ``REPRO_CACHE=1`` lets the
-    suite skip recomputing identical seeded runs (the recorded time then
-    measures a cache hit — useful for re-rendering, not for profiling).
+    Goes through :func:`repro.api.run_figure` with the ambient
+    environment folded into a :class:`RunConfig` at this boundary, so
+    ``REPRO_CACHE=1`` lets the suite skip recomputing identical seeded
+    runs (the recorded time then measures a cache hit — useful for
+    re-rendering, not for profiling).
     """
-    return benchmark.pedantic(lambda: generate_figure(fig_id, **kwargs),
-                              rounds=1, iterations=1)
+    if config is None:
+        config = RunConfig.from_env()
+    use_cache = kwargs.pop("use_cache", None)
+    if use_cache is not None:
+        config = config.with_overrides(cache=use_cache)
+    result = benchmark.pedantic(lambda: run_figure(fig_id, config, **kwargs),
+                                rounds=1, iterations=1)
+    return result.figure

@@ -13,11 +13,15 @@ of its experiments:
 
 Quick start::
 
-    from repro.core import generate_figure, ascii_bar_chart
-    print(ascii_bar_chart(generate_figure("fig1")))
+    from repro.api import RunConfig, run_figure
+    from repro.core import ascii_bar_chart
+
+    result = run_figure("fig1", RunConfig(fast=True))
+    print(ascii_bar_chart(result.figure))
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
-vs paper values.
+vs paper values.  :mod:`repro.api` is the run-configuration front door;
+:mod:`repro.obs` holds the metrics registry and run manifests.
 """
 
 __version__ = "1.0.0"

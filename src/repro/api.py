@@ -1,0 +1,412 @@
+"""repro.api — the unified run-configuration front door.
+
+Historically run policy was smeared across five environment variables
+(``REPRO_REPS``, ``REPRO_FULL``, ``REPRO_FAST``, ``REPRO_JOBS``,
+``REPRO_CACHE``) read at arbitrary depths of the stack.  This module
+replaces that sprawl with one frozen :class:`RunConfig`:
+
+* :meth:`RunConfig.from_env` is the **single place** environment policy
+  is interpreted (the CLI calls it at its boundary; nothing below the
+  CLI touches ``os.environ``);
+* :func:`run_figure` is the one entry point the CLI, benchmarks and
+  library callers use to regenerate a figure — it activates the config
+  for everything downstream, optionally enables the metrics registry,
+  and emits a per-run manifest (see :mod:`repro.obs`);
+* library code that *used to* read the environment now consults the
+  activated config first and only falls back to the environment with a
+  :class:`DeprecationWarning` (see :func:`fallback_config`).
+
+Typical use::
+
+    from repro.api import RunConfig, run_figure
+
+    result = run_figure("fig1", RunConfig(reps=50, jobs=4, metrics=True))
+    print(result.figure.measured_values(), result.manifest_path)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ExperimentError
+
+#: Environment variables subsumed by :class:`RunConfig`, by policy area.
+REPS_ENV_VARS = ("REPRO_REPS", "REPRO_FULL", "REPRO_FAST")
+JOBS_ENV_VARS = ("REPRO_JOBS",)
+CACHE_ENV_VARS = ("REPRO_CACHE",)
+METRICS_ENV_VARS = ("REPRO_METRICS",)
+RUNS_DIR_ENV_VAR = "REPRO_RUNS_DIR"
+
+_FALSEY = {"0", "false", "no", "off", ""}
+
+
+def _parse_int(name: str, raw: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise ExperimentError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything that shapes one experiment run.
+
+    ``None`` fields mean "use the caller's default" — so a default
+    ``RunConfig()`` reproduces the historical no-environment behaviour
+    exactly.
+    """
+
+    reps: Optional[int] = None        #: explicit repetition count
+    full: bool = False                #: the paper's 50 repetitions
+    fast: bool = False                #: CI smoke mode (3 reps, capped)
+    jobs: Optional[int] = None        #: worker processes (None = all cores)
+    cache: Optional[bool] = None      #: result cache (None = caller default)
+    base_seed: Optional[int] = None   #: override the figure's base seed
+    metrics: bool = False             #: enable the metrics registry + manifest
+    runs_dir: Optional[str] = None    #: manifest dir (None = results/runs)
+    cache_dir: Optional[str] = None   #: result-cache dir (None = ~/.cache)
+    #: Which REPRO_* variables this config was built from (set by
+    #: :meth:`from_env`; lets the library warn on implicit env fallback).
+    env_sources: Tuple[str, ...] = field(default=(), compare=False)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "RunConfig":
+        """Interpret the legacy ``REPRO_*`` environment (the only place
+        that policy is read; ``env`` defaults to ``os.environ``)."""
+        env = env if env is not None else os.environ
+        sources = []
+
+        reps = None
+        raw = env.get("REPRO_REPS")
+        if raw:
+            reps = _parse_int("REPRO_REPS", raw)
+            sources.append("REPRO_REPS")
+        full = env.get("REPRO_FULL") == "1"
+        if full:
+            sources.append("REPRO_FULL")
+        fast = env.get("REPRO_FAST") == "1"
+        if fast:
+            sources.append("REPRO_FAST")
+
+        jobs = None
+        raw = env.get("REPRO_JOBS")
+        if raw:
+            jobs = _parse_int("REPRO_JOBS", raw)
+            sources.append("REPRO_JOBS")
+
+        cache = None
+        raw = env.get("REPRO_CACHE")
+        if raw is not None:
+            cache = raw.strip().lower() not in _FALSEY
+            sources.append("REPRO_CACHE")
+
+        metrics = False
+        raw = env.get("REPRO_METRICS")
+        if raw is not None and raw.strip().lower() not in _FALSEY:
+            metrics = True
+            sources.append("REPRO_METRICS")
+
+        runs_dir = env.get(RUNS_DIR_ENV_VAR) or None
+        cache_dir = env.get("REPRO_CACHE_DIR") or None
+
+        return cls(reps=reps, full=full, fast=fast, jobs=jobs, cache=cache,
+                   metrics=metrics, runs_dir=runs_dir, cache_dir=cache_dir,
+                   env_sources=tuple(sources))
+
+    def with_overrides(self, **changes: Any) -> "RunConfig":
+        """A copy with the given fields replaced (CLI flag layering)."""
+        return replace(self, **changes)
+
+    # -- policy resolution ----------------------------------------------
+
+    def resolve_reps(self, default: int) -> int:
+        """Repetition policy: explicit ``reps``, else full, else fast
+        (capped at ``default``), else the caller's ``default``."""
+        if self.reps is not None:
+            if self.reps < 1:
+                raise ExperimentError(
+                    f"reps must be >= 1, got {self.reps}")
+            return self.reps
+        if self.full:
+            from repro.core.experiment import PAPER_REPS
+            return PAPER_REPS
+        if self.fast:
+            from repro.core.experiment import FAST_REPS
+            return min(FAST_REPS, default)
+        return default
+
+    def resolve_jobs(self, jobs: Optional[int] = None) -> int:
+        """Worker-count policy: explicit argument, else ``self.jobs``,
+        else every core."""
+        if jobs is None:
+            jobs = self.jobs
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        jobs = int(jobs)
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        return jobs
+
+    def use_cache(self, default: bool = False) -> bool:
+        return default if self.cache is None else self.cache
+
+    def reps_policy(self) -> Dict[str, Any]:
+        """The repetition-policy triple (cache fingerprints fold this in
+        so explicit/full/fast runs never share entries)."""
+        return {"reps": self.reps, "full": self.full, "fast": self.fast}
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "reps": self.reps,
+            "full": self.full,
+            "fast": self.fast,
+            "jobs": self.jobs,
+            "cache": self.cache,
+            "base_seed": self.base_seed,
+            "metrics": self.metrics,
+            "runs_dir": self.runs_dir,
+            "cache_dir": self.cache_dir,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunConfig":
+        known = {name: payload.get(name) for name in (
+            "reps", "jobs", "cache", "base_seed", "runs_dir", "cache_dir")}
+        return cls(full=bool(payload.get("full", False)),
+                   fast=bool(payload.get("fast", False)),
+                   metrics=bool(payload.get("metrics", False)),
+                   **known)
+
+
+# ---------------------------------------------------------------------------
+# Config activation (experiment-scoped parameter passing)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[RunConfig] = None
+
+
+def active_config() -> Optional[RunConfig]:
+    """The :class:`RunConfig` activated for the current run, if any."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def activated(config: RunConfig):
+    """Make ``config`` the policy source for everything downstream.
+
+    Forked parallel workers inherit the activation, so per-repetition
+    code resolves the same policy as the parent.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = config
+    try:
+        yield config
+    finally:
+        _ACTIVE = previous
+
+
+_POLICY_VARS = {
+    "reps": REPS_ENV_VARS,
+    "jobs": JOBS_ENV_VARS,
+    "cache": CACHE_ENV_VARS,
+}
+
+
+def fallback_config(kind: str) -> RunConfig:
+    """Effective config for a library call that passed no explicit policy.
+
+    Returns the activated config when one is in force (the modern path —
+    no warning).  Otherwise interprets the environment, emitting a
+    :class:`DeprecationWarning` when the environment actually carries
+    ``kind`` policy: library callers should construct a
+    :class:`RunConfig` instead of relying on ambient ``REPRO_*``
+    variables.  The CLI never hits the warning — it activates a config
+    at its boundary.
+    """
+    config = _ACTIVE
+    if config is not None:
+        return config
+    config = RunConfig.from_env()
+    consulted = [v for v in config.env_sources if v in _POLICY_VARS[kind]]
+    if consulted:
+        warnings.warn(
+            f"implicit {'/'.join(consulted)} environment lookup is "
+            "deprecated for library callers; build a repro.api.RunConfig "
+            "(RunConfig.from_env() at your own boundary) and pass it "
+            "explicitly or activate it via repro.api.activated()",
+            DeprecationWarning, stacklevel=3,
+        )
+    return config
+
+
+# ---------------------------------------------------------------------------
+# RunResult + run_figure
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunResult:
+    """Outcome of one :func:`run_figure` call."""
+
+    fig_id: str
+    figure: Any                      # FigureData (typed loosely: no cycle)
+    wall_s: float
+    cache_outcome: Optional[str] = None   # "hit" | "miss" | "disabled"
+    run_id: Optional[str] = None
+    manifest_path: Optional[str] = None
+    metrics: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable round-trip encoding (shared with the manifest)."""
+        return {
+            "fig_id": self.fig_id,
+            "figure": self.figure.to_dict() if self.figure is not None
+            else None,
+            "wall_s": self.wall_s,
+            "cache_outcome": self.cache_outcome,
+            "run_id": self.run_id,
+            "manifest_path": self.manifest_path,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunResult":
+        from repro.core.figures import FigureData
+
+        raw_fig = payload.get("figure")
+        figure = FigureData.from_dict(raw_fig) if raw_fig is not None else None
+        return cls(
+            fig_id=payload["fig_id"],
+            figure=figure,
+            wall_s=float(payload.get("wall_s", 0.0)),
+            cache_outcome=payload.get("cache_outcome"),
+            run_id=payload.get("run_id"),
+            manifest_path=payload.get("manifest_path"),
+            metrics=payload.get("metrics"),
+        )
+
+
+def _cache_outcome(use_cache: bool, snapshot: Optional[Dict[str, Any]]
+                   ) -> Optional[str]:
+    if not use_cache:
+        return "disabled"
+    if snapshot is None:
+        return None  # cache on but metrics off: outcome not observable
+    counters = snapshot.get("counters", {})
+    return "hit" if counters.get("cache.hits", 0) > 0 else "miss"
+
+
+def build_manifest(command: str, config: RunConfig,
+                   phases: List[Dict[str, Any]],
+                   snapshot: Dict[str, Any],
+                   cache_outcome: str,
+                   seeds: Optional[Dict[str, Any]] = None,
+                   figure: Optional[Any] = None,
+                   run_id: Optional[str] = None) -> Dict[str, Any]:
+    """Assemble a schema-valid run manifest (shared by figures/sweeps)."""
+    import platform
+
+    from repro import __version__
+    from repro.core.cache import source_fingerprint
+    from repro.obs.manifest import MANIFEST_SCHEMA, new_run_id
+
+    counters = snapshot.get("counters", {})
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "run_id": run_id or new_run_id(command.split(":", 1)[-1]),
+        "command": command,
+        "created_unix": time.time(),
+        "config": config.to_dict(),
+        "versions": {
+            "package": __version__,
+            "python": platform.python_version(),
+            "source_fingerprint": source_fingerprint(),
+        },
+        "seeds": dict(seeds or {}),
+        "phases": list(phases),
+        "metrics": snapshot,
+        "cache": {
+            "outcome": cache_outcome,
+            "hits": counters.get("cache.hits", 0),
+            "misses": counters.get("cache.misses", 0),
+        },
+    }
+    if figure is not None:
+        manifest["figure"] = figure.to_dict()
+    return manifest
+
+
+def run_figure(fig_id: str, config: Optional[RunConfig] = None,
+               **kwargs: Any) -> RunResult:
+    """Regenerate one figure under ``config``; the one true entry point.
+
+    Resolves repetition/jobs/cache policy from ``config`` for everything
+    downstream (no environment reads), optionally collects metrics, and
+    — when ``config.metrics`` — writes a run manifest under
+    ``config.runs_dir`` (default ``results/runs/``).  Figure numbers are
+    bit-identical with metrics on or off: instrumentation only observes.
+    """
+    from repro.core.figures import FIGURES, generate_figure
+    from repro.obs.manifest import new_run_id, write_manifest
+    from repro.obs.metrics import METRICS
+
+    config = config if config is not None else RunConfig()
+    if fig_id not in FIGURES:
+        raise ExperimentError(
+            f"unknown figure {fig_id!r}; available: {sorted(FIGURES)}"
+        )
+    if config.base_seed is not None:
+        kwargs.setdefault("base_seed", config.base_seed)
+    use_cache = config.use_cache(default=False)
+
+    started = time.perf_counter()
+    phases: List[Dict[str, Any]] = []
+    was_enabled = METRICS.enabled
+    snapshot: Optional[Dict[str, Any]] = None
+    with activated(config):
+        if config.metrics and not was_enabled:
+            METRICS.enable(reset=True)
+        try:
+            t0 = time.perf_counter()
+            figure = generate_figure(fig_id, use_cache=use_cache, **kwargs)
+            phases.append({"name": "generate",
+                           "wall_s": time.perf_counter() - t0})
+            if config.metrics:
+                snapshot = METRICS.snapshot()
+        finally:
+            if config.metrics and not was_enabled:
+                METRICS.disable()
+
+    outcome = _cache_outcome(use_cache, snapshot)
+    run_id = None
+    manifest_path = None
+    if config.metrics and snapshot is not None:
+        run_id = new_run_id(fig_id)
+        t0 = time.perf_counter()
+        manifest = build_manifest(
+            command=f"figure:{fig_id}", config=config, phases=phases,
+            snapshot=snapshot, cache_outcome=outcome or "disabled",
+            seeds={"base_seed": kwargs.get("base_seed")},
+            figure=figure, run_id=run_id,
+        )
+        manifest_path = str(write_manifest(manifest, config.runs_dir))
+        phases.append({"name": "emit-manifest",
+                       "wall_s": time.perf_counter() - t0})
+
+    return RunResult(
+        fig_id=fig_id, figure=figure,
+        wall_s=time.perf_counter() - started,
+        cache_outcome=outcome, run_id=run_id,
+        manifest_path=manifest_path, metrics=snapshot,
+    )

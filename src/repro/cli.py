@@ -9,13 +9,16 @@ Subcommands
 * ``repro profiles``           — show the calibrated hypervisor profiles
 * ``repro sweep l2|service|catchup|checkpoint`` — sensitivity sweeps
 * ``repro cache stats|clear``  — inspect / empty the on-disk result cache
+* ``repro metrics [RUN|last]`` — render a recorded run manifest
 
-Repetition counts honour ``REPRO_REPS`` / ``REPRO_FULL`` / ``REPRO_FAST``
-(see :mod:`repro.core.experiment`).  Worker counts honour ``--jobs`` /
-``REPRO_JOBS`` (default: all cores; see :mod:`repro.core.parallel`).
-Figure and report runs consult the seeded result cache unless
-``REPRO_CACHE=0`` (see :mod:`repro.core.cache`); cache hits are logged to
-stderr.
+All run policy flows through one :class:`repro.api.RunConfig`: the CLI
+interprets the legacy ``REPRO_*`` environment exactly once at this
+boundary (``RunConfig.from_env``), layers flags such as ``--jobs`` and
+``--metrics`` on top, and activates the result for everything
+downstream.  Figure and report runs consult the seeded result cache
+unless ``REPRO_CACHE=0``; cache hits are logged to stderr.  With
+``--metrics`` each run also records counters/timers and writes a JSON
+manifest under ``results/runs/`` (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -27,25 +30,32 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.core.cache import ResultCache, cache_enabled
-from repro.core.figures import FIGURES, generate_figure
+from repro import api
+from repro.core.cache import ResultCache
+from repro.core.figures import FIGURES
 from repro.core.report import ascii_bar_chart, experiments_markdown
 from repro.virt.profiles import ALL_PROFILES
 
 
-def _apply_jobs(args: argparse.Namespace) -> None:
-    """Propagate ``--jobs`` to everything downstream via ``REPRO_JOBS``."""
+def _build_config(args: argparse.Namespace) -> api.RunConfig:
+    """One RunConfig per invocation: environment first, flags on top.
+
+    The CLI caches by default (``REPRO_CACHE=0`` opts out); library
+    callers must opt in — hence the explicit ``cache`` override here.
+    """
+    config = api.RunConfig.from_env()
+    overrides = {"cache": config.use_cache(default=True)}
     jobs = getattr(args, "jobs", None)
     if jobs is not None:
         if jobs < 1:
             raise SystemExit(f"--jobs must be >= 1, got {jobs}")
+        # Legacy propagation kept for external tooling that still reads
+        # REPRO_JOBS; the config carries the authoritative value.
         os.environ["REPRO_JOBS"] = str(jobs)
-
-
-def _cli_use_cache() -> bool:
-    # The CLI caches by default (REPRO_CACHE=0 opts out); library callers
-    # must opt in.
-    return cache_enabled(default=True)
+        overrides["jobs"] = jobs
+    if getattr(args, "metrics", False):
+        overrides["metrics"] = True
+    return config.with_overrides(**overrides)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -56,8 +66,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    _apply_jobs(args)
-    use_cache = _cli_use_cache()
+    config = _build_config(args)
     figure_ids = args.figures or list(FIGURES)
     status = 0
     for fig_id in figure_ids:
@@ -66,28 +75,32 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             status = 2
             continue
-        started = time.time()
-        fig = generate_figure(fig_id, use_cache=use_cache)
-        elapsed = time.time() - started
-        print(ascii_bar_chart(fig))
-        print(f"  ({elapsed:.1f}s wall)")
+        result = api.run_figure(fig_id, config)
+        print(ascii_bar_chart(result.figure))
+        print(f"  ({result.wall_s:.1f}s wall)")
+        if result.manifest_path:
+            print(f"  metrics manifest: {result.manifest_path}")
         if args.svg:
             from repro.core.svg import write_svg
 
             os.makedirs(args.svg, exist_ok=True)
-            path = write_svg(fig, os.path.join(args.svg, f"{fig_id}.svg"))
+            path = write_svg(result.figure,
+                             os.path.join(args.svg, f"{fig_id}.svg"))
             print(f"  wrote {path}")
         print()
     return status
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    _apply_jobs(args)
-    use_cache = _cli_use_cache()
+    config = _build_config(args)
     figures = []
     for fig_id in FIGURES:
         print(f"generating {fig_id} ...", file=sys.stderr)
-        figures.append(generate_figure(fig_id, use_cache=use_cache))
+        result = api.run_figure(fig_id, config)
+        figures.append(result.figure)
+        if result.manifest_path:
+            print(f"  metrics manifest: {result.manifest_path}",
+                  file=sys.stderr)
     header = (
         "# Reproduction report — 'Evaluating the Performance and "
         "Intrusiveness of Virtual Machines for Desktop Grid Computing'"
@@ -113,16 +126,48 @@ _SWEEPS = {
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import repro.analysis as analysis
 
-    _apply_jobs(args)
+    config = _build_config(args)
     if args.sweep not in _SWEEPS:
         print(f"unknown sweep {args.sweep!r}; available: {sorted(_SWEEPS)}",
               file=sys.stderr)
         return 2
     fn = getattr(analysis, _SWEEPS[args.sweep])
     started = time.time()
-    result = fn()
+    snapshot = None
+    from repro.obs.metrics import METRICS
+
+    with api.activated(config):
+        if config.metrics:
+            METRICS.enable(reset=True)
+        try:
+            result = fn()
+            if config.metrics:
+                snapshot = METRICS.snapshot()
+        finally:
+            if config.metrics:
+                METRICS.disable()
+    elapsed = time.time() - started
     print(result.render())
-    print(f"  ({time.time() - started:.1f}s wall)")
+    print(f"  ({elapsed:.1f}s wall)")
+    if snapshot is not None:
+        from repro.obs.manifest import write_manifest
+
+        manifest = api.build_manifest(
+            command=f"sweep:{args.sweep}", config=config,
+            phases=[{"name": "sweep", "wall_s": elapsed}],
+            snapshot=snapshot, cache_outcome="disabled",
+        )
+        path = write_manifest(manifest, config.runs_dir)
+        print(f"  metrics manifest: {path}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import load_manifest, render_manifest
+
+    runs_dir = args.runs_dir or api.RunConfig.from_env().runs_dir
+    manifest = load_manifest(args.run, runs_dir=runs_dir)
+    print(render_manifest(manifest))
     return 0
 
 
@@ -157,7 +202,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"cache root: {stats['root']}")
         print(f"entries:    {stats['entries']}")
         print(f"size:       {stats['bytes']} bytes")
-        print(f"enabled:    {_cli_use_cache()}")
+        print(f"enabled:    {api.RunConfig.from_env().use_cache(default=True)}")
         return 0
     if args.action == "clear":
         removed = cache.clear()
@@ -173,6 +218,13 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         "--jobs", type=int, metavar="N",
         help="worker processes for repetitions (default: REPRO_JOBS "
              "or all cores)")
+
+
+def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect run metrics and write a JSON manifest under "
+             "results/runs/ (view with `repro metrics last`)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -194,11 +246,13 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--svg", metavar="DIR",
                         help="also write an SVG chart per figure into DIR")
     _add_jobs_flag(figure)
+    _add_metrics_flag(figure)
     figure.set_defaults(fn=_cmd_figure)
 
     report = sub.add_parser("report", help="regenerate every figure")
     report.add_argument("--out", help="write markdown to a file")
     _add_jobs_flag(report)
+    _add_metrics_flag(report)
     report.set_defaults(fn=_cmd_report)
 
     sub.add_parser("profiles",
@@ -212,12 +266,22 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("sweep", metavar="NAME",
                        help=f"one of {sorted(_SWEEPS)}")
     _add_jobs_flag(sweep)
+    _add_metrics_flag(sweep)
     sweep.set_defaults(fn=_cmd_sweep)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", metavar="ACTION",
                        help="one of: stats, clear")
     cache.set_defaults(fn=_cmd_cache)
+
+    metrics = sub.add_parser(
+        "metrics", help="render a recorded run manifest"
+    )
+    metrics.add_argument("run", nargs="?", default="last", metavar="RUN",
+                        help="run id (or prefix), or 'last' (default)")
+    metrics.add_argument("--runs-dir", metavar="DIR",
+                        help="manifest directory (default: results/runs)")
+    metrics.set_defaults(fn=_cmd_metrics)
     return parser
 
 

@@ -33,27 +33,37 @@ import pathlib
 from typing import Any, Dict, Mapping, Optional
 
 from repro import __version__
+from repro.obs.metrics import METRICS
 
 log = logging.getLogger("repro.cache")
 
-#: Environment variable overriding the on-disk location.
+#: Legacy environment variable overriding the on-disk location
+#: (interpreted only by :meth:`repro.api.RunConfig.from_env`).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-#: Environment variable toggling the cache ("0"/"false"/"off" disable it).
+#: Legacy environment variable toggling the cache ("0"/"false"/"off"
+#: disable it); same interpretation rule.
 CACHE_TOGGLE_ENV = "REPRO_CACHE"
-
-_FALSEY = {"0", "false", "no", "off", ""}
 
 _source_fingerprint: Optional[str] = None
 
 
 def cache_enabled(default: bool = False,
                   env: Optional[Mapping[str, str]] = None) -> bool:
-    """Resolve the ``REPRO_CACHE`` toggle (unset -> ``default``)."""
-    env = env if env is not None else os.environ
-    raw = env.get(CACHE_TOGGLE_ENV)
-    if raw is None:
-        return default
-    return raw.strip().lower() not in _FALSEY
+    """Resolve the cache toggle (unset -> ``default``).
+
+    With ``env=None`` the toggle comes from the activated
+    :class:`repro.api.RunConfig` when one is in force, else from the
+    legacy ``REPRO_CACHE`` variable (with a ``DeprecationWarning`` for
+    library callers).  An explicit ``env`` mapping is interpreted
+    directly — the testing hook.
+    """
+    from repro import api
+
+    if env is not None:
+        config = api.RunConfig.from_env(env)
+    else:
+        config = api.fallback_config("cache")
+    return config.use_cache(default)
 
 
 def source_fingerprint() -> str:
@@ -74,10 +84,14 @@ def source_fingerprint() -> str:
 
 
 def default_cache_dir(env: Optional[Mapping[str, str]] = None) -> pathlib.Path:
-    env = env if env is not None else os.environ
-    override = env.get(CACHE_DIR_ENV)
-    if override:
-        return pathlib.Path(override)
+    from repro import api
+
+    if env is not None:
+        config = api.RunConfig.from_env(env)
+    else:
+        config = api.active_config() or api.RunConfig.from_env()
+    if config.cache_dir:
+        return pathlib.Path(config.cache_dir)
     return pathlib.Path(os.path.expanduser("~")) / ".cache" / "repro-ipps09"
 
 
@@ -117,8 +131,12 @@ class ResultCache:
             envelope = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             self.misses += 1
+            if METRICS.enabled:
+                METRICS.inc("cache.misses")
             return None
         self.hits += 1
+        if METRICS.enabled:
+            METRICS.inc("cache.hits")
         log.info("cache hit: %s (%s)", envelope.get("experiment", "?"),
                  key[:12])
         return envelope.get("payload")
@@ -137,6 +155,8 @@ class ResultCache:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(envelope, default=repr), encoding="utf-8")
         tmp.replace(path)
+        if METRICS.enabled:
+            METRICS.inc("cache.stores")
         log.info("cache store: %s (%s)", experiment or "?", key[:12])
 
     # -- maintenance -----------------------------------------------------

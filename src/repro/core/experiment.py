@@ -4,12 +4,19 @@ fresh simulated world seeded independently, and summarise.
 Repetition counts
 -----------------
 The paper performs every test at least 50 times.  Full fidelity is
-expensive for the heavier figures, so counts resolve as:
+expensive for the heavier figures, so counts resolve through the
+:class:`repro.api.RunConfig` policy:
 
-* ``REPRO_REPS=<n>``  — explicit override, used verbatim;
-* ``REPRO_FULL=1``    — the paper's 50 everywhere;
-* ``REPRO_FAST=1``    — 3 (CI smoke);
-* otherwise           — the per-experiment default passed by the caller.
+* ``RunConfig(reps=n)``   — explicit override, used verbatim;
+* ``RunConfig(full=True)`` — the paper's 50 everywhere;
+* ``RunConfig(fast=True)`` — 3 (CI smoke);
+* otherwise               — the per-experiment default passed by the caller.
+
+The legacy ``REPRO_REPS`` / ``REPRO_FULL`` / ``REPRO_FAST`` environment
+variables keep working through :meth:`repro.api.RunConfig.from_env`, the
+single place environment policy is interpreted; a library call that
+falls back to them (rather than activating a config) gets a
+``DeprecationWarning``.
 
 Parallelism
 -----------
@@ -23,7 +30,6 @@ serial path: same derived seeds, same repetition ordering, same
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -39,19 +45,21 @@ MeasureFn = Callable[[int], Mapping[str, float]]
 
 
 def resolve_reps(default: int, env: Optional[Mapping[str, str]] = None) -> int:
-    """Apply the REPRO_REPS / REPRO_FULL / REPRO_FAST environment policy."""
-    env = env if env is not None else os.environ
-    explicit = env.get("REPRO_REPS")
-    if explicit:
-        reps = int(explicit)
-        if reps < 1:
-            raise ExperimentError(f"REPRO_REPS must be >= 1, got {reps}")
-        return reps
-    if env.get("REPRO_FULL") == "1":
-        return PAPER_REPS
-    if env.get("REPRO_FAST") == "1":
-        return min(FAST_REPS, default)
-    return default
+    """Apply the repetition policy (explicit / full / fast / default).
+
+    With ``env=None`` the policy comes from the activated
+    :class:`repro.api.RunConfig` when one is in force, else from the
+    legacy environment variables (with a ``DeprecationWarning``).  An
+    explicit ``env`` mapping is interpreted directly — the testing hook.
+    A malformed ``REPRO_REPS`` raises a clean :class:`ExperimentError`.
+    """
+    from repro import api
+
+    if env is not None:
+        config = api.RunConfig.from_env(env)
+    else:
+        config = api.fallback_config("reps")
+    return config.resolve_reps(default)
 
 
 @dataclass
@@ -123,18 +131,24 @@ class Repeater:
 
 
 def repeat(measure: MeasureFn, *, base_seed: int = 0,
-           default_reps: int = 5, jobs: Optional[int] = None) -> RepeatedResult:
-    """Convenience: resolve reps/jobs from the environment and run.
+           default_reps: int = 5, jobs: Optional[int] = None,
+           reps: Optional[int] = None) -> RepeatedResult:
+    """Convenience: resolve reps/jobs from the run config and run.
 
-    With more than one job and more than one repetition the work is fanned
-    out over a process pool (bit-identical results; see
-    :class:`repro.core.parallel.ParallelRepeater`).  ``jobs=1``, a single
-    repetition, or an unpicklable ``measure`` all fall back to the serial
-    :class:`Repeater`.
+    ``reps=`` / ``jobs=`` are explicit overrides; otherwise both resolve
+    through the activated :class:`repro.api.RunConfig` (or, deprecated,
+    the legacy environment).  With more than one job and more than one
+    repetition the work is fanned out over a process pool (bit-identical
+    results; see :class:`repro.core.parallel.ParallelRepeater`).
+    ``jobs=1``, a single repetition, or an unpicklable ``measure`` all
+    fall back to the serial :class:`Repeater`.
     """
     from repro.core.parallel import ParallelRepeater, resolve_jobs
 
-    reps = resolve_reps(default_reps)
+    if reps is None:
+        reps = resolve_reps(default_reps)
+    elif reps < 1:
+        raise ExperimentError(f"reps must be >= 1, got {reps}")
     n_jobs = resolve_jobs(jobs)
     if n_jobs > 1 and reps > 1:
         return ParallelRepeater(base_seed, reps, jobs=n_jobs).run(measure)

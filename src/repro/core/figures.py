@@ -64,6 +64,35 @@ class FigureData:
                         self.paper.get(label)))
         return out
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe, order-preserving encoding (exact float round-trip).
+
+        The stable interchange format shared by the result cache, run
+        manifests and :class:`repro.api.RunResult` — downstream tooling
+        should consume this rather than reaching into dataclass fields.
+        """
+        return {
+            "fig_id": self.fig_id,
+            "title": self.title,
+            "unit": self.unit,
+            "notes": self.notes,
+            "series": [[label, point.value, point.ci95]
+                       for label, point in self.series.items()],
+            "paper": [[label, value] for label, value in self.paper.items()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FigureData":
+        """Inverse of :meth:`to_dict`."""
+        fig = cls(
+            fig_id=payload["fig_id"], title=payload["title"],
+            unit=payload["unit"], notes=payload["notes"],
+            paper={label: value for label, value in payload["paper"]},
+        )
+        for label, value, ci95 in payload["series"]:
+            fig.series[label] = MeasuredPoint(value, ci95)
+        return fig
+
 
 # ---------------------------------------------------------------------------
 # Experiment 1: guest performance (Figures 1-4)
@@ -336,48 +365,29 @@ FIGURES = {
     "mem": memory_footprint_figure,
 }
 
-#: Environment variables that change repetition counts, and therefore the
-#: cache identity of a figure (see :mod:`repro.core.cache`).
-_REPS_ENV_VARS = ("REPRO_REPS", "REPRO_FULL", "REPRO_FAST")
-
-
 def figure_to_payload(fig: FigureData) -> Dict[str, Any]:
-    """JSON-safe, order-preserving encoding for the result cache."""
-    return {
-        "fig_id": fig.fig_id,
-        "title": fig.title,
-        "unit": fig.unit,
-        "notes": fig.notes,
-        "series": [[label, point.value, point.ci95]
-                   for label, point in fig.series.items()],
-        "paper": [[label, value] for label, value in fig.paper.items()],
-    }
+    """Back-compat alias for :meth:`FigureData.to_dict`."""
+    return fig.to_dict()
 
 
 def figure_from_payload(payload: Mapping[str, Any]) -> FigureData:
-    """Inverse of :func:`figure_to_payload` (exact float round-trip)."""
-    fig = FigureData(
-        fig_id=payload["fig_id"], title=payload["title"],
-        unit=payload["unit"], notes=payload["notes"],
-        paper={label: value for label, value in payload["paper"]},
-    )
-    for label, value, ci95 in payload["series"]:
-        fig.series[label] = MeasuredPoint(value, ci95)
-    return fig
+    """Back-compat alias for :meth:`FigureData.from_dict`."""
+    return FigureData.from_dict(payload)
 
 
 def generate_figure(fig_id: str, use_cache: Optional[bool] = None,
                     **kwargs) -> FigureData:
     """Generate (or fetch from the result cache) one figure.
 
-    ``use_cache=None`` consults the ``REPRO_CACHE`` environment toggle
-    (off by default for library callers; the CLI and benchmark suite turn
-    it on).  Cache identity covers the figure id, every keyword argument,
-    the repetition-count environment, the package version and a source
-    fingerprint — see :mod:`repro.core.cache` for the invalidation rules.
+    ``use_cache=None`` consults the run config's cache toggle (off by
+    default for library callers; the CLI and benchmark suite turn it
+    on).  Cache identity covers the figure id, every keyword argument,
+    the resolved repetition policy, the package version and a source
+    fingerprint — see :mod:`repro.core.cache` for the invalidation
+    rules.  Prefer :func:`repro.api.run_figure`, which also times phases
+    and can emit a run manifest.
     """
-    import os
-
+    from repro import api
     from repro.core.cache import ResultCache, cache_enabled
 
     try:
@@ -392,14 +402,14 @@ def generate_figure(fig_id: str, use_cache: Optional[bool] = None,
     cache = ResultCache()
     params = {
         "kwargs": dict(sorted(kwargs.items())),
-        "reps_env": {name: os.environ.get(name) for name in _REPS_ENV_VARS},
+        "reps_policy": api.fallback_config("reps").reps_policy(),
     }
     key = cache.key(f"figure:{fig_id}", params)
     payload = cache.get(key)
     if payload is not None:
-        return figure_from_payload(payload)
+        return FigureData.from_dict(payload)
     fig = factory(**kwargs)
-    cache.put(key, figure_to_payload(fig), experiment=f"figure:{fig_id}",
+    cache.put(key, fig.to_dict(), experiment=f"figure:{fig_id}",
               params=params)
     return fig
 

@@ -12,9 +12,16 @@ value ordering, same ``summarize`` inputs.
 Worker-count policy (first match wins):
 
 * explicit ``jobs=`` argument;
-* ``REPRO_JOBS=<n>`` environment variable (the ``--jobs`` CLI flag sets
-  this);
+* the activated :class:`repro.api.RunConfig` (the ``--jobs`` CLI flag
+  lands here; the legacy ``REPRO_JOBS`` variable still works through
+  ``RunConfig.from_env`` with a ``DeprecationWarning`` for library
+  callers);
 * ``os.cpu_count()``.
+
+When the metrics registry is enabled each worker ships a snapshot of its
+per-subsystem counters back with its result, and the parent merges them
+— so engine/scheduler/hardware counters survive process fan-out — plus
+per-worker wall time and queue wait observed from the parent side.
 
 Fallbacks: ``jobs=1``, a single repetition, or a measurement function the
 pickle module cannot serialise (e.g. a test-local closure) run serially
@@ -27,11 +34,11 @@ traceback, so any failing repetition can be reproduced standalone with
 from __future__ import annotations
 
 import multiprocessing
-import os
 import pickle
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.experiment import (
     MeasureFn,
@@ -40,31 +47,32 @@ from repro.core.experiment import (
     collect_repetitions,
 )
 from repro.errors import ExperimentError
+from repro.obs.metrics import METRICS
 from repro.simcore.rng import derive_rep_seed
 
-#: Environment variable consulted for the default worker count.
+#: Legacy environment variable for the default worker count (interpreted
+#: only by :meth:`repro.api.RunConfig.from_env`).
 JOBS_ENV = "REPRO_JOBS"
 
 
 def resolve_jobs(jobs: Optional[int] = None,
                  env: Optional[Mapping[str, str]] = None) -> int:
-    """Worker-count policy: explicit arg, then ``REPRO_JOBS``, then cores."""
-    env = env if env is not None else os.environ
-    if jobs is None:
-        raw = env.get(JOBS_ENV)
-        if raw:
-            try:
-                jobs = int(raw)
-            except ValueError:
-                raise ExperimentError(
-                    f"{JOBS_ENV} must be an integer, got {raw!r}"
-                ) from None
-        else:
-            jobs = os.cpu_count() or 1
-    jobs = int(jobs)
-    if jobs < 1:
-        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
-    return jobs
+    """Worker-count policy: explicit arg, then run config, then cores.
+
+    With ``env=None`` the policy comes from the activated
+    :class:`repro.api.RunConfig` when one is in force, else from the
+    legacy ``REPRO_JOBS`` variable (with a ``DeprecationWarning``).  An
+    explicit ``env`` mapping is interpreted directly — the testing hook.
+    """
+    from repro import api
+
+    if jobs is not None:
+        return api.RunConfig().resolve_jobs(jobs)
+    if env is not None:
+        config = api.RunConfig.from_env(env)
+    else:
+        config = api.fallback_config("jobs")
+    return config.resolve_jobs()
 
 
 def measure_is_picklable(measure: MeasureFn) -> bool:
@@ -84,17 +92,34 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
-def _run_repetition(measure: MeasureFn, repetition: int, seed: int
+def _run_repetition(measure: MeasureFn, repetition: int, seed: int,
+                    submitted_at: float = 0.0
                     ) -> Tuple[int, int, Optional[Dict[str, float]],
-                               Optional[str]]:
-    """Worker body: one repetition, exceptions captured as text."""
+                               Optional[str], float, float,
+                               Optional[Dict[str, Any]]]:
+    """Worker body: one repetition, exceptions captured as text.
+
+    Returns ``(repetition, seed, metrics, error, queue_wait_s, wall_s,
+    counter_snapshot)``.  A forked worker inherits an enabled metrics
+    registry; it resets its (process-private) copy so the snapshot holds
+    only this repetition's counters, which the parent merges back.
+    """
+    queue_wait = max(0.0, time.time() - submitted_at) if submitted_at else 0.0
+    metrics_on = METRICS.enabled
+    if metrics_on:
+        METRICS.reset()
+    started = time.perf_counter()
     try:
         metrics = measure(seed)
         # dict() preserves insertion order across the pickle boundary, so
         # the parent rebuilds `raw` exactly as the serial path would.
-        return repetition, seed, dict(metrics), None
+        result: Optional[Dict[str, float]] = dict(metrics)
+        error = None
     except Exception:
-        return repetition, seed, None, traceback.format_exc()
+        result, error = None, traceback.format_exc()
+    wall = time.perf_counter() - started
+    snapshot = METRICS.snapshot() if metrics_on else None
+    return repetition, seed, result, error, queue_wait, wall, snapshot
 
 
 class ParallelRepeater:
@@ -115,10 +140,12 @@ class ParallelRepeater:
         seeds = [derive_rep_seed(self.base_seed, repetition)
                  for repetition in range(self.reps)]
         results = []
+        metrics_on = METRICS.enabled
         with ProcessPoolExecutor(max_workers=workers,
                                  mp_context=_pool_context()) as pool:
             futures = [
-                pool.submit(_run_repetition, measure, repetition, seed)
+                pool.submit(_run_repetition, measure, repetition, seed,
+                            time.time())
                 for repetition, seed in enumerate(seeds)
             ]
             # Collect in repetition order; the lowest failing index wins,
@@ -132,14 +159,22 @@ class ParallelRepeater:
                         f"(seed {seeds[repetition]}) broke the worker "
                         f"pool: {exc}"
                     ) from exc
-        for repetition, seed, _metrics, error in results:
+        for repetition, seed, _metrics, error, *_rest in results:
             if error is not None:
                 raise ExperimentError(
                     f"repetition {repetition} (seed {seed}) failed in a "
                     f"worker; reproduce with measure({seed}).\n"
                     f"Worker traceback:\n{error}"
                 )
+        if metrics_on:
+            METRICS.inc("parallel.repetitions", len(results))
+            METRICS.gauge_max("parallel.workers", workers)
+            for _rep, _seed, _m, _err, queue_wait, wall, snapshot in results:
+                METRICS.observe("parallel.queue_wait_s", queue_wait)
+                METRICS.observe("parallel.worker_wall_s", wall)
+                if snapshot is not None:
+                    METRICS.merge(snapshot)
         return collect_repetitions(
             (repetition, seed, metrics)
-            for repetition, seed, metrics, _error in results
+            for repetition, seed, metrics, _error, *_timing in results
         )

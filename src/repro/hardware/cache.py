@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Sequence
 
 from repro.hardware.cpu import InstructionMix
+from repro.obs.metrics import METRICS
 
 
 @dataclass
@@ -73,3 +74,10 @@ class SharedL2Model:
 
     def observe(self, factor: float, dt: float) -> None:
         self.stats.observe(factor, dt)
+        if METRICS.enabled:
+            if factor < 1.0:
+                METRICS.inc("hw.l2.contended_s", dt)
+                # stall share: fraction of the interval lost to contention
+                METRICS.inc("hw.l2.contention_stall_s", (1.0 - factor) * dt)
+            else:
+                METRICS.inc("hw.l2.solo_s", dt)

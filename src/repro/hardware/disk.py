@@ -18,6 +18,7 @@ from typing import Optional
 
 from repro.errors import SimulationError
 from repro.hardware.specs import DiskSpec
+from repro.obs.metrics import METRICS
 from repro.simcore.engine import Engine
 from repro.simcore.events import SimEvent
 from repro.simcore.rng import RngStreams
@@ -106,6 +107,10 @@ class Disk:
         else:
             self.stats.reads += 1
             self.stats.bytes_read += nbytes
+        if METRICS.enabled:
+            METRICS.inc("hw.disk.writes" if is_write else "hw.disk.reads")
+            METRICS.inc("hw.disk.bytes", nbytes)
+            METRICS.observe("hw.disk.service_s", service)
         done = self.engine.event()
         self.engine.schedule_at(finish, done.succeed, service)
         return done

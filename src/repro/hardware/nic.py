@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.errors import NetworkError
 from repro.hardware.specs import NicSpec
+from repro.obs.metrics import METRICS
 from repro.simcore.engine import Engine
 from repro.simcore.events import SimEvent
 
@@ -90,6 +91,10 @@ class Nic:
         peer = self.peer
         peer.stats.frames_received += 1
         peer.stats.payload_bytes_received += payload_bytes
+        if METRICS.enabled:
+            METRICS.inc("hw.nic.frames")
+            METRICS.inc("hw.nic.payload_bytes", payload_bytes)
+            METRICS.observe("hw.nic.frame_wire_s", wire)
         done = self.engine.event()
         self.engine.schedule_at(finish, done.succeed, wire)
         if on_delivered is not None:

@@ -1,0 +1,235 @@
+"""Per-run manifests: a machine-readable record of every metrics run.
+
+A metrics-enabled figure/report/sweep run emits one JSON manifest under
+``results/runs/`` (configurable via :class:`repro.api.RunConfig`) holding
+the run id, the full run configuration, seeds and repetition policy,
+per-phase wall-clock, a per-subsystem counter snapshot and the cache
+outcome.  The manifest is the contract downstream tooling consumes
+(``repro metrics <run-id|last>`` is the human renderer; CI validates one
+against :func:`validate_manifest` on every push).
+
+Schema ``repro-run-manifest/1`` (see :data:`MANIFEST_SCHEMA` and
+:data:`REQUIRED_FIELDS`)::
+
+    {
+      "schema":   "repro-run-manifest/1",
+      "run_id":   "fig1-20260806-101500-1a2b3c",
+      "command":  "figure:fig1",
+      "created_unix": 1775111700.0,
+      "config":   {... RunConfig.to_dict() ...},
+      "versions": {"package": "1.0.0", "python": "3.11.8",
+                   "source_fingerprint": "deadbeefdeadbeef"},
+      "seeds":    {"base_seed": 1},
+      "phases":   [{"name": "generate", "wall_s": 12.5}, ...],
+      "metrics":  {"counters": {...}, "gauges": {...}, "timers": {...}},
+      "cache":    {"outcome": "hit"|"miss"|"disabled",
+                   "hits": 1, "misses": 0},
+      "figure":   {... FigureData.to_dict() ...}   # optional (sweeps omit)
+    }
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import pathlib
+import time
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.errors import ExperimentError
+
+#: Current manifest schema identifier.
+MANIFEST_SCHEMA = "repro-run-manifest/1"
+
+#: Default directory (relative to the working directory) for manifests.
+DEFAULT_RUNS_DIR = os.path.join("results", "runs")
+
+#: Field name -> required type(s); ``None`` in the tuple marks optional.
+REQUIRED_FIELDS: Dict[str, tuple] = {
+    "schema": (str,),
+    "run_id": (str,),
+    "command": (str,),
+    "created_unix": (int, float),
+    "config": (dict,),
+    "versions": (dict,),
+    "seeds": (dict,),
+    "phases": (list,),
+    "metrics": (dict,),
+    "cache": (dict,),
+}
+
+_CACHE_OUTCOMES = {"hit", "miss", "disabled"}
+
+
+_run_counter = itertools.count()
+
+
+def new_run_id(label: str) -> str:
+    """Unique, sortable, human-scannable run id.
+
+    pid distinguishes concurrent processes; the counter distinguishes
+    runs within one process (a timestamp alone collides at sub-second
+    run rates).
+    """
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+    nonce = f"{os.getpid() & 0xFFFF:04x}{next(_run_counter) & 0xFFFF:04x}"
+    return f"{label}-{stamp}-{nonce}"
+
+
+def validate_manifest(manifest: Mapping[str, Any]) -> List[str]:
+    """Schema check.  Returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    for name, types in REQUIRED_FIELDS.items():
+        if name not in manifest:
+            problems.append(f"missing field {name!r}")
+        elif not isinstance(manifest[name], types):
+            problems.append(
+                f"field {name!r} has type {type(manifest[name]).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+    if problems:
+        return problems
+    if manifest["schema"] != MANIFEST_SCHEMA:
+        problems.append(
+            f"schema is {manifest['schema']!r}, expected {MANIFEST_SCHEMA!r}"
+        )
+    for index, phase in enumerate(manifest["phases"]):
+        if (not isinstance(phase, dict) or "name" not in phase
+                or "wall_s" not in phase):
+            problems.append(f"phases[{index}] lacks name/wall_s")
+        elif not isinstance(phase["wall_s"], (int, float)) \
+                or phase["wall_s"] < 0:
+            problems.append(f"phases[{index}].wall_s is not a duration")
+    metrics = manifest["metrics"]
+    for section in ("counters", "gauges", "timers"):
+        if section not in metrics or not isinstance(metrics[section], dict):
+            problems.append(f"metrics.{section} missing or not a mapping")
+    outcome = manifest["cache"].get("outcome")
+    if outcome not in _CACHE_OUTCOMES:
+        problems.append(
+            f"cache.outcome is {outcome!r}, expected one of "
+            f"{sorted(_CACHE_OUTCOMES)}"
+        )
+    return problems
+
+
+def write_manifest(manifest: Mapping[str, Any],
+                   runs_dir: Union[str, os.PathLike, None] = None
+                   ) -> pathlib.Path:
+    """Validate and atomically write one manifest; returns its path."""
+    problems = validate_manifest(manifest)
+    if problems:
+        raise ExperimentError(
+            "refusing to write an invalid run manifest: "
+            + "; ".join(problems)
+        )
+    root = pathlib.Path(runs_dir if runs_dir is not None else DEFAULT_RUNS_DIR)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"{manifest['run_id']}.json"
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n",
+                   encoding="utf-8")
+    tmp.replace(path)
+    return path
+
+
+def list_manifests(runs_dir: Union[str, os.PathLike, None] = None
+                   ) -> List[pathlib.Path]:
+    """Manifest files, oldest first (mtime then name for stability)."""
+    root = pathlib.Path(runs_dir if runs_dir is not None else DEFAULT_RUNS_DIR)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("*.json"),
+                  key=lambda p: (p.stat().st_mtime, p.name))
+
+
+def load_manifest(ref: str = "last",
+                  runs_dir: Union[str, os.PathLike, None] = None
+                  ) -> Dict[str, Any]:
+    """Load a manifest by run id (exact or unique prefix), or ``"last"``
+    for the newest."""
+    entries = list_manifests(runs_dir)
+    if ref == "last":
+        if not entries:
+            raise ExperimentError(
+                "no run manifests found; run e.g. "
+                "`repro figure fig1 --metrics` first"
+            )
+        path = entries[-1]
+    else:
+        root = pathlib.Path(
+            runs_dir if runs_dir is not None else DEFAULT_RUNS_DIR)
+        path = root / f"{ref}.json"
+        if not path.is_file():
+            matches = [p for p in entries if p.stem.startswith(ref)]
+            if len(matches) == 1:
+                path = matches[0]
+            elif matches:
+                names = ", ".join(p.stem for p in matches[:5])
+                raise ExperimentError(
+                    f"run id prefix {ref!r} is ambiguous: {names}"
+                )
+            else:
+                known = ", ".join(p.stem for p in entries[-5:]) or "(none)"
+                raise ExperimentError(
+                    f"no run manifest {ref!r} under {root}; "
+                    f"recent runs: {known}"
+                )
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ExperimentError(f"corrupt run manifest {path}: {exc}") from exc
+
+
+def render_manifest(manifest: Mapping[str, Any]) -> str:
+    """Human-readable rendering for ``repro metrics``."""
+    lines = [
+        f"run      {manifest.get('run_id', '?')}",
+        f"command  {manifest.get('command', '?')}",
+    ]
+    created = manifest.get("created_unix")
+    if isinstance(created, (int, float)):
+        lines.append("created  " + time.strftime(
+            "%Y-%m-%d %H:%M:%S UTC", time.gmtime(created)))
+    config = manifest.get("config", {})
+    if config:
+        kv = " ".join(f"{k}={v}" for k, v in sorted(config.items())
+                      if v is not None and v is not False)
+        lines.append(f"config   {kv or '(defaults)'}")
+    cache = manifest.get("cache", {})
+    lines.append(f"cache    {cache.get('outcome', '?')}"
+                 f" (hits={cache.get('hits', 0)}"
+                 f" misses={cache.get('misses', 0)})")
+    phases = manifest.get("phases", [])
+    if phases:
+        lines.append("phases:")
+        for phase in phases:
+            lines.append(f"  {phase.get('name', '?'):<24}"
+                         f" {phase.get('wall_s', 0.0):9.3f}s")
+    metrics = manifest.get("metrics", {})
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name, value in sorted(counters.items()):
+            text = f"{value:.0f}" if float(value).is_integer() \
+                else f"{value:.6g}"
+            lines.append(f"  {name:<36} {text:>14}")
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"  {name:<36} {value:>14.6g}")
+    timers = metrics.get("timers", {})
+    if timers:
+        lines.append("timers:")
+        for name, agg in sorted(timers.items()):
+            if not agg:
+                continue
+            lines.append(
+                f"  {name:<36} n={agg['count']:<7.0f}"
+                f" total={agg['total']:.6g}"
+                f" mean={agg['mean']:.6g}"
+                f" max={agg['max']:.6g}"
+            )
+    return "\n".join(lines)

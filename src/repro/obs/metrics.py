@@ -1,0 +1,155 @@
+"""Run-metrics registry: counters, gauges and timers for the whole stack.
+
+Instrumentation sites live on hot paths (the event loop, the scheduler's
+placement routine, every disk/NIC request), so the registry follows the
+same guard contract as :class:`repro.simcore.trace.Tracer`:
+
+* the **only** cost at a disabled site is one attribute read and a branch
+  (``if METRICS.enabled:``); no kwargs are built, no strings formatted;
+* sites on the very hottest loop (``Engine.run``) hoist the flag into a
+  local before the loop and accumulate into plain locals, folding into
+  the registry once per ``run()`` call.
+
+Three instrument kinds, all addressed by dotted string name:
+
+* **counter** — monotone float total (``inc``);
+* **gauge** — last/max observed value (``gauge_set`` / ``gauge_max``);
+* **timer** — count/total/min/max aggregate of observed durations or
+  sizes (``observe``; a histogram-lite that keeps the manifest small).
+
+The module-level :data:`METRICS` registry is process-global and disabled
+by default; :func:`repro.api.run_figure` enables it for metrics-enabled
+runs.  Forked parallel workers inherit an enabled registry, reset their
+(process-private) copy, and ship a snapshot back to the parent, which
+merges it — so per-subsystem counters survive ``--jobs N`` fan-out.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+
+class MetricsRegistry:
+    """Named counters/gauges/timers behind a single ``enabled`` flag.
+
+    ``inc``/``observe``/``gauge_*`` early-return when disabled (second
+    line of defence — guarded call sites never reach them).
+    """
+
+    __slots__ = ("enabled", "counters", "gauges", "timers")
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        # name -> [count, total, min, max]
+        self.timers: Dict[str, list] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def enable(self, reset: bool = True) -> None:
+        if reset:
+            self.reset()
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.timers.clear()
+
+    # -- instruments -----------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (creates at 0)."""
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge_set(self, name: str, value: float) -> None:
+        """Record the latest value of gauge ``name``."""
+        if not self.enabled:
+            return
+        self.gauges[name] = value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Keep the maximum value ever seen for gauge ``name``."""
+        if not self.enabled:
+            return
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into timer ``name`` (count/total/min/max)."""
+        if not self.enabled:
+            return
+        agg = self.timers.get(name)
+        if agg is None:
+            self.timers[name] = [1, float(value), float(value), float(value)]
+        else:
+            agg[0] += 1
+            agg[1] += value
+            if value < agg[2]:
+                agg[2] = value
+            if value > agg[3]:
+                agg[3] = value
+
+    # -- reading ---------------------------------------------------------
+
+    def counter(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)
+
+    def gauge(self, name: str, default: Optional[float] = None
+              ) -> Optional[float]:
+        return self.gauges.get(name, default)
+
+    def timer(self, name: str) -> Optional[Dict[str, float]]:
+        agg = self.timers.get(name)
+        if agg is None:
+            return None
+        count, total, lo, hi = agg
+        return {"count": count, "total": total, "min": lo, "max": hi,
+                "mean": total / count if count else 0.0}
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self.counters.items()))
+
+    # -- snapshot / merge (parallel workers, manifests) ------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe copy of every instrument, sorted for stable diffs."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "timers": {name: self.timer(name)
+                       for name in sorted(self.timers)},
+        }
+
+    def merge(self, snap: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this
+        registry: counters add, gauges keep the max, timers combine."""
+        if not self.enabled:
+            return
+        for name, value in snap.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge_max(name, value)
+        for name, agg in snap.get("timers", {}).items():
+            if agg is None:
+                continue
+            mine = self.timers.get(name)
+            if mine is None:
+                self.timers[name] = [agg["count"], agg["total"],
+                                     agg["min"], agg["max"]]
+            else:
+                mine[0] += agg["count"]
+                mine[1] += agg["total"]
+                mine[2] = min(mine[2], agg["min"])
+                mine[3] = max(mine[3], agg["max"])
+
+
+#: The process-global registry every instrumentation site consults.
+METRICS = MetricsRegistry(enabled=False)

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 from repro.errors import SchedulerError
 from repro.hardware.cpu import InstructionMix
 from repro.hardware.machine import Machine
+from repro.obs.metrics import METRICS
 from repro.osmodel.threads import OsProcess, SimThread, ThreadState
 from repro.simcore.engine import Engine
 from repro.simcore.events import EventHandle, SimEvent
@@ -264,6 +265,8 @@ class Scheduler:
                 core.thread.ready_since = self.engine.now
                 core.thread = None
                 core.speed = 0.0
+                if METRICS.enabled:
+                    METRICS.inc("sched.preemptions")
 
         # Keep already-placed winners on their cores; fill the rest.
         placed = set(id(c.thread) for c in self.cores if c.thread is not None)
@@ -274,6 +277,11 @@ class Scheduler:
                 core.thread = thread
                 thread.state = ThreadState.RUNNING
                 thread.core = core.index
+                if METRICS.enabled:
+                    # Simulated-time runqueue wait: READY -> placed.
+                    METRICS.inc("sched.context_switches")
+                    METRICS.observe("sched.runqueue_wait_s",
+                                    self.engine.now - thread.ready_since)
                 if self.engine.trace.enabled:
                     self.engine.trace.record(
                         "sched.place", time=self.engine.now,
@@ -371,6 +379,8 @@ class Scheduler:
                 thread.boost_cpu_remaining = self.boost.boost_cpu
                 thread.rr_seq = self._next_rr()
                 boosted = True
+                if METRICS.enabled:
+                    METRICS.inc("sched.starvation_boosts")
                 if self.engine.trace.enabled:
                     self.engine.trace.record(
                         "sched.boost", time=now, thread=thread.name,

@@ -26,6 +26,7 @@ from heapq import heappop, heappush
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.metrics import METRICS
 from repro.simcore.events import AllOf, AnyOf, EventHandle, SimEvent, Timeout
 from repro.simcore.trace import Tracer
 
@@ -166,8 +167,21 @@ class Engine:
         self._running = True
         heap = self._heap
         pop = heapq.heappop
+        # Metrics follow the Tracer guard contract: the flag is hoisted
+        # into a local and all accounting accumulates into plain locals,
+        # so a disabled registry costs one branch per dispatched batch.
+        metrics_on = METRICS.enabled
+        if metrics_on:
+            from time import perf_counter
+
+            wall_started = perf_counter()
+            start_processed = self._processed
+            METRICS.gauge_max("engine.heap_size", len(heap))
+        batches = 0
+        batch_events = 0
+        batch_max = 0
         try:
-            if until is None:
+            if until is None and not metrics_on:
                 # Inlined hot loop (one Python frame for the whole drain).
                 # Daemon housekeeping must not keep the world spinning, so
                 # the non-daemon count is re-checked before every dispatch.
@@ -197,6 +211,40 @@ class Engine:
                             handle._on_cancel = None
                         self._processed += 1
                         handle.fn(*handle.args)
+            elif until is None:
+                # Instrumented copy of the drain loop — kept separate so
+                # the metrics-off path above stays byte-for-byte the
+                # original (the batch bookkeeping would otherwise cost a
+                # few per-event ops even when disabled).
+                while self._non_daemon_pending > 0 and heap:
+                    when, _seq, handle = pop(heap)
+                    if handle._cancelled:
+                        continue
+                    if when < self._now - 1e-12:
+                        raise SimulationError(
+                            "heap yielded an event from the past")
+                    if not handle.daemon:
+                        self._non_daemon_pending -= 1
+                        handle._on_cancel = None
+                    self._now = when
+                    self._processed += 1
+                    handle.fn(*handle.args)
+                    in_batch = 1
+                    while (heap and heap[0][0] == when
+                           and self._non_daemon_pending > 0):
+                        _w, _s, handle = pop(heap)
+                        if handle._cancelled:
+                            continue
+                        if not handle.daemon:
+                            self._non_daemon_pending -= 1
+                            handle._on_cancel = None
+                        self._processed += 1
+                        handle.fn(*handle.args)
+                        in_batch += 1
+                    batches += 1
+                    batch_events += in_batch
+                    if in_batch > batch_max:
+                        batch_max = in_batch
             else:
                 if until < self._now:
                     raise SimulationError(
@@ -219,6 +267,20 @@ class Engine:
                 self._now = max(self._now, until)
         finally:
             self._running = False
+        if metrics_on:
+            dispatched = self._processed - start_processed
+            wall = perf_counter() - wall_started
+            METRICS.inc("engine.runs")
+            METRICS.inc("engine.events_dispatched", dispatched)
+            METRICS.observe("engine.run_wall_s", wall)
+            METRICS.gauge_max("engine.heap_size", len(heap))
+            if wall > 0.0:
+                METRICS.gauge_max("engine.events_per_sec", dispatched / wall)
+            if batches:
+                # mean same-instant batch size = events / batches
+                METRICS.inc("engine.same_instant_batches", batches)
+                METRICS.inc("engine.same_instant_events", batch_events)
+                METRICS.gauge_max("engine.batch_events_max", batch_max)
         return self._now
 
     def run_until_event(self, event: SimEvent, limit: Optional[float] = None) -> Any:
@@ -229,6 +291,15 @@ class Engine:
         :class:`SimulationError` if the heap drains or ``limit`` passes
         without the event triggering.
         """
+        # Delta-based accounting (see run()): zero per-event cost when
+        # metrics are disabled, one counter fold per call when enabled.
+        metrics_on = METRICS.enabled
+        if metrics_on:
+            from time import perf_counter
+
+            wall_started = perf_counter()
+            start_processed = self._processed
+            METRICS.gauge_max("engine.heap_size", len(self._heap))
         while not event.triggered:
             if limit is not None and self._now >= limit:
                 raise SimulationError(f"time limit {limit}s reached before event")
@@ -239,6 +310,15 @@ class Engine:
                 )
             if not self.step():
                 raise SimulationError("event queue drained before event triggered")
+        if metrics_on:
+            dispatched = self._processed - start_processed
+            wall = perf_counter() - wall_started
+            METRICS.inc("engine.runs")
+            METRICS.inc("engine.events_dispatched", dispatched)
+            METRICS.observe("engine.run_wall_s", wall)
+            METRICS.gauge_max("engine.heap_size", len(self._heap))
+            if wall > 0.0:
+                METRICS.gauge_max("engine.events_per_sec", dispatched / wall)
         if not event.ok:
             raise event.value
         return event.value

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, Optional
 
 from repro.errors import CheckpointError
+from repro.obs.metrics import METRICS
 from repro.osmodel.kernel import Kernel
 from repro.units import MB
 from repro.virt.profiles import HypervisorProfile, get_profile
@@ -61,6 +62,9 @@ def save_checkpoint(vm: VirtualMachine, path: Optional[str] = None,
         yield from host_fs.write(thread, path, offset, nbytes)
         offset += nbytes
     yield from host_fs.fsync(thread, path)
+    if METRICS.enabled:
+        METRICS.inc("virt.ckpt.saves")
+        METRICS.inc("virt.ckpt.saved_bytes", size)
     return CheckpointImage(
         profile_name=vm.profile.name,
         config=vm.config,
@@ -141,4 +145,6 @@ def restore_checkpoint(host_kernel: Kernel, image: CheckpointImage,
     vm.vcpu.guest_instructions = image.guest_instructions
     vm.vcpu.guest_cycles = image.guest_cycles
     vm.guest_clock.stats.ticks_delivered = image.ticks_delivered
+    if METRICS.enabled:
+        METRICS.inc("virt.ckpt.restores")
     return vm

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.obs.metrics import METRICS
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.virt.profiles import HypervisorProfile
 
@@ -92,9 +94,15 @@ class GuestClock:
             self.stats.ticks_delivered += caught
             self.stats.ticks_caught_up += caught
             catchup_cycles = caught * self.profile.catchup_cycles_per_tick
+            if caught > 0.0 and METRICS.enabled:
+                METRICS.inc("virt.clock.ticks_caught_up", caught)
+                METRICS.inc("virt.clock.catchup_cycles", catchup_cycles)
         else:
             limit = self.profile.tick_backlog_limit_s * self.tick_hz
             if self.pending_ticks > limit:
+                if METRICS.enabled:
+                    METRICS.inc("virt.clock.ticks_dropped",
+                                self.pending_ticks - limit)
                 self.stats.ticks_dropped += self.pending_ticks - limit
                 self.pending_ticks = limit
         return catchup_cycles

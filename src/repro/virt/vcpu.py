@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import VirtualizationError
 from repro.hardware.cpu import InstructionMix
+from repro.obs.metrics import METRICS
 from repro.osmodel.kernel import CostKind
 from repro.osmodel.threads import SimThread
 from repro.simcore.events import SimEvent
@@ -79,10 +80,18 @@ class VCpu:
         self.guest_cycles += cycles
         self.guest_instructions += cycles / mix.cpi
         self.host_cycles_charged += host_cycles
+        if METRICS.enabled:
+            METRICS.inc("virt.vcpu.guest_cycles", cycles)
+            METRICS.inc("virt.vcpu.host_cycles", host_cycles)
+            # Translation overhead = host cycles beyond the guest demand —
+            # the "stolen" capacity a guest benchmark never sees.
+            METRICS.inc("virt.vcpu.steal_cycles", host_cycles - cycles)
         return self.vm.host_kernel.scheduler.submit(self.thread, host_cycles, mix)
 
     def charge_host_native(self, cycles: float, mix: InstructionMix) -> SimEvent:
         """VMM's own (host-native) work on the vCPU thread — device
         emulation, image-file syscalls.  No translation multiplier."""
         self.host_cycles_charged += cycles
+        if METRICS.enabled:
+            METRICS.inc("virt.vcpu.host_native_cycles", cycles)
         return self.vm.host_kernel.scheduler.submit(self.thread, cycles, mix)

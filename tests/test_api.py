@@ -1,0 +1,235 @@
+"""repro.api: RunConfig, activation, fallback warnings and run_figure."""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.api import RunConfig, RunResult, run_figure
+from repro.errors import ExperimentError
+from repro.obs.manifest import validate_manifest
+from repro.obs.metrics import METRICS
+
+
+@pytest.fixture(autouse=True)
+def _clean_metrics():
+    METRICS.disable()
+    METRICS.reset()
+    yield
+    METRICS.disable()
+    METRICS.reset()
+
+
+class TestFromEnv:
+    def test_empty_env_is_all_defaults(self):
+        config = RunConfig.from_env({})
+        assert config == RunConfig()
+        assert config.env_sources == ()
+
+    def test_parses_every_variable(self):
+        config = RunConfig.from_env({
+            "REPRO_REPS": "7", "REPRO_FULL": "1", "REPRO_FAST": "1",
+            "REPRO_JOBS": "3", "REPRO_CACHE": "0", "REPRO_METRICS": "1",
+            "REPRO_RUNS_DIR": "/tmp/r", "REPRO_CACHE_DIR": "/tmp/c",
+        })
+        assert config.reps == 7 and config.full and config.fast
+        assert config.jobs == 3
+        assert config.cache is False
+        assert config.metrics is True
+        assert config.runs_dir == "/tmp/r"
+        assert config.cache_dir == "/tmp/c"
+        assert set(config.env_sources) == {
+            "REPRO_REPS", "REPRO_FULL", "REPRO_FAST", "REPRO_JOBS",
+            "REPRO_CACHE", "REPRO_METRICS"}
+
+    def test_cache_falsey_spellings(self):
+        for raw in ("0", "false", "no", "off", ""):
+            assert RunConfig.from_env({"REPRO_CACHE": raw}).cache is False
+        assert RunConfig.from_env({"REPRO_CACHE": "1"}).cache is True
+
+    def test_bad_reps_is_clean_experiment_error(self):
+        # regression: this used to escape as a raw ValueError
+        with pytest.raises(ExperimentError, match="REPRO_REPS.*'abc'"):
+            RunConfig.from_env({"REPRO_REPS": "abc"})
+
+    def test_bad_jobs_is_clean_experiment_error(self):
+        with pytest.raises(ExperimentError, match="REPRO_JOBS"):
+            RunConfig.from_env({"REPRO_JOBS": "many"})
+
+
+class TestPolicy:
+    def test_resolve_reps_precedence(self):
+        from repro.core.experiment import FAST_REPS, PAPER_REPS
+
+        assert RunConfig().resolve_reps(12) == 12
+        assert RunConfig(reps=5, full=True, fast=True).resolve_reps(12) == 5
+        assert RunConfig(full=True).resolve_reps(12) == PAPER_REPS
+        assert RunConfig(fast=True).resolve_reps(12) == min(FAST_REPS, 12)
+        assert RunConfig(fast=True).resolve_reps(1) == 1
+
+    def test_resolve_reps_rejects_nonpositive(self):
+        with pytest.raises(ExperimentError, match=">= 1"):
+            RunConfig(reps=0).resolve_reps(5)
+
+    def test_resolve_jobs(self):
+        import os
+
+        assert RunConfig(jobs=3).resolve_jobs() == 3
+        assert RunConfig(jobs=3).resolve_jobs(2) == 2  # argument wins
+        assert RunConfig().resolve_jobs() == (os.cpu_count() or 1)
+        with pytest.raises(ExperimentError, match=">= 1"):
+            RunConfig(jobs=0).resolve_jobs()
+
+    def test_use_cache(self):
+        assert RunConfig().use_cache(default=True) is True
+        assert RunConfig().use_cache() is False
+        assert RunConfig(cache=False).use_cache(default=True) is False
+
+    def test_reps_policy_dict(self):
+        assert RunConfig(reps=2).reps_policy() == \
+            {"reps": 2, "full": False, "fast": False}
+
+    def test_matches_legacy_resolve_reps(self):
+        # parity with the library entry point given the same mapping
+        from repro.core.experiment import resolve_reps
+
+        for env in ({}, {"REPRO_REPS": "9"}, {"REPRO_FULL": "1"},
+                    {"REPRO_FAST": "1"}):
+            assert resolve_reps(12, env=env) == \
+                RunConfig.from_env(env).resolve_reps(12)
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        config = RunConfig(reps=4, jobs=2, cache=True, base_seed=99,
+                           metrics=True, runs_dir="/tmp/r")
+        assert RunConfig.from_dict(config.to_dict()) == config
+
+    def test_with_overrides(self):
+        config = RunConfig(fast=True)
+        changed = config.with_overrides(jobs=2, metrics=True)
+        assert changed.fast and changed.jobs == 2 and changed.metrics
+        assert config.jobs is None  # frozen original untouched
+
+
+class TestActivation:
+    def test_activated_scopes_the_config(self):
+        assert api.active_config() is None
+        config = RunConfig(reps=3)
+        with api.activated(config):
+            assert api.active_config() is config
+            inner = RunConfig(reps=4)
+            with api.activated(inner):
+                assert api.active_config() is inner
+            assert api.active_config() is config
+        assert api.active_config() is None
+
+    def test_fallback_prefers_active_config_without_warning(self):
+        config = RunConfig(reps=3)
+        with api.activated(config):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert api.fallback_config("reps") is config
+
+    def test_fallback_warns_on_env_policy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPS", "4")
+        with pytest.warns(DeprecationWarning, match="REPRO_REPS"):
+            config = api.fallback_config("reps")
+        assert config.reps == 4
+
+    def test_fallback_silent_when_env_carries_no_policy(self, monkeypatch):
+        for name in ("REPRO_REPS", "REPRO_FULL", "REPRO_FAST",
+                     "REPRO_JOBS", "REPRO_CACHE"):
+            monkeypatch.delenv(name, raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            api.fallback_config("reps")
+            api.fallback_config("jobs")
+            api.fallback_config("cache")
+
+    def test_library_entry_points_warn(self, monkeypatch):
+        from repro.core.cache import cache_enabled
+        from repro.core.experiment import resolve_reps
+
+        monkeypatch.setenv("REPRO_REPS", "2")
+        with pytest.warns(DeprecationWarning):
+            assert resolve_reps(10) == 2
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        with pytest.warns(DeprecationWarning):
+            assert cache_enabled(default=True) is False
+
+
+class TestRunFigure:
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown figure"):
+            run_figure("fig99")
+
+    def test_plain_run_returns_figure(self):
+        result = run_figure("mem")
+        assert result.fig_id == "mem"
+        assert result.figure.fig_id == "mem"
+        assert result.cache_outcome == "disabled"
+        assert result.run_id is None and result.manifest_path is None
+        assert result.metrics is None
+
+    def test_metrics_run_writes_valid_manifest(self, tmp_path):
+        import json
+
+        config = RunConfig(metrics=True, fast=True,
+                           runs_dir=str(tmp_path / "runs"))
+        result = run_figure("fig2", config, size=64)
+        assert result.run_id and result.manifest_path
+        manifest = json.loads(open(result.manifest_path).read())
+        assert validate_manifest(manifest) == []
+        counters = manifest["metrics"]["counters"]
+        assert counters.get("engine.events_dispatched", 0) > 0
+        assert any(name == "generate"
+                   for name in (p["name"] for p in manifest["phases"]))
+        assert manifest["config"]["fast"] is True
+        assert manifest["cache"]["outcome"] == "disabled"
+        assert not METRICS.enabled  # switched back off afterwards
+
+    def test_cache_outcome_miss_then_hit(self, tmp_path):
+        config = RunConfig(metrics=True, cache=True,
+                           cache_dir=str(tmp_path / "cache"),
+                           runs_dir=str(tmp_path / "runs"))
+        cold = run_figure("mem", config)
+        warm = run_figure("mem", config)
+        assert cold.cache_outcome == "miss"
+        assert warm.cache_outcome == "hit"
+        assert warm.figure.to_dict() == cold.figure.to_dict()
+
+    def test_run_result_round_trip(self, tmp_path):
+        config = RunConfig(metrics=True, fast=True,
+                           runs_dir=str(tmp_path / "runs"))
+        result = run_figure("mem", config)
+        back = RunResult.from_dict(result.to_dict())
+        assert back.fig_id == result.fig_id
+        assert back.figure.to_dict() == result.figure.to_dict()
+        assert back.metrics == result.metrics
+        assert back.cache_outcome == result.cache_outcome
+
+
+class TestMetricsDoNotPerturb:
+    """Figure numbers must be bit-identical with metrics on or off."""
+
+    def _data(self, metrics, jobs):
+        config = RunConfig(metrics=metrics, reps=2, jobs=jobs, cache=False)
+        return run_figure("fig2", config, size=64).figure.to_dict()
+
+    def test_serial_bit_identical(self):
+        assert self._data(metrics=False, jobs=1) == \
+            self._data(metrics=True, jobs=1)
+
+    def test_parallel_bit_identical(self):
+        baseline = self._data(metrics=False, jobs=1)
+        assert self._data(metrics=True, jobs=2) == baseline
+        assert self._data(metrics=False, jobs=2) == baseline
+
+    def test_parallel_run_merges_worker_counters(self):
+        config = RunConfig(metrics=True, reps=2, jobs=2, cache=False)
+        result = run_figure("fig2", config, size=64)
+        counters = result.metrics["counters"]
+        assert counters.get("engine.events_dispatched", 0) > 0
+        assert counters.get("parallel.repetitions", 0) >= 2
+        assert result.metrics["timers"].get("parallel.worker_wall_s")

@@ -71,6 +71,52 @@ class TestFigureCommand:
             main(["figure", "mem", "--jobs", "0"])
 
 
+class TestMetricsFlag:
+    def test_figure_metrics_writes_manifest(self, capsys, monkeypatch,
+                                            tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+        assert main(["figure", "mem", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics manifest:" in out
+        manifests = list((tmp_path / "runs").glob("*.json"))
+        assert len(manifests) == 1
+        import json
+
+        from repro.obs.manifest import validate_manifest
+
+        manifest = json.loads(manifests[0].read_text())
+        assert validate_manifest(manifest) == []
+        assert manifest["command"] == "figure:mem"
+
+    def test_metrics_subcommand_renders_last(self, capsys, monkeypatch,
+                                             tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+        assert main(["figure", "mem", "--metrics"]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "last",
+                     "--runs-dir", str(tmp_path / "runs")]) == 0
+        out = capsys.readouterr().out
+        assert "figure:mem" in out and "counters:" in out
+
+    def test_metrics_subcommand_uses_env_runs_dir(self, capsys, monkeypatch,
+                                                  tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+        assert main(["figure", "mem", "--metrics"]) == 0
+        capsys.readouterr()
+        assert main(["metrics"]) == 0
+        assert "figure:mem" in capsys.readouterr().out
+
+    def test_sweep_metrics_writes_manifest(self, capsys, monkeypatch,
+                                           tmp_path):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+        assert main(["sweep", "l2", "--metrics"]) == 0
+        assert "metrics manifest:" in capsys.readouterr().out
+        assert list((tmp_path / "runs").glob("*.json"))
+
+
 class TestCacheCommand:
     def test_stats_on_empty_cache(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))

@@ -1,0 +1,153 @@
+"""The metrics registry and its instrumentation sites."""
+
+import pytest
+
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.simcore.engine import Engine
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_registry():
+    """Every test starts and ends with the global registry disabled."""
+    METRICS.disable()
+    METRICS.reset()
+    yield
+    METRICS.disable()
+    METRICS.reset()
+
+
+class TestRegistry:
+    def test_disabled_by_default_and_noop(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.gauge_set("b", 1.0)
+        reg.gauge_max("c", 2.0)
+        reg.observe("d", 3.0)
+        assert reg.counters == {} and reg.gauges == {} and reg.timers == {}
+        assert reg.counter("a") == 0.0
+        assert reg.gauge("b") is None
+        assert reg.timer("d") is None
+
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("x")
+        reg.inc("x", 2.5)
+        assert reg.counter("x") == 3.5
+
+    def test_gauge_set_vs_max(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge_set("g", 5.0)
+        reg.gauge_set("g", 2.0)
+        assert reg.gauge("g") == 2.0
+        reg.gauge_max("m", 5.0)
+        reg.gauge_max("m", 2.0)
+        assert reg.gauge("m") == 5.0
+
+    def test_timer_aggregates(self):
+        reg = MetricsRegistry(enabled=True)
+        for value in (2.0, 8.0, 5.0):
+            reg.observe("t", value)
+        agg = reg.timer("t")
+        assert agg["count"] == 3
+        assert agg["total"] == 15.0
+        assert agg["min"] == 2.0 and agg["max"] == 8.0
+        assert agg["mean"] == 5.0
+
+    def test_enable_resets_by_default(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("x")
+        reg.enable()
+        assert reg.counter("x") == 0.0
+        reg.inc("x")
+        reg.disable()
+        reg.enable(reset=False)
+        assert reg.counter("x") == 1.0
+
+    def test_snapshot_is_json_safe_and_sorted(self):
+        import json
+
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("b")
+        reg.inc("a")
+        reg.gauge_max("g", 4.0)
+        reg.observe("t", 1.0)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        json.dumps(snap)  # must not raise
+
+    def test_merge_adds_counters_maxes_gauges_combines_timers(self):
+        a = MetricsRegistry(enabled=True)
+        a.inc("c", 2.0)
+        a.gauge_max("g", 1.0)
+        a.observe("t", 5.0)
+        b = MetricsRegistry(enabled=True)
+        b.inc("c", 3.0)
+        b.inc("only_b")
+        b.gauge_max("g", 9.0)
+        b.observe("t", 1.0)
+        a.merge(b.snapshot())
+        assert a.counter("c") == 5.0
+        assert a.counter("only_b") == 1.0
+        assert a.gauge("g") == 9.0
+        agg = a.timer("t")
+        assert agg["count"] == 2 and agg["min"] == 1.0 and agg["max"] == 5.0
+
+
+class TestEngineCounters:
+    def _burn(self, engine, n):
+        fired = []
+        for i in range(n):
+            engine.schedule(i * 0.001, fired.append, i)
+        engine.run()
+        assert len(fired) == n
+
+    def test_dispatch_count_matches_counter(self):
+        METRICS.enable()
+        engine = Engine()
+        self._burn(engine, 37)
+        assert METRICS.counter("engine.events_dispatched") == \
+            engine.events_processed == 37
+        assert METRICS.counter("engine.runs") == 1
+        assert METRICS.gauge("engine.heap_size") >= 1
+        assert METRICS.timer("engine.run_wall_s")["count"] == 1
+
+    def test_run_until_event_counts_too(self):
+        METRICS.enable()
+        engine = Engine()
+        done = engine.timeout(0.5, "ok")
+        for i in range(10):
+            engine.schedule(i * 0.01, lambda: None, daemon=True)
+        assert engine.run_until_event(done) == "ok"
+        assert METRICS.counter("engine.events_dispatched") == \
+            engine.events_processed
+
+    def test_same_instant_batches(self):
+        METRICS.enable()
+        engine = Engine()
+        for _ in range(4):
+            engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        assert METRICS.counter("engine.same_instant_batches") == 2
+        assert METRICS.counter("engine.same_instant_events") == 5
+        assert METRICS.gauge("engine.batch_events_max") == 4
+
+    def test_disabled_registry_untouched(self):
+        engine = Engine()
+        self._burn(engine, 10)
+        assert METRICS.counters == {}
+
+
+class TestCacheCounters:
+    def test_hit_miss_store_match_cache_stats(self, tmp_path):
+        from repro.core.cache import ResultCache
+
+        METRICS.enable()
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key("exp", {"p": 1})
+        assert cache.get(key) is None          # miss
+        cache.put(key, {"v": 42}, "exp")       # store
+        assert cache.get(key) == {"v": 42}     # hit
+        assert METRICS.counter("cache.misses") == cache.misses == 1
+        assert METRICS.counter("cache.hits") == cache.hits == 1
+        assert METRICS.counter("cache.stores") == 1
