@@ -1,0 +1,17 @@
+"""Fleet makespan distribution — percentiles per hypervisor fleet."""
+
+import pytest
+
+from _bench_util import figure_once
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_fleet_makespan_distribution(benchmark, record_figure):
+    fig = figure_once(benchmark, "fleet_makespan")
+    record_figure(fig)
+    measured = fig.measured_values()
+    # the p90 tail sits above the median for every fleet, and the
+    # slowest guest (QEMU, Figures 1-2) has the slowest median
+    for profile in ("vmplayer", "qemu", "virtualbox", "virtualpc"):
+        assert measured[f"{profile} p90"] >= measured[f"{profile} p50"]
+    assert measured["qemu p50"] >= measured["vmplayer p50"]

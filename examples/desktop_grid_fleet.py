@@ -14,7 +14,8 @@ with what the same machines would deliver running natively.
 Run:  python examples/desktop_grid_fleet.py     (about a minute of wall time)
 """
 
-from repro.grid import DesktopGrid, VolunteerConfig, estimated_grid_efficiency
+from repro.fleet import estimated_grid_efficiency
+from repro.grid import DesktopGrid, VolunteerConfig
 from repro.workloads.einstein import EinsteinWorkunit
 
 SIM_SECONDS = 900.0

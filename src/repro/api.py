@@ -410,3 +410,112 @@ def run_figure(fig_id: str, config: Optional[RunConfig] = None,
         cache_outcome=outcome, run_id=run_id,
         manifest_path=manifest_path, metrics=snapshot,
     )
+
+
+# ---------------------------------------------------------------------------
+# FleetRunResult + run_fleet
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FleetRunResult:
+    """Outcome of one :func:`run_fleet` call."""
+
+    report: Any                      # repro.fleet.FleetReport
+    figure: Any                      # FigureData rendering of the report
+    wall_s: float
+    cache_outcome: str = "disabled"  # "hit" | "miss" | "disabled"
+    run_id: Optional[str] = None
+    manifest_path: Optional[str] = None
+    metrics: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "report": self.report.to_dict(),
+            "figure": self.figure.to_dict() if self.figure is not None
+            else None,
+            "wall_s": self.wall_s,
+            "cache_outcome": self.cache_outcome,
+            "run_id": self.run_id,
+            "manifest_path": self.manifest_path,
+            "metrics": self.metrics,
+        }
+
+
+def run_fleet(fleet_config: Any,
+              config: Optional[RunConfig] = None) -> FleetRunResult:
+    """Run one fleet simulation under ``config``; the one entry point.
+
+    Mirrors :func:`run_figure`: activates ``config`` so worker-count
+    policy flows to the sharded host build, consults the result cache
+    (identity = the :class:`repro.fleet.FleetConfig` alone, never the
+    worker count, so hits are bit-identical to cold runs at any
+    ``--jobs``), optionally collects metrics, and — when
+    ``config.metrics`` — writes a run manifest carrying the full fleet
+    configuration and the report.
+    """
+    from repro.core.cache import ResultCache
+    from repro.fleet.figures import report_figure
+    from repro.fleet.server import FleetReport, simulate_fleet
+    from repro.obs.manifest import new_run_id, write_manifest
+    from repro.obs.metrics import METRICS
+
+    config = config if config is not None else RunConfig()
+    use_cache = config.use_cache(default=False)
+    started = time.perf_counter()
+    phases: List[Dict[str, Any]] = []
+    was_enabled = METRICS.enabled
+    snapshot: Optional[Dict[str, Any]] = None
+    outcome = "disabled"
+    with activated(config):
+        if config.metrics and not was_enabled:
+            METRICS.enable(reset=True)
+        try:
+            params = {"config": fleet_config.to_dict()}
+            cache = ResultCache() if use_cache else None
+            key = cache.key("fleet", params) if cache is not None else None
+            report = None
+            if cache is not None:
+                payload = cache.get(key)
+                if payload is not None:
+                    t0 = time.perf_counter()
+                    report = FleetReport.from_dict(payload)
+                    outcome = "hit"
+                    phases.append({"name": "cache-load",
+                                   "wall_s": time.perf_counter() - t0})
+            if report is None:
+                t0 = time.perf_counter()
+                report = simulate_fleet(fleet_config)
+                phases.append({"name": "simulate",
+                               "wall_s": time.perf_counter() - t0})
+                if cache is not None:
+                    outcome = "miss"
+                    cache.put(key, report.to_dict(), experiment="fleet",
+                              params=params)
+            if config.metrics:
+                snapshot = METRICS.snapshot()
+        finally:
+            if config.metrics and not was_enabled:
+                METRICS.disable()
+
+    figure = report_figure(report)
+    run_id = None
+    manifest_path = None
+    if config.metrics and snapshot is not None:
+        run_id = new_run_id("fleet")
+        t0 = time.perf_counter()
+        manifest = build_manifest(
+            command=f"fleet:{fleet_config.hypervisor}", config=config,
+            phases=phases, snapshot=snapshot, cache_outcome=outcome,
+            seeds={"seed": fleet_config.seed}, figure=figure, run_id=run_id,
+        )
+        manifest["fleet"] = fleet_config.to_dict()
+        manifest_path = str(write_manifest(manifest, config.runs_dir))
+        phases.append({"name": "emit-manifest",
+                       "wall_s": time.perf_counter() - t0})
+
+    return FleetRunResult(
+        report=report, figure=figure,
+        wall_s=time.perf_counter() - started,
+        cache_outcome=outcome, run_id=run_id,
+        manifest_path=manifest_path, metrics=snapshot,
+    )

@@ -8,6 +8,7 @@ Subcommands
 * ``repro report [--out F]``   — regenerate everything, emit markdown
 * ``repro profiles``           — show the calibrated hypervisor profiles
 * ``repro sweep l2|service|catchup|checkpoint`` — sensitivity sweeps
+* ``repro fleet [--hosts N ...]`` — fleet-scale desktop-grid simulation
 * ``repro cache stats|clear``  — inspect / empty the on-disk result cache
 * ``repro metrics [RUN|last]`` — render a recorded run manifest
 
@@ -162,6 +163,45 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fleet import FleetConfig
+
+    # Fleet runs record a manifest by default (they are the headline
+    # artefact); --no-metrics opts out.
+    args.metrics = not args.no_metrics
+    config = _build_config(args)
+    fleet_config = FleetConfig(
+        hosts=args.hosts,
+        hypervisor=args.hypervisor,
+        seed=args.seed,
+        duration_s=args.hours * 3600.0,
+        workunits=args.workunits,
+        quorum=args.quorum,
+        error_rate=args.error_rate,
+    )
+    result = api.run_fleet(fleet_config, config)
+    if args.json:
+        print(json.dumps(result.report.to_dict(), sort_keys=True))
+    else:
+        print(result.report.summary())
+        print(ascii_bar_chart(result.figure))
+    line = (f"  ({result.wall_s:.1f}s wall, cache {result.cache_outcome})")
+    print(line, file=sys.stderr if args.json else sys.stdout)
+    if result.manifest_path:
+        print(f"  metrics manifest: {result.manifest_path}",
+              file=sys.stderr if args.json else sys.stdout)
+    if args.svg:
+        from repro.core.svg import write_svg
+
+        os.makedirs(args.svg, exist_ok=True)
+        path = write_svg(result.figure, os.path.join(args.svg, "fleet.svg"))
+        print(f"  wrote {path}",
+              file=sys.stderr if args.json else sys.stdout)
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.obs.manifest import load_manifest, render_manifest
 
@@ -268,6 +308,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(sweep)
     _add_metrics_flag(sweep)
     sweep.set_defaults(fn=_cmd_sweep)
+
+    fleet = sub.add_parser(
+        "fleet", help="simulate a whole volunteer fleet (repro.fleet)"
+    )
+    fleet.add_argument("--hosts", type=int, default=200, metavar="N",
+                       help="volunteer hosts in the fleet (default: 200)")
+    fleet.add_argument("--hypervisor", default="vmplayer", metavar="NAME",
+                       help="profile name, alias (vmware, vbox, vpc) or "
+                            "'mixed' (default: vmplayer)")
+    fleet.add_argument("--seed", type=int, default=42,
+                       help="root seed for every stream (default: 42)")
+    fleet.add_argument("--hours", type=float, default=24.0, metavar="H",
+                       help="simulated horizon in hours (default: 24)")
+    fleet.add_argument("--workunits", type=int, default=0, metavar="N",
+                       help="batch size (default: 0 = auto-sized to keep "
+                            "the fleet busy)")
+    fleet.add_argument("--quorum", type=int, default=2, metavar="Q",
+                       help="matching results to validate (default: 2)")
+    fleet.add_argument("--error-rate", type=float, default=0.02,
+                       metavar="P", dest="error_rate",
+                       help="per-result erroneous probability "
+                            "(default: 0.02)")
+    fleet.add_argument("--json", action="store_true",
+                       help="print the canonical JSON report instead of "
+                            "the summary (CI equivalence checks)")
+    fleet.add_argument("--svg", metavar="DIR",
+                       help="also write an SVG chart of the run into DIR")
+    fleet.add_argument("--no-metrics", action="store_true",
+                       dest="no_metrics",
+                       help="skip metrics collection and the run manifest")
+    _add_jobs_flag(fleet)
+    fleet.set_defaults(fn=_cmd_fleet)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", metavar="ACTION",

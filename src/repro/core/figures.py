@@ -349,6 +349,32 @@ def memory_footprint_figure(base_seed: int = 9) -> FigureData:
 
 
 # ---------------------------------------------------------------------------
+# Fleet-scale figures (repro.fleet) — lazy wrappers, since fleet.figures
+# imports FigureData from this module.
+# ---------------------------------------------------------------------------
+
+def fleet_figure(**kwargs) -> FigureData:
+    """Validated throughput vs fleet size (see repro.fleet.figures)."""
+    from repro.fleet.figures import fleet_scale_figure
+
+    return fleet_scale_figure(**kwargs)
+
+
+def fleet_makespan(**kwargs) -> FigureData:
+    """Makespan percentiles per hypervisor fleet."""
+    from repro.fleet.figures import fleet_makespan_figure
+
+    return fleet_makespan_figure(**kwargs)
+
+
+def fleet_waste(**kwargs) -> FigureData:
+    """Wasted-CPU fraction per hypervisor in a mixed fleet."""
+    from repro.fleet.figures import fleet_waste_figure
+
+    return fleet_waste_figure(**kwargs)
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -363,6 +389,9 @@ FIGURES = {
     "fig7": figure7_host_cpu,
     "fig8": figure8_host_mips,
     "mem": memory_footprint_figure,
+    "fleet": fleet_figure,
+    "fleet_makespan": fleet_makespan,
+    "fleet_waste": fleet_waste,
 }
 
 def figure_to_payload(fig: FigureData) -> Dict[str, Any]:

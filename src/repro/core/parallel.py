@@ -122,6 +122,68 @@ def _run_repetition(measure: MeasureFn, repetition: int, seed: int,
     return repetition, seed, result, error, queue_wait, wall, snapshot
 
 
+def _run_shard(fn, index: int, task: Any
+               ) -> Tuple[int, Any, Optional[str],
+                          Optional[Dict[str, Any]]]:
+    """Worker body for :func:`map_shards`: one shard, errors as text.
+
+    Returns ``(index, result, error, counter_snapshot)``; same metrics
+    snapshot/reset protocol as :func:`_run_repetition`.
+    """
+    metrics_on = METRICS.enabled
+    if metrics_on:
+        METRICS.reset()
+    try:
+        result, error = fn(task), None
+    except Exception:
+        result, error = None, traceback.format_exc()
+    snapshot = METRICS.snapshot() if metrics_on else None
+    return index, result, error, snapshot
+
+
+def map_shards(fn, tasks, jobs: Optional[int] = None) -> list:
+    """Map ``fn`` over ``tasks`` across workers, results in task order.
+
+    The generic fan-out primitive behind fleet host building (and any
+    future shard-shaped work): tasks must be picklable and independent,
+    and because results come back in submission order the caller's merge
+    is bit-identical to ``[fn(t) for t in tasks]`` at any worker count.
+    Serial fallbacks (one worker, one task, unpicklable ``fn``) run
+    in-process; worker failures re-raise as :class:`ExperimentError`
+    naming the shard index with the remote traceback attached.
+    """
+    tasks = list(tasks)
+    workers = min(resolve_jobs(jobs), len(tasks)) if tasks else 0
+    if workers <= 1 or not measure_is_picklable(fn):
+        return [fn(task) for task in tasks]
+    metrics_on = METRICS.enabled
+    gathered = []
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=_pool_context()) as pool:
+        futures = [pool.submit(_run_shard, fn, index, task)
+                   for index, task in enumerate(tasks)]
+        for index, future in enumerate(futures):
+            try:
+                gathered.append(future.result())
+            except Exception as exc:
+                raise ExperimentError(
+                    f"shard {index} broke the worker pool: {exc}"
+                ) from exc
+    for index, _result, error, _snapshot in gathered:
+        if error is not None:
+            raise ExperimentError(
+                f"shard {index} failed in a worker.\n"
+                f"Worker traceback:\n{error}"
+            )
+    if metrics_on:
+        METRICS.inc("parallel.shards", len(gathered))
+        METRICS.gauge_max("parallel.workers", workers)
+        for _index, _result, _error, snapshot in gathered:
+            if snapshot is not None:
+                METRICS.merge(snapshot)
+    return [result for _index, result, _error, _snapshot in gathered]
+
+
 class ParallelRepeater:
     """Drop-in :class:`Repeater` that spreads repetitions over processes."""
 

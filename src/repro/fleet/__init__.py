@@ -1,0 +1,92 @@
+"""Fleet-scale desktop-grid simulation (``repro.fleet``).
+
+Scales the paper's single-desktop calibration (Figures 1-8) up to a
+whole volunteer project: a BOINC-style work-unit server (dispatch,
+deadlines, retry/backoff, quorum-of-2 validation with erroneous-result
+injection) driving thousands of churny volunteer hosts, each carrying a
+per-hypervisor slowdown derived from the calibrated guest-performance
+and host-intrusiveness results.
+
+Layout:
+
+* :mod:`~repro.fleet.calibration` — hypervisor aliases and the
+  figures-to-fleet slowdown reduction;
+* :mod:`~repro.fleet.config` — :class:`FleetConfig`, the validated
+  value object every run is a pure function of;
+* :mod:`~repro.fleet.churn` — per-host availability traces
+  (on/off sessions, permanent departure);
+* :mod:`~repro.fleet.host` — deterministic host sampling, sharded
+  across :func:`repro.core.parallel.map_shards` workers;
+* :mod:`~repro.fleet.validation` — the quorum validator;
+* :mod:`~repro.fleet.server` — the discrete-event server loop and
+  :class:`FleetReport`;
+* :mod:`~repro.fleet.figures` — fleet-level figures registered in
+  :data:`repro.core.figures.FIGURES`.
+
+Entry points: :func:`repro.api.run_fleet` (cache + manifest + metrics)
+and the ``repro fleet`` CLI subcommand.
+"""
+
+from repro.fleet.calibration import (
+    HYPERVISOR_ALIASES,
+    MIXED_FLEET,
+    estimated_grid_efficiency,
+    fleet_slowdown,
+    fleet_slowdowns,
+    resolve_hypervisor,
+)
+from repro.fleet.churn import (
+    ChurnModel,
+    active_seconds,
+    availability_trace,
+    finish_time,
+)
+from repro.fleet.config import FleetConfig
+from repro.fleet.host import (
+    SHARD_SIZE,
+    FleetHost,
+    build_fleet_hosts,
+    host_shards,
+    sample_host,
+)
+from repro.fleet.server import FleetReport, FleetServer, simulate_fleet
+from repro.fleet.validation import (
+    CANONICAL_KEY,
+    QuorumValidator,
+    erroneous_key,
+)
+from repro.fleet.figures import (
+    fleet_makespan_figure,
+    fleet_scale_figure,
+    fleet_waste_figure,
+    report_figure,
+)
+
+__all__ = [
+    "CANONICAL_KEY",
+    "ChurnModel",
+    "FleetConfig",
+    "FleetHost",
+    "FleetReport",
+    "FleetServer",
+    "HYPERVISOR_ALIASES",
+    "MIXED_FLEET",
+    "QuorumValidator",
+    "SHARD_SIZE",
+    "active_seconds",
+    "availability_trace",
+    "build_fleet_hosts",
+    "erroneous_key",
+    "estimated_grid_efficiency",
+    "finish_time",
+    "fleet_makespan_figure",
+    "fleet_scale_figure",
+    "fleet_slowdown",
+    "fleet_slowdowns",
+    "fleet_waste_figure",
+    "host_shards",
+    "report_figure",
+    "resolve_hypervisor",
+    "sample_host",
+    "simulate_fleet",
+]

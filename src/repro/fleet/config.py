@@ -1,0 +1,139 @@
+"""Fleet run configuration: one frozen dataclass, validated on build.
+
+Mirrors the :class:`repro.api.RunConfig` philosophy — a single immutable
+value object carries every parameter of a fleet simulation, validation
+happens at construction with clean :class:`ExperimentError` messages
+(the ``REPRO_REPS=abc`` convention), and :meth:`FleetConfig.to_dict` is
+the canonical serialisation shared by the result cache and the run
+manifest.  Everything downstream (host sampling, the server, figures)
+is a pure function of this object, so two runs with equal configs are
+bit-identical regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Mapping
+
+from repro.errors import ExperimentError
+from repro.fleet.calibration import (
+    MIXED_FLEET,
+    fleet_slowdown,
+    fleet_slowdowns,
+    resolve_hypervisor,
+)
+
+#: Fractions of a whole that must lie inside [0, 1].
+_FRACTION_FIELDS = ("availability_mean", "error_rate")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything that shapes one fleet simulation."""
+
+    hosts: int = 200                    #: volunteer desktops in the fleet
+    hypervisor: str = "vmplayer"        #: profile name, alias, or "mixed"
+    seed: int = 42                      #: root seed of every stream
+    duration_s: float = 86400.0         #: simulated horizon (1 day)
+    workunits: int = 0                  #: batch size; 0 = auto-sized
+    wu_flops: float = 7.2e12            #: ~1 h native compute per work unit
+    quorum: int = 2                     #: matching results needed to validate
+    max_replicas: int = 8               #: reissue ceiling per work unit
+    deadline_factor: float = 4.0        #: deadline vs expected wall time
+    backoff_factor: float = 1.5         #: deadline stretch per reissue
+    poll_interval_s: float = 900.0      #: host re-poll when the server is dry
+    availability_mean: float = 0.70     #: mean fraction of time hosts are on
+    availability_spread: float = 0.15   #: std-dev of per-host availability
+    session_mean_s: float = 14400.0     #: mean powered-on session (4 h)
+    departure_mean_s: float = 3888000.0  #: mean time to departure (45 d)
+    error_rate: float = 0.02            #: per-result erroneous probability
+    host_gflops_median: float = 2.0     #: median native host speed
+    host_gflops_sigma: float = 0.25     #: lognormal speed spread
+
+    def __post_init__(self):
+        if self.hosts < 1:
+            raise ExperimentError(f"hosts must be >= 1, got {self.hosts!r}")
+        if self.duration_s <= 0:
+            raise ExperimentError(
+                f"duration_s must be positive, got {self.duration_s!r}")
+        if self.quorum < 1:
+            raise ExperimentError(
+                f"quorum must be >= 1, got {self.quorum!r}")
+        if self.quorum > self.hosts:
+            raise ExperimentError(
+                f"quorum {self.quorum} exceeds the fleet size {self.hosts}; "
+                "no work unit could ever validate")
+        if self.max_replicas < self.quorum:
+            raise ExperimentError(
+                f"max_replicas ({self.max_replicas!r}) must be >= quorum "
+                f"({self.quorum!r})")
+        if self.workunits < 0:
+            raise ExperimentError(
+                f"workunits must be >= 0 (0 = auto), got {self.workunits!r}")
+        for attr in _FRACTION_FIELDS:
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ExperimentError(
+                    f"{attr} is a fraction and must lie in [0, 1], "
+                    f"got {value!r}"
+                )
+        if self.availability_mean == 0.0:
+            raise ExperimentError(
+                "availability_mean must be positive, got 0.0")
+        for attr in ("wu_flops", "deadline_factor", "poll_interval_s",
+                     "session_mean_s", "departure_mean_s",
+                     "host_gflops_median"):
+            value = getattr(self, attr)
+            if value <= 0:
+                raise ExperimentError(
+                    f"{attr} must be positive, got {value!r}")
+        if self.backoff_factor < 1.0:
+            raise ExperimentError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}")
+        if self.availability_spread < 0 or self.host_gflops_sigma < 0:
+            raise ExperimentError("spread parameters must be >= 0")
+        # canonicalise aliases ("vmware" -> "vmplayer") at the boundary
+        object.__setattr__(
+            self, "hypervisor", resolve_hypervisor(self.hypervisor))
+
+    # -- derived policy --------------------------------------------------
+
+    @property
+    def mixed(self) -> bool:
+        return self.hypervisor == MIXED_FLEET
+
+    def mean_slowdown(self) -> float:
+        """Fleet-average calibrated slowdown (see fleet.calibration)."""
+        if self.mixed:
+            values = list(fleet_slowdowns().values())
+            return sum(values) / len(values)
+        return fleet_slowdown(self.hypervisor)
+
+    def expected_wu_active_s(self) -> float:
+        """Active compute seconds one work unit costs a median host."""
+        rate = self.host_gflops_median * 1e9 / self.mean_slowdown()
+        return self.wu_flops / rate
+
+    def resolved_workunits(self) -> int:
+        """The batch size: explicit, else sized to keep the fleet busy
+        for the whole horizon (~15% headroom so the queue never runs
+        dry early)."""
+        if self.workunits:
+            return self.workunits
+        capacity = (self.hosts * self.duration_s * self.availability_mean
+                    / (self.expected_wu_active_s() * self.quorum))
+        return max(self.hosts, int(math.ceil(capacity * 1.15)))
+
+    # -- serialisation ---------------------------------------------------
+
+    def with_overrides(self, **changes: Any) -> "FleetConfig":
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-safe encoding (cache identity + manifest)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FleetConfig":
+        return cls(**dict(payload))

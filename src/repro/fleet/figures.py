@@ -1,0 +1,115 @@
+"""Fleet-level figures: what the calibrated VMs mean at project scale.
+
+The paper's Figures 1-8 characterise one desktop; these figures answer
+the question the paper poses in its motivation — what does hypervisor
+choice cost a whole volunteer project?  Three figures, all registered in
+:data:`repro.core.figures.FIGURES` (so ``repro figure fleet`` and the
+result cache work unchanged):
+
+* ``fleet`` — validated-work-unit throughput vs fleet size;
+* ``fleet_makespan`` — work-unit makespan percentiles per hypervisor;
+* ``fleet_waste`` — wasted-CPU fraction per hypervisor in a mixed fleet.
+
+Small fleets and short horizons by default: these are figures, not the
+acceptance-scale runs (``repro fleet --hosts 1000`` is the CLI's job).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.figures import FigureData, MeasuredPoint
+from repro.fleet.config import FleetConfig
+from repro.fleet.server import FleetReport, simulate_fleet
+from repro.virt.profiles import PROFILE_ORDER
+
+
+def fleet_scale_figure(base_seed: int = 42,
+                       sizes: Tuple[int, ...] = (50, 100, 200, 400),
+                       hypervisor: str = "vmplayer",
+                       duration_s: float = 21600.0) -> FigureData:
+    """Validated throughput as the fleet grows (one hypervisor)."""
+    fig = FigureData(
+        fig_id="fleet",
+        title="Validated work-unit throughput vs fleet size",
+        unit="validated work units / hour",
+        notes=(f"{hypervisor} fleet over {duration_s / 3600:.0f} simulated "
+               "hours; quorum-of-2 validation, churny hosts. Throughput "
+               "should scale near-linearly with fleet size."),
+    )
+    for size in sizes:
+        config = FleetConfig(hosts=size, hypervisor=hypervisor,
+                             seed=base_seed, duration_s=duration_s)
+        report = simulate_fleet(config)
+        fig.series[f"{size} hosts"] = MeasuredPoint(
+            report.throughput_per_hour)
+    return fig
+
+
+def fleet_makespan_figure(base_seed: int = 43, hosts: int = 80,
+                          duration_s: float = 21600.0) -> FigureData:
+    """Work-unit makespan percentiles per hypervisor fleet."""
+    fig = FigureData(
+        fig_id="fleet_makespan",
+        title="Work-unit makespan by hypervisor fleet",
+        unit="hours from batch release to quorum validation",
+        notes=(f"{hosts}-host single-hypervisor fleets, "
+               f"{duration_s / 3600:.0f} h horizon; slower guests "
+               "(QEMU) stretch the whole distribution."),
+    )
+    for profile in PROFILE_ORDER:
+        config = FleetConfig(hosts=hosts, hypervisor=profile,
+                             seed=base_seed, duration_s=duration_s)
+        report = simulate_fleet(config)
+        for quantile in ("p50", "p90"):
+            fig.series[f"{profile} {quantile}"] = MeasuredPoint(
+                report.makespan_s[quantile] / 3600.0)
+    return fig
+
+
+def fleet_waste_figure(base_seed: int = 44, hosts: int = 120,
+                       duration_s: float = 43200.0) -> FigureData:
+    """Wasted-CPU fraction per hypervisor inside one mixed fleet."""
+    config = FleetConfig(hosts=hosts, hypervisor="mixed",
+                         seed=base_seed, duration_s=duration_s)
+    report = simulate_fleet(config)
+    fig = FigureData(
+        fig_id="fleet_waste",
+        title="Wasted CPU fraction by hypervisor (mixed fleet)",
+        unit="fraction of contributed CPU not in a validating quorum",
+        notes=(f"One mixed fleet of {hosts} hosts striped across all four "
+               f"profiles, {duration_s / 3600:.0f} h horizon; waste = "
+               "erroneous + stale + redundant + departed-lost CPU."),
+    )
+    for profile in PROFILE_ORDER:
+        stats = report.per_hypervisor.get(profile)
+        if stats is not None:
+            fig.series[profile] = MeasuredPoint(stats["waste_fraction"])
+    fig.series["fleet overall"] = MeasuredPoint(report.waste_fraction)
+    return fig
+
+
+def report_figure(report: FleetReport,
+                  fig_id: Optional[str] = None) -> FigureData:
+    """Render one finished fleet run as a figure (CLI ascii/SVG path)."""
+    config = report.config
+    fig = FigureData(
+        fig_id=fig_id or "fleet",
+        title=(f"Fleet run: {report.hosts} hosts, "
+               f"{config.get('hypervisor', '?')}, seed "
+               f"{config.get('seed', '?')}"),
+        unit="mixed units (see labels)",
+        notes=report.summary().splitlines()[0],
+    )
+    fig.series["throughput (WU/h)"] = MeasuredPoint(
+        report.throughput_per_hour)
+    fig.series["validated WUs"] = MeasuredPoint(float(report.valid))
+    fig.series["makespan p50 (h)"] = MeasuredPoint(
+        report.makespan_s["p50"] / 3600.0)
+    fig.series["makespan p90 (h)"] = MeasuredPoint(
+        report.makespan_s["p90"] / 3600.0)
+    fig.series["waste fraction"] = MeasuredPoint(report.waste_fraction)
+    fig.series["realized availability"] = MeasuredPoint(
+        report.realized_availability)
+    fig.series["departures"] = MeasuredPoint(float(report.departures))
+    return fig

@@ -1,0 +1,151 @@
+"""Volunteer hosts at fleet scale: deterministic sampling, sharded build.
+
+Each host is a small record — calibrated slowdown, native speed,
+availability trace — not a full simulated machine: the per-machine
+physics already ran once to calibrate the hypervisor profiles (Figures
+1-8), so the fleet only needs their reduction
+(:func:`repro.fleet.calibration.fleet_slowdown`).
+
+Every host is a pure function of ``(fleet seed, host index)``: its
+parameters come from ``RngStreams(seed).fork(f"host-{index}")``, so the
+fleet can be built in index-sharded chunks across the
+:func:`repro.core.parallel.map_shards` worker pool and the merged result
+is bit-identical to a serial build — shard boundaries are fixed
+(:data:`SHARD_SIZE`), never derived from the worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fleet.calibration import fleet_slowdown
+from repro.fleet.churn import ChurnModel, availability_trace
+from repro.fleet.config import FleetConfig
+from repro.obs.metrics import METRICS
+from repro.simcore.rng import RngStreams
+from repro.virt.profiles import PROFILE_ORDER
+
+#: Hosts per build shard.  Fixed (NOT a function of the worker count) so
+#: shard boundaries — and therefore every sampled trace — are identical
+#: at any ``--jobs`` setting.
+SHARD_SIZE = 128
+
+#: Per-host availability is clamped into this band after sampling: a
+#: volunteer that is literally never (or always) on is not a volunteer.
+AVAILABILITY_FLOOR = 0.05
+AVAILABILITY_CEIL = 0.98
+
+
+@dataclass
+class FleetHost:
+    """One volunteer desktop as the fleet server sees it."""
+
+    index: int
+    name: str
+    hypervisor: str              #: resolved profile name
+    slowdown: float              #: calibrated cycles-per-science factor
+    gflops: float                #: native speed
+    availability: float          #: sampled long-run on fraction
+    error_rate: float            #: per-result erroneous probability
+    sessions: List[Tuple[float, float]]
+    departure_s: float
+
+    @property
+    def rate_flops_per_s(self) -> float:
+        """Science throughput while on: native speed over VM slowdown."""
+        return self.gflops * 1e9 / self.slowdown
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index, "name": self.name,
+            "hypervisor": self.hypervisor, "slowdown": self.slowdown,
+            "gflops": self.gflops, "availability": self.availability,
+            "error_rate": self.error_rate,
+            "sessions": [[s, e] for s, e in self.sessions],
+            "departure_s": self.departure_s,
+        }
+
+def host_hypervisor(config: FleetConfig, index: int) -> str:
+    """A mixed fleet stripes the four profiles by index; otherwise the
+    configured profile (already alias-resolved)."""
+    if config.mixed:
+        return PROFILE_ORDER[index % len(PROFILE_ORDER)]
+    return config.hypervisor
+
+
+def sample_host(config: FleetConfig, index: int) -> FleetHost:
+    """Deterministically sample host ``index`` of the fleet."""
+    rng = RngStreams(config.seed).fork(f"host-{index}")
+    hypervisor = host_hypervisor(config, index)
+    gflops = config.host_gflops_median * rng.lognormal_factor(
+        "speed", config.host_gflops_sigma)
+    availability = rng.normal("avail", config.availability_mean,
+                              config.availability_spread)
+    availability = min(AVAILABILITY_CEIL,
+                       max(AVAILABILITY_FLOOR, availability))
+    model = ChurnModel(availability=availability,
+                       session_mean_s=config.session_mean_s,
+                       departure_mean_s=config.departure_mean_s)
+    sessions, departure = availability_trace(model, rng.fork("trace"),
+                                             config.duration_s)
+    return FleetHost(
+        index=index, name=f"host-{index:05d}", hypervisor=hypervisor,
+        slowdown=fleet_slowdown(hypervisor), gflops=gflops,
+        availability=availability, error_rate=config.error_rate,
+        sessions=sessions, departure_s=departure,
+    )
+
+
+def host_shards(n_hosts: int) -> List[Tuple[int, int]]:
+    """Fixed-size ``[start, stop)`` index ranges covering the fleet."""
+    return [(start, min(start + SHARD_SIZE, n_hosts))
+            for start in range(0, n_hosts, SHARD_SIZE)]
+
+
+def _build_shard(task: Tuple[Dict[str, Any], int, int]
+                 ) -> List[Dict[str, Any]]:
+    """Worker body: sample hosts ``[start, stop)`` as plain dicts.
+
+    Module-level (and dict-in/dict-out) so it pickles across the
+    process pool; the parent rebuilds :class:`FleetHost` records.
+    """
+    payload, start, stop = task
+    config = FleetConfig.from_dict(payload)
+    out = [sample_host(config, index).to_dict()
+           for index in range(start, stop)]
+    if METRICS.enabled:
+        METRICS.inc("fleet.hosts_built", stop - start)
+    return out
+
+
+def _host_from_dict(payload: Dict[str, Any]) -> FleetHost:
+    return FleetHost(
+        index=payload["index"], name=payload["name"],
+        hypervisor=payload["hypervisor"], slowdown=payload["slowdown"],
+        gflops=payload["gflops"], availability=payload["availability"],
+        error_rate=payload["error_rate"],
+        sessions=[(s, e) for s, e in payload["sessions"]],
+        departure_s=payload["departure_s"],
+    )
+
+
+def build_fleet_hosts(config: FleetConfig,
+                      jobs: Optional[int] = None) -> List[FleetHost]:
+    """Sample the whole fleet, sharding big builds across workers.
+
+    Worker-count policy follows :func:`repro.core.parallel.resolve_jobs`
+    (explicit ``jobs``, else the activated RunConfig, else every core);
+    the merged host list is bit-identical to the serial build because
+    shards are fixed index ranges and every host seeds only from its own
+    index.
+    """
+    from repro.core.parallel import map_shards
+
+    payload = config.to_dict()
+    tasks = [(payload, start, stop)
+             for start, stop in host_shards(config.hosts)]
+    shard_results = map_shards(_build_shard, tasks, jobs=jobs)
+    hosts = [_host_from_dict(item)
+             for shard in shard_results for item in shard]
+    return hosts

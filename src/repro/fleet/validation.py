@@ -1,0 +1,103 @@
+"""Quorum validation: BOINC-style redundant-result agreement.
+
+The project server never trusts a single volunteer.  Every work unit is
+replicated to ``quorum`` distinct hosts; a returned result carries a
+*result key* (canonically the digest of its output file — here an opaque
+string), and the work unit reaches the **valid** state only when
+``quorum`` results from **distinct hosts** carry the *same* key.  An
+erroneous or adversarial result has a different key, never matches the
+canonical one, and therefore can never validate a work unit on its own —
+it just forces the server to issue another replica.
+
+:class:`QuorumValidator` is deliberately pure (no clocks, no RNG, no
+server state) so the property-based tests can hammer it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ExperimentError
+
+#: The key every correct result of a work unit shares.
+CANONICAL_KEY = "ok"
+
+
+def erroneous_key(wu_id: int, host_index: int, sequence: int) -> str:
+    """A bad result's key: unique per (work unit, host, attempt), so two
+    independent errors never agree by accident."""
+    return f"bad:{wu_id}:{host_index}:{sequence}"
+
+
+@dataclass
+class _WorkUnitResults:
+    """Results seen so far for one work unit."""
+
+    by_key: Dict[str, List[int]] = field(default_factory=dict)
+    hosts_seen: List[int] = field(default_factory=list)
+    valid_key: Optional[str] = None
+
+
+class QuorumValidator:
+    """Tracks returned results and decides when a work unit validates."""
+
+    def __init__(self, quorum: int):
+        if quorum < 1:
+            raise ExperimentError(f"quorum must be >= 1, got {quorum!r}")
+        self.quorum = quorum
+        self._units: Dict[int, _WorkUnitResults] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, wu_id: int, host_index: int, key: str) -> bool:
+        """Fold one returned result in.
+
+        Returns True exactly when this result completes the quorum and
+        flips the work unit to valid.  A host can contribute at most one
+        result per work unit (the server enforces one replica per host;
+        the validator re-enforces it so the invariant holds under
+        adversarial drivers too).  Results for an already-valid work
+        unit are redundant and change nothing.
+        """
+        unit = self._units.setdefault(wu_id, _WorkUnitResults())
+        if unit.valid_key is not None:
+            return False
+        if host_index in unit.hosts_seen:
+            return False
+        unit.hosts_seen.append(host_index)
+        holders = unit.by_key.setdefault(key, [])
+        holders.append(host_index)
+        if len(holders) >= self.quorum:
+            unit.valid_key = key
+            return True
+        return False
+
+    # -- queries ---------------------------------------------------------
+
+    def is_valid(self, wu_id: int) -> bool:
+        unit = self._units.get(wu_id)
+        return unit is not None and unit.valid_key is not None
+
+    def valid_key(self, wu_id: int) -> Optional[str]:
+        unit = self._units.get(wu_id)
+        return unit.valid_key if unit is not None else None
+
+    def matching_count(self, wu_id: int, key: str = CANONICAL_KEY) -> int:
+        """Distinct-host results carrying ``key`` so far."""
+        unit = self._units.get(wu_id)
+        if unit is None:
+            return 0
+        return len(unit.by_key.get(key, []))
+
+    def results_seen(self, wu_id: int) -> int:
+        unit = self._units.get(wu_id)
+        return len(unit.hosts_seen) if unit is not None else 0
+
+    def quorum_hosts(self, wu_id: int) -> Tuple[int, ...]:
+        """The hosts whose results formed the validating quorum
+        (first ``quorum`` holders of the valid key; empty if not valid)."""
+        unit = self._units.get(wu_id)
+        if unit is None or unit.valid_key is None:
+            return ()
+        return tuple(unit.by_key[unit.valid_key][:self.quorum])

@@ -1,5 +1,8 @@
 """Desktop-grid layer: volunteer fleets with churn over a switched LAN —
-the scale-out scenario the paper's single-machine measurements inform."""
+the scale-out scenario the paper's single-machine measurements inform.
+
+``estimated_grid_efficiency`` moved to :mod:`repro.fleet`; the export
+here is a :class:`DeprecationWarning` shim kept for one release."""
 
 from repro.grid.grid import DesktopGrid, GridReport, estimated_grid_efficiency
 from repro.grid.volunteer import Volunteer, VolunteerConfig, VolunteerStats

@@ -20,7 +20,6 @@ from repro.hardware.switch import Switch
 from repro.osmodel.kernel import Kernel, ubuntu_params
 from repro.simcore.engine import Engine
 from repro.simcore.rng import RngStreams
-from repro.virt.vcpu import user_multiplier
 from repro.workloads.boinc import BoincServer
 from repro.workloads.einstein import EinsteinWorkunit
 from repro.grid.volunteer import Volunteer, VolunteerConfig
@@ -127,10 +126,19 @@ class DesktopGrid:
 
 
 def estimated_grid_efficiency(hypervisor: str) -> float:
-    """Back-of-envelope science-per-cycle efficiency of volunteering
-    through the given VMM for a CPU-bound FP workload (the paper's
-    Einstein case): 1 / translation multiplier."""
-    from repro.hardware.cpu import MIX_EINSTEIN
-    from repro.virt.profiles import get_profile
+    """Deprecated shim: this moved to
+    :func:`repro.fleet.calibration.estimated_grid_efficiency` alongside
+    the rest of the figures-to-fleet reduction (same semantics; the
+    fleet version also accepts aliases such as ``"vmware"``)."""
+    import warnings
 
-    return 1.0 / user_multiplier(get_profile(hypervisor), MIX_EINSTEIN)
+    from repro.fleet.calibration import (
+        estimated_grid_efficiency as _fleet_efficiency,
+    )
+
+    warnings.warn(
+        "repro.grid.estimated_grid_efficiency moved to repro.fleet; "
+        "import it from repro.fleet (or repro.fleet.calibration) instead",
+        DeprecationWarning, stacklevel=2,
+    )
+    return _fleet_efficiency(hypervisor)

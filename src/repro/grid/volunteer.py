@@ -46,6 +46,27 @@ class VolunteerConfig:
     checkpoint_interval_s: float = 60.0
     spec: MachineSpec = field(default_factory=lambda: core2duo_e6600())
 
+    def __post_init__(self):
+        from repro.errors import ExperimentError
+
+        if not 0.0 <= self.owner_duty_cycle <= 1.0:
+            raise ExperimentError(
+                "owner_duty_cycle is a fraction of time and must lie in "
+                f"[0, 1], got {self.owner_duty_cycle!r}"
+            )
+        for attr in ("downtime_s", "owner_session_s",
+                     "checkpoint_interval_s"):
+            value = getattr(self, attr)
+            if value <= 0:
+                raise ExperimentError(
+                    f"{attr} must be positive, got {value!r}"
+                )
+        if self.mtbf_s is not None and self.mtbf_s <= 0:
+            raise ExperimentError(
+                f"mtbf_s must be positive (or None = never fails), "
+                f"got {self.mtbf_s!r}"
+            )
+
 
 @dataclass
 class VolunteerStats:

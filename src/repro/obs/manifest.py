@@ -232,4 +232,12 @@ def render_manifest(manifest: Mapping[str, Any]) -> str:
                 f" mean={agg['mean']:.6g}"
                 f" max={agg['max']:.6g}"
             )
+    hists = metrics.get("hists", {})
+    if hists:
+        lines.append("hists:")
+        for name, buckets in sorted(hists.items()):
+            total = sum(buckets.values())
+            body = " ".join(f"{label}:{count:.0f}"
+                            for label, count in buckets.items())
+            lines.append(f"  {name:<36} n={total:.0f}  {body}")
     return "\n".join(lines)

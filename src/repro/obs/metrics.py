@@ -15,7 +15,10 @@ Three instrument kinds, all addressed by dotted string name:
 * **counter** — monotone float total (``inc``);
 * **gauge** — last/max observed value (``gauge_set`` / ``gauge_max``);
 * **timer** — count/total/min/max aggregate of observed durations or
-  sizes (``observe``; a histogram-lite that keeps the manifest small).
+  sizes (``observe``; a histogram-lite that keeps the manifest small);
+* **hist** — power-of-two bucketed counts (``hist``) for values whose
+  *distribution* matters (fleet makespans, queue depths); buckets are
+  labelled by their upper bound so snapshots merge by simple addition.
 
 The module-level :data:`METRICS` registry is process-global and disabled
 by default; :func:`repro.api.run_figure` enables it for metrics-enabled
@@ -26,7 +29,17 @@ merges it — so per-subsystem counters survive ``--jobs N`` fan-out.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+
+def _hist_bucket_key(item: Tuple[str, float]) -> float:
+    """Numeric sort key for a ``le_<upper>`` bucket label."""
+    label = item[0]
+    try:
+        return float(label[3:])
+    except ValueError:
+        return float("inf")
 
 
 class MetricsRegistry:
@@ -36,7 +49,7 @@ class MetricsRegistry:
     line of defence — guarded call sites never reach them).
     """
 
-    __slots__ = ("enabled", "counters", "gauges", "timers")
+    __slots__ = ("enabled", "counters", "gauges", "timers", "hists")
 
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
@@ -44,6 +57,8 @@ class MetricsRegistry:
         self.gauges: Dict[str, float] = {}
         # name -> [count, total, min, max]
         self.timers: Dict[str, list] = {}
+        # name -> {bucket_upper_bound_label: count}
+        self.hists: Dict[str, Dict[str, float]] = {}
 
     # -- lifecycle -------------------------------------------------------
 
@@ -59,6 +74,7 @@ class MetricsRegistry:
         self.counters.clear()
         self.gauges.clear()
         self.timers.clear()
+        self.hists.clear()
 
     # -- instruments -----------------------------------------------------
 
@@ -97,6 +113,23 @@ class MetricsRegistry:
             if value > agg[3]:
                 agg[3] = value
 
+    def hist(self, name: str, value: float) -> None:
+        """Count ``value`` into the power-of-two bucket of hist ``name``.
+
+        Buckets are keyed ``le_<upper>`` where ``upper`` is the smallest
+        power of two >= ``value`` (``le_0`` for non-positive values), so
+        two snapshots merge by adding matching bucket counts.
+        """
+        if not self.enabled:
+            return
+        if value <= 0.0:
+            label = "le_0"
+        else:
+            upper = 2.0 ** math.ceil(math.log2(value))
+            label = f"le_{upper:g}"
+        buckets = self.hists.setdefault(name, {})
+        buckets[label] = buckets.get(label, 0.0) + 1.0
+
     # -- reading ---------------------------------------------------------
 
     def counter(self, name: str, default: float = 0.0) -> float:
@@ -114,6 +147,12 @@ class MetricsRegistry:
         return {"count": count, "total": total, "min": lo, "max": hi,
                 "mean": total / count if count else 0.0}
 
+    def hist_buckets(self, name: str) -> Dict[str, float]:
+        """Bucket label -> count for hist ``name`` (empty if unknown),
+        sorted by numeric upper bound."""
+        buckets = self.hists.get(name, {})
+        return dict(sorted(buckets.items(), key=_hist_bucket_key))
+
     def __iter__(self) -> Iterator[Tuple[str, float]]:
         return iter(sorted(self.counters.items()))
 
@@ -126,6 +165,8 @@ class MetricsRegistry:
             "gauges": dict(sorted(self.gauges.items())),
             "timers": {name: self.timer(name)
                        for name in sorted(self.timers)},
+            "hists": {name: self.hist_buckets(name)
+                      for name in sorted(self.hists)},
         }
 
     def merge(self, snap: Mapping[str, Any]) -> None:
@@ -149,6 +190,10 @@ class MetricsRegistry:
                 mine[1] += agg["total"]
                 mine[2] = min(mine[2], agg["min"])
                 mine[3] = max(mine[3], agg["max"])
+        for name, buckets in snap.get("hists", {}).items():
+            mine_h = self.hists.setdefault(name, {})
+            for label, count in buckets.items():
+                mine_h[label] = mine_h.get(label, 0.0) + count
 
 
 #: The process-global registry every instrumentation site consults.

@@ -1,0 +1,91 @@
+"""Property tests: quorum validation never accepts unmatched results."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet.validation import (
+    CANONICAL_KEY,
+    QuorumValidator,
+    erroneous_key,
+)
+
+# One returned result: (host index, is_erroneous).  Erroneous results
+# get the server's unique per-attempt key, exactly as the fleet server
+# issues them.
+results = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=15), st.booleans()),
+    max_size=40,
+)
+quorums = st.integers(min_value=2, max_value=4)
+
+
+def replay(quorum, sequence, wu_id=0):
+    """Feed a result sequence through a fresh validator, mirroring the
+    server: one key per bad result, the canonical key otherwise."""
+    validator = QuorumValidator(quorum)
+    flips = 0
+    for attempt, (host, bad) in enumerate(sequence):
+        key = erroneous_key(wu_id, host, attempt) if bad else CANONICAL_KEY
+        if validator.record(wu_id, host, key):
+            flips += 1
+    return validator, flips
+
+
+@settings(max_examples=200, deadline=None)
+@given(quorums, results)
+def test_bad_results_never_validate_without_matching_replica(quorum, seq):
+    # a work unit can only validate on the canonical key: erroneous
+    # results have unique keys, so no adversarial sequence reaches a
+    # quorum of them
+    validator, _ = replay(quorum, seq)
+    if validator.is_valid(0):
+        assert validator.valid_key(0) == CANONICAL_KEY
+
+
+@settings(max_examples=200, deadline=None)
+@given(quorums, results)
+def test_validation_requires_quorum_distinct_hosts(quorum, seq):
+    validator, _ = replay(quorum, seq)
+    counted_ok_hosts = {
+        host for host, bad in _first_result_per_host(seq) if not bad
+    }
+    if validator.is_valid(0):
+        hosts = validator.quorum_hosts(0)
+        assert len(hosts) == quorum
+        assert len(set(hosts)) == quorum
+        assert set(hosts) <= counted_ok_hosts
+    else:
+        # not valid <=> fewer than `quorum` distinct hosts returned a
+        # counted canonical result (one result per host is counted)
+        assert len(counted_ok_hosts) < quorum
+
+
+def _first_result_per_host(seq):
+    seen = set()
+    for host, bad in seq:
+        if host not in seen:
+            seen.add(host)
+            yield host, bad
+
+
+@settings(max_examples=200, deadline=None)
+@given(quorums, results)
+def test_validation_flips_at_most_once(quorum, seq):
+    _, flips = replay(quorum, seq)
+    assert flips <= 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(quorums, results)
+def test_one_result_per_host_is_counted(quorum, seq):
+    validator, _ = replay(quorum, seq)
+    distinct_hosts = len({host for host, _ in seq})
+    assert validator.results_seen(0) <= distinct_hosts
+
+
+@settings(max_examples=100, deadline=None)
+@given(quorums, st.integers(min_value=0, max_value=15))
+def test_single_host_spam_never_validates(quorum, host):
+    validator = QuorumValidator(quorum)
+    for _ in range(quorum * 3):
+        assert not validator.record(0, host, CANONICAL_KEY)
+    assert not validator.is_valid(0)

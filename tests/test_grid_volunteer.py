@@ -16,6 +16,35 @@ def workunits(n, templates=10):
     ]
 
 
+class TestConfigValidation:
+    def test_owner_duty_cycle_above_one_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="1.5"):
+            VolunteerConfig(name="v", owner_duty_cycle=1.5)
+
+    def test_negative_owner_duty_cycle_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="-0.2"):
+            VolunteerConfig(name="v", owner_duty_cycle=-0.2)
+
+    @pytest.mark.parametrize("field", ["downtime_s", "owner_session_s",
+                                       "checkpoint_interval_s"])
+    def test_nonpositive_durations_rejected(self, field):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match=field):
+            VolunteerConfig(name="v", **{field: 0.0})
+
+    def test_zero_mtbf_rejected_but_none_means_never_fails(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="mtbf_s"):
+            VolunteerConfig(name="v", mtbf_s=0.0)
+        assert VolunteerConfig(name="v", mtbf_s=None).mtbf_s is None
+
+
 class TestLifecycle:
     def test_double_start_rejected(self):
         grid = DesktopGrid([VolunteerConfig(name="v")], workunits(1))

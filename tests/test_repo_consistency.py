@@ -59,7 +59,7 @@ class TestPackageSurface:
         import importlib
 
         for name in ("simcore", "hardware", "osmodel", "virt", "workloads",
-                     "core", "calibration", "grid", "analysis"):
+                     "core", "calibration", "grid", "fleet", "analysis"):
             module = importlib.import_module(f"repro.{name}")
             assert module.__doc__, f"repro.{name} lacks a docstring"
 
@@ -67,7 +67,7 @@ class TestPackageSurface:
         import importlib
 
         for name in ("simcore", "hardware", "osmodel", "virt", "workloads",
-                     "core", "calibration", "grid", "analysis"):
+                     "core", "calibration", "grid", "fleet", "analysis"):
             module = importlib.import_module(f"repro.{name}")
             for symbol in getattr(module, "__all__", []):
                 assert hasattr(module, symbol), f"repro.{name}.{symbol}"
