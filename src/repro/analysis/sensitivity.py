@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Sequence
 
 from repro.errors import ExperimentError
 from repro.hardware.specs import CpuSpec, MachineSpec, core2duo_e6600
@@ -54,6 +54,24 @@ class SweepResult:
         if increasing:
             return all(b >= a - 1e-9 for a, b in pairs)
         return all(b <= a + 1e-9 for a, b in pairs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable round-trip encoding (per-point resume checkpoints)."""
+        return {
+            "parameter": self.parameter,
+            "values": list(self.values),
+            "outputs": {key: list(series)
+                        for key, series in self.outputs.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepResult":
+        return cls(
+            parameter=payload["parameter"],
+            values=[float(v) for v in payload.get("values", [])],
+            outputs={key: [float(v) for v in series]
+                     for key, series in payload.get("outputs", {}).items()},
+        )
 
     def render(self) -> str:
         header = f"sweep over {self.parameter}"

@@ -72,6 +72,10 @@ class RunConfig:
     metrics: bool = False             #: enable the metrics registry + manifest
     runs_dir: Optional[str] = None    #: manifest dir (None = results/runs)
     cache_dir: Optional[str] = None   #: result-cache dir (None = ~/.cache)
+    retries: Optional[int] = None     #: retry rounds for failed repetitions
+    task_timeout_s: Optional[float] = None  #: per-repetition timeout
+    min_reps: Optional[int] = None    #: graceful-degradation success floor
+    fault_spec: Optional[str] = None  #: fault plan, e.g. "seed=7,worker.crash=0.2"
     #: Which REPRO_* variables this config was built from (set by
     #: :meth:`from_env`; lets the library warn on implicit env fallback).
     env_sources: Tuple[str, ...] = field(default=(), compare=False)
@@ -159,6 +163,42 @@ class RunConfig:
     def use_cache(self, default: bool = False) -> bool:
         return default if self.cache is None else self.cache
 
+    def resolve_retries(self, retries: Optional[int] = None) -> int:
+        """Retry-round policy: explicit argument, else the config, else 0
+        (the historical fail-fast behaviour)."""
+        if retries is None:
+            retries = self.retries
+        retries = 0 if retries is None else int(retries)
+        if retries < 0:
+            raise ExperimentError(f"retries must be >= 0, got {retries}")
+        return retries
+
+    def resolve_task_timeout_s(self, timeout: Optional[float] = None
+                               ) -> Optional[float]:
+        """Per-task timeout (seconds); ``None`` means unbounded."""
+        if timeout is None:
+            timeout = self.task_timeout_s
+        if timeout is None:
+            return None
+        timeout = float(timeout)
+        if timeout <= 0:
+            raise ExperimentError(
+                f"task_timeout_s must be > 0, got {timeout}")
+        return timeout
+
+    def resolve_min_reps(self, min_reps: Optional[int] = None
+                         ) -> Optional[int]:
+        """Graceful-degradation floor; ``None`` means all reps must
+        succeed."""
+        if min_reps is None:
+            min_reps = self.min_reps
+        if min_reps is None:
+            return None
+        min_reps = int(min_reps)
+        if min_reps < 1:
+            raise ExperimentError(f"min_reps must be >= 1, got {min_reps}")
+        return min_reps
+
     def reps_policy(self) -> Dict[str, Any]:
         """The repetition-policy triple (cache fingerprints fold this in
         so explicit/full/fast runs never share entries)."""
@@ -177,12 +217,17 @@ class RunConfig:
             "metrics": self.metrics,
             "runs_dir": self.runs_dir,
             "cache_dir": self.cache_dir,
+            "retries": self.retries,
+            "task_timeout_s": self.task_timeout_s,
+            "min_reps": self.min_reps,
+            "fault_spec": self.fault_spec,
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "RunConfig":
         known = {name: payload.get(name) for name in (
-            "reps", "jobs", "cache", "base_seed", "runs_dir", "cache_dir")}
+            "reps", "jobs", "cache", "base_seed", "runs_dir", "cache_dir",
+            "retries", "task_timeout_s", "min_reps", "fault_spec")}
         return cls(full=bool(payload.get("full", False)),
                    fast=bool(payload.get("fast", False)),
                    metrics=bool(payload.get("metrics", False)),
@@ -307,13 +352,41 @@ def _cache_outcome(use_cache: bool, snapshot: Optional[Dict[str, Any]]
     return "hit" if counters.get("cache.hits", 0) > 0 else "miss"
 
 
+def _faults_section(plan: Optional[Any],
+                    snapshot: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """The manifest's ``faults`` block: plan identity + what happened.
+
+    Injection tallies come from the merged metrics snapshot (workers ship
+    theirs back); retry/timeout/drop incidents from the parent-side
+    :data:`repro.faults.RUNLOG`.
+    """
+    from repro.faults import RUNLOG
+
+    counters = (snapshot or {}).get("counters", {})
+    prefix = "faults.injected."
+    section: Dict[str, Any] = RUNLOG.snapshot()
+    section["injected"] = {
+        name[len(prefix):]: int(value)
+        for name, value in sorted(counters.items())
+        if name.startswith(prefix)
+    }
+    section["total_injected"] = int(counters.get("faults.injected", 0))
+    if plan is not None:
+        section["spec"] = plan.canonical_spec()
+        section["seed"] = plan.seed
+        section["arms"] = dict(sorted(plan.arms.items()))
+    return section
+
+
 def build_manifest(command: str, config: RunConfig,
                    phases: List[Dict[str, Any]],
                    snapshot: Dict[str, Any],
                    cache_outcome: str,
                    seeds: Optional[Dict[str, Any]] = None,
                    figure: Optional[Any] = None,
-                   run_id: Optional[str] = None) -> Dict[str, Any]:
+                   run_id: Optional[str] = None,
+                   faults: Optional[Dict[str, Any]] = None
+                   ) -> Dict[str, Any]:
     """Assemble a schema-valid run manifest (shared by figures/sweeps)."""
     import platform
 
@@ -344,6 +417,8 @@ def build_manifest(command: str, config: RunConfig,
     }
     if figure is not None:
         manifest["figure"] = figure.to_dict()
+    if faults is not None:
+        manifest["faults"] = faults
     return manifest
 
 
@@ -358,6 +433,7 @@ def run_figure(fig_id: str, config: Optional[RunConfig] = None,
     bit-identical with metrics on or off: instrumentation only observes.
     """
     from repro.core.figures import FIGURES, generate_figure
+    from repro.faults import RUNLOG, injected, parse_fault_spec
     from repro.obs.manifest import new_run_id, write_manifest
     from repro.obs.metrics import METRICS
 
@@ -369,12 +445,17 @@ def run_figure(fig_id: str, config: Optional[RunConfig] = None,
     if config.base_seed is not None:
         kwargs.setdefault("base_seed", config.base_seed)
     use_cache = config.use_cache(default=False)
+    plan = parse_fault_spec(config.fault_spec) if config.fault_spec else None
 
     started = time.perf_counter()
     phases: List[Dict[str, Any]] = []
     was_enabled = METRICS.enabled
     snapshot: Optional[Dict[str, Any]] = None
-    with activated(config):
+    RUNLOG.clear()
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(activated(config))
+        if plan is not None:
+            stack.enter_context(injected(plan))
         if config.metrics and not was_enabled:
             METRICS.enable(reset=True)
         try:
@@ -399,6 +480,7 @@ def run_figure(fig_id: str, config: Optional[RunConfig] = None,
             snapshot=snapshot, cache_outcome=outcome or "disabled",
             seeds={"base_seed": kwargs.get("base_seed")},
             figure=figure, run_id=run_id,
+            faults=_faults_section(plan, snapshot),
         )
         manifest_path = str(write_manifest(manifest, config.runs_dir))
         phases.append({"name": "emit-manifest",
@@ -454,6 +536,7 @@ def run_fleet(fleet_config: Any,
     configuration and the report.
     """
     from repro.core.cache import ResultCache
+    from repro.faults import FAULTS, RUNLOG, injected, parse_fault_spec
     from repro.fleet.figures import report_figure
     from repro.fleet.server import FleetReport, simulate_fleet
     from repro.obs.manifest import new_run_id, write_manifest
@@ -461,16 +544,26 @@ def run_fleet(fleet_config: Any,
 
     config = config if config is not None else RunConfig()
     use_cache = config.use_cache(default=False)
+    plan = parse_fault_spec(config.fault_spec) if config.fault_spec else None
     started = time.perf_counter()
     phases: List[Dict[str, Any]] = []
     was_enabled = METRICS.enabled
     snapshot: Optional[Dict[str, Any]] = None
     outcome = "disabled"
-    with activated(config):
+    RUNLOG.clear()
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(activated(config))
+        if plan is not None:
+            stack.enter_context(injected(plan))
         if config.metrics and not was_enabled:
             METRICS.enable(reset=True)
         try:
             params = {"config": fleet_config.to_dict()}
+            # host.dropout changes results by design; keep those cache
+            # entries distinct from fault-free ones.
+            fault_token = FAULTS.cache_token()
+            if fault_token is not None:
+                params["faults"] = fault_token
             cache = ResultCache() if use_cache else None
             key = cache.key("fleet", params) if cache is not None else None
             report = None
@@ -507,6 +600,7 @@ def run_fleet(fleet_config: Any,
             command=f"fleet:{fleet_config.hypervisor}", config=config,
             phases=phases, snapshot=snapshot, cache_outcome=outcome,
             seeds={"seed": fleet_config.seed}, figure=figure, run_id=run_id,
+            faults=_faults_section(plan, snapshot),
         )
         manifest["fleet"] = fleet_config.to_dict()
         manifest_path = str(write_manifest(manifest, config.runs_dir))

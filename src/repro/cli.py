@@ -9,7 +9,10 @@ Subcommands
 * ``repro profiles``           — show the calibrated hypervisor profiles
 * ``repro sweep l2|service|catchup|checkpoint`` — sensitivity sweeps
 * ``repro fleet [--hosts N ...]`` — fleet-scale desktop-grid simulation
-* ``repro cache stats|clear``  — inspect / empty the on-disk result cache
+* ``repro chaos [FIG]``        — run a figure under a seeded fault storm
+  and verify it recovers byte-identically
+* ``repro cache stats|clear|sweep`` — inspect / empty the on-disk result
+  cache, or sweep orphaned temp files
 * ``repro metrics [RUN|last]`` — render a recorded run manifest
 
 All run policy flows through one :class:`repro.api.RunConfig`: the CLI
@@ -20,21 +23,32 @@ downstream.  Figure and report runs consult the seeded result cache
 unless ``REPRO_CACHE=0``; cache hits are logged to stderr.  With
 ``--metrics`` each run also records counters/timers and writes a JSON
 manifest under ``results/runs/`` (see :mod:`repro.obs`).
+
+Resilience flags (``figure`` / ``report`` / ``sweep`` / ``fleet``):
+``--retries`` / ``--task-timeout`` / ``--min-reps`` configure the
+retry/timeout/degradation policy of :mod:`repro.core.parallel`, and
+``--faults SPEC`` arms the deterministic injection sites of
+:mod:`repro.faults`.  Multi-point commands checkpoint per-point
+completion under ``results/runs/`` so a killed run rerun with
+``--resume`` recomputes only the unfinished points.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import logging
 import os
 import sys
 import time
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro import api
 from repro.core.cache import ResultCache
 from repro.core.figures import FIGURES
 from repro.core.report import ascii_bar_chart, experiments_markdown
+from repro.errors import ExperimentError
 from repro.virt.profiles import ALL_PROFILES
 
 
@@ -56,7 +70,77 @@ def _build_config(args: argparse.Namespace) -> api.RunConfig:
         overrides["jobs"] = jobs
     if getattr(args, "metrics", False):
         overrides["metrics"] = True
+    retries = getattr(args, "retries", None)
+    if retries is not None:
+        if retries < 0:
+            raise SystemExit(f"--retries must be >= 0, got {retries}")
+        overrides["retries"] = retries
+    task_timeout = getattr(args, "task_timeout", None)
+    if task_timeout is not None:
+        if task_timeout <= 0:
+            raise SystemExit(
+                f"--task-timeout must be > 0, got {task_timeout}")
+        overrides["task_timeout_s"] = task_timeout
+    min_reps = getattr(args, "min_reps", None)
+    if min_reps is not None:
+        if min_reps < 1:
+            raise SystemExit(f"--min-reps must be >= 1, got {min_reps}")
+        overrides["min_reps"] = min_reps
+    faults = getattr(args, "faults", None)
+    if faults:
+        overrides["fault_spec"] = _validated_fault_spec(faults)
     return config.with_overrides(**overrides)
+
+
+def _validated_fault_spec(spec: str) -> str:
+    """Parse ``--faults`` eagerly so a bad spec is a clean usage error."""
+    from repro.errors import ReproError
+    from repro.faults import parse_fault_spec
+
+    try:
+        parse_fault_spec(spec)
+    except ReproError as exc:
+        raise SystemExit(f"--faults: {exc}") from None
+    return spec
+
+
+def _run_key(command: str, config: api.RunConfig, parts: List[str]) -> str:
+    """Identity of one multi-point run for progress checkpointing.
+
+    Covers everything that shapes the output (command, point ids, the
+    repetition policy, base seed, fault spec and the source tree), so a
+    checkpoint from a different run/source can never be resumed into
+    this one.
+    """
+    from repro.core.cache import source_fingerprint
+
+    fingerprint = json.dumps({
+        "command": command,
+        "parts": list(parts),
+        "reps_policy": config.reps_policy(),
+        "base_seed": config.base_seed,
+        "fault_spec": config.fault_spec,
+        "source": source_fingerprint(),
+    }, sort_keys=True)
+    return hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()[:16]
+
+
+def _progress_for(command: str, config: api.RunConfig, parts: List[str],
+                  resume: bool):
+    """A loaded-or-fresh :class:`ProgressCheckpoint` for this run."""
+    from repro.obs.manifest import ProgressCheckpoint
+
+    progress = ProgressCheckpoint(_run_key(command, config, parts),
+                                  runs_dir=config.runs_dir)
+    if resume:
+        found = progress.load()
+        if found:
+            print(f"--resume: {found} of {len(parts)} point(s) already "
+                  f"complete, skipping them", file=sys.stderr)
+        else:
+            print("--resume: no matching progress checkpoint; computing "
+                  "every point", file=sys.stderr)
+    return progress
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -66,9 +150,21 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_figure_svg(figure: Any, fig_id: str, svg_dir: str) -> None:
+    from repro.core.svg import write_svg
+
+    os.makedirs(svg_dir, exist_ok=True)
+    path = write_svg(figure, os.path.join(svg_dir, f"{fig_id}.svg"))
+    print(f"  wrote {path}")
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.core.figures import FigureData
+
     config = _build_config(args)
     figure_ids = args.figures or list(FIGURES)
+    progress = _progress_for("figure", config, figure_ids,
+                             getattr(args, "resume", False))
     status = 0
     for fig_id in figure_ids:
         if fig_id not in FIGURES:
@@ -76,32 +172,61 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             status = 2
             continue
-        result = api.run_figure(fig_id, config)
+        if progress.done(fig_id):
+            figure = FigureData.from_dict(progress.payload(fig_id))
+            print(ascii_bar_chart(figure))
+            print("  (resumed from checkpoint)")
+            if args.svg:
+                _write_figure_svg(figure, fig_id, args.svg)
+            print()
+            continue
+        try:
+            result = api.run_figure(fig_id, config)
+        except ExperimentError as exc:
+            print(f"figure {fig_id} failed: {exc}", file=sys.stderr)
+            print("completed figures are checkpointed; rerun with "
+                  "--resume to skip them", file=sys.stderr)
+            return 1
         print(ascii_bar_chart(result.figure))
         print(f"  ({result.wall_s:.1f}s wall)")
         if result.manifest_path:
             print(f"  metrics manifest: {result.manifest_path}")
         if args.svg:
-            from repro.core.svg import write_svg
-
-            os.makedirs(args.svg, exist_ok=True)
-            path = write_svg(result.figure,
-                             os.path.join(args.svg, f"{fig_id}.svg"))
-            print(f"  wrote {path}")
+            _write_figure_svg(result.figure, fig_id, args.svg)
         print()
+        progress.mark(fig_id, result.figure.to_dict())
+    if status == 0:
+        progress.finish()
     return status
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.figures import FigureData
+
     config = _build_config(args)
+    figure_ids = list(FIGURES)
+    progress = _progress_for("report", config, figure_ids,
+                             getattr(args, "resume", False))
     figures = []
-    for fig_id in FIGURES:
+    for fig_id in figure_ids:
+        if progress.done(fig_id):
+            print(f"resuming {fig_id} from checkpoint", file=sys.stderr)
+            figures.append(FigureData.from_dict(progress.payload(fig_id)))
+            continue
         print(f"generating {fig_id} ...", file=sys.stderr)
-        result = api.run_figure(fig_id, config)
+        try:
+            result = api.run_figure(fig_id, config)
+        except ExperimentError as exc:
+            print(f"figure {fig_id} failed: {exc}", file=sys.stderr)
+            print("completed figures are checkpointed; rerun with "
+                  "--resume to skip them", file=sys.stderr)
+            return 1
         figures.append(result.figure)
+        progress.mark(fig_id, result.figure.to_dict())
         if result.manifest_path:
             print(f"  metrics manifest: {result.manifest_path}",
                   file=sys.stderr)
+    progress.finish()
     header = (
         "# Reproduction report — 'Evaluating the Performance and "
         "Intrusiveness of Virtual Machines for Desktop Grid Computing'"
@@ -124,6 +249,46 @@ _SWEEPS = {
 }
 
 
+def _sweep_points(fn) -> Optional[List[float]]:
+    """The sweep's default x values, if it supports per-point calls."""
+    import inspect
+
+    try:
+        parameter = inspect.signature(fn).parameters["values"]
+    except (KeyError, TypeError, ValueError):
+        return None
+    default = parameter.default
+    if default is inspect.Parameter.empty:
+        return None
+    return list(default)
+
+
+def _run_sweep_points(fn, values, progress):
+    """Run a sweep one point at a time, checkpointing each completion.
+
+    Every sweep iteration is independent (fixed internal seed, fresh
+    world per point), so the merged result is identical to one full
+    ``fn()`` call — which the caller falls back to when the sweep
+    function takes no ``values`` keyword.
+    """
+    from repro.analysis.sensitivity import SweepResult
+
+    merged = None
+    for value in values:
+        point_key = repr(value)
+        if progress.done(point_key):
+            part = SweepResult.from_dict(progress.payload(point_key))
+        else:
+            part = fn(values=[value])
+            progress.mark(point_key, part.to_dict())
+        if merged is None:
+            merged = SweepResult(part.parameter)
+        merged.add(part.values[0],
+                   **{key: series[0]
+                      for key, series in part.outputs.items()})
+    return merged
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import repro.analysis as analysis
 
@@ -133,6 +298,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     fn = getattr(analysis, _SWEEPS[args.sweep])
+    values = _sweep_points(fn)
     started = time.time()
     snapshot = None
     from repro.obs.metrics import METRICS
@@ -141,7 +307,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if config.metrics:
             METRICS.enable(reset=True)
         try:
-            result = fn()
+            try:
+                if values:
+                    progress = _progress_for(
+                        f"sweep:{args.sweep}", config,
+                        [repr(value) for value in values],
+                        getattr(args, "resume", False))
+                    result = _run_sweep_points(fn, values, progress)
+                    progress.finish()
+                else:
+                    result = fn()
+            except ExperimentError as exc:
+                print(f"sweep {args.sweep} failed: {exc}", file=sys.stderr)
+                print("completed points are checkpointed; rerun with "
+                      "--resume to skip them", file=sys.stderr)
+                return 1
             if config.metrics:
                 snapshot = METRICS.snapshot()
         finally:
@@ -242,15 +422,98 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"cache root: {stats['root']}")
         print(f"entries:    {stats['entries']}")
         print(f"size:       {stats['bytes']} bytes")
+        print(f"quarantined:{stats['corrupt_files']:>2} corrupt file(s), "
+              f"{stats['tmp_files']} orphaned temp file(s)")
         print(f"enabled:    {api.RunConfig.from_env().use_cache(default=True)}")
         return 0
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.root}")
         return 0
-    print(f"unknown cache action {args.action!r}; use stats or clear",
+    if args.action == "sweep":
+        removed = cache.sweep()
+        print(f"removed {removed} orphaned temp file(s) from {cache.root}")
+        return 0
+    print(f"unknown cache action {args.action!r}; use stats, clear or sweep",
           file=sys.stderr)
     return 2
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-storm drill: baseline run, then two runs under an armed
+    plan (fresh then cached), asserting byte-identical recovery."""
+    import shutil
+    import tempfile
+
+    fig_id = args.figure
+    if fig_id not in FIGURES:
+        print(f"unknown figure {fig_id!r}; try `repro list`",
+              file=sys.stderr)
+        return 2
+    fault_spec = _validated_fault_spec(args.faults) if args.faults else (
+        f"seed={args.fault_seed},worker.crash=0.2,"
+        f"measure.transient=0.35,cache.corrupt=0.6")
+    env_config = api.RunConfig.from_env()
+    jobs = args.jobs
+    if jobs is not None and jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {jobs}")
+    cache_dir = tempfile.mkdtemp(prefix="repro-chaos-cache-")
+    try:
+        baseline_config = env_config.with_overrides(
+            cache=False, metrics=False, fault_spec=None, jobs=jobs)
+        print(f"chaos: fault-free baseline of {fig_id} ...",
+              file=sys.stderr)
+        baseline = api.run_figure(fig_id, baseline_config)
+        storm_config = env_config.with_overrides(
+            cache=True, cache_dir=cache_dir, metrics=True,
+            fault_spec=fault_spec, retries=args.retries,
+            task_timeout_s=args.task_timeout, jobs=jobs)
+        print(f"chaos: storm 1/2 under '{fault_spec}' ...", file=sys.stderr)
+        storm1 = api.run_figure(fig_id, storm_config)
+        print("chaos: storm 2/2 (cache re-read) ...", file=sys.stderr)
+        storm2 = api.run_figure(fig_id, storm_config)
+    except ExperimentError as exc:
+        print(f"chaos: {fig_id} did NOT survive the storm: {exc}",
+              file=sys.stderr)
+        return 1
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    def canonical(figure: Any) -> str:
+        return json.dumps(figure.to_dict(), sort_keys=True)
+
+    recovered = (canonical(baseline.figure) == canonical(storm1.figure)
+                 == canonical(storm2.figure))
+    injected = 0
+    per_site: dict = {}
+    retried = timeouts = dropped = corrupt = 0
+    for run in (storm1, storm2):
+        counters = (run.metrics or {}).get("counters", {})
+        injected += int(counters.get("faults.injected", 0))
+        retried += int(counters.get("parallel.retries", 0))
+        timeouts += int(counters.get("parallel.timeouts", 0))
+        dropped += int(counters.get("parallel.dropped", 0))
+        corrupt += int(counters.get("cache.corrupt", 0))
+        prefix = "faults.injected."
+        for name, value in counters.items():
+            if name.startswith(prefix):
+                site = name[len(prefix):]
+                per_site[site] = per_site.get(site, 0) + int(value)
+    sites = ", ".join(f"{site}={count}"
+                      for site, count in sorted(per_site.items()))
+    print(f"chaos report: {fig_id} under '{fault_spec}'")
+    print(f"  injected : {injected} fault(s)"
+          + (f" ({sites})" if sites else ""))
+    print(f"  retried  : {retried} repetition attempt(s), "
+          f"{timeouts} timeout(s)")
+    print(f"  cache    : {corrupt} corrupt entr(ies) quarantined")
+    print(f"  dropped  : {dropped} repetition(s)")
+    verdict = ("yes — output byte-identical to the fault-free baseline"
+               if recovered else "NO — output diverged")
+    print(f"  recovered: {verdict}")
+    if storm2.manifest_path:
+        print(f"  manifest : {storm2.manifest_path}")
+    return 0 if recovered else 1
 
 
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
@@ -265,6 +528,33 @@ def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
         "--metrics", action="store_true",
         help="collect run metrics and write a JSON manifest under "
              "results/runs/ (view with `repro metrics last`)")
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries", type=int, metavar="N",
+        help="retry rounds for failed/crashed/timed-out repetitions "
+             "(default: 0 = fail fast)")
+    parser.add_argument(
+        "--task-timeout", type=float, metavar="S", dest="task_timeout",
+        help="per-repetition timeout in seconds (default: unbounded)")
+    parser.add_argument(
+        "--min-reps", type=int, metavar="N", dest="min_reps",
+        help="complete with >= N successful repetitions, recording "
+             "dropped seeds in the manifest instead of aborting")
+    parser.add_argument(
+        "--faults", metavar="SPEC",
+        help="arm deterministic fault injection, e.g. "
+             "'seed=7,worker.crash=0.2,measure.transient=0.35' "
+             "(sites: see repro.faults.SITES)")
+
+
+def _add_resume_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip points already completed by a previous (killed) run "
+             "of the same command (per-point checkpoints under "
+             "results/runs/)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -287,12 +577,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write an SVG chart per figure into DIR")
     _add_jobs_flag(figure)
     _add_metrics_flag(figure)
+    _add_resilience_flags(figure)
+    _add_resume_flag(figure)
     figure.set_defaults(fn=_cmd_figure)
 
     report = sub.add_parser("report", help="regenerate every figure")
     report.add_argument("--out", help="write markdown to a file")
     _add_jobs_flag(report)
     _add_metrics_flag(report)
+    _add_resilience_flags(report)
+    _add_resume_flag(report)
     report.set_defaults(fn=_cmd_report)
 
     sub.add_parser("profiles",
@@ -307,6 +601,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"one of {sorted(_SWEEPS)}")
     _add_jobs_flag(sweep)
     _add_metrics_flag(sweep)
+    _add_resilience_flags(sweep)
+    _add_resume_flag(sweep)
     sweep.set_defaults(fn=_cmd_sweep)
 
     fleet = sub.add_parser(
@@ -339,11 +635,33 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="no_metrics",
                        help="skip metrics collection and the run manifest")
     _add_jobs_flag(fleet)
+    _add_resilience_flags(fleet)
     fleet.set_defaults(fn=_cmd_fleet)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a figure under a seeded fault storm and verify "
+             "byte-identical recovery")
+    chaos.add_argument("figure", nargs="?", default="fig2", metavar="FIG",
+                       help="figure id to stress (default: fig2)")
+    chaos.add_argument("--fault-seed", type=int, default=1337,
+                       dest="fault_seed", metavar="N",
+                       help="seed of the fault plan (default: 1337)")
+    chaos.add_argument("--faults", metavar="SPEC",
+                       help="override the default storm spec "
+                            "(worker crashes + transient measure failures "
+                            "+ corrupted cache entries)")
+    chaos.add_argument("--retries", type=int, default=3, metavar="N",
+                       help="retry rounds while recovering (default: 3)")
+    chaos.add_argument("--task-timeout", type=float, metavar="S",
+                       dest="task_timeout",
+                       help="per-repetition timeout in seconds")
+    _add_jobs_flag(chaos)
+    chaos.set_defaults(fn=_cmd_chaos)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", metavar="ACTION",
-                       help="one of: stats, clear")
+                       help="one of: stats, clear, sweep")
     cache.set_defaults(fn=_cmd_cache)
 
     metrics = sub.add_parser(

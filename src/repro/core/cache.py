@@ -33,6 +33,7 @@ import pathlib
 from typing import Any, Dict, Mapping, Optional
 
 from repro import __version__
+from repro.faults import FAULTS
 from repro.obs.metrics import METRICS
 
 log = logging.getLogger("repro.cache")
@@ -103,6 +104,7 @@ class ResultCache:
             else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     # -- keys -----------------------------------------------------------
 
@@ -125,14 +127,27 @@ class ResultCache:
     # -- read/write ------------------------------------------------------
 
     def get(self, key: str) -> Optional[Any]:
-        """The stored payload for ``key``, or None on a miss."""
+        """The stored payload for ``key``, or None on a miss.
+
+        An *absent* entry is an ordinary miss.  An entry that exists but
+        cannot be read or parsed is **corruption**, not a miss: the file
+        is quarantined to ``<key>.corrupt`` (so the evidence survives and
+        the next read is a clean miss), counted separately
+        (``cache.corrupt``), and logged at warning.
+        """
         path = self._path(key)
         try:
             envelope = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            if not isinstance(envelope, dict):
+                raise ValueError(f"cache envelope is {type(envelope).__name__},"
+                                 " not an object")
+        except FileNotFoundError:
             self.misses += 1
             if METRICS.enabled:
                 METRICS.inc("cache.misses")
+            return None
+        except (OSError, ValueError) as exc:
+            self._quarantine(path, key, exc)
             return None
         self.hits += 1
         if METRICS.enabled:
@@ -140,6 +155,21 @@ class ResultCache:
         log.info("cache hit: %s (%s)", envelope.get("experiment", "?"),
                  key[:12])
         return envelope.get("payload")
+
+    def _quarantine(self, path: pathlib.Path, key: str,
+                    exc: Exception) -> None:
+        """Move an unreadable entry aside and count it distinctly."""
+        self.corrupt += 1
+        if METRICS.enabled:
+            METRICS.inc("cache.corrupt")
+        quarantined = path.with_suffix(".corrupt")
+        try:
+            path.replace(quarantined)
+            where = str(quarantined)
+        except OSError:
+            where = str(path)  # leave it; the next read re-reports
+        log.warning("cache entry %s is corrupt (%s); quarantined to %s",
+                    key[:12], exc, where)
 
     def put(self, key: str, payload: Any, experiment: str = "",
             params: Optional[Mapping[str, Any]] = None) -> None:
@@ -153,8 +183,18 @@ class ResultCache:
         }
         path = self._path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(envelope, default=repr), encoding="utf-8")
-        tmp.replace(path)
+        try:
+            body = json.dumps(envelope, default=repr)
+            if FAULTS.enabled and FAULTS.fires("cache.corrupt", key=key):
+                body = body[: max(1, len(body) // 2)]  # truncated write
+            tmp.write_text(body, encoding="utf-8")
+            tmp.replace(path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
         if METRICS.enabled:
             METRICS.inc("cache.stores")
         log.info("cache store: %s (%s)", experiment or "?", key[:12])
@@ -166,6 +206,17 @@ class ResultCache:
             return []
         return sorted(self.root.glob("*.json"))
 
+    def _tmp_files(self):
+        if not self.root.is_dir():
+            return []
+        return sorted(p for p in self.root.iterdir()
+                      if ".tmp." in p.name)
+
+    def _corrupt_files(self):
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.corrupt"))
+
     def stats(self) -> Dict[str, Any]:
         entries = self._entries()
         return {
@@ -174,12 +225,53 @@ class ResultCache:
             "bytes": sum(p.stat().st_size for p in entries),
             "hits": self.hits,
             "misses": self.misses,
+            "corrupt": self.corrupt,
+            "corrupt_files": len(self._corrupt_files()),
+            "tmp_files": len(self._tmp_files()),
         }
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (plus quarantined/orphaned files); returns
+        the number of cache entries removed."""
         removed = 0
         for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for path in self._tmp_files() + self._corrupt_files():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return removed
+
+    def sweep(self) -> int:
+        """Remove orphaned ``.tmp.<pid>`` files from dead writers.
+
+        A writer that dies between write and rename leaks its temp file;
+        a temp file whose pid is no longer alive (or unparsable) is an
+        orphan.  Live writers' in-flight temps are left alone.  Returns
+        the number of files removed.
+        """
+        removed = 0
+        for path in self._tmp_files():
+            suffix = path.name.rsplit(".tmp.", 1)[-1]
+            try:
+                pid = int(suffix)
+            except ValueError:
+                pid = None
+            if pid is not None and pid != os.getpid():
+                try:
+                    os.kill(pid, 0)  # probe only: signal 0 delivers nothing
+                    continue  # writer still alive; leave its temp file
+                except ProcessLookupError:
+                    pass
+                except OSError:
+                    continue  # e.g. EPERM: someone else's live process
+            elif pid == os.getpid():
+                continue  # our own in-flight write
             try:
                 path.unlink()
                 removed += 1

@@ -31,7 +31,8 @@ serial path: same derived seeds, same repetition ordering, same
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Tuple)
 
 from repro.core.stats import Summary, summarize
 from repro.errors import ExperimentError
@@ -64,10 +65,17 @@ def resolve_reps(default: int, env: Optional[Mapping[str, str]] = None) -> int:
 
 @dataclass
 class RepeatedResult:
-    """All repetitions of one measurement, summarised per metric."""
+    """All repetitions of one measurement, summarised per metric.
+
+    ``dropped`` is empty except under the ``min_reps`` graceful
+    degradation policy, where it records each abandoned repetition's
+    index, derived seed, and last error (see
+    :class:`repro.core.parallel.ParallelRepeater`).
+    """
 
     metrics: Dict[str, Summary]
     raw: Dict[str, List[float]] = field(default_factory=dict)
+    dropped: List[Dict[str, Any]] = field(default_factory=list)
 
     def __getitem__(self, key: str) -> Summary:
         try:
@@ -132,7 +140,9 @@ class Repeater:
 
 def repeat(measure: MeasureFn, *, base_seed: int = 0,
            default_reps: int = 5, jobs: Optional[int] = None,
-           reps: Optional[int] = None) -> RepeatedResult:
+           reps: Optional[int] = None, retries: Optional[int] = None,
+           task_timeout_s: Optional[float] = None,
+           min_reps: Optional[int] = None) -> RepeatedResult:
     """Convenience: resolve reps/jobs from the run config and run.
 
     ``reps=`` / ``jobs=`` are explicit overrides; otherwise both resolve
@@ -142,14 +152,29 @@ def repeat(measure: MeasureFn, *, base_seed: int = 0,
     results; see :class:`repro.core.parallel.ParallelRepeater`).
     ``jobs=1``, a single repetition, or an unpicklable ``measure`` all
     fall back to the serial :class:`Repeater`.
+
+    ``retries`` / ``task_timeout_s`` / ``min_reps`` (explicit, or set on
+    the activated config, or implied by an active fault plan) route the
+    run through the resilient execution path even at one job — retried
+    repetitions re-derive the same seeds, so recovered results are
+    byte-identical to undisturbed ones.
     """
     from repro.core.parallel import ParallelRepeater, resolve_jobs
+    from repro.faults import FAULTS
 
     if reps is None:
         reps = resolve_reps(default_reps)
     elif reps < 1:
         raise ExperimentError(f"reps must be >= 1, got {reps}")
     n_jobs = resolve_jobs(jobs)
-    if n_jobs > 1 and reps > 1:
-        return ParallelRepeater(base_seed, reps, jobs=n_jobs).run(measure)
+    explicit_resilience = any(
+        value is not None for value in (retries, task_timeout_s, min_reps))
+    if (n_jobs > 1 and reps > 1) or explicit_resilience or FAULTS.enabled:
+        return ParallelRepeater(
+            base_seed, reps, jobs=n_jobs, retries=retries,
+            task_timeout_s=task_timeout_s, min_reps=min_reps,
+        ).run(measure)
+    repeater = ParallelRepeater(base_seed, reps, jobs=1)
+    if repeater._resilient:  # config-level retries/min_reps at one job
+        return repeater.run(measure)
     return Repeater(base_seed, reps).run(measure)

@@ -428,11 +428,18 @@ def generate_figure(fig_id: str, use_cache: Optional[bool] = None,
     cache_on = cache_enabled(default=False) if use_cache is None else use_cache
     if not cache_on:
         return factory(**kwargs)
+    from repro.faults import FAULTS
+
     cache = ResultCache()
     params = {
         "kwargs": dict(sorted(kwargs.items())),
         "reps_policy": api.fallback_config("reps").reps_policy(),
     }
+    # An active fault plan can legitimately change results (host.dropout,
+    # checkpoint.lost survive recovery); keep those entries distinct.
+    fault_token = FAULTS.cache_token()
+    if fault_token is not None:
+        params["faults"] = fault_token
     key = cache.key(f"figure:{fig_id}", params)
     payload = cache.get(key)
     if payload is not None:

@@ -23,6 +23,27 @@ per-subsystem counters back with its result, and the parent merges them
 — so engine/scheduler/hardware counters survive process fan-out — plus
 per-worker wall time and queue wait observed from the parent side.
 
+Resilience
+----------
+Desktop grids assume workers die; so does this layer.  When retries, a
+per-task timeout, a ``min_reps`` floor, or an active
+:data:`repro.faults.FAULTS` plan is in force, :class:`ParallelRepeater`
+switches to a round-based resilient path: failed/timed-out/crashed
+repetitions are resubmitted (capped exponential backoff between rounds,
+the pool rebuilt if broken), and every retried repetition re-derives the
+**same** seed — so a fault-injected run that recovers is byte-identical
+to a fault-free one.  With ``min_reps`` the run degrades gracefully:
+it completes with at least that many successes and records the dropped
+seeds plus remote tracebacks (in ``RepeatedResult.dropped`` and the
+parent-side :data:`repro.faults.RUNLOG`, which run manifests pick up).
+With none of those in force the legacy fail-fast path runs untouched.
+
+Fault-injection sites hosted here: ``worker.crash`` (hard ``os._exit``
+in the worker body — breaks the pool), ``worker.hang`` (bounded sleep,
+to trip task timeouts) and ``measure.transient`` (raise-once
+:class:`repro.faults.InjectedFault` around the measurement).  Each
+disabled site costs one attribute read and a branch.
+
 Fallbacks: ``jobs=1``, a single repetition, or a measurement function the
 pickle module cannot serialise (e.g. a test-local closure) run serially
 in-process.  Worker failures are re-raised as :class:`ExperimentError`
@@ -34,11 +55,13 @@ traceback, so any failing repetition can be reproduced standalone with
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, Mapping, Optional, Tuple
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.experiment import (
     MeasureFn,
@@ -47,12 +70,18 @@ from repro.core.experiment import (
     collect_repetitions,
 )
 from repro.errors import ExperimentError
+from repro.faults import FAULTS, RUNLOG
 from repro.obs.metrics import METRICS
 from repro.simcore.rng import derive_rep_seed
 
 #: Legacy environment variable for the default worker count (interpreted
 #: only by :meth:`repro.api.RunConfig.from_env`).
 JOBS_ENV = "REPRO_JOBS"
+
+#: Backoff before retry round ``n`` is ``RETRY_BACKOFF_S * 2**(n-1)``,
+#: capped at :data:`RETRY_BACKOFF_CAP_S`.
+RETRY_BACKOFF_S = 0.05
+RETRY_BACKOFF_CAP_S = 2.0
 
 
 def resolve_jobs(jobs: Optional[int] = None,
@@ -92,8 +121,14 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+def _backoff_s(round_no: int) -> float:
+    """Capped exponential backoff before retry round ``round_no`` (>= 1)."""
+    return min(RETRY_BACKOFF_S * 2.0 ** (round_no - 1), RETRY_BACKOFF_CAP_S)
+
+
 def _run_repetition(measure: MeasureFn, repetition: int, seed: int,
-                    submitted_at: float = 0.0
+                    submitted_at: float = 0.0, attempt: int = 0,
+                    in_worker: bool = True, snapshot_registry: bool = True
                     ) -> Tuple[int, int, Optional[Dict[str, float]],
                                Optional[str], float, float,
                                Optional[Dict[str, Any]]]:
@@ -102,14 +137,26 @@ def _run_repetition(measure: MeasureFn, repetition: int, seed: int,
     Returns ``(repetition, seed, metrics, error, queue_wait_s, wall_s,
     counter_snapshot)``.  A forked worker inherits an enabled metrics
     registry; it resets its (process-private) copy so the snapshot holds
-    only this repetition's counters, which the parent merges back.
+    only this repetition's counters, which the parent merges back.  The
+    resilient serial path runs this in the parent with
+    ``snapshot_registry=False`` (never reset the parent registry) and
+    ``in_worker=False`` (process-level sites stay quiet).
     """
     queue_wait = max(0.0, time.time() - submitted_at) if submitted_at else 0.0
-    metrics_on = METRICS.enabled
+    metrics_on = METRICS.enabled and snapshot_registry
     if metrics_on:
         METRICS.reset()
     started = time.perf_counter()
     try:
+        if FAULTS.enabled:
+            if in_worker and FAULTS.would_fire("worker.crash",
+                                               key=repetition,
+                                               attempt=attempt):
+                os._exit(17)  # injected hard crash; the parent accounts it
+            if in_worker and FAULTS.fires("worker.hang", key=repetition,
+                                          attempt=attempt):
+                time.sleep(FAULTS.hang_s)
+            FAULTS.raise_if("measure.transient", key=seed, attempt=attempt)
         metrics = measure(seed)
         # dict() preserves insertion order across the pickle boundary, so
         # the parent rebuilds `raw` exactly as the serial path would.
@@ -122,18 +169,25 @@ def _run_repetition(measure: MeasureFn, repetition: int, seed: int,
     return repetition, seed, result, error, queue_wait, wall, snapshot
 
 
-def _run_shard(fn, index: int, task: Any
+def _run_shard(fn, index: int, task: Any, attempt: int = 0
                ) -> Tuple[int, Any, Optional[str],
                           Optional[Dict[str, Any]]]:
     """Worker body for :func:`map_shards`: one shard, errors as text.
 
     Returns ``(index, result, error, counter_snapshot)``; same metrics
-    snapshot/reset protocol as :func:`_run_repetition`.
+    snapshot/reset and fault-site protocol as :func:`_run_repetition`
+    (shard keys are ``"shard:<index>"``).
     """
     metrics_on = METRICS.enabled
     if metrics_on:
         METRICS.reset()
     try:
+        if FAULTS.enabled:
+            key = f"shard:{index}"
+            if FAULTS.would_fire("worker.crash", key=key, attempt=attempt):
+                os._exit(17)
+            if FAULTS.fires("worker.hang", key=key, attempt=attempt):
+                time.sleep(FAULTS.hang_s)
         result, error = fn(task), None
     except Exception:
         result, error = None, traceback.format_exc()
@@ -141,7 +195,45 @@ def _run_shard(fn, index: int, task: Any
     return index, result, error, snapshot
 
 
-def map_shards(fn, tasks, jobs: Optional[int] = None) -> list:
+def _resilience_settings(retries: Optional[int],
+                         task_timeout_s: Optional[float],
+                         min_reps: Optional[int]
+                         ) -> Tuple[int, Optional[float], Optional[int]]:
+    """Fill unset resilience knobs from the activated run config."""
+    from repro import api
+
+    config = api.active_config()
+    if config is not None:
+        if retries is None:
+            retries = config.resolve_retries()
+        if task_timeout_s is None:
+            task_timeout_s = config.resolve_task_timeout_s()
+        if min_reps is None:
+            min_reps = config.resolve_min_reps()
+    retries = 0 if retries is None else int(retries)
+    if retries < 0:
+        raise ExperimentError(f"retries must be >= 0, got {retries}")
+    if task_timeout_s is not None and task_timeout_s <= 0:
+        raise ExperimentError(
+            f"task_timeout_s must be > 0, got {task_timeout_s}")
+    if min_reps is not None and min_reps < 1:
+        raise ExperimentError(f"min_reps must be >= 1, got {min_reps}")
+    return retries, task_timeout_s, min_reps
+
+
+def _salvage_round(results: List[tuple], metrics_on: bool) -> int:
+    """Merge completed workers' snapshots after a broken round; returns
+    how many repetitions had finished."""
+    if metrics_on:
+        for *_head, snapshot in results:
+            if snapshot is not None:
+                METRICS.merge(snapshot)
+    return len(results)
+
+
+def map_shards(fn, tasks, jobs: Optional[int] = None,
+               retries: Optional[int] = None,
+               task_timeout_s: Optional[float] = None) -> list:
     """Map ``fn`` over ``tasks`` across workers, results in task order.
 
     The generic fan-out primitive behind fleet host building (and any
@@ -151,52 +243,166 @@ def map_shards(fn, tasks, jobs: Optional[int] = None) -> list:
     Serial fallbacks (one worker, one task, unpicklable ``fn``) run
     in-process; worker failures re-raise as :class:`ExperimentError`
     naming the shard index with the remote traceback attached.
+
+    With ``retries``/``task_timeout_s`` (explicit or from the activated
+    run config) failed, crashed or timed-out shards are resubmitted —
+    every shard must ultimately succeed (there is no ``min_reps``
+    analogue for shards, since a missing shard would skew the merge).
     """
     tasks = list(tasks)
     workers = min(resolve_jobs(jobs), len(tasks)) if tasks else 0
+    retries, task_timeout_s, _ = _resilience_settings(
+        retries, task_timeout_s, None)
     if workers <= 1 or not measure_is_picklable(fn):
         return [fn(task) for task in tasks]
     metrics_on = METRICS.enabled
-    gathered = []
-    with ProcessPoolExecutor(max_workers=workers,
-                             mp_context=_pool_context()) as pool:
-        futures = [pool.submit(_run_shard, fn, index, task)
-                   for index, task in enumerate(tasks)]
-        for index, future in enumerate(futures):
-            try:
-                gathered.append(future.result())
-            except Exception as exc:
+    if retries > 0 or task_timeout_s is not None or FAULTS.enabled:
+        gathered = _map_shards_resilient(
+            fn, tasks, workers, retries, task_timeout_s, metrics_on)
+    else:
+        gathered = []
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=_pool_context()) as pool:
+            futures = [pool.submit(_run_shard, fn, index, task)
+                       for index, task in enumerate(tasks)]
+            for index, future in enumerate(futures):
+                try:
+                    gathered.append(future.result())
+                except Exception as exc:
+                    finished = _salvage_round(gathered, metrics_on)
+                    raise ExperimentError(
+                        f"shard {index} broke the worker pool after "
+                        f"{finished} of {len(tasks)} shards had "
+                        f"completed: {exc}"
+                    ) from exc
+        for index, _result, error, _snapshot in gathered:
+            if error is not None:
                 raise ExperimentError(
-                    f"shard {index} broke the worker pool: {exc}"
-                ) from exc
-    for index, _result, error, _snapshot in gathered:
-        if error is not None:
-            raise ExperimentError(
-                f"shard {index} failed in a worker.\n"
-                f"Worker traceback:\n{error}"
-            )
+                    f"shard {index} failed in a worker.\n"
+                    f"Worker traceback:\n{error}"
+                )
+        if metrics_on:
+            for _index, _result, _error, snapshot in gathered:
+                if snapshot is not None:
+                    METRICS.merge(snapshot)
     if metrics_on:
         METRICS.inc("parallel.shards", len(gathered))
         METRICS.gauge_max("parallel.workers", workers)
-        for _index, _result, _error, snapshot in gathered:
-            if snapshot is not None:
-                METRICS.merge(snapshot)
     return [result for _index, result, _error, _snapshot in gathered]
 
 
+def _map_shards_resilient(fn, tasks, workers: int, retries: int,
+                          task_timeout_s: Optional[float],
+                          metrics_on: bool) -> List[tuple]:
+    """Round-based retry engine for :func:`map_shards`.
+
+    Returns completed ``(index, result, None, snapshot)`` tuples in task
+    order (snapshots already merged); raises :class:`ExperimentError` if
+    any shard is still failing after the final round.
+    """
+    pending = list(range(len(tasks)))
+    done: Dict[int, tuple] = {}
+    failures: Dict[int, str] = {}
+    pool: Optional[ProcessPoolExecutor] = None
+    try:
+        for round_no in range(retries + 1):
+            if not pending:
+                break
+            if round_no > 0:
+                time.sleep(_backoff_s(round_no))
+                RUNLOG.retries += len(pending)
+                if metrics_on:
+                    METRICS.inc("parallel.retries", len(pending))
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=workers,
+                                           mp_context=_pool_context())
+            futures = {index: pool.submit(_run_shard, fn, index,
+                                          tasks[index], round_no)
+                       for index in pending}
+            still_pending: List[int] = []
+            pool_broken = False
+            for index in pending:
+                future = futures[index]
+                try:
+                    result = future.result(timeout=task_timeout_s)
+                except FutureTimeoutError:
+                    future.cancel()
+                    RUNLOG.timeouts += 1
+                    if metrics_on:
+                        METRICS.inc("parallel.timeouts")
+                    failures[index] = (
+                        f"timed out after {task_timeout_s}s")
+                    still_pending.append(index)
+                    pool_broken = True  # a hung worker occupies a slot
+                    continue
+                except Exception as exc:
+                    if FAULTS.enabled and FAULTS.would_fire(
+                            "worker.crash", key=f"shard:{index}",
+                            attempt=round_no):
+                        FAULTS.record("worker.crash")
+                    failures[index] = f"worker pool broke: {exc}"
+                    still_pending.append(index)
+                    pool_broken = True
+                    continue
+                _index, payload, error, snapshot = result
+                if metrics_on and snapshot is not None:
+                    METRICS.merge(snapshot)
+                if error is None:
+                    done[index] = (index, payload, None, snapshot)
+                else:
+                    failures[index] = error
+                    still_pending.append(index)
+            pending = still_pending
+            if pool_broken:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+    if pending:
+        first = pending[0]
+        raise ExperimentError(
+            f"shard {first} failed after {retries + 1} attempt(s) "
+            f"({len(done)} of {len(tasks)} shards completed).\n"
+            f"Last error:\n{failures[first]}"
+        )
+    return [done[index] for index in sorted(done)]
+
+
 class ParallelRepeater:
-    """Drop-in :class:`Repeater` that spreads repetitions over processes."""
+    """Drop-in :class:`Repeater` that spreads repetitions over processes.
+
+    ``retries`` / ``task_timeout_s`` / ``min_reps`` default from the
+    activated :class:`repro.api.RunConfig`; when all are unset and no
+    fault plan is active the legacy fail-fast path runs byte-for-byte
+    unchanged.
+    """
 
     def __init__(self, base_seed: int = 0, reps: int = 5,
-                 jobs: Optional[int] = None):
+                 jobs: Optional[int] = None,
+                 retries: Optional[int] = None,
+                 task_timeout_s: Optional[float] = None,
+                 min_reps: Optional[int] = None):
         if reps < 1:
             raise ExperimentError(f"reps must be >= 1, got {reps}")
         self.base_seed = base_seed
         self.reps = reps
         self.jobs = resolve_jobs(jobs)
+        self.retries, self.task_timeout_s, self.min_reps = \
+            _resilience_settings(retries, task_timeout_s, min_reps)
+        if self.min_reps is not None and self.min_reps > reps:
+            raise ExperimentError(
+                f"min_reps ({self.min_reps}) cannot exceed reps ({reps})")
+
+    @property
+    def _resilient(self) -> bool:
+        return (self.retries > 0 or self.task_timeout_s is not None
+                or self.min_reps is not None or FAULTS.enabled)
 
     def run(self, measure: MeasureFn) -> RepeatedResult:
         workers = min(self.jobs, self.reps)
+        if self._resilient:
+            return self._run_resilient(measure, workers)
         if workers <= 1 or not measure_is_picklable(measure):
             return Repeater(self.base_seed, self.reps).run(measure)
         seeds = [derive_rep_seed(self.base_seed, repetition)
@@ -216,10 +422,12 @@ class ParallelRepeater:
                 try:
                     results.append(future.result())
                 except Exception as exc:
+                    finished = _salvage_round(results, metrics_on)
                     raise ExperimentError(
                         f"repetition {repetition} "
                         f"(seed {seeds[repetition]}) broke the worker "
-                        f"pool: {exc}"
+                        f"pool after {finished} of {self.reps} "
+                        f"repetitions had completed: {exc}"
                     ) from exc
         for repetition, seed, _metrics, error, *_rest in results:
             if error is not None:
@@ -240,3 +448,158 @@ class ParallelRepeater:
             (repetition, seed, metrics)
             for repetition, seed, metrics, _error, *_timing in results
         )
+
+    # -- resilient path ---------------------------------------------------
+
+    def _run_resilient(self, measure: MeasureFn, workers: int
+                       ) -> RepeatedResult:
+        """Round-based execution with retry, timeout and degradation.
+
+        Retried repetitions re-derive the **same** seed, so a recovered
+        run's :class:`RepeatedResult` is byte-identical to a fault-free
+        one; metrics snapshots from *every* returned attempt (success or
+        failure) are merged so no completed work is discarded.
+        """
+        seeds = [derive_rep_seed(self.base_seed, repetition)
+                 for repetition in range(self.reps)]
+        parallel_ok = workers > 1 and measure_is_picklable(measure)
+        metrics_on = METRICS.enabled
+        completed: Dict[int, Dict[str, float]] = {}
+        failures: Dict[int, str] = {}
+        pending = list(range(self.reps))
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            for round_no in range(self.retries + 1):
+                if not pending:
+                    break
+                if round_no > 0:
+                    time.sleep(_backoff_s(round_no))
+                    RUNLOG.retries += len(pending)
+                    if metrics_on:
+                        METRICS.inc("parallel.retries", len(pending))
+                if parallel_ok:
+                    pending, pool = self._parallel_round(
+                        measure, seeds, pending, round_no, workers, pool,
+                        completed, failures, metrics_on)
+                else:
+                    pending = self._serial_round(
+                        measure, seeds, pending, round_no,
+                        completed, failures, metrics_on)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        if metrics_on:
+            METRICS.inc("parallel.repetitions", len(completed))
+            if parallel_ok:
+                METRICS.gauge_max("parallel.workers", workers)
+        return self._fold(seeds, completed, failures, metrics_on)
+
+    def _parallel_round(self, measure, seeds, pending, round_no, workers,
+                        pool, completed, failures, metrics_on):
+        """One submission round over the pool; returns (still-pending,
+        pool-or-None).  A broken/hung pool is shut down without waiting
+        and rebuilt lazily next round."""
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=workers,
+                                       mp_context=_pool_context())
+        futures = {
+            repetition: pool.submit(_run_repetition, measure, repetition,
+                                    seeds[repetition], time.time(), round_no)
+            for repetition in pending
+        }
+        still_pending: List[int] = []
+        pool_broken = False
+        for repetition in pending:
+            future = futures[repetition]
+            try:
+                result = future.result(timeout=self.task_timeout_s)
+            except FutureTimeoutError:
+                future.cancel()
+                RUNLOG.timeouts += 1
+                if metrics_on:
+                    METRICS.inc("parallel.timeouts")
+                failures[repetition] = (
+                    f"timed out after {self.task_timeout_s}s")
+                still_pending.append(repetition)
+                pool_broken = True  # the hung worker occupies a slot
+                continue
+            except Exception as exc:
+                # A crashed worker takes its fault tally with it; the
+                # decision is deterministic, so account it parent-side.
+                if FAULTS.enabled and FAULTS.would_fire(
+                        "worker.crash", key=repetition, attempt=round_no):
+                    FAULTS.record("worker.crash")
+                failures[repetition] = f"worker pool broke: {exc}"
+                still_pending.append(repetition)
+                pool_broken = True
+                continue
+            _rep, _seed, metrics, error, queue_wait, wall, snapshot = result
+            if metrics_on:
+                METRICS.observe("parallel.queue_wait_s", queue_wait)
+                METRICS.observe("parallel.worker_wall_s", wall)
+                if snapshot is not None:
+                    METRICS.merge(snapshot)
+            if error is None:
+                completed[repetition] = metrics
+            else:
+                failures[repetition] = error
+                still_pending.append(repetition)
+        if pool_broken:
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+        return still_pending, pool
+
+    def _serial_round(self, measure, seeds, pending, round_no,
+                      completed, failures, metrics_on):
+        """In-process round (one worker, or unpicklable ``measure``).
+
+        Runs in the parent: process-level sites (``worker.crash`` /
+        ``worker.hang``) stay quiet and the parent metrics registry is
+        never reset; ``task_timeout_s`` cannot interrupt in-process work
+        and is ignored here.
+        """
+        still_pending: List[int] = []
+        for repetition in pending:
+            _rep, _seed, metrics, error, _qw, wall, _snap = _run_repetition(
+                measure, repetition, seeds[repetition], 0.0, round_no,
+                in_worker=False, snapshot_registry=False)
+            if metrics_on:
+                METRICS.observe("parallel.worker_wall_s", wall)
+            if error is None:
+                completed[repetition] = metrics
+            else:
+                failures[repetition] = error
+                still_pending.append(repetition)
+        return still_pending
+
+    def _fold(self, seeds, completed, failures, metrics_on
+              ) -> RepeatedResult:
+        """Collect successes; degrade via ``min_reps`` or fail fast."""
+        failed = [r for r in range(self.reps) if r not in completed]
+        dropped: List[Dict[str, Any]] = []
+        if failed:
+            if self.min_reps is None or len(completed) < self.min_reps:
+                first = failed[0]
+                raise ExperimentError(
+                    f"repetition {first} (seed {seeds[first]}) failed "
+                    f"after {self.retries + 1} attempt(s) "
+                    f"({len(completed)} of {self.reps} repetitions "
+                    f"completed); reproduce with measure({seeds[first]}).\n"
+                    f"Worker traceback:\n{failures[first]}"
+                )
+            dropped = [
+                {"repetition": r, "seed": seeds[r],
+                 "error": failures[r].strip().splitlines()[-1]
+                 if failures[r].strip() else "unknown",
+                 "traceback": failures[r]}
+                for r in failed
+            ]
+            RUNLOG.dropped.extend(dropped)
+            if metrics_on:
+                METRICS.inc("parallel.dropped", len(dropped))
+        result = collect_repetitions(
+            (repetition, seeds[repetition], completed[repetition])
+            for repetition in sorted(completed)
+        )
+        result.dropped = dropped
+        return result

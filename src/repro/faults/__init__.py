@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the execution layer.
+
+Public surface: :class:`FaultPlan` / :func:`parse_fault_spec` to build a
+seeded plan, the process-global :data:`FAULTS` injector consulted by the
+named injection sites, the :func:`injected` activation context, and the
+parent-side :data:`RUNLOG` that carries resilience incidents (retries,
+timeouts, dropped repetitions) into run manifests.
+"""
+
+from repro.faults.plan import (
+    DEFAULT_HANG_S,
+    EACH,
+    FAULTS,
+    RUNLOG,
+    SITES,
+    TRANSIENT,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    RunLog,
+    injected,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "DEFAULT_HANG_S",
+    "EACH",
+    "FAULTS",
+    "RUNLOG",
+    "SITES",
+    "TRANSIENT",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "RunLog",
+    "injected",
+    "parse_fault_spec",
+]

@@ -35,6 +35,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro.faults import FAULTS
 from repro.fleet.calibration import fleet_slowdown
 from repro.fleet.churn import active_seconds, finish_time
 from repro.fleet.config import FleetConfig
@@ -537,4 +538,29 @@ def simulate_fleet(config: FleetConfig,
     ``jobs`` count affects wall-clock only, never the report.
     """
     hosts = build_fleet_hosts(config, jobs=jobs)
+    if FAULTS.enabled:
+        _apply_host_dropout(hosts, config.duration_s)
     return FleetServer(config, hosts).run()
+
+
+def _apply_host_dropout(hosts: List[FleetHost], horizon_s: float) -> None:
+    """Injection site ``host.dropout``: permanently remove hosts early.
+
+    Each selected host departs at a deterministic fraction of the
+    horizon (drawn from the fault plan, keyed by host index): its
+    departure time is truncated and later availability sessions are
+    clipped.  This *changes results by design* — the fault-plan token is
+    folded into the cache identity so such runs never collide with
+    fault-free ones.
+    """
+    for host in hosts:
+        if not FAULTS.fires("host.dropout", key=host.index, attempt=0):
+            continue
+        dropout_s = FAULTS.uniform("host.dropout", key=host.index) \
+            * horizon_s
+        if dropout_s >= host.departure_s:
+            continue  # already departing earlier on its own
+        host.departure_s = dropout_s
+        host.sessions = [(start, min(end, dropout_s))
+                         for start, end in host.sessions
+                         if start < dropout_s]

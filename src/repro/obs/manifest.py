@@ -111,6 +111,14 @@ def validate_manifest(manifest: Mapping[str, Any]) -> List[str]:
             f"cache.outcome is {outcome!r}, expected one of "
             f"{sorted(_CACHE_OUTCOMES)}"
         )
+    faults = manifest.get("faults")
+    if faults is not None:
+        if not isinstance(faults, dict):
+            problems.append("faults is not a mapping")
+        else:
+            for name in ("retries", "timeouts", "dropped", "injected"):
+                if name not in faults:
+                    problems.append(f"faults.{name} missing")
     return problems
 
 
@@ -140,7 +148,8 @@ def list_manifests(runs_dir: Union[str, os.PathLike, None] = None
     root = pathlib.Path(runs_dir if runs_dir is not None else DEFAULT_RUNS_DIR)
     if not root.is_dir():
         return []
-    return sorted(root.glob("*.json"),
+    return sorted((p for p in root.glob("*.json")
+                   if not p.name.startswith("progress-")),
                   key=lambda p: (p.stat().st_mtime, p.name))
 
 
@@ -182,6 +191,76 @@ def load_manifest(ref: str = "last",
         raise ExperimentError(f"corrupt run manifest {path}: {exc}") from exc
 
 
+#: Schema identifier for per-point progress checkpoints.
+PROGRESS_SCHEMA = "repro-progress/1"
+
+
+class ProgressCheckpoint:
+    """Crash-safe per-point completion record for multi-point commands.
+
+    A figure/report/sweep command that computes several independent
+    points marks each one here as it completes (atomic write-then-rename
+    after every mark).  If the process is killed, rerunning with
+    ``--resume`` replays the finished points from their stored payloads
+    and recomputes only the rest; a run that completes normally deletes
+    its checkpoint.  ``run_key`` must fingerprint everything that shapes
+    the output (command, ids, repetition policy, seed, source), so a
+    stale checkpoint can never leak points into a different run.
+    """
+
+    def __init__(self, run_key: str,
+                 runs_dir: Union[str, os.PathLike, None] = None):
+        self.run_key = run_key
+        root = pathlib.Path(
+            runs_dir if runs_dir is not None else DEFAULT_RUNS_DIR)
+        self.path = root / f"progress-{run_key}.json"
+        self._points: Dict[str, Any] = {}
+
+    def load(self) -> int:
+        """Read completed points from disk; returns how many were found.
+
+        A missing, unreadable, or mismatched-schema file is simply an
+        empty checkpoint (resume then recomputes everything).
+        """
+        try:
+            state = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return 0
+        if not isinstance(state, dict) \
+                or state.get("schema") != PROGRESS_SCHEMA \
+                or state.get("run_key") != self.run_key:
+            return 0
+        points = state.get("points")
+        self._points = dict(points) if isinstance(points, dict) else {}
+        return len(self._points)
+
+    def done(self, point_key: str) -> bool:
+        return point_key in self._points
+
+    def payload(self, point_key: str) -> Any:
+        return self._points.get(point_key)
+
+    def mark(self, point_key: str, payload: Any = None) -> None:
+        """Record ``point_key`` as complete (persisted immediately)."""
+        self._points[point_key] = payload
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps({
+            "schema": PROGRESS_SCHEMA,
+            "run_key": self.run_key,
+            "updated_unix": time.time(),
+            "points": self._points,
+        }, default=repr), encoding="utf-8")
+        tmp.replace(self.path)
+
+    def finish(self) -> None:
+        """Delete the checkpoint (the run completed normally)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
 def render_manifest(manifest: Mapping[str, Any]) -> str:
     """Human-readable rendering for ``repro metrics``."""
     lines = [
@@ -201,6 +280,14 @@ def render_manifest(manifest: Mapping[str, Any]) -> str:
     lines.append(f"cache    {cache.get('outcome', '?')}"
                  f" (hits={cache.get('hits', 0)}"
                  f" misses={cache.get('misses', 0)})")
+    faults = manifest.get("faults")
+    if faults and any(faults.get(k) for k in
+                      ("total_injected", "retries", "timeouts", "dropped")):
+        lines.append(
+            f"faults   injected={faults.get('total_injected', 0)}"
+            f" retries={faults.get('retries', 0)}"
+            f" timeouts={faults.get('timeouts', 0)}"
+            f" dropped={len(faults.get('dropped', []))}")
     phases = manifest.get("phases", [])
     if phases:
         lines.append("phases:")

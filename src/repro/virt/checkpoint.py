@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, Optional
 
 from repro.errors import CheckpointError
+from repro.faults import FAULTS
 from repro.obs.metrics import METRICS
 from repro.osmodel.kernel import Kernel
 from repro.units import MB
@@ -125,6 +126,12 @@ def restore_checkpoint(host_kernel: Kernel, image: CheckpointImage,
     counters and clock state restored.  The caller re-creates the
     workload from ``image.workload_state`` (BOINC semantics).
     """
+    if FAULTS.enabled and FAULTS.fires("checkpoint.lost", key=image.path):
+        # Transient site: a retried restore of the same image succeeds,
+        # modelling a checkpoint file that went missing with its host.
+        raise CheckpointError(
+            f"injected fault: checkpoint image {image.path!r} lost"
+        )
     profile = profile or get_profile(image.profile_name)
     if profile.name != image.profile_name:
         raise CheckpointError(

@@ -70,6 +70,104 @@ class TestStore:
         assert cache.get(key) is None
 
 
+class TestQuarantine:
+    def test_corruption_counted_distinctly_from_misses(self, cache):
+        key = cache.key("exp", {})
+        cache.put(key, {"ok": True})
+        (cache.root / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1 and cache.misses == 0
+
+    def test_corrupt_entry_moved_aside_then_clean_miss(self, cache):
+        key = cache.key("exp", {})
+        cache.put(key, {"ok": True})
+        (cache.root / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+        assert (cache.root / f"{key}.corrupt").exists()
+        assert not (cache.root / f"{key}.json").exists()
+        assert cache.get(key) is None  # evidence moved: ordinary miss now
+        assert cache.corrupt == 1 and cache.misses == 1
+
+    def test_non_object_envelope_is_corruption(self, cache):
+        key = cache.key("exp", {})
+        cache.root.mkdir(parents=True)
+        (cache.root / f"{key}.json").write_text("[1, 2, 3]")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+
+    def test_quarantine_feeds_metrics_counter(self, cache):
+        from repro.obs.metrics import METRICS
+
+        key = cache.key("exp", {})
+        cache.put(key, {"ok": True})
+        (cache.root / f"{key}.json").write_text("{not json")
+        METRICS.enable()
+        try:
+            assert cache.get(key) is None
+            assert METRICS.counter("cache.corrupt") == 1
+        finally:
+            METRICS.disable()
+            METRICS.reset()
+
+    def test_injected_corruption_quarantines_on_read(self, cache):
+        from repro.faults import FaultPlan, injected
+
+        key = cache.key("exp", {})
+        with injected(FaultPlan(seed=1).arm("cache.corrupt", 1.0)):
+            cache.put(key, {"ok": True})  # truncated write
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        assert (cache.root / f"{key}.corrupt").exists()
+
+
+class TestSweep:
+    def test_sweep_removes_dead_writer_temps(self, cache):
+        cache.put(cache.key("exp", {}), {"ok": True})
+        # a writer that died mid-put: certainly-dead pid
+        orphan = cache.root / "deadbeef.tmp.999999999"
+        orphan.write_text("{partial")
+        assert cache.stats()["tmp_files"] == 1
+        assert cache.sweep() == 1
+        assert not orphan.exists()
+        assert cache.stats()["entries"] == 1  # real entries untouched
+
+    def test_sweep_keeps_own_inflight_temp(self, cache):
+        import os
+
+        cache.root.mkdir(parents=True)
+        mine = cache.root / f"abc123.tmp.{os.getpid()}"
+        mine.write_text("{inflight")
+        assert cache.sweep() == 0
+        assert mine.exists()
+
+    def test_sweep_removes_unparsable_pid_temps(self, cache):
+        cache.root.mkdir(parents=True)
+        junk = cache.root / "abc123.tmp.notapid"
+        junk.write_text("{junk")
+        assert cache.sweep() == 1
+
+    def test_clear_also_removes_temps_and_quarantined(self, cache):
+        key = cache.key("exp", {})
+        cache.put(key, {"ok": True})
+        (cache.root / f"{key}.json").write_text("{not json")
+        cache.get(key)  # quarantines to .corrupt
+        (cache.root / "dead.tmp.999999999").write_text("{partial")
+        assert cache.clear() == 0  # no .json entries left
+        assert list(cache.root.iterdir()) == []
+
+    def test_stats_report_corrupt_and_tmp_files(self, cache):
+        key = cache.key("exp", {})
+        cache.put(key, {"ok": True})
+        (cache.root / f"{key}.json").write_text("{not json")
+        cache.get(key)
+        (cache.root / "dead.tmp.999999999").write_text("{partial")
+        stats = cache.stats()
+        assert stats["corrupt"] == 1
+        assert stats["corrupt_files"] == 1
+        assert stats["tmp_files"] == 1
+        assert stats["entries"] == 0
+
+
 class TestFigurePayloadRoundTrip:
     def _figure(self):
         fig = FigureData(fig_id="figx", title="t", unit="u", notes="n",

@@ -1,0 +1,223 @@
+"""Fault plans: seed determinism, firing modes, spec parsing, injector."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import (
+    DEFAULT_HANG_S,
+    EACH,
+    FAULTS,
+    RUNLOG,
+    SITES,
+    TRANSIENT,
+    FaultPlan,
+    InjectedFault,
+    RunLog,
+    injected,
+    parse_fault_spec,
+)
+from repro.obs.metrics import METRICS
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    assert not FAULTS.enabled  # no test may leak an active plan
+    RUNLOG.clear()
+    yield
+    assert not FAULTS.enabled
+    METRICS.disable()
+    METRICS.reset()
+
+
+class TestDeterminism:
+    def test_same_seed_replays_identical_decisions(self):
+        a = FaultPlan(seed=7).arm("worker.crash", 0.3)
+        b = FaultPlan(seed=7).arm("worker.crash", 0.3)
+        decisions = [(key, attempt) for key in range(50)
+                     for attempt in range(3)]
+        assert [a.would_fire("worker.crash", k, n) for k, n in decisions] \
+            == [b.would_fire("worker.crash", k, n) for k, n in decisions]
+
+    def test_different_seeds_diverge(self):
+        a = FaultPlan(seed=1).arm("worker.crash", 0.5)
+        b = FaultPlan(seed=2).arm("worker.crash", 0.5)
+        assert [a.would_fire("worker.crash", k) for k in range(64)] \
+            != [b.would_fire("worker.crash", k) for k in range(64)]
+
+    def test_sites_draw_independently(self):
+        plan = FaultPlan(seed=3)
+        plan.arm("worker.crash", 0.5)
+        plan.arm("cache.corrupt", 0.5)
+        crash = [plan.would_fire("worker.crash", k) for k in range(64)]
+        corrupt = [plan.would_fire("cache.corrupt", k) for k in range(64)]
+        assert crash != corrupt  # distinct hash streams per site
+
+    def test_firing_rate_tracks_probability(self):
+        plan = FaultPlan(seed=11).arm("host.dropout", 0.25)
+        fired = sum(plan.would_fire("host.dropout", k) for k in range(2000))
+        assert 0.18 < fired / 2000 < 0.32
+
+    def test_uniform_is_deterministic_and_in_range(self):
+        plan = FaultPlan(seed=5).arm("host.dropout", 1.0)
+        draws = [plan.uniform("host.dropout", k) for k in range(100)]
+        assert draws == [FaultPlan(seed=5).uniform("host.dropout", k)
+                         for k in range(100)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert len(set(draws)) > 90  # keys decorrelate the draws
+
+
+class TestFiringModes:
+    def test_every_site_has_a_known_mode(self):
+        assert set(SITES.values()) <= {TRANSIENT, EACH}
+
+    def test_transient_never_fires_after_attempt_zero(self):
+        plan = FaultPlan(seed=1).arm("measure.transient", 1.0)
+        assert plan.would_fire("measure.transient", "k", attempt=0)
+        assert not plan.would_fire("measure.transient", "k", attempt=1)
+        assert not plan.would_fire("measure.transient", "k", attempt=7)
+
+    def test_each_sites_redraw_every_attempt(self):
+        plan = FaultPlan(seed=1).arm("worker.crash", 1.0)
+        assert all(plan.would_fire("worker.crash", "k", attempt=n)
+                   for n in range(4))
+
+    def test_fires_counts_attempts_per_key(self):
+        plan = FaultPlan(seed=1).arm("checkpoint.lost", 1.0)
+        assert plan.fires("checkpoint.lost", key="img-a")
+        assert not plan.fires("checkpoint.lost", key="img-a")  # attempt 1
+        assert plan.fires("checkpoint.lost", key="img-b")  # fresh key
+
+    def test_unarmed_site_never_fires(self):
+        plan = FaultPlan(seed=1)
+        assert not plan.would_fire("worker.crash", "k")
+        assert not plan.fires("worker.crash", "k")
+
+
+class TestTallies:
+    def test_would_fire_leaves_no_trace(self):
+        plan = FaultPlan(seed=1).arm("worker.crash", 1.0)
+        plan.would_fire("worker.crash", "k")
+        assert plan.injected == {}
+        assert plan._counts == {}
+
+    def test_fires_tallies_per_site(self):
+        plan = FaultPlan(seed=1).arm("worker.crash", 1.0)
+        plan.fires("worker.crash", "a", attempt=0)
+        plan.fires("worker.crash", "b", attempt=0)
+        assert plan.injected == {"worker.crash": 2}
+
+    def test_record_feeds_metrics_counters(self):
+        METRICS.enable()
+        plan = FaultPlan(seed=1).arm("worker.crash", 1.0)
+        plan.record("worker.crash")
+        plan.record("worker.crash")
+        assert METRICS.counter("faults.injected") == 2
+        assert METRICS.counter("faults.injected.worker.crash") == 2
+
+
+class TestSpecParsing:
+    def test_round_trips_through_canonical_spec(self):
+        plan = parse_fault_spec(
+            "seed=7,worker.crash=0.2,measure.transient=0.35")
+        assert plan.seed == 7
+        assert plan.arms == {"worker.crash": 0.2, "measure.transient": 0.35}
+        again = parse_fault_spec(plan.canonical_spec())
+        assert again.canonical_spec() == plan.canonical_spec()
+
+    def test_hang_s_parsed_and_canonicalised(self):
+        plan = parse_fault_spec("seed=1,hang_s=0.25,worker.hang=1.0")
+        assert plan.hang_s == 0.25
+        assert "hang_s=0.25" in plan.canonical_spec()
+        # the default hang is elided from the canonical form
+        assert "hang_s" not in parse_fault_spec(
+            "seed=1,worker.hang=1.0").canonical_spec()
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault spec key"):
+            parse_fault_spec("seed=1,worker.sulk=0.5")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ReproError, match="bad value"):
+            parse_fault_spec("seed=banana")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ReproError, match="empty fault spec"):
+            parse_fault_spec("   ")
+
+    def test_malformed_item_rejected(self):
+        with pytest.raises(ReproError, match="malformed"):
+            parse_fault_spec("seed=1,worker.crash")
+
+    def test_out_of_range_probability_rejected(self):
+        with pytest.raises(ReproError, match=r"\[0, 1\]"):
+            parse_fault_spec("worker.crash=1.5")
+
+    def test_unknown_site_rejected_by_arm(self):
+        with pytest.raises(ReproError, match="unknown injection site"):
+            FaultPlan().arm("nonsense.site", 0.5)
+
+
+class TestInjector:
+    def test_disabled_by_default(self):
+        assert not FAULTS.enabled
+        assert FAULTS.cache_token() is None
+        assert FAULTS.hang_s == DEFAULT_HANG_S
+
+    def test_armless_plan_keeps_injector_disabled(self):
+        with injected(FaultPlan(seed=1)):
+            assert not FAULTS.enabled
+
+    def test_context_activates_and_restores(self):
+        outer = FaultPlan(seed=1).arm("worker.crash", 0.5)
+        inner = FaultPlan(seed=2).arm("cache.corrupt", 0.5)
+        with injected(outer):
+            assert FAULTS.enabled and FAULTS.plan is outer
+            with injected(inner):
+                assert FAULTS.plan is inner
+            assert FAULTS.plan is outer
+        assert not FAULTS.enabled and FAULTS.plan is None
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with injected(FaultPlan(seed=1).arm("worker.crash", 1.0)):
+                raise RuntimeError("boom")
+        assert not FAULTS.enabled
+
+    def test_raise_if_raises_injected_fault(self):
+        plan = FaultPlan(seed=1).arm("measure.transient", 1.0)
+        with injected(plan):
+            with pytest.raises(InjectedFault, match="measure.transient"):
+                FAULTS.raise_if("measure.transient", key=42, attempt=0)
+            # transient: the retry of the same key succeeds
+            FAULTS.raise_if("measure.transient", key=42, attempt=1)
+
+    def test_cache_token_is_canonical_spec(self):
+        plan = FaultPlan(seed=9).arm("cache.corrupt", 0.5)
+        with injected(plan):
+            assert FAULTS.cache_token() == plan.canonical_spec()
+            assert "seed=9" in FAULTS.cache_token()
+
+    def test_hang_s_follows_active_plan(self):
+        with injected(FaultPlan(seed=1, hang_s=0.125)
+                      .arm("worker.hang", 1.0)):
+            assert FAULTS.hang_s == 0.125
+
+
+class TestRunLog:
+    def test_snapshot_and_clear(self):
+        log = RunLog()
+        log.retries = 3
+        log.timeouts = 1
+        log.dropped.append({"repetition": 2, "seed": 99, "error": "x"})
+        snap = log.snapshot()
+        assert snap == {"retries": 3, "timeouts": 1,
+                        "dropped": [{"repetition": 2, "seed": 99,
+                                     "error": "x"}]}
+        log.clear()
+        assert log.snapshot() == {"retries": 0, "timeouts": 0, "dropped": []}
+
+    def test_snapshot_copies_dropped_list(self):
+        log = RunLog()
+        snap = log.snapshot()
+        log.dropped.append({"repetition": 0})
+        assert snap["dropped"] == []
