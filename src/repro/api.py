@@ -40,6 +40,7 @@ REPS_ENV_VARS = ("REPRO_REPS", "REPRO_FULL", "REPRO_FAST")
 JOBS_ENV_VARS = ("REPRO_JOBS",)
 CACHE_ENV_VARS = ("REPRO_CACHE",)
 METRICS_ENV_VARS = ("REPRO_METRICS",)
+AUDIT_ENV_VARS = ("REPRO_TRACE_HASH",)
 RUNS_DIR_ENV_VAR = "REPRO_RUNS_DIR"
 
 _FALSEY = {"0", "false", "no", "off", ""}
@@ -76,6 +77,7 @@ class RunConfig:
     task_timeout_s: Optional[float] = None  #: per-repetition timeout
     min_reps: Optional[int] = None    #: graceful-degradation success floor
     fault_spec: Optional[str] = None  #: fault plan, e.g. "seed=7,worker.crash=0.2"
+    trace_hash: bool = False          #: rolling trace-hash checkpoints (audit)
     #: Which REPRO_* variables this config was built from (set by
     #: :meth:`from_env`; lets the library warn on implicit env fallback).
     env_sources: Tuple[str, ...] = field(default=(), compare=False)
@@ -119,12 +121,18 @@ class RunConfig:
             metrics = True
             sources.append("REPRO_METRICS")
 
+        trace_hash = False
+        raw = env.get("REPRO_TRACE_HASH")
+        if raw is not None and raw.strip().lower() not in _FALSEY:
+            trace_hash = True
+            sources.append("REPRO_TRACE_HASH")
+
         runs_dir = env.get(RUNS_DIR_ENV_VAR) or None
         cache_dir = env.get("REPRO_CACHE_DIR") or None
 
         return cls(reps=reps, full=full, fast=fast, jobs=jobs, cache=cache,
                    metrics=metrics, runs_dir=runs_dir, cache_dir=cache_dir,
-                   env_sources=tuple(sources))
+                   trace_hash=trace_hash, env_sources=tuple(sources))
 
     def with_overrides(self, **changes: Any) -> "RunConfig":
         """A copy with the given fields replaced (CLI flag layering)."""
@@ -221,6 +229,7 @@ class RunConfig:
             "task_timeout_s": self.task_timeout_s,
             "min_reps": self.min_reps,
             "fault_spec": self.fault_spec,
+            "trace_hash": self.trace_hash,
         }
 
     @classmethod
@@ -231,6 +240,7 @@ class RunConfig:
         return cls(full=bool(payload.get("full", False)),
                    fast=bool(payload.get("fast", False)),
                    metrics=bool(payload.get("metrics", False)),
+                   trace_hash=bool(payload.get("trace_hash", False)),
                    **known)
 
 
@@ -311,6 +321,9 @@ class RunResult:
     run_id: Optional[str] = None
     manifest_path: Optional[str] = None
     metrics: Optional[Dict[str, Any]] = None
+    #: repro-trace-hash/1 snapshot when the config's ``trace_hash`` knob
+    #: was set (the ``repro audit`` bisector compares these).
+    trace_hash: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Stable round-trip encoding (shared with the manifest)."""
@@ -323,6 +336,7 @@ class RunResult:
             "run_id": self.run_id,
             "manifest_path": self.manifest_path,
             "metrics": self.metrics,
+            "trace_hash": self.trace_hash,
         }
 
     @classmethod
@@ -339,6 +353,7 @@ class RunResult:
             run_id=payload.get("run_id"),
             manifest_path=payload.get("manifest_path"),
             metrics=payload.get("metrics"),
+            trace_hash=payload.get("trace_hash"),
         )
 
 
@@ -378,6 +393,29 @@ def _faults_section(plan: Optional[Any],
     return section
 
 
+def _audit_section(thash_snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The manifest's ``audit`` block: a per-stream trace-hash summary.
+
+    Full checkpoint lists stay in-memory on the :class:`RunResult` (a
+    long fleet run has tens of thousands of windows per stream); the
+    manifest keeps only the chained final digest, which — because every
+    window hashes on top of its predecessor — still commits to the
+    whole dispatch history.
+    """
+    streams = {}
+    for key, checkpoints in thash_snapshot.get("streams", {}).items():
+        streams[key] = {
+            "windows": len(checkpoints),
+            "events": int(sum(item[2] for item in checkpoints)),
+            "digest": checkpoints[-1][1] if checkpoints else None,
+        }
+    return {"trace_hash": {
+        "schema": thash_snapshot.get("schema"),
+        "window_s": thash_snapshot.get("window_s"),
+        "streams": streams,
+    }}
+
+
 def build_manifest(command: str, config: RunConfig,
                    phases: List[Dict[str, Any]],
                    snapshot: Dict[str, Any],
@@ -385,7 +423,8 @@ def build_manifest(command: str, config: RunConfig,
                    seeds: Optional[Dict[str, Any]] = None,
                    figure: Optional[Any] = None,
                    run_id: Optional[str] = None,
-                   faults: Optional[Dict[str, Any]] = None
+                   faults: Optional[Dict[str, Any]] = None,
+                   audit: Optional[Dict[str, Any]] = None
                    ) -> Dict[str, Any]:
     """Assemble a schema-valid run manifest (shared by figures/sweeps)."""
     import platform
@@ -399,7 +438,7 @@ def build_manifest(command: str, config: RunConfig,
         "schema": MANIFEST_SCHEMA,
         "run_id": run_id or new_run_id(command.split(":", 1)[-1]),
         "command": command,
-        "created_unix": time.time(),
+        "created_unix": time.time(),  # repro: allow-wall-clock (manifest stamp)
         "config": config.to_dict(),
         "versions": {
             "package": __version__,
@@ -419,6 +458,8 @@ def build_manifest(command: str, config: RunConfig,
         manifest["figure"] = figure.to_dict()
     if faults is not None:
         manifest["faults"] = faults
+    if audit is not None:
+        manifest["audit"] = audit
     return manifest
 
 
@@ -432,6 +473,7 @@ def run_figure(fig_id: str, config: Optional[RunConfig] = None,
     ``config.runs_dir`` (default ``results/runs/``).  Figure numbers are
     bit-identical with metrics on or off: instrumentation only observes.
     """
+    from repro.audit.tracehash import TRACE_HASH
     from repro.core.figures import FIGURES, generate_figure
     from repro.faults import RUNLOG, injected, parse_fault_spec
     from repro.obs.manifest import new_run_id, write_manifest
@@ -450,7 +492,9 @@ def run_figure(fig_id: str, config: Optional[RunConfig] = None,
     started = time.perf_counter()
     phases: List[Dict[str, Any]] = []
     was_enabled = METRICS.enabled
+    was_hashing = TRACE_HASH.enabled
     snapshot: Optional[Dict[str, Any]] = None
+    thash_snapshot: Optional[Dict[str, Any]] = None
     RUNLOG.clear()
     with contextlib.ExitStack() as stack:
         stack.enter_context(activated(config))
@@ -458,6 +502,8 @@ def run_figure(fig_id: str, config: Optional[RunConfig] = None,
             stack.enter_context(injected(plan))
         if config.metrics and not was_enabled:
             METRICS.enable(reset=True)
+        if config.trace_hash and not was_hashing:
+            TRACE_HASH.enable(reset=True)
         try:
             t0 = time.perf_counter()
             figure = generate_figure(fig_id, use_cache=use_cache, **kwargs)
@@ -465,9 +511,13 @@ def run_figure(fig_id: str, config: Optional[RunConfig] = None,
                            "wall_s": time.perf_counter() - t0})
             if config.metrics:
                 snapshot = METRICS.snapshot()
+            if config.trace_hash:
+                thash_snapshot = TRACE_HASH.snapshot()
         finally:
             if config.metrics and not was_enabled:
                 METRICS.disable()
+            if config.trace_hash and not was_hashing:
+                TRACE_HASH.disable()
 
     outcome = _cache_outcome(use_cache, snapshot)
     run_id = None
@@ -481,6 +531,8 @@ def run_figure(fig_id: str, config: Optional[RunConfig] = None,
             seeds={"base_seed": kwargs.get("base_seed")},
             figure=figure, run_id=run_id,
             faults=_faults_section(plan, snapshot),
+            audit=_audit_section(thash_snapshot)
+            if thash_snapshot is not None else None,
         )
         manifest_path = str(write_manifest(manifest, config.runs_dir))
         phases.append({"name": "emit-manifest",
@@ -491,6 +543,7 @@ def run_figure(fig_id: str, config: Optional[RunConfig] = None,
         wall_s=time.perf_counter() - started,
         cache_outcome=outcome, run_id=run_id,
         manifest_path=manifest_path, metrics=snapshot,
+        trace_hash=thash_snapshot,
     )
 
 

@@ -1,0 +1,185 @@
+"""File-walking driver for the determinism lint (``repro lint``).
+
+Applies :mod:`repro.audit.rules` to a set of files or directories, then
+filters findings through two escape hatches:
+
+* **inline allow** — ``# repro: allow-<rule>`` on the flagged line or
+  the line directly above silences that rule at that site.  This is the
+  preferred hatch: the justification lives next to the code.
+* **baseline file** — a JSON file of grandfathered findings (written
+  with ``repro lint --write-baseline``) matched by
+  ``(relative path, rule, stripped source line)`` so entries survive
+  unrelated edits that shift line numbers.  Baselined entries never
+  block CI; entries that no longer match anything are reported as stale
+  so the baseline shrinks monotonically.
+
+The shipped tree is baseline-clean: every intended host-clock site is
+inline-annotated, so ``repro lint src/`` needs no baseline at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.audit.rules import RULES, Violation, check_source
+
+#: Baseline file schema identifier.
+LINT_BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+_ALLOW_PREFIX = "repro: allow-"
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+    violations: List[Violation] = field(default_factory=list)
+    suppressed_inline: int = 0
+    suppressed_baseline: int = 0
+    stale_baseline: List[Dict[str, str]] = field(default_factory=list)
+    files_checked: int = 0
+    errors: List[str] = field(default_factory=list)   # unparseable files
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.errors
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in ("__pycache__", ".git"))
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            out.append(path)
+    return sorted(dict.fromkeys(out))
+
+
+def _inline_allowed(lines: List[str], violation: Violation) -> bool:
+    token = _ALLOW_PREFIX + violation.rule
+    for lineno in (violation.line, violation.line - 1):
+        if 1 <= lineno <= len(lines) and token in lines[lineno - 1]:
+            return True
+    return False
+
+
+def _context_line(lines: List[str], lineno: int) -> str:
+    if 1 <= lineno <= len(lines):
+        return lines[lineno - 1].strip()
+    return ""
+
+
+def _baseline_key(violation: Violation,
+                  lines: List[str]) -> Tuple[str, str, str]:
+    path = violation.rel if violation.rel is not None else violation.path
+    return (path, violation.rule, _context_line(lines, violation.line))
+
+
+def load_baseline(path: str) -> List[Dict[str, str]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("schema") != LINT_BASELINE_SCHEMA:
+        raise ValueError(
+            f"unrecognised lint baseline schema {data.get('schema')!r} "
+            f"in {path} (expected {LINT_BASELINE_SCHEMA})")
+    return list(data.get("entries", []))
+
+
+def write_baseline(path: str, violations: List[Violation],
+                   sources: Dict[str, List[str]]) -> int:
+    """Write every current finding as a baseline entry; returns count."""
+    entries = []
+    for violation in violations:
+        rel_path, rule, context = _baseline_key(
+            violation, sources.get(violation.path, []))
+        entries.append({"path": rel_path, "rule": rule,
+                        "context": context})
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["context"]))
+    payload = {"schema": LINT_BASELINE_SCHEMA, "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def lint_paths(paths: Iterable[str],
+               baseline: Optional[List[Dict[str, str]]] = None,
+               ) -> Tuple[LintReport, Dict[str, List[str]]]:
+    """Lint files/directories; returns the report plus per-file source
+    lines (the CLI reuses them for ``--write-baseline``)."""
+    report = LintReport()
+    sources: Dict[str, List[str]] = {}
+    remaining: List[Dict[str, str]] = [dict(e) for e in (baseline or [])]
+    for path in iter_python_files(paths):
+        report.files_checked += 1
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            found = check_source(source, path)
+        except (OSError, SyntaxError) as exc:
+            report.errors.append(f"{path}: {exc}")
+            continue
+        lines = source.splitlines()
+        sources[path] = lines
+        for violation in found:
+            if _inline_allowed(lines, violation):
+                report.suppressed_inline += 1
+                continue
+            rel_path, rule, context = _baseline_key(violation, lines)
+            matched = None
+            for entry in remaining:
+                if entry.get("path") == rel_path \
+                        and entry.get("rule") == rule \
+                        and entry.get("context") == context:
+                    matched = entry
+                    break
+            if matched is not None:
+                remaining.remove(matched)
+                report.suppressed_baseline += 1
+                continue
+            report.violations.append(violation)
+    report.stale_baseline = remaining
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return report, sources
+
+
+def format_report(report: LintReport, verbose: bool = False) -> str:
+    """Human-readable report, one finding per line."""
+    lines = [violation.format() for violation in report.violations]
+    lines.extend(f"error: {message}" for message in report.errors)
+    for entry in report.stale_baseline:
+        lines.append("stale baseline entry (code no longer matches): "
+                     f"{entry.get('path')}: {entry.get('rule')}: "
+                     f"{entry.get('context')}")
+    summary = (f"{report.files_checked} file(s) checked, "
+               f"{len(report.violations)} violation(s), "
+               f"{report.suppressed_inline} inline-allowed, "
+               f"{report.suppressed_baseline} baselined")
+    if report.errors:
+        summary += f", {len(report.errors)} unparseable"
+    lines.append(summary)
+    if verbose or not report.violations:
+        pass
+    else:
+        lines.append("silence a finding with '# repro: allow-<rule>' on "
+                     "the offending line, or record the current state "
+                     "with --write-baseline")
+    return "\n".join(lines)
+
+
+def list_rules() -> str:
+    """One line per rule for ``repro lint --rules``."""
+    width = max(len(rule_id) for rule_id in RULES)
+    return "\n".join(f"{rule_id.ljust(width)}  {rule.summary}"
+                     for rule_id, rule in sorted(RULES.items()))

@@ -11,6 +11,10 @@ Subcommands
 * ``repro fleet [--hosts N ...]`` — fleet-scale desktop-grid simulation
 * ``repro chaos [FIG]``        — run a figure under a seeded fault storm
   and verify it recovers byte-identically
+* ``repro lint [PATH ...]``    — static determinism lint (wall-clock,
+  global RNG, env reads, unordered iteration; see :mod:`repro.audit`)
+* ``repro audit [FIG]``        — run a figure serial vs parallel vs
+  seed-replay with trace hashing on and bisect any divergence
 * ``repro cache stats|clear|sweep`` — inspect / empty the on-disk result
   cache, or sweep orphaned temp files
 * ``repro metrics [RUN|last]`` — render a recorded run manifest
@@ -299,7 +303,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     fn = getattr(analysis, _SWEEPS[args.sweep])
     values = _sweep_points(fn)
-    started = time.time()
+    # perf_counter, not time.time(): wall-clock can step backwards under
+    # NTP adjustment and once printed a negative elapsed time here.
+    started = time.perf_counter()
     snapshot = None
     from repro.obs.metrics import METRICS
 
@@ -327,7 +333,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         finally:
             if config.metrics:
                 METRICS.disable()
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     print(result.render())
     print(f"  ({elapsed:.1f}s wall)")
     if snapshot is not None:
@@ -516,6 +522,52 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if recovered else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static determinism lint over the source tree."""
+    from repro.audit import (format_report, lint_paths, list_rules,
+                             load_baseline, write_baseline)
+
+    if args.rules:
+        print(list_rules())
+        return 0
+    paths = args.paths or ["src"]
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    report, sources = lint_paths(paths, baseline=baseline)
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, report.violations,
+                               sources)
+        print(f"wrote {count} baseline entr(ies) to {args.write_baseline}")
+        return 0
+    output = format_report(report)
+    if output:
+        print(output)
+    return report.exit_code()
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Determinism drill: serial vs --jobs N vs seed-replay trace hashes."""
+    from repro.audit import audit_figure
+
+    fig_id = args.figure
+    if fig_id not in FIGURES:
+        print(f"unknown figure {fig_id!r}; try `repro list`",
+              file=sys.stderr)
+        return 2
+    jobs = args.jobs
+    if jobs < 2:
+        raise SystemExit(f"--jobs must be >= 2 to compare, got {jobs}")
+    window = args.window
+    if window is not None and window <= 0:
+        raise SystemExit(f"--window must be > 0, got {window}")
+    try:
+        report = audit_figure(fig_id, jobs=jobs, window_s=window)
+    except ExperimentError as exc:
+        print(f"audit: {fig_id} failed to run: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    return report.exit_code()
+
+
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, metavar="N",
@@ -658,6 +710,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-repetition timeout in seconds")
     _add_jobs_flag(chaos)
     chaos.set_defaults(fn=_cmd_chaos)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism lint (wall-clock, global RNG, env "
+             "reads, unordered iteration)")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="suppress known violations recorded in FILE")
+    lint.add_argument("--write-baseline", metavar="FILE",
+                      dest="write_baseline",
+                      help="record current violations into FILE and exit 0")
+    lint.add_argument("--rules", action="store_true",
+                      help="list the lint rules and exit")
+    lint.set_defaults(fn=_cmd_lint)
+
+    audit = sub.add_parser(
+        "audit",
+        help="run a figure serial vs parallel vs seed-replay with "
+             "trace hashing and bisect any divergence")
+    audit.add_argument("figure", nargs="?", default="fig1", metavar="FIG",
+                       help="figure id to audit (default: fig1)")
+    audit.add_argument("--jobs", type=int, default=4, metavar="N",
+                       help="worker processes for the parallel leg "
+                            "(default: 4)")
+    audit.add_argument("--window", type=float, metavar="S",
+                       help="trace-hash window in simulated seconds "
+                            "(default: 1.0)")
+    audit.set_defaults(fn=_cmd_audit)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", metavar="ACTION",

@@ -134,7 +134,27 @@ class Repeater:
             seed = derive_rep_seed(self.base_seed, repetition)
             yield repetition, seed, measure(seed)
 
+    def _results_hashed(self, measure: MeasureFn):
+        # Mirror of _results that labels each repetition's trace-hash
+        # streams exactly as the parallel path does (group allocated
+        # once per repeater run, context per repetition), so serial and
+        # --jobs N snapshots are comparable key-for-key.
+        from repro.audit.tracehash import TRACE_HASH
+
+        group = TRACE_HASH.begin_group()
+        try:
+            for repetition in range(self.reps):
+                seed = derive_rep_seed(self.base_seed, repetition)
+                TRACE_HASH.set_context(f"g{group}/rep{repetition}")
+                yield repetition, seed, measure(seed)
+        finally:
+            TRACE_HASH.clear_context()
+
     def run(self, measure: MeasureFn) -> RepeatedResult:
+        from repro.audit.tracehash import TRACE_HASH
+
+        if TRACE_HASH.enabled:
+            return collect_repetitions(self._results_hashed(measure))
         return collect_repetitions(self._results(measure))
 
 

@@ -63,6 +63,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.audit.tracehash import TRACE_HASH
 from repro.core.experiment import (
     MeasureFn,
     Repeater,
@@ -128,24 +129,37 @@ def _backoff_s(round_no: int) -> float:
 
 def _run_repetition(measure: MeasureFn, repetition: int, seed: int,
                     submitted_at: float = 0.0, attempt: int = 0,
-                    in_worker: bool = True, snapshot_registry: bool = True
+                    in_worker: bool = True, snapshot_registry: bool = True,
+                    hash_group: int = 0
                     ) -> Tuple[int, int, Optional[Dict[str, float]],
                                Optional[str], float, float,
+                               Optional[Dict[str, Any]],
                                Optional[Dict[str, Any]]]:
     """Worker body: one repetition, exceptions captured as text.
 
     Returns ``(repetition, seed, metrics, error, queue_wait_s, wall_s,
-    counter_snapshot)``.  A forked worker inherits an enabled metrics
-    registry; it resets its (process-private) copy so the snapshot holds
-    only this repetition's counters, which the parent merges back.  The
-    resilient serial path runs this in the parent with
-    ``snapshot_registry=False`` (never reset the parent registry) and
-    ``in_worker=False`` (process-level sites stay quiet).
+    counter_snapshot, trace_hash_snapshot)``.  A forked worker inherits
+    an enabled metrics registry; it resets its (process-private) copy so
+    the snapshot holds only this repetition's counters, which the parent
+    merges back — and likewise for the audit trace-hash recorder, whose
+    streams are labelled ``g<hash_group>/rep<n>`` (the group id is
+    allocated parent-side) so they line up key-for-key with a serial
+    run.  The resilient serial path runs this in the parent with
+    ``snapshot_registry=False`` (never reset the parent registries,
+    parent recorders accumulate directly) and ``in_worker=False``
+    (process-level sites stay quiet).
     """
+    # Cross-process queue wait: spans two clocks, so the wall clock is
+    # the only option.  # repro: allow-wall-clock
     queue_wait = max(0.0, time.time() - submitted_at) if submitted_at else 0.0
     metrics_on = METRICS.enabled and snapshot_registry
     if metrics_on:
         METRICS.reset()
+    thash_on = TRACE_HASH.enabled
+    if thash_on:
+        if snapshot_registry:
+            TRACE_HASH.reset()
+        TRACE_HASH.set_context(f"g{hash_group}/rep{repetition}")
     started = time.perf_counter()
     try:
         if FAULTS.enabled:
@@ -166,7 +180,8 @@ def _run_repetition(measure: MeasureFn, repetition: int, seed: int,
         result, error = None, traceback.format_exc()
     wall = time.perf_counter() - started
     snapshot = METRICS.snapshot() if metrics_on else None
-    return repetition, seed, result, error, queue_wait, wall, snapshot
+    thash = TRACE_HASH.snapshot() if thash_on and snapshot_registry else None
+    return repetition, seed, result, error, queue_wait, wall, snapshot, thash
 
 
 def _run_shard(fn, index: int, task: Any, attempt: int = 0
@@ -223,11 +238,18 @@ def _resilience_settings(retries: Optional[int],
 
 def _salvage_round(results: List[tuple], metrics_on: bool) -> int:
     """Merge completed workers' snapshots after a broken round; returns
-    how many repetitions had finished."""
-    if metrics_on:
-        for *_head, snapshot in results:
-            if snapshot is not None:
-                METRICS.merge(snapshot)
+    how many repetitions had finished.
+
+    Accepts both worker tuple shapes: ``_run_shard`` rows end with the
+    counter snapshot, ``_run_repetition`` rows carry (counter snapshot,
+    trace-hash snapshot) in the last two slots.
+    """
+    for row in results:
+        counters = row[6] if len(row) >= 8 else row[-1]
+        if metrics_on and counters is not None:
+            METRICS.merge(counters)
+        if len(row) >= 8 and row[7] is not None:
+            TRACE_HASH.merge(row[7])
     return len(results)
 
 
@@ -409,11 +431,14 @@ class ParallelRepeater:
                  for repetition in range(self.reps)]
         results = []
         metrics_on = METRICS.enabled
+        thash_on = TRACE_HASH.enabled
+        hash_group = TRACE_HASH.begin_group() if thash_on else 0
         with ProcessPoolExecutor(max_workers=workers,
                                  mp_context=_pool_context()) as pool:
             futures = [
                 pool.submit(_run_repetition, measure, repetition, seed,
-                            time.time())
+                            time.time(),  # repro: allow-wall-clock
+                            hash_group=hash_group)
                 for repetition, seed in enumerate(seeds)
             ]
             # Collect in repetition order; the lowest failing index wins,
@@ -439,11 +464,16 @@ class ParallelRepeater:
         if metrics_on:
             METRICS.inc("parallel.repetitions", len(results))
             METRICS.gauge_max("parallel.workers", workers)
-            for _rep, _seed, _m, _err, queue_wait, wall, snapshot in results:
+            for row in results:
+                _rep, _seed, _m, _err, queue_wait, wall, snapshot, _th = row
                 METRICS.observe("parallel.queue_wait_s", queue_wait)
                 METRICS.observe("parallel.worker_wall_s", wall)
                 if snapshot is not None:
                     METRICS.merge(snapshot)
+        if thash_on:
+            for row in results:
+                if row[7] is not None:
+                    TRACE_HASH.merge(row[7])
         return collect_repetitions(
             (repetition, seed, metrics)
             for repetition, seed, metrics, _error, *_timing in results
@@ -464,6 +494,8 @@ class ParallelRepeater:
                  for repetition in range(self.reps)]
         parallel_ok = workers > 1 and measure_is_picklable(measure)
         metrics_on = METRICS.enabled
+        thash_on = TRACE_HASH.enabled
+        hash_group = TRACE_HASH.begin_group() if thash_on else 0
         completed: Dict[int, Dict[str, float]] = {}
         failures: Dict[int, str] = {}
         pending = list(range(self.reps))
@@ -480,14 +512,16 @@ class ParallelRepeater:
                 if parallel_ok:
                     pending, pool = self._parallel_round(
                         measure, seeds, pending, round_no, workers, pool,
-                        completed, failures, metrics_on)
+                        completed, failures, metrics_on, hash_group)
                 else:
                     pending = self._serial_round(
                         measure, seeds, pending, round_no,
-                        completed, failures, metrics_on)
+                        completed, failures, metrics_on, hash_group)
         finally:
             if pool is not None:
                 pool.shutdown(wait=False, cancel_futures=True)
+            if thash_on:
+                TRACE_HASH.clear_context()
         if metrics_on:
             METRICS.inc("parallel.repetitions", len(completed))
             if parallel_ok:
@@ -495,7 +529,8 @@ class ParallelRepeater:
         return self._fold(seeds, completed, failures, metrics_on)
 
     def _parallel_round(self, measure, seeds, pending, round_no, workers,
-                        pool, completed, failures, metrics_on):
+                        pool, completed, failures, metrics_on,
+                        hash_group=0):
         """One submission round over the pool; returns (still-pending,
         pool-or-None).  A broken/hung pool is shut down without waiting
         and rebuilt lazily next round."""
@@ -504,7 +539,9 @@ class ParallelRepeater:
                                        mp_context=_pool_context())
         futures = {
             repetition: pool.submit(_run_repetition, measure, repetition,
-                                    seeds[repetition], time.time(), round_no)
+                                    seeds[repetition],
+                                    time.time(),  # repro: allow-wall-clock
+                                    round_no, hash_group=hash_group)
             for repetition in pending
         }
         still_pending: List[int] = []
@@ -533,12 +570,15 @@ class ParallelRepeater:
                 still_pending.append(repetition)
                 pool_broken = True
                 continue
-            _rep, _seed, metrics, error, queue_wait, wall, snapshot = result
+            (_rep, _seed, metrics, error, queue_wait, wall, snapshot,
+             thash) = result
             if metrics_on:
                 METRICS.observe("parallel.queue_wait_s", queue_wait)
                 METRICS.observe("parallel.worker_wall_s", wall)
                 if snapshot is not None:
                     METRICS.merge(snapshot)
+            if thash is not None:
+                TRACE_HASH.merge(thash)
             if error is None:
                 completed[repetition] = metrics
             else:
@@ -550,19 +590,23 @@ class ParallelRepeater:
         return still_pending, pool
 
     def _serial_round(self, measure, seeds, pending, round_no,
-                      completed, failures, metrics_on):
+                      completed, failures, metrics_on, hash_group=0):
         """In-process round (one worker, or unpicklable ``measure``).
 
         Runs in the parent: process-level sites (``worker.crash`` /
         ``worker.hang``) stay quiet and the parent metrics registry is
-        never reset; ``task_timeout_s`` cannot interrupt in-process work
-        and is ignored here.
+        never reset (the trace-hash recorder likewise accumulates
+        in-parent, under the same ``g<group>/rep<n>`` context labels the
+        worker path uses); ``task_timeout_s`` cannot interrupt
+        in-process work and is ignored here.
         """
         still_pending: List[int] = []
         for repetition in pending:
-            _rep, _seed, metrics, error, _qw, wall, _snap = _run_repetition(
+            (_rep, _seed, metrics, error, _qw, wall, _snap,
+             _thash) = _run_repetition(
                 measure, repetition, seeds[repetition], 0.0, round_no,
-                in_worker=False, snapshot_registry=False)
+                in_worker=False, snapshot_registry=False,
+                hash_group=hash_group)
             if metrics_on:
                 METRICS.observe("parallel.worker_wall_s", wall)
             if error is None:

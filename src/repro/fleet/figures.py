@@ -24,6 +24,23 @@ from repro.fleet.server import FleetReport, simulate_fleet
 from repro.virt.profiles import PROFILE_ORDER
 
 
+def _figure_jobs() -> int:
+    """Worker count for figure-path fleet runs, resolved explicitly.
+
+    Figures are library code: they must never fall into the deprecated
+    implicit-environment lookup inside ``map_shards`` (host building
+    fans out through it).  Resolve from the activated
+    :class:`repro.api.RunConfig` when one is in force, else interpret
+    the environment once at this boundary — same policy, no warning.
+    """
+    from repro import api
+
+    config = api.active_config()
+    if config is None:
+        config = api.RunConfig.from_env()
+    return config.resolve_jobs()
+
+
 def fleet_scale_figure(base_seed: int = 42,
                        sizes: Tuple[int, ...] = (50, 100, 200, 400),
                        hypervisor: str = "vmplayer",
@@ -37,10 +54,11 @@ def fleet_scale_figure(base_seed: int = 42,
                "hours; quorum-of-2 validation, churny hosts. Throughput "
                "should scale near-linearly with fleet size."),
     )
+    jobs = _figure_jobs()
     for size in sizes:
         config = FleetConfig(hosts=size, hypervisor=hypervisor,
                              seed=base_seed, duration_s=duration_s)
-        report = simulate_fleet(config)
+        report = simulate_fleet(config, jobs=jobs)
         fig.series[f"{size} hosts"] = MeasuredPoint(
             report.throughput_per_hour)
     return fig
@@ -57,10 +75,11 @@ def fleet_makespan_figure(base_seed: int = 43, hosts: int = 80,
                f"{duration_s / 3600:.0f} h horizon; slower guests "
                "(QEMU) stretch the whole distribution."),
     )
+    jobs = _figure_jobs()
     for profile in PROFILE_ORDER:
         config = FleetConfig(hosts=hosts, hypervisor=profile,
                              seed=base_seed, duration_s=duration_s)
-        report = simulate_fleet(config)
+        report = simulate_fleet(config, jobs=jobs)
         for quantile in ("p50", "p90"):
             fig.series[f"{profile} {quantile}"] = MeasuredPoint(
                 report.makespan_s[quantile] / 3600.0)
@@ -72,7 +91,7 @@ def fleet_waste_figure(base_seed: int = 44, hosts: int = 120,
     """Wasted-CPU fraction per hypervisor inside one mixed fleet."""
     config = FleetConfig(hosts=hosts, hypervisor="mixed",
                          seed=base_seed, duration_s=duration_s)
-    report = simulate_fleet(config)
+    report = simulate_fleet(config, jobs=_figure_jobs())
     fig = FigureData(
         fig_id="fleet_waste",
         title="Wasted CPU fraction by hypervisor (mixed fleet)",

@@ -24,7 +24,12 @@ Schema ``repro-run-manifest/1`` (see :data:`MANIFEST_SCHEMA` and
       "metrics":  {"counters": {...}, "gauges": {...}, "timers": {...}},
       "cache":    {"outcome": "hit"|"miss"|"disabled",
                    "hits": 1, "misses": 0},
-      "figure":   {... FigureData.to_dict() ...}   # optional (sweeps omit)
+      "figure":   {... FigureData.to_dict() ...},  # optional (sweeps omit)
+      "faults":   {...},                           # optional (fault runs)
+      "audit":    {"trace_hash": {"window_s": 1.0, # optional (trace-hash
+                   "streams": {"<key>": {          #  runs; full checkpoint
+                     "windows": 20, "events": 814, #  lists stay on the
+                     "digest": "9f86d081..."}}}}   #  in-memory RunResult)
     }
 """
 
@@ -119,6 +124,17 @@ def validate_manifest(manifest: Mapping[str, Any]) -> List[str]:
             for name in ("retries", "timeouts", "dropped", "injected"):
                 if name not in faults:
                     problems.append(f"faults.{name} missing")
+    audit = manifest.get("audit")
+    if audit is not None:
+        if not isinstance(audit, dict):
+            problems.append("audit is not a mapping")
+        else:
+            trace_hash = audit.get("trace_hash")
+            if not isinstance(trace_hash, dict):
+                problems.append("audit.trace_hash missing or not a mapping")
+            elif not isinstance(trace_hash.get("streams"), dict):
+                problems.append("audit.trace_hash.streams missing or not "
+                                "a mapping")
     return problems
 
 
@@ -288,6 +304,16 @@ def render_manifest(manifest: Mapping[str, Any]) -> str:
             f" retries={faults.get('retries', 0)}"
             f" timeouts={faults.get('timeouts', 0)}"
             f" dropped={len(faults.get('dropped', []))}")
+    audit = manifest.get("audit")
+    trace_hash = (audit or {}).get("trace_hash") or {}
+    streams = trace_hash.get("streams") or {}
+    if streams:
+        events = sum(int(s.get("events", 0)) for s in streams.values())
+        windows = sum(int(s.get("windows", 0)) for s in streams.values())
+        lines.append(
+            f"audit    trace-hash streams={len(streams)}"
+            f" windows={windows} events={events}"
+            f" (window={trace_hash.get('window_s', '?')}s)")
     phases = manifest.get("phases", [])
     if phases:
         lines.append("phases:")

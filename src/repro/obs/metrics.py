@@ -34,8 +34,10 @@ from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
 
 def _hist_bucket_key(item: Tuple[str, float]) -> float:
-    """Numeric sort key for a ``le_<upper>`` bucket label."""
+    """Numeric sort key for a bucket label (``underflow`` sorts first)."""
     label = item[0]
+    if label == "underflow":
+        return float("-inf")
     try:
         return float(label[3:])
     except ValueError:
@@ -117,12 +119,18 @@ class MetricsRegistry:
         """Count ``value`` into the power-of-two bucket of hist ``name``.
 
         Buckets are keyed ``le_<upper>`` where ``upper`` is the smallest
-        power of two >= ``value`` (``le_0`` for non-positive values), so
-        two snapshots merge by adding matching bucket counts.
+        power of two >= ``value``; exact zeros land in ``le_0`` and
+        negative values in ``underflow`` (a negative observation almost
+        always means a measurement bug — e.g. a non-monotonic clock —
+        and must not hide among legitimate zeros).  Snapshots merge by
+        adding matching bucket counts, so pre-split snapshots (which
+        simply have no ``underflow`` key) still merge cleanly.
         """
         if not self.enabled:
             return
-        if value <= 0.0:
+        if value < 0.0:
+            label = "underflow"
+        elif value == 0.0:
             label = "le_0"
         else:
             upper = 2.0 ** math.ceil(math.log2(value))

@@ -25,6 +25,7 @@ import heapq
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
+from repro.audit.tracehash import TRACE_HASH
 from repro.errors import SimulationError
 from repro.obs.metrics import METRICS
 from repro.simcore.events import AllOf, AnyOf, EventHandle, SimEvent, Timeout
@@ -45,6 +46,10 @@ class Engine:
         # on the hot path.
         self._decrement_non_daemon = self._make_decrement()
         self.trace = trace if trace is not None else Tracer(enabled=False)
+        # Audit trace-hash stream: None unless the process-global
+        # recorder is enabled, so the disabled cost is this one lookup
+        # plus an `is None` branch per dispatched event.
+        self._thash = TRACE_HASH.open_stream()
 
     # -- clock -----------------------------------------------------------
 
@@ -141,7 +146,7 @@ class Engine:
         """Fire the next non-cancelled event.  Returns False when empty."""
         heap = self._heap
         while heap:
-            when, _seq, handle = heapq.heappop(heap)
+            when, seq, handle = heapq.heappop(heap)
             if handle._cancelled:
                 continue
             if when < self._now - 1e-12:
@@ -151,6 +156,8 @@ class Engine:
                 handle._on_cancel = None  # fired: a late cancel() is a no-op
             self._now = when
             self._processed += 1
+            if self._thash is not None:
+                self._thash.update(when, seq, handle.fn)
             handle.fn(*handle.args)
             return True
         return False
@@ -171,17 +178,18 @@ class Engine:
         # into a local and all accounting accumulates into plain locals,
         # so a disabled registry costs one branch per dispatched batch.
         metrics_on = METRICS.enabled
+        thash = self._thash
         if metrics_on:
             from time import perf_counter
 
-            wall_started = perf_counter()
+            wall_started = perf_counter()  # repro: allow-wall-clock (metrics)
             start_processed = self._processed
             METRICS.gauge_max("engine.heap_size", len(heap))
         batches = 0
         batch_events = 0
         batch_max = 0
         try:
-            if until is None and not metrics_on:
+            if until is None and not metrics_on and thash is None:
                 # Inlined hot loop (one Python frame for the whole drain).
                 # Daemon housekeeping must not keep the world spinning, so
                 # the non-daemon count is re-checked before every dispatch.
@@ -212,10 +220,11 @@ class Engine:
                         self._processed += 1
                         handle.fn(*handle.args)
             elif until is None:
-                # Instrumented copy of the drain loop — kept separate so
-                # the metrics-off path above stays byte-for-byte the
-                # original (the batch bookkeeping would otherwise cost a
-                # few per-event ops even when disabled).
+                # Instrumented copy of the drain loop (metrics and/or
+                # trace-hashing on) — kept separate so the plain path
+                # above stays byte-for-byte the original (the batch
+                # bookkeeping would otherwise cost a few per-event ops
+                # even when disabled).
                 while self._non_daemon_pending > 0 and heap:
                     when, _seq, handle = pop(heap)
                     if handle._cancelled:
@@ -228,6 +237,8 @@ class Engine:
                         handle._on_cancel = None
                     self._now = when
                     self._processed += 1
+                    if thash is not None:
+                        thash.update(when, _seq, handle.fn)
                     handle.fn(*handle.args)
                     in_batch = 1
                     while (heap and heap[0][0] == when
@@ -239,6 +250,8 @@ class Engine:
                             self._non_daemon_pending -= 1
                             handle._on_cancel = None
                         self._processed += 1
+                        if thash is not None:
+                            thash.update(_w, _s, handle.fn)
                         handle.fn(*handle.args)
                         in_batch += 1
                     batches += 1
@@ -263,13 +276,15 @@ class Engine:
                         handle._on_cancel = None
                     self._now = when
                     self._processed += 1
+                    if thash is not None:
+                        thash.update(when, _seq, handle.fn)
                     handle.fn(*handle.args)
                 self._now = max(self._now, until)
         finally:
             self._running = False
         if metrics_on:
             dispatched = self._processed - start_processed
-            wall = perf_counter() - wall_started
+            wall = perf_counter() - wall_started  # repro: allow-wall-clock
             METRICS.inc("engine.runs")
             METRICS.inc("engine.events_dispatched", dispatched)
             METRICS.observe("engine.run_wall_s", wall)
@@ -297,7 +312,7 @@ class Engine:
         if metrics_on:
             from time import perf_counter
 
-            wall_started = perf_counter()
+            wall_started = perf_counter()  # repro: allow-wall-clock (metrics)
             start_processed = self._processed
             METRICS.gauge_max("engine.heap_size", len(self._heap))
         while not event.triggered:
@@ -312,7 +327,7 @@ class Engine:
                 raise SimulationError("event queue drained before event triggered")
         if metrics_on:
             dispatched = self._processed - start_processed
-            wall = perf_counter() - wall_started
+            wall = perf_counter() - wall_started  # repro: allow-wall-clock
             METRICS.inc("engine.runs")
             METRICS.inc("engine.events_dispatched", dispatched)
             METRICS.observe("engine.run_wall_s", wall)

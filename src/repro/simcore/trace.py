@@ -8,6 +8,7 @@ thread X before event Y").
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -87,3 +88,18 @@ class Tracer:
         if self.dropped:
             body += f"\n... ({self.dropped} records dropped)"
         return body
+
+    def digest(self) -> str:
+        """Stable 16-hex-digit digest of the recorded trace.
+
+        Two runs with identical traces produce identical digests (record
+        rendering sorts fields), so tests can assert whole-trace equality
+        without storing both traces.  Complements the engine-level
+        windowed hashing in :mod:`repro.audit.tracehash`, which works
+        without any tracer enabled.
+        """
+        h = hashlib.sha256()
+        for record in self.records:
+            h.update(str(record).encode("utf-8"))
+            h.update(b"\n")
+        return h.hexdigest()[:16]

@@ -1,0 +1,259 @@
+"""The determinism lint: rules, escape hatches, baseline, CLI."""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.audit import (
+    LINT_BASELINE_SCHEMA,
+    check_source,
+    format_report,
+    lint_paths,
+    list_rules,
+    load_baseline,
+    module_rel_path,
+    write_baseline,
+)
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: One seeded violation per rule (unknown path -> strictest treatment).
+FIXTURE = textwrap.dedent("""\
+    import os
+    import random
+    import time
+
+    import numpy as np
+
+
+    def clock():
+        return time.time()                       # wall-clock
+
+
+    def stopwatch():
+        return time.perf_counter()               # wall-clock (sim path)
+
+
+    def draw():
+        return random.random() + np.random.rand()  # global-random x2
+
+
+    def policy():
+        return os.environ["REPRO_JOBS"], os.getenv("REPRO_REPS")
+
+
+    def walk(items):
+        total = 0.0
+        for item in {1, 2, 3}:                   # unsorted-iter
+            total += item
+        return total + sum({0.1, 0.2})           # float-sum
+    """)
+
+
+def rules_of(violations):
+    return sorted(v.rule for v in violations)
+
+
+class TestRules:
+    def test_fixture_trips_every_rule_exactly(self):
+        found = check_source(FIXTURE, "fixture.py")
+        assert rules_of(found) == [
+            "env-read", "env-read", "float-sum", "global-random",
+            "global-random", "unsorted-iter", "wall-clock", "wall-clock",
+        ]
+
+    def test_clean_source_passes(self):
+        source = textwrap.dedent("""\
+            from numpy.random import PCG64, Generator
+
+
+            def measure(seed):
+                rng = Generator(PCG64(seed))
+                return sorted(rng.random(4).tolist())
+            """)
+        assert check_source(source, "fixture.py") == []
+
+    def test_wall_clock_split_monotonic_vs_not(self):
+        # Non-monotonic reads are banned everywhere but obs/;
+        # monotonic reads only inside sim packages.
+        wall = "import time\nelapsed = time.time()\n"
+        mono = "import time\nelapsed = time.perf_counter()\n"
+        assert rules_of(check_source(
+            wall, "src/repro/cli.py")) == ["wall-clock"]
+        assert check_source(mono, "src/repro/cli.py") == []
+        assert rules_of(check_source(
+            mono, "src/repro/simcore/engine.py")) == ["wall-clock"]
+        assert check_source(wall, "src/repro/obs/manifest.py") == []
+
+    def test_reverted_sweep_timer_would_trip(self):
+        # The PR's cli.py fix under lint: time.time() elapsed maths in
+        # _cmd_sweep must never come back silently.
+        reverted = textwrap.dedent("""\
+            import time
+
+
+            def _cmd_sweep(args):
+                started = time.time()
+                return time.time() - started
+            """)
+        found = check_source(reverted, "src/repro/cli.py")
+        assert rules_of(found) == ["wall-clock", "wall-clock"]
+
+    def test_import_aliases_resolved(self):
+        source = textwrap.dedent("""\
+            import time as t
+            from time import time as now
+
+            a = t.time()
+            b = now()
+            """)
+        assert rules_of(check_source(source, "x.py")) == [
+            "wall-clock", "wall-clock"]
+
+    def test_env_read_allowed_inside_from_env(self):
+        source = textwrap.dedent("""\
+            import os
+
+
+            class RunConfig:
+                @classmethod
+                def from_env(cls, env=None):
+                    return os.environ.get("REPRO_JOBS")
+            """)
+        assert check_source(source, "src/repro/api.py") == []
+
+    def test_env_write_not_flagged(self):
+        source = "import os\nos.environ['REPRO_JOBS'] = '4'\n"
+        assert check_source(source, "x.py") == []
+
+    def test_seeded_default_rng_ok_unseeded_flagged(self):
+        seeded = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        unseeded = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert check_source(seeded, "x.py") == []
+        assert rules_of(check_source(unseeded, "x.py")) == ["global-random"]
+
+    def test_sorted_set_iteration_ok(self):
+        source = "for item in sorted({3, 1, 2}):\n    pass\n"
+        assert check_source(source, "src/repro/fleet/server.py") == []
+
+    def test_module_rel_path(self):
+        assert module_rel_path("src/repro/simcore/engine.py") == \
+            "simcore/engine.py"
+        assert module_rel_path("/tmp/scratch.py") is None
+
+
+class TestLinter:
+    def _write(self, tmp_path, source, name="fixture.py"):
+        path = tmp_path / name
+        path.write_text(source)
+        return str(path)
+
+    def test_inline_allow_silences(self, tmp_path):
+        source = ("import time\n"
+                  "a = time.time()  # repro: allow-wall-clock\n"
+                  "# repro: allow-wall-clock (justified above)\n"
+                  "b = time.time()\n")
+        path = self._write(tmp_path, source)
+        report, _ = lint_paths([path])
+        assert report.ok
+        assert report.suppressed_inline == 2
+
+    def test_allow_for_wrong_rule_does_not_silence(self, tmp_path):
+        source = ("import time\n"
+                  "a = time.time()  # repro: allow-global-random\n")
+        path = self._write(tmp_path, source)
+        report, _ = lint_paths([path])
+        assert not report.ok
+        assert rules_of(report.violations) == ["wall-clock"]
+
+    def test_baseline_round_trip_and_staleness(self, tmp_path):
+        path = self._write(tmp_path, FIXTURE)
+        report, sources = lint_paths([path])
+        assert len(report.violations) == 8
+        baseline_path = str(tmp_path / "baseline.json")
+        count = write_baseline(baseline_path, report.violations, sources)
+        assert count == 8
+        data = json.loads(pathlib.Path(baseline_path).read_text())
+        assert data["schema"] == LINT_BASELINE_SCHEMA
+
+        # With the baseline loaded the same tree is clean...
+        baseline = load_baseline(baseline_path)
+        report2, _ = lint_paths([path], baseline=baseline)
+        assert report2.ok
+        assert report2.suppressed_baseline == 8
+
+        # ...and fixing a line leaves its baseline entry stale.
+        fixed = FIXTURE.replace("time.time()", "0.0")
+        path2 = self._write(tmp_path, fixed)
+        report3, _ = lint_paths([path2], baseline=baseline)
+        assert report3.ok
+        assert report3.suppressed_baseline == 7
+        assert len(report3.stale_baseline) == 1
+        assert report3.stale_baseline[0]["rule"] == "wall-clock"
+
+    def test_unparseable_file_is_an_error(self, tmp_path):
+        path = self._write(tmp_path, "def broken(:\n")
+        report, _ = lint_paths([path])
+        assert not report.ok
+        assert report.exit_code() == 1
+        assert "unparseable" in format_report(report)
+
+    def test_bad_baseline_schema_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"schema": "other/9", "entries": []}')
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(str(path))
+
+    def test_list_rules_names_every_rule(self):
+        text = list_rules()
+        for rule in ("wall-clock", "global-random", "env-read",
+                     "unsorted-iter", "float-sum"):
+            assert rule in text
+
+
+class TestShippedTree:
+    def test_src_is_lint_clean(self):
+        report, _ = lint_paths([str(ROOT / "src")])
+        assert report.ok, format_report(report)
+        # The intended host-clock/manifest sites are inline-annotated,
+        # not silently skipped.
+        assert report.suppressed_inline > 0
+        assert report.files_checked > 50
+
+
+class TestCli:
+    def test_lint_command_clean_tree(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", str(ROOT / "src")]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+
+    def test_lint_command_reports_violations(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "dirty.py"
+        path.write_text("import time\nx = time.time()\n")
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "wall-clock" in out
+
+    def test_lint_write_then_use_baseline(self, tmp_path, capsys):
+        from repro.cli import main
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nx = time.time()\n")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(dirty),
+                     "--write-baseline", str(baseline)]) == 0
+        assert main(["lint", str(dirty), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_lint_rules_listing(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--rules"]) == 0
+        assert "unsorted-iter" in capsys.readouterr().out

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro import api
 from repro.core.cache import ResultCache, cache_enabled, source_fingerprint
 from repro.core.figures import (
     FigureData,
@@ -192,18 +193,24 @@ class TestFigurePayloadRoundTrip:
 
 
 class TestGenerateFigureIntegration:
+    # Library callers must activate a RunConfig (the implicit REPRO_*
+    # fallback warns, and pytest promotes that warning to an error).
+
     def test_warm_cache_skips_recompute_and_is_byte_identical(
             self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
         monkeypatch.setenv("REPRO_REPS", "1")
-        cold = generate_figure("fig2", use_cache=True, size=64)
-        # poison the factory: a true cache hit must not call it
-        monkeypatch.setitem(
-            __import__("repro.core.figures", fromlist=["FIGURES"]).FIGURES,
-            "fig2",
-            lambda **kwargs: (_ for _ in ()).throw(AssertionError("recomputed")),
-        )
-        warm = generate_figure("fig2", use_cache=True, size=64)
+        with api.activated(api.RunConfig.from_env()):
+            cold = generate_figure("fig2", use_cache=True, size=64)
+            # poison the factory: a true cache hit must not call it
+            monkeypatch.setitem(
+                __import__("repro.core.figures",
+                           fromlist=["FIGURES"]).FIGURES,
+                "fig2",
+                lambda **kwargs: (_ for _ in ()).throw(
+                    AssertionError("recomputed")),
+            )
+            warm = generate_figure("fig2", use_cache=True, size=64)
         assert figure_to_json(warm) == figure_to_json(cold)
         assert list(warm.series) == list(cold.series)
 
@@ -212,14 +219,17 @@ class TestGenerateFigureIntegration:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
         monkeypatch.delenv("REPRO_CACHE", raising=False)
         monkeypatch.setenv("REPRO_REPS", "1")
-        generate_figure("mem")
+        with api.activated(api.RunConfig.from_env()):
+            generate_figure("mem")
         assert not (tmp_path / "cache").exists()
 
     def test_reps_env_is_part_of_identity(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
         monkeypatch.setenv("REPRO_REPS", "1")
-        generate_figure("mem", use_cache=True)
+        with api.activated(api.RunConfig.from_env()):
+            generate_figure("mem", use_cache=True)
         monkeypatch.setenv("REPRO_REPS", "2")
-        generate_figure("mem", use_cache=True)
+        with api.activated(api.RunConfig.from_env()):
+            generate_figure("mem", use_cache=True)
         entries = list((tmp_path / "cache").glob("*.json"))
         assert len(entries) == 2

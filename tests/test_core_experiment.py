@@ -112,8 +112,11 @@ class TestRepeater:
             Repeater(reps=0)
 
     def test_repeat_helper_uses_env(self, monkeypatch):
+        # The implicit-environment fallback still works for legacy
+        # callers, but deprecates — assert the warning rather than leak it.
         monkeypatch.setenv("REPRO_REPS", "2")
-        result = repeat(lambda seed: {"x": 1.0}, default_reps=9)
+        with pytest.warns(DeprecationWarning, match="implicit REPRO_"):
+            result = repeat(lambda seed: {"x": 1.0}, default_reps=9)
         assert result["x"].n == 2
 
 

@@ -133,12 +133,15 @@ class TestFailureReporting:
 class TestRepeatDispatch:
     def test_repeat_honours_jobs_argument(self, monkeypatch):
         monkeypatch.setenv("REPRO_REPS", "4")
-        result = repeat(picklable_measure, base_seed=4, default_reps=4, jobs=2)
+        with pytest.warns(DeprecationWarning, match="implicit REPRO_"):
+            result = repeat(picklable_measure, base_seed=4,
+                            default_reps=4, jobs=2)
         serial = Repeater(base_seed=4, reps=4).run(picklable_measure)
         assert result.raw == serial.raw
 
     def test_repeat_honours_jobs_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "2")
         monkeypatch.setenv("REPRO_REPS", "3")
-        result = repeat(picklable_measure, base_seed=4)
+        with pytest.warns(DeprecationWarning, match="implicit REPRO_"):
+            result = repeat(picklable_measure, base_seed=4)
         assert result["x"].n == 3

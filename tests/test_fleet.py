@@ -253,6 +253,40 @@ class TestFigures:
         fig = report_figure(report)
         assert fig.measured_values()["validated WUs"] == report.valid
 
+    def test_figures_pass_explicit_jobs(self, monkeypatch):
+        # Regression: figure factories used to call simulate_fleet with
+        # jobs=None, hitting the deprecated implicit REPRO_JOBS lookup
+        # inside map_shards on every fleet figure run.
+        from repro.fleet import figures
+
+        seen = []
+        real = figures.simulate_fleet
+
+        def spy(config, jobs=None):
+            seen.append(jobs)
+            return real(config, jobs=jobs)
+
+        monkeypatch.setattr(figures, "simulate_fleet", spy)
+        figures.fleet_scale_figure(sizes=(20,), duration_s=1800.0)
+        assert seen and all(
+            isinstance(jobs, int) and jobs >= 1 for jobs in seen)
+
+    def test_figures_respect_activated_config_jobs(self, monkeypatch):
+        from repro import api
+        from repro.fleet import figures
+
+        seen = []
+        real = figures.simulate_fleet
+
+        def spy(config, jobs=None):
+            seen.append(jobs)
+            return real(config, jobs=1)
+
+        monkeypatch.setattr(figures, "simulate_fleet", spy)
+        with api.activated(api.RunConfig(jobs=3)):
+            figures.fleet_waste_figure(hosts=20, duration_s=1800.0)
+        assert seen == [3]
+
 
 class TestMapShards:
     def test_order_preserved(self):

@@ -93,6 +93,45 @@ class TestRegistry:
         assert agg["count"] == 2 and agg["min"] == 1.0 and agg["max"] == 5.0
 
 
+class TestHist:
+    def test_power_of_two_buckets(self):
+        reg = MetricsRegistry(enabled=True)
+        for value in (0.7, 1.0, 3.0, 3.9):
+            reg.hist("h", value)
+        assert reg.hist_buckets("h") == {"le_1": 2.0, "le_4": 2.0}
+
+    def test_zero_and_negative_split(self):
+        # Regression: negatives used to be lumped into le_0 with the
+        # legitimate zeros, hiding clock-went-backwards measurement bugs.
+        reg = MetricsRegistry(enabled=True)
+        reg.hist("h", 0.0)
+        reg.hist("h", 0.0)
+        reg.hist("h", -0.5)
+        buckets = reg.hist_buckets("h")
+        assert buckets["le_0"] == 2.0
+        assert buckets["underflow"] == 1.0
+
+    def test_underflow_sorts_first(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.hist("h", 2.0)
+        reg.hist("h", -1.0)
+        reg.hist("h", 0.0)
+        assert list(reg.hist_buckets("h")) == ["underflow", "le_0", "le_2"]
+
+    def test_merge_with_pre_split_snapshot(self):
+        # Old snapshots simply have no underflow key; merging one into a
+        # new registry must keep adding matching buckets.
+        old = MetricsRegistry(enabled=True)
+        old.hist("h", 0.0)
+        old.hist("h", 1.0)
+        new = MetricsRegistry(enabled=True)
+        new.hist("h", -2.0)
+        new.hist("h", 1.0)
+        new.merge(old.snapshot())
+        assert new.hist_buckets("h") == {
+            "underflow": 1.0, "le_0": 1.0, "le_1": 2.0}
+
+
 class TestEngineCounters:
     def _burn(self, engine, n):
         fired = []
