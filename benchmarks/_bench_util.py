@@ -1,7 +1,21 @@
 """Shared helper for the benchmark files (kept out of conftest so the
 module name stays import-unambiguous next to tests/conftest.py)."""
 
+import os
+
 from repro.api import RunConfig, run_figure
+from repro.core.workerpool import available_cpus
+
+
+def cpu_info():
+    """CPU fields every bench record should carry.
+
+    ``cpu_count`` is the machine, ``cpu_affinity`` the schedulable set —
+    in affinity-limited containers they differ, and worker-count policy
+    follows the latter, so speedup numbers are only interpretable with
+    both recorded.
+    """
+    return {"cpu_count": os.cpu_count(), "cpu_affinity": available_cpus()}
 
 
 def once(benchmark, fn):

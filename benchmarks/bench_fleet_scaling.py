@@ -18,11 +18,12 @@ acceptance bar is 1000 hosts / 24 h well under 30 s.
 
 import argparse
 import json
-import os
 import pathlib
 import platform
 import sys
 import time
+
+from _bench_util import cpu_info
 
 from repro.fleet import FleetConfig, simulate_fleet
 
@@ -39,7 +40,7 @@ def run_scaling(sizes, hours: float, hypervisor: str, seed: int) -> dict:
         "benchmark": "fleet_scaling",
         "workload": f"repro.fleet {hypervisor}, {hours:g} h horizon, "
                     f"quorum-of-2, seed {seed}",
-        "cpu_count": os.cpu_count(),
+        **cpu_info(),
         "platform": platform.platform(),
         "python": platform.python_version(),
         "runs": [],

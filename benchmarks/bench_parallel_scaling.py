@@ -1,33 +1,49 @@
-"""Parallel repetition scaling: throughput at jobs = 1, 2, 4.
+"""Parallel repetition scaling: per-call vs persistent pool, plus shards.
 
-Runs a real figure workload (the Figure 7 host-impact measurement, one of
-the two heavy figures) through the repetition harness at several worker
-counts, checks that every parallel run reproduces the serial metrics
-**exactly**, and records the wall-clock trajectory to
-``benchmarks/BENCH_parallel_scaling.json`` so future PRs can compare.
+Runs two workloads through the repetition harness at several worker
+counts and records the wall-clock trajectory to
+``benchmarks/BENCH_parallel_scaling.json`` so future PRs can compare:
+
+* **figure repetitions** — the Figure 7 host-impact measurement (one of
+  the two heavy figures) through ``ParallelRepeater``;
+* **fleet shards** — a volunteer-fleet host build (the ``map_shards``
+  fan-out path that dominates large ``repro fleet`` runs).
+
+Each parallel level is timed twice: a **cold** run right after
+``shutdown_pools()`` (the pool must fork first — what every run paid
+when pools lived exactly one call) and a **warm** run against the
+persistent pool, so the trajectory shows what pool reuse buys.  Every
+run's output is checked against the serial baseline **exactly**; a
+mismatch aborts with a non-zero exit.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel_scaling.py \
-        [--reps N] [--jobs 1,2,4] [--duration S]
+        [--reps N] [--jobs 1,2,4] [--duration S] \
+        [--fleet-hosts N] [--fleet-days D]
 
-Interpretation: speedup tracks the machine's core count.  On an N-core
-box expect roughly min(jobs, N)x minus pool start-up; on a single-core
-container all job counts collapse to ~1x (the recorded ``cpu_count``
-field says which situation produced the numbers).
+Interpretation: warm speedup tracks the *schedulable* core count.  On an
+N-core box expect the warm run to approach min(jobs, N)x; the cold run
+additionally pays one pool fork.  The recorded ``cpu_count`` (machine)
+and ``cpu_affinity`` (schedulable) fields say which situation produced
+the numbers.
 """
 
 import argparse
 import json
-import os
 import pathlib
 import platform
 import sys
 import time
 
+from _bench_util import cpu_info
+
 from repro.core.experiment import Repeater
 from repro.core.host_impact import HostImpactConfig, SevenZipImpactMeasure
 from repro.core.parallel import ParallelRepeater
+from repro.core.workerpool import get_pool, shutdown_pools
+from repro.fleet import FleetConfig
+from repro.fleet.host import build_fleet_hosts
 
 RESULTS_PATH = pathlib.Path(__file__).resolve().parent / \
     "BENCH_parallel_scaling.json"
@@ -40,47 +56,113 @@ def build_measure(duration_s: float) -> SevenZipImpactMeasure:
     return SevenZipImpactMeasure(config, threads=2)
 
 
-def run_scaling(reps: int, job_counts, duration_s: float) -> dict:
+def _timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def _cold_warm(jobs: int, fn):
+    """Time ``fn`` twice: after a pool shutdown (cold — the old
+    per-call-pool cost) and again with the pool persistent (warm)."""
+    shutdown_pools()
+    cold_value, cold_wall = _timed(fn)
+    generation = get_pool(jobs).generation
+    warm_value, warm_wall = _timed(fn)
+    reused = get_pool(jobs).generation == generation
+    return cold_value, cold_wall, warm_value, warm_wall, reused
+
+
+def run_scaling(reps: int, job_counts, duration_s: float) -> list:
     measure = build_measure(duration_s)
-    record = {
-        "benchmark": "parallel_scaling",
-        "workload": "fig7/fig8 sevenzip host-impact (vmplayer, 2 threads)",
-        "reps": reps,
-        "duration_s": duration_s,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "runs": [],
-    }
-    serial_raw = None
-    serial_wall = None
+    serial_result, serial_wall = _timed(
+        lambda: Repeater(base_seed=7, reps=reps).run(measure))
+    runs = [{
+        "jobs": 1,
+        "wall_s": round(serial_wall, 3),
+        "reps_per_s": round(reps / serial_wall, 3),
+        "speedup_vs_serial": 1.0,
+        "exact_match_vs_serial": True,
+    }]
+    print(f"figure reps: jobs=1 (serial) {serial_wall:7.2f}s wall")
     for jobs in job_counts:
-        started = time.perf_counter()
         if jobs == 1:
-            result = Repeater(base_seed=7, reps=reps).run(measure)
-        else:
-            result = ParallelRepeater(base_seed=7, reps=reps,
-                                      jobs=jobs).run(measure)
-        wall = time.perf_counter() - started
-        if serial_raw is None:
-            serial_raw, serial_wall = result.raw, wall
-        exact = result.raw == serial_raw
+            continue
+        repeater = ParallelRepeater(base_seed=7, reps=reps, jobs=jobs)
+        cold, cold_wall, warm, warm_wall, reused = _cold_warm(
+            jobs, lambda: repeater.run(measure))
+        exact = (cold.raw == serial_result.raw
+                 and warm.raw == serial_result.raw)
         run = {
             "jobs": jobs,
-            "wall_s": round(wall, 3),
-            "reps_per_s": round(reps / wall, 3),
-            "speedup_vs_serial": round(serial_wall / wall, 3),
+            "wall_s": round(warm_wall, 3),
+            "wall_s_cold_pool": round(cold_wall, 3),
+            "reps_per_s": round(reps / warm_wall, 3),
+            "speedup_vs_serial": round(serial_wall / warm_wall, 3),
+            "speedup_cold_vs_serial": round(serial_wall / cold_wall, 3),
+            "pool_reused": reused,
             "exact_match_vs_serial": exact,
         }
-        record["runs"].append(run)
-        print(f"jobs={jobs}: {wall:7.2f}s wall  "
-              f"{run['reps_per_s']:6.2f} reps/s  "
-              f"speedup {run['speedup_vs_serial']:.2f}x  "
-              f"exact={exact}")
+        runs.append(run)
+        print(f"figure reps: jobs={jobs} cold {cold_wall:7.2f}s  "
+              f"warm {warm_wall:7.2f}s  "
+              f"speedup {run['speedup_vs_serial']:.2f}x "
+              f"(cold {run['speedup_cold_vs_serial']:.2f}x)  "
+              f"exact={exact} reused={reused}")
         if not exact:
             raise SystemExit(
                 f"jobs={jobs} produced different metrics than the serial run")
-    return record
+    return runs
+
+
+def run_fleet_shards(hosts: int, days: float, job_counts, seed: int) -> list:
+    """The ``map_shards`` workload: build a volunteer fleet's hosts."""
+    config = FleetConfig(hosts=hosts, hypervisor="vmplayer", seed=seed,
+                         duration_s=days * 86400.0)
+
+    def build(jobs):
+        return [host.to_dict()
+                for host in build_fleet_hosts(config, jobs=jobs)]
+
+    serial_hosts, serial_wall = _timed(lambda: build(1))
+    runs = [{
+        "jobs": 1,
+        "hosts": hosts,
+        "wall_s": round(serial_wall, 3),
+        "hosts_per_s": round(hosts / serial_wall, 1),
+        "speedup_vs_serial": 1.0,
+        "exact_match_vs_serial": True,
+    }]
+    print(f"fleet shards: jobs=1 (serial) {serial_wall:7.2f}s wall "
+          f"({hosts} hosts, {days:g} d traces)")
+    for jobs in job_counts:
+        if jobs == 1:
+            continue
+        cold, cold_wall, warm, warm_wall, reused = _cold_warm(
+            jobs, lambda: build(jobs))
+        exact = cold == serial_hosts and warm == serial_hosts
+        run = {
+            "jobs": jobs,
+            "hosts": hosts,
+            "wall_s": round(warm_wall, 3),
+            "wall_s_cold_pool": round(cold_wall, 3),
+            "hosts_per_s": round(hosts / warm_wall, 1),
+            "speedup_vs_serial": round(serial_wall / warm_wall, 3),
+            "speedup_cold_vs_serial": round(serial_wall / cold_wall, 3),
+            "pool_reused": reused,
+            "exact_match_vs_serial": exact,
+        }
+        runs.append(run)
+        print(f"fleet shards: jobs={jobs} cold {cold_wall:7.2f}s  "
+              f"warm {warm_wall:7.2f}s  "
+              f"speedup {run['speedup_vs_serial']:.2f}x "
+              f"(cold {run['speedup_cold_vs_serial']:.2f}x)  "
+              f"exact={exact} reused={reused}")
+        if not exact:
+            raise SystemExit(
+                f"jobs={jobs} produced a different host list than the "
+                "serial build")
+    return runs
 
 
 def main(argv=None) -> int:
@@ -91,13 +173,34 @@ def main(argv=None) -> int:
                         help="comma-separated worker counts (default 1,2,4)")
     parser.add_argument("--duration", type=float, default=20.0,
                         help="simulated benchmark duration per rep")
+    parser.add_argument("--fleet-hosts", type=int, default=20000,
+                        help="fleet size for the shard workload")
+    parser.add_argument("--fleet-days", type=float, default=1.0,
+                        help="availability-trace horizon (days; matches "
+                             "the fleet bench's 24 h default)")
+    parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--out", default=str(RESULTS_PATH),
                         help="JSON trajectory file to write")
     args = parser.parse_args(argv)
     job_counts = [int(part) for part in args.jobs.split(",") if part]
     if job_counts[0] != 1:
         job_counts.insert(0, 1)  # the serial baseline anchors speedups
-    record = run_scaling(args.reps, job_counts, args.duration)
+    record = {
+        "benchmark": "parallel_scaling",
+        "workload": "fig7/fig8 sevenzip host-impact (vmplayer, 2 threads)",
+        "reps": args.reps,
+        "duration_s": args.duration,
+        **cpu_info(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "runs": run_scaling(args.reps, job_counts, args.duration),
+        "fleet_shard_workload": f"build_fleet_hosts x{args.fleet_hosts}, "
+                                f"{args.fleet_days:g} d traces, "
+                                f"seed {args.seed}",
+        "fleet_shard_runs": run_fleet_shards(
+            args.fleet_hosts, args.fleet_days, job_counts, args.seed),
+    }
+    shutdown_pools()
     out = pathlib.Path(args.out)
     history = []
     if out.exists():

@@ -158,11 +158,14 @@ class RunConfig:
 
     def resolve_jobs(self, jobs: Optional[int] = None) -> int:
         """Worker-count policy: explicit argument, else ``self.jobs``,
-        else every core."""
+        else every *schedulable* core (CPU affinity, not
+        ``os.cpu_count()`` — containers and batch schedulers routinely
+        pin processes to a subset of the machine)."""
         if jobs is None:
             jobs = self.jobs
         if jobs is None:
-            jobs = os.cpu_count() or 1
+            from repro.core.workerpool import available_cpus
+            jobs = available_cpus()
         jobs = int(jobs)
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
@@ -279,6 +282,23 @@ _POLICY_VARS = {
 }
 
 
+def shutdown_parallel_pools() -> None:
+    """Tear down the persistent worker pools (see
+    :mod:`repro.core.workerpool`).
+
+    Pool lifecycle: pools are created **lazily** on the first parallel
+    dispatch at a given worker count, reused across repetitions, retry
+    rounds, figures in a sweep and fleet shards, invalidated (and
+    lazily rebuilt) only when a worker crash or abandoned hung task
+    breaks them, and torn down at interpreter exit via ``atexit``.  The
+    CLI calls this in a ``finally`` around command dispatch; long-lived
+    library embedders can call it to release worker processes early.
+    """
+    from repro.core.workerpool import shutdown_pools
+
+    shutdown_pools()
+
+
 def fallback_config(kind: str) -> RunConfig:
     """Effective config for a library call that passed no explicit policy.
 
@@ -371,21 +391,27 @@ def _faults_section(plan: Optional[Any],
                     snapshot: Optional[Dict[str, Any]]) -> Dict[str, Any]:
     """The manifest's ``faults`` block: plan identity + what happened.
 
-    Injection tallies come from the merged metrics snapshot (workers ship
-    theirs back); retry/timeout/drop incidents from the parent-side
-    :data:`repro.faults.RUNLOG`.
+    Injection tallies come from the merged metrics snapshot when the
+    registry was on (workers ship their counters back), else from the
+    parent-side :data:`repro.faults.RUNLOG` — whose per-site tallies
+    now also travel home in ``WorkerResult`` payloads, so the counts
+    survive ``--no-metrics`` runs.  Retry/timeout/drop incidents always
+    come from the RUNLOG.
     """
     from repro.faults import RUNLOG
 
     counters = (snapshot or {}).get("counters", {})
     prefix = "faults.injected."
     section: Dict[str, Any] = RUNLOG.snapshot()
-    section["injected"] = {
+    observed = section.pop("injected", {})
+    from_counters = {
         name[len(prefix):]: int(value)
         for name, value in sorted(counters.items())
         if name.startswith(prefix)
     }
-    section["total_injected"] = int(counters.get("faults.injected", 0))
+    section["injected"] = from_counters or dict(sorted(observed.items()))
+    section["total_injected"] = int(counters.get(
+        "faults.injected", sum(observed.values())))
     if plan is not None:
         section["spec"] = plan.canonical_spec()
         section["seed"] = plan.seed

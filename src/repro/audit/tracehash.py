@@ -22,9 +22,12 @@ is set by the repetition harness (``g<group>/rep<n>``, where ``group``
 is a monotone per-run counter allocated once per repeater run and
 ``rep`` the repetition index), so the serial path and every ``--jobs N``
 fan-out produce the *same* stream keys for the same logical work —
-which is what makes the snapshots comparable at all.  Forked parallel
-workers inherit an enabled recorder, reset their process-private copy,
-and ship a snapshot back with their result; the parent folds it in.
+which is what makes the snapshots comparable at all.  Persistent pool
+workers (:mod:`repro.core.workerpool`) re-arm their process-private
+recorder per task from the spec's shipped context — enablement, window
+and capture target all travel with the task, so a recorder enabled
+*after* the pool was forked still records — then reset it and ship a
+snapshot back in the ``WorkerResult`` payload; the parent folds it in.
 
 Checkpoint format (``repro-trace-hash/1``)::
 

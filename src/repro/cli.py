@@ -572,7 +572,7 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, metavar="N",
         help="worker processes for repetitions (default: REPRO_JOBS "
-             "or all cores)")
+             "or all schedulable cores per CPU affinity)")
 
 
 def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
@@ -781,7 +781,13 @@ def _configure_cache_logging() -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     _configure_cache_logging()
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    finally:
+        # Release persistent pool workers (no-op when none were built).
+        from repro.api import shutdown_parallel_pools
+
+        shutdown_parallel_pools()
 
 
 if __name__ == "__main__":  # pragma: no cover

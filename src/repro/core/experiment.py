@@ -21,11 +21,13 @@ falls back to them (rather than activating a config) gets a
 Parallelism
 -----------
 Repetitions are independent by construction (each gets its own world via
-:func:`derive_rep_seed`), so :func:`repeat` fans them out over a process
-pool when more than one job is available (``REPRO_JOBS`` / ``jobs=``; see
-:mod:`repro.core.parallel`).  Parallel runs are **bit-identical** to the
-serial path: same derived seeds, same repetition ordering, same
-``summarize`` inputs.
+:func:`derive_rep_seed`), so :func:`repeat` fans them out over the
+persistent worker pool when more than one job is available and there is
+enough work to amortise dispatch (``REPRO_JOBS`` / ``jobs=``; see
+:mod:`repro.core.parallel` and :mod:`repro.core.workerpool` — the pool
+is created once and reused across repeater runs).  Parallel runs are
+**bit-identical** to the serial path: same derived seeds, same
+repetition ordering, same ``summarize`` inputs.
 """
 
 from __future__ import annotations

@@ -3,11 +3,21 @@
 The paper's methodology repeats every test >= 50 times; repetitions are
 independent by construction (each builds a fresh simulated world from its
 own :func:`derive_rep_seed` seed), which makes them the natural unit of
-scale-out.  :class:`ParallelRepeater` submits one task per repetition to a
-``ProcessPoolExecutor`` and folds the results back **in repetition
-order**, so the resulting :class:`RepeatedResult` is bit-identical to the
-serial :class:`repro.core.experiment.Repeater` — same seeds, same raw
-value ordering, same ``summarize`` inputs.
+scale-out.  :class:`ParallelRepeater` submits one compact task spec per
+repetition to the **persistent** worker pool
+(:mod:`repro.core.workerpool`) and folds the results back **in
+repetition order**, so the resulting :class:`RepeatedResult` is
+bit-identical to the serial :class:`repro.core.experiment.Repeater` —
+same seeds, same raw value ordering, same ``summarize`` inputs.
+
+The pool is created once per worker count and reused across
+repetitions, retry rounds, figures in a sweep and fleet shards; workers
+pre-import the tree at fork time and re-arm per task from the spec's
+explicit context (metrics/trace-hash enablement, fault plan, activated
+run config), so a dispatch costs a pickle round-trip instead of fork +
+import + warm-up.  Results come back as versioned
+:class:`repro.core.workerpool.WorkerResult` records whose bulk payloads
+travel via shared memory above a size threshold.
 
 Worker-count policy (first match wins):
 
@@ -16,12 +26,16 @@ Worker-count policy (first match wins):
   lands here; the legacy ``REPRO_JOBS`` variable still works through
   ``RunConfig.from_env`` with a ``DeprecationWarning`` for library
   callers);
-* ``os.cpu_count()``.
+* every *schedulable* core
+  (:func:`repro.core.workerpool.available_cpus` — CPU affinity, not
+  ``os.cpu_count()``).
 
 When the metrics registry is enabled each worker ships a snapshot of its
 per-subsystem counters back with its result, and the parent merges them
 — so engine/scheduler/hardware counters survive process fan-out — plus
 per-worker wall time and queue wait observed from the parent side.
+Fault RUNLOG tallies ship the same way, so injection counts no longer
+depend on the metrics registry being enabled.
 
 Resilience
 ----------
@@ -30,13 +44,14 @@ per-task timeout, a ``min_reps`` floor, or an active
 :data:`repro.faults.FAULTS` plan is in force, :class:`ParallelRepeater`
 switches to a round-based resilient path: failed/timed-out/crashed
 repetitions are resubmitted (capped exponential backoff between rounds,
-the pool rebuilt if broken), and every retried repetition re-derives the
-**same** seed — so a fault-injected run that recovers is byte-identical
-to a fault-free one.  With ``min_reps`` the run degrades gracefully:
-it completes with at least that many successes and records the dropped
-seeds plus remote tracebacks (in ``RepeatedResult.dropped`` and the
-parent-side :data:`repro.faults.RUNLOG`, which run manifests pick up).
-With none of those in force the legacy fail-fast path runs untouched.
+the pool invalidated and lazily rebuilt if broken), and every retried
+repetition re-derives the **same** seed — so a fault-injected run that
+recovers is byte-identical to a fault-free one.  With ``min_reps`` the
+run degrades gracefully: it completes with at least that many successes
+and records the dropped seeds plus remote tracebacks (in
+``RepeatedResult.dropped`` and the parent-side
+:data:`repro.faults.RUNLOG`, which run manifests pick up).  With none
+of those in force the legacy fail-fast path runs untouched.
 
 Fault-injection sites hosted here: ``worker.crash`` (hard ``os._exit``
 in the worker body — breaks the pool), ``worker.hang`` (bounded sleep,
@@ -44,22 +59,25 @@ to trip task timeouts) and ``measure.transient`` (raise-once
 :class:`repro.faults.InjectedFault` around the measurement).  Each
 disabled site costs one attribute read and a branch.
 
-Fallbacks: ``jobs=1``, a single repetition, or a measurement function the
-pickle module cannot serialise (e.g. a test-local closure) run serially
-in-process.  Worker failures are re-raised as :class:`ExperimentError`
-carrying the offending repetition index and derived seed plus the remote
-traceback, so any failing repetition can be reproduced standalone with
-``measure(seed)``.
+Fallbacks: ``jobs=1``, a measurement function the pickle module cannot
+serialise (e.g. a test-local closure), or — on the fail-fast path —
+per-task work below the pool-dispatch threshold (``reps`` <=
+:data:`SERIAL_FALLBACK_REPS`) run serially in-process, recording
+``parallel.fallback_serial`` in METRICS; dispatch overhead only buys
+wall-clock when there is enough work to amortise it.  The resilient
+path never falls back on size alone: its timeout and process-level
+fault semantics need real worker processes.  Worker failures are
+re-raised as :class:`ExperimentError` carrying the offending repetition
+index and derived seed plus the remote traceback, so any failing
+repetition can be reproduced standalone with ``measure(seed)``.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import pickle
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -69,6 +87,16 @@ from repro.core.experiment import (
     Repeater,
     RepeatedResult,
     collect_repetitions,
+)
+from repro.core.workerpool import (
+    WorkerPool,
+    WorkerResult,
+    WorkerResultError,
+    _pool_context,  # noqa: F401  (re-exported; pre-pool callers import it here)
+    build_task_context,
+    get_pool,
+    next_run_token,
+    shutdown_pools,  # noqa: F401  (re-exported for the CLI/benchmarks)
 )
 from repro.errors import ExperimentError
 from repro.faults import FAULTS, RUNLOG
@@ -83,6 +111,11 @@ JOBS_ENV = "REPRO_JOBS"
 #: capped at :data:`RETRY_BACKOFF_CAP_S`.
 RETRY_BACKOFF_S = 0.05
 RETRY_BACKOFF_CAP_S = 2.0
+
+#: Fail-fast runs with this many repetitions or fewer skip the pool and
+#: run serially in the parent (``parallel.fallback_serial`` in METRICS):
+#: two tasks cannot amortise even a warm dispatch.
+SERIAL_FALLBACK_REPS = 2
 
 
 def resolve_jobs(jobs: Optional[int] = None,
@@ -105,21 +138,18 @@ def resolve_jobs(jobs: Optional[int] = None,
     return config.resolve_jobs()
 
 
+def _encode_fn(fn) -> Optional[bytes]:
+    """``fn`` pickled once parent-side for every task spec of a run;
+    ``None`` when it cannot cross a process boundary."""
+    try:
+        return pickle.dumps(fn)
+    except Exception:
+        return None
+
+
 def measure_is_picklable(measure: MeasureFn) -> bool:
     """Whether ``measure`` can cross a process boundary."""
-    try:
-        pickle.dumps(measure)
-        return True
-    except Exception:
-        return False
-
-
-def _pool_context():
-    """Prefer fork (cheap, inherits the warm interpreter) when available."""
-    methods = multiprocessing.get_all_start_methods()
-    if "fork" in methods:
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
+    return _encode_fn(measure) is not None
 
 
 def _backoff_s(round_no: int) -> float:
@@ -138,16 +168,17 @@ def _run_repetition(measure: MeasureFn, repetition: int, seed: int,
     """Worker body: one repetition, exceptions captured as text.
 
     Returns ``(repetition, seed, metrics, error, queue_wait_s, wall_s,
-    counter_snapshot, trace_hash_snapshot)``.  A forked worker inherits
-    an enabled metrics registry; it resets its (process-private) copy so
-    the snapshot holds only this repetition's counters, which the parent
-    merges back — and likewise for the audit trace-hash recorder, whose
-    streams are labelled ``g<hash_group>/rep<n>`` (the group id is
-    allocated parent-side) so they line up key-for-key with a serial
-    run.  The resilient serial path runs this in the parent with
-    ``snapshot_registry=False`` (never reset the parent registries,
-    parent recorders accumulate directly) and ``in_worker=False``
-    (process-level sites stay quiet).
+    counter_snapshot, trace_hash_snapshot)``.  A pool worker has its
+    registries re-armed per task from the spec context
+    (:func:`repro.core.workerpool._apply_task_context`); it resets its
+    (process-private) metrics copy so the snapshot holds only this
+    repetition's counters, which the parent merges back — and likewise
+    for the audit trace-hash recorder, whose streams are labelled
+    ``g<hash_group>/rep<n>`` (the group id is allocated parent-side) so
+    they line up key-for-key with a serial run.  The resilient serial
+    path runs this in the parent with ``snapshot_registry=False``
+    (never reset the parent registries, parent recorders accumulate
+    directly) and ``in_worker=False`` (process-level sites stay quiet).
     """
     # Cross-process queue wait: spans two clocks, so the wall clock is
     # the only option.  # repro: allow-wall-clock
@@ -236,21 +267,73 @@ def _resilience_settings(retries: Optional[int],
     return retries, task_timeout_s, min_reps
 
 
-def _salvage_round(results: List[tuple], metrics_on: bool) -> int:
-    """Merge completed workers' snapshots after a broken round; returns
-    how many repetitions had finished.
+# ---------------------------------------------------------------------------
+# Spec construction and shared dispatch plumbing
+# ---------------------------------------------------------------------------
 
-    Accepts both worker tuple shapes: ``_run_shard`` rows end with the
-    counter snapshot, ``_run_repetition`` rows carry (counter snapshot,
-    trace-hash snapshot) in the last two slots.
-    """
-    for row in results:
-        counters = row[6] if len(row) >= 8 else row[-1]
-        if metrics_on and counters is not None:
-            METRICS.merge(counters)
-        if len(row) >= 8 and row[7] is not None:
-            TRACE_HASH.merge(row[7])
+def _rep_spec(fn_blob: bytes, repetition: int, seed: int, attempt: int,
+              hash_group: int, context: Dict[str, Any],
+              run_token: int) -> Dict[str, Any]:
+    """Compact TaskSpec for one repetition."""
+    return {
+        "kind": "rep", "fn_blob": fn_blob, "task_blob": None,
+        "index": repetition, "seed": seed, "attempt": attempt,
+        # Queue wait spans two processes' clocks; the wall clock is the
+        # only shared reference.
+        "submitted_at": time.time(),  # repro: allow-wall-clock
+        "hash_group": hash_group, "context": context,
+        "run_token": run_token,
+    }
+
+
+def _shard_spec(fn_blob: bytes, index: int, task: Any, attempt: int,
+                context: Dict[str, Any], run_token: int) -> Dict[str, Any]:
+    """Compact TaskSpec for one :func:`map_shards` shard."""
+    return {
+        "kind": "shard", "fn_blob": fn_blob,
+        "task_blob": pickle.dumps(task),
+        "index": index, "seed": None, "attempt": attempt,
+        "submitted_at": 0.0, "hash_group": 0, "context": context,
+        "run_token": run_token,
+    }
+
+
+def _submit_batch(pool: WorkerPool, specs: List[Dict[str, Any]]) -> list:
+    """Submit one round of specs; a worker that died idle between
+    dispatches breaks submission, so retry once on a rebuilt pool."""
+    try:
+        return [pool.submit(spec) for spec in specs]
+    except Exception:
+        pool.invalidate()
+        return [pool.submit(spec) for spec in specs]
+
+
+def _salvage_results(results: List[WorkerResult], metrics_on: bool) -> int:
+    """Merge completed workers' observability after a broken round;
+    returns how many tasks had finished."""
+    for result in results:
+        if metrics_on and result.metrics is not None:
+            METRICS.merge(result.metrics)
+        if result.trace_hash is not None:
+            TRACE_HASH.merge(result.trace_hash)
+        if result.runlog is not None:
+            RUNLOG.merge(result.runlog)
     return len(results)
+
+
+def _fold_observability(result: WorkerResult, metrics_on: bool,
+                        timers: bool = True) -> None:
+    """Merge one decoded result's snapshots into the parent registries."""
+    if metrics_on:
+        if timers:
+            METRICS.observe("parallel.queue_wait_s", result.queue_wait_s)
+            METRICS.observe("parallel.worker_wall_s", result.wall_s)
+        if result.metrics is not None:
+            METRICS.merge(result.metrics)
+    if result.trace_hash is not None:
+        TRACE_HASH.merge(result.trace_hash)
+    if result.runlog is not None:
+        RUNLOG.merge(result.runlog)
 
 
 def map_shards(fn, tasks, jobs: Optional[int] = None,
@@ -266,121 +349,144 @@ def map_shards(fn, tasks, jobs: Optional[int] = None,
     in-process; worker failures re-raise as :class:`ExperimentError`
     naming the shard index with the remote traceback attached.
 
+    Dispatch goes through the persistent pool keyed by the resolved job
+    count, so consecutive ``map_shards`` calls (every fleet size in a
+    scaling sweep, every figure in a report) reuse warm workers.
+
     With ``retries``/``task_timeout_s`` (explicit or from the activated
     run config) failed, crashed or timed-out shards are resubmitted —
     every shard must ultimately succeed (there is no ``min_reps``
     analogue for shards, since a missing shard would skew the merge).
     """
     tasks = list(tasks)
-    workers = min(resolve_jobs(jobs), len(tasks)) if tasks else 0
+    jobs_resolved = resolve_jobs(jobs)
+    workers = min(jobs_resolved, len(tasks)) if tasks else 0
     retries, task_timeout_s, _ = _resilience_settings(
         retries, task_timeout_s, None)
-    if workers <= 1 or not measure_is_picklable(fn):
+    fn_blob = _encode_fn(fn) if workers > 1 else None
+    if workers <= 1 or fn_blob is None:
         return [fn(task) for task in tasks]
     metrics_on = METRICS.enabled
+    context = build_task_context()
+    run_token = next_run_token()
+    pool = get_pool(jobs_resolved)
     if retries > 0 or task_timeout_s is not None or FAULTS.enabled:
-        gathered = _map_shards_resilient(
-            fn, tasks, workers, retries, task_timeout_s, metrics_on)
+        results = _map_shards_resilient(
+            pool, fn_blob, tasks, retries, task_timeout_s, metrics_on,
+            context, run_token)
     else:
-        gathered = []
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=_pool_context()) as pool:
-            futures = [pool.submit(_run_shard, fn, index, task)
-                       for index, task in enumerate(tasks)]
-            for index, future in enumerate(futures):
-                try:
-                    gathered.append(future.result())
-                except Exception as exc:
-                    finished = _salvage_round(gathered, metrics_on)
-                    raise ExperimentError(
-                        f"shard {index} broke the worker pool after "
-                        f"{finished} of {len(tasks)} shards had "
-                        f"completed: {exc}"
-                    ) from exc
-        for index, _result, error, _snapshot in gathered:
-            if error is not None:
+        specs = [_shard_spec(fn_blob, index, task, 0, context, run_token)
+                 for index, task in enumerate(tasks)]
+        futures = _submit_batch(pool, specs)
+        results = []
+        for index, future in enumerate(futures):
+            try:
+                wire = future.result()
+            except Exception as exc:
+                pool.invalidate()
+                finished = _salvage_results(results, metrics_on)
                 raise ExperimentError(
-                    f"shard {index} failed in a worker.\n"
-                    f"Worker traceback:\n{error}"
+                    f"shard {index} broke the worker pool after "
+                    f"{finished} of {len(tasks)} shards had "
+                    f"completed: {exc}"
+                ) from exc
+            try:
+                results.append(WorkerResult.from_wire(wire))
+            except WorkerResultError as exc:
+                if metrics_on:
+                    METRICS.inc("parallel.payload_quarantined")
+                _salvage_results(results, metrics_on)
+                raise ExperimentError(
+                    f"shard {index} returned an untrusted result: {exc}"
+                ) from exc
+        for result in results:
+            if result.error is not None:
+                raise ExperimentError(
+                    f"shard {result.index} failed in a worker.\n"
+                    f"Worker traceback:\n{result.error}"
                 )
-        if metrics_on:
-            for _index, _result, _error, snapshot in gathered:
-                if snapshot is not None:
-                    METRICS.merge(snapshot)
+        for result in results:
+            _fold_observability(result, metrics_on, timers=False)
     if metrics_on:
-        METRICS.inc("parallel.shards", len(gathered))
+        METRICS.inc("parallel.shards", len(results))
         METRICS.gauge_max("parallel.workers", workers)
-    return [result for _index, result, _error, _snapshot in gathered]
+    return [result.values for result in results]
 
 
-def _map_shards_resilient(fn, tasks, workers: int, retries: int,
-                          task_timeout_s: Optional[float],
-                          metrics_on: bool) -> List[tuple]:
+def _map_shards_resilient(pool: WorkerPool, fn_blob: bytes, tasks,
+                          retries: int, task_timeout_s: Optional[float],
+                          metrics_on: bool, context: Dict[str, Any],
+                          run_token: int) -> List[WorkerResult]:
     """Round-based retry engine for :func:`map_shards`.
 
-    Returns completed ``(index, result, None, snapshot)`` tuples in task
-    order (snapshots already merged); raises :class:`ExperimentError` if
-    any shard is still failing after the final round.
+    Returns completed :class:`WorkerResult` records in task order
+    (snapshots already merged); raises :class:`ExperimentError` if any
+    shard is still failing after the final round.
     """
     pending = list(range(len(tasks)))
-    done: Dict[int, tuple] = {}
+    done: Dict[int, WorkerResult] = {}
     failures: Dict[int, str] = {}
-    pool: Optional[ProcessPoolExecutor] = None
-    try:
-        for round_no in range(retries + 1):
-            if not pending:
-                break
-            if round_no > 0:
-                time.sleep(_backoff_s(round_no))
-                RUNLOG.retries += len(pending)
-                if metrics_on:
-                    METRICS.inc("parallel.retries", len(pending))
-            if pool is None:
-                pool = ProcessPoolExecutor(max_workers=workers,
-                                           mp_context=_pool_context())
-            futures = {index: pool.submit(_run_shard, fn, index,
-                                          tasks[index], round_no)
-                       for index in pending}
-            still_pending: List[int] = []
-            pool_broken = False
+    for round_no in range(retries + 1):
+        if not pending:
+            break
+        if round_no > 0:
+            time.sleep(_backoff_s(round_no))
+            RUNLOG.retries += len(pending)
+            if metrics_on:
+                METRICS.inc("parallel.retries", len(pending))
+        try:
+            futures = {index: pool.submit(
+                _shard_spec(fn_blob, index, tasks[index], round_no,
+                            context, run_token))
+                for index in pending}
+        except Exception as exc:
+            pool.invalidate()
             for index in pending:
-                future = futures[index]
-                try:
-                    result = future.result(timeout=task_timeout_s)
-                except FutureTimeoutError:
-                    future.cancel()
-                    RUNLOG.timeouts += 1
-                    if metrics_on:
-                        METRICS.inc("parallel.timeouts")
-                    failures[index] = (
-                        f"timed out after {task_timeout_s}s")
-                    still_pending.append(index)
-                    pool_broken = True  # a hung worker occupies a slot
-                    continue
-                except Exception as exc:
-                    if FAULTS.enabled and FAULTS.would_fire(
-                            "worker.crash", key=f"shard:{index}",
-                            attempt=round_no):
-                        FAULTS.record("worker.crash")
-                    failures[index] = f"worker pool broke: {exc}"
-                    still_pending.append(index)
-                    pool_broken = True
-                    continue
-                _index, payload, error, snapshot = result
-                if metrics_on and snapshot is not None:
-                    METRICS.merge(snapshot)
-                if error is None:
-                    done[index] = (index, payload, None, snapshot)
-                else:
-                    failures[index] = error
-                    still_pending.append(index)
-            pending = still_pending
-            if pool_broken:
-                pool.shutdown(wait=False, cancel_futures=True)
-                pool = None
-    finally:
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+                failures[index] = f"worker pool broke: {exc}"
+            continue
+        still_pending: List[int] = []
+        pool_broken = False
+        for index in pending:
+            future = futures[index]
+            try:
+                wire = future.result(timeout=task_timeout_s)
+            except FutureTimeoutError:
+                future.cancel()
+                pool.abandon(future)
+                RUNLOG.timeouts += 1
+                if metrics_on:
+                    METRICS.inc("parallel.timeouts")
+                failures[index] = (
+                    f"timed out after {task_timeout_s}s")
+                still_pending.append(index)
+                pool_broken = True  # a hung worker occupies a slot
+                continue
+            except Exception as exc:
+                if FAULTS.enabled and FAULTS.would_fire(
+                        "worker.crash", key=f"shard:{index}",
+                        attempt=round_no):
+                    FAULTS.record("worker.crash")
+                failures[index] = f"worker pool broke: {exc}"
+                still_pending.append(index)
+                pool_broken = True
+                continue
+            try:
+                result = WorkerResult.from_wire(wire)
+            except WorkerResultError as exc:
+                if metrics_on:
+                    METRICS.inc("parallel.payload_quarantined")
+                failures[index] = f"untrusted worker result: {exc}"
+                still_pending.append(index)
+                continue
+            _fold_observability(result, metrics_on, timers=False)
+            if result.error is None:
+                done[index] = result
+            else:
+                failures[index] = result.error
+                still_pending.append(index)
+        pending = still_pending
+        if pool_broken:
+            pool.invalidate()
     if pending:
         first = pending[0]
         raise ExperimentError(
@@ -425,58 +531,69 @@ class ParallelRepeater:
         workers = min(self.jobs, self.reps)
         if self._resilient:
             return self._run_resilient(measure, workers)
-        if workers <= 1 or not measure_is_picklable(measure):
+        if workers <= 1:
+            return Repeater(self.base_seed, self.reps).run(measure)
+        if self.reps <= SERIAL_FALLBACK_REPS:
+            # Adaptive fallback: too little work to amortise dispatch.
+            if METRICS.enabled:
+                METRICS.inc("parallel.fallback_serial")
+            return Repeater(self.base_seed, self.reps).run(measure)
+        fn_blob = _encode_fn(measure)
+        if fn_blob is None:
             return Repeater(self.base_seed, self.reps).run(measure)
         seeds = [derive_rep_seed(self.base_seed, repetition)
                  for repetition in range(self.reps)]
-        results = []
         metrics_on = METRICS.enabled
         thash_on = TRACE_HASH.enabled
         hash_group = TRACE_HASH.begin_group() if thash_on else 0
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=_pool_context()) as pool:
-            futures = [
-                pool.submit(_run_repetition, measure, repetition, seed,
-                            time.time(),  # repro: allow-wall-clock
-                            hash_group=hash_group)
-                for repetition, seed in enumerate(seeds)
-            ]
-            # Collect in repetition order; the lowest failing index wins,
-            # matching the serial path's first-failure semantics.
-            for repetition, future in enumerate(futures):
-                try:
-                    results.append(future.result())
-                except Exception as exc:
-                    finished = _salvage_round(results, metrics_on)
-                    raise ExperimentError(
-                        f"repetition {repetition} "
-                        f"(seed {seeds[repetition]}) broke the worker "
-                        f"pool after {finished} of {self.reps} "
-                        f"repetitions had completed: {exc}"
-                    ) from exc
-        for repetition, seed, _metrics, error, *_rest in results:
-            if error is not None:
+        context = build_task_context()
+        run_token = next_run_token()
+        pool = get_pool(self.jobs)
+        specs = [_rep_spec(fn_blob, repetition, seed, 0, hash_group,
+                           context, run_token)
+                 for repetition, seed in enumerate(seeds)]
+        futures = _submit_batch(pool, specs)
+        results: List[WorkerResult] = []
+        # Collect in repetition order; the lowest failing index wins,
+        # matching the serial path's first-failure semantics.
+        for repetition, future in enumerate(futures):
+            try:
+                wire = future.result()
+            except Exception as exc:
+                pool.invalidate()
+                finished = _salvage_results(results, metrics_on)
                 raise ExperimentError(
-                    f"repetition {repetition} (seed {seed}) failed in a "
-                    f"worker; reproduce with measure({seed}).\n"
-                    f"Worker traceback:\n{error}"
+                    f"repetition {repetition} "
+                    f"(seed {seeds[repetition]}) broke the worker "
+                    f"pool after {finished} of {self.reps} "
+                    f"repetitions had completed: {exc}"
+                ) from exc
+            try:
+                results.append(WorkerResult.from_wire(wire))
+            except WorkerResultError as exc:
+                if metrics_on:
+                    METRICS.inc("parallel.payload_quarantined")
+                _salvage_results(results, metrics_on)
+                raise ExperimentError(
+                    f"repetition {repetition} (seed {seeds[repetition]}) "
+                    f"returned an untrusted result: {exc}"
+                ) from exc
+        for result in results:
+            if result.error is not None:
+                raise ExperimentError(
+                    f"repetition {result.index} (seed {result.seed}) "
+                    f"failed in a worker; reproduce with "
+                    f"measure({result.seed}).\n"
+                    f"Worker traceback:\n{result.error}"
                 )
         if metrics_on:
             METRICS.inc("parallel.repetitions", len(results))
             METRICS.gauge_max("parallel.workers", workers)
-            for row in results:
-                _rep, _seed, _m, _err, queue_wait, wall, snapshot, _th = row
-                METRICS.observe("parallel.queue_wait_s", queue_wait)
-                METRICS.observe("parallel.worker_wall_s", wall)
-                if snapshot is not None:
-                    METRICS.merge(snapshot)
-        if thash_on:
-            for row in results:
-                if row[7] is not None:
-                    TRACE_HASH.merge(row[7])
+        for result in results:
+            _fold_observability(result, metrics_on)
         return collect_repetitions(
-            (repetition, seed, metrics)
-            for repetition, seed, metrics, _error, *_timing in results
+            (result.index, result.seed, result.values)
+            for result in results
         )
 
     # -- resilient path ---------------------------------------------------
@@ -488,18 +605,24 @@ class ParallelRepeater:
         Retried repetitions re-derive the **same** seed, so a recovered
         run's :class:`RepeatedResult` is byte-identical to a fault-free
         one; metrics snapshots from *every* returned attempt (success or
-        failure) are merged so no completed work is discarded.
+        failure) are merged so no completed work is discarded.  The
+        persistent pool survives across rounds (and across runs) — it is
+        invalidated, never discarded, when broken by a crash or an
+        abandoned hung worker.
         """
         seeds = [derive_rep_seed(self.base_seed, repetition)
                  for repetition in range(self.reps)]
-        parallel_ok = workers > 1 and measure_is_picklable(measure)
+        fn_blob = _encode_fn(measure) if workers > 1 else None
+        parallel_ok = fn_blob is not None
         metrics_on = METRICS.enabled
         thash_on = TRACE_HASH.enabled
         hash_group = TRACE_HASH.begin_group() if thash_on else 0
         completed: Dict[int, Dict[str, float]] = {}
         failures: Dict[int, str] = {}
         pending = list(range(self.reps))
-        pool: Optional[ProcessPoolExecutor] = None
+        pool = get_pool(self.jobs) if parallel_ok else None
+        context = build_task_context() if parallel_ok else None
+        run_token = next_run_token() if parallel_ok else 0
         try:
             for round_no in range(self.retries + 1):
                 if not pending:
@@ -510,16 +633,15 @@ class ParallelRepeater:
                     if metrics_on:
                         METRICS.inc("parallel.retries", len(pending))
                 if parallel_ok:
-                    pending, pool = self._parallel_round(
-                        measure, seeds, pending, round_no, workers, pool,
-                        completed, failures, metrics_on, hash_group)
+                    pending = self._parallel_round(
+                        pool, fn_blob, seeds, pending, round_no, context,
+                        run_token, completed, failures, metrics_on,
+                        hash_group)
                 else:
                     pending = self._serial_round(
                         measure, seeds, pending, round_no,
                         completed, failures, metrics_on, hash_group)
         finally:
-            if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
             if thash_on:
                 TRACE_HASH.clear_context()
         if metrics_on:
@@ -528,30 +650,36 @@ class ParallelRepeater:
                 METRICS.gauge_max("parallel.workers", workers)
         return self._fold(seeds, completed, failures, metrics_on)
 
-    def _parallel_round(self, measure, seeds, pending, round_no, workers,
-                        pool, completed, failures, metrics_on,
-                        hash_group=0):
-        """One submission round over the pool; returns (still-pending,
-        pool-or-None).  A broken/hung pool is shut down without waiting
-        and rebuilt lazily next round."""
-        if pool is None:
-            pool = ProcessPoolExecutor(max_workers=workers,
-                                       mp_context=_pool_context())
-        futures = {
-            repetition: pool.submit(_run_repetition, measure, repetition,
-                                    seeds[repetition],
-                                    time.time(),  # repro: allow-wall-clock
-                                    round_no, hash_group=hash_group)
-            for repetition in pending
-        }
+    def _parallel_round(self, pool, fn_blob, seeds, pending, round_no,
+                        context, run_token, completed, failures,
+                        metrics_on, hash_group=0):
+        """One submission round over the persistent pool; returns the
+        still-pending repetitions.  A broken/hung pool is invalidated
+        (shut down without waiting) and rebuilt lazily on the next
+        dispatch."""
+        try:
+            futures = {
+                repetition: pool.submit(
+                    _rep_spec(fn_blob, repetition, seeds[repetition],
+                              round_no, hash_group, context, run_token))
+                for repetition in pending
+            }
+        except Exception as exc:
+            # A worker died idle between rounds: fail the whole round,
+            # which retries on a rebuilt pool.
+            pool.invalidate()
+            for repetition in pending:
+                failures[repetition] = f"worker pool broke: {exc}"
+            return list(pending)
         still_pending: List[int] = []
         pool_broken = False
         for repetition in pending:
             future = futures[repetition]
             try:
-                result = future.result(timeout=self.task_timeout_s)
+                wire = future.result(timeout=self.task_timeout_s)
             except FutureTimeoutError:
                 future.cancel()
+                pool.abandon(future)
                 RUNLOG.timeouts += 1
                 if metrics_on:
                     METRICS.inc("parallel.timeouts")
@@ -570,24 +698,23 @@ class ParallelRepeater:
                 still_pending.append(repetition)
                 pool_broken = True
                 continue
-            (_rep, _seed, metrics, error, queue_wait, wall, snapshot,
-             thash) = result
-            if metrics_on:
-                METRICS.observe("parallel.queue_wait_s", queue_wait)
-                METRICS.observe("parallel.worker_wall_s", wall)
-                if snapshot is not None:
-                    METRICS.merge(snapshot)
-            if thash is not None:
-                TRACE_HASH.merge(thash)
-            if error is None:
-                completed[repetition] = metrics
+            try:
+                result = WorkerResult.from_wire(wire)
+            except WorkerResultError as exc:
+                if metrics_on:
+                    METRICS.inc("parallel.payload_quarantined")
+                failures[repetition] = f"untrusted worker result: {exc}"
+                still_pending.append(repetition)
+                continue
+            _fold_observability(result, metrics_on)
+            if result.error is None:
+                completed[repetition] = result.values
             else:
-                failures[repetition] = error
+                failures[repetition] = result.error
                 still_pending.append(repetition)
         if pool_broken:
-            pool.shutdown(wait=False, cancel_futures=True)
-            pool = None
-        return still_pending, pool
+            pool.invalidate()
+        return still_pending
 
     def _serial_round(self, measure, seeds, pending, round_no,
                       completed, failures, metrics_on, hash_group=0):

@@ -24,8 +24,13 @@ firing mode:
 The module-level :data:`FAULTS` injector follows the same guard contract
 as :data:`repro.obs.metrics.METRICS`: a disabled site costs one
 attribute read and a branch (``if FAULTS.enabled:``), nothing else.
-Forked parallel workers inherit the activated plan, so injection inside
-worker bodies needs no extra plumbing.
+Persistent pool workers (:mod:`repro.core.workerpool`) do **not** rely
+on fork-time inheritance: every task spec carries the active plan as
+``FaultPlan.to_dict()`` and the worker re-arms via
+:meth:`FaultPlan.from_dict` before running the task, so a plan activated
+*after* the pool was forked still injects inside worker bodies.  Worker
+tallies travel home in the :class:`WorkerResult` RUNLOG payload and the
+parent folds them in with :meth:`RunLog.merge`.
 """
 
 from __future__ import annotations
@@ -132,8 +137,14 @@ class FaultPlan:
         return True
 
     def record(self, site: str) -> None:
-        """Tally one injection for ``site`` (here and in METRICS)."""
+        """Tally one injection for ``site`` (plan, RUNLOG and METRICS).
+
+        The RUNLOG tally is what survives the trip home from a pool
+        worker even when the metrics registry is disabled, so manifest
+        injection counts never depend on ``--metrics``.
+        """
         self.injected[site] = self.injected.get(site, 0) + 1
+        RUNLOG.injected[site] = RUNLOG.injected.get(site, 0) + 1
         if METRICS.enabled:
             METRICS.inc("faults.injected")
             METRICS.inc(f"faults.injected.{site}")
@@ -161,6 +172,18 @@ class FaultPlan:
             "arms": dict(sorted(self.arms.items())),
             "injected": dict(sorted(self.injected.items())),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (the TaskSpec wire
+        form).  ``injected`` tallies are observations of a *past*
+        process, not configuration, so they are deliberately dropped —
+        the rebuilt plan starts with fresh counters."""
+        plan = cls(seed=payload.get("seed", 0),
+                   hang_s=payload.get("hang_s", DEFAULT_HANG_S))
+        for site, probability in payload.get("arms", {}).items():
+            plan.arm(site, probability)
+        return plan
 
 
 def parse_fault_spec(spec: str) -> FaultPlan:
@@ -299,18 +322,34 @@ class RunLog:
         self.dropped: list = []   # {"repetition", "seed", "error"} dicts
         self.retries = 0
         self.timeouts = 0
+        #: per-site injection tallies folded in from worker RUNLOG
+        #: payloads (and recorded directly by in-process injections)
+        self.injected: Dict[str, int] = {}
 
     def clear(self) -> None:
         self.dropped.clear()
         self.retries = 0
         self.timeouts = 0
+        self.injected.clear()
 
     def snapshot(self) -> Dict[str, Any]:
         return {
             "retries": self.retries,
             "timeouts": self.timeouts,
             "dropped": list(self.dropped),
+            "injected": dict(sorted(self.injected.items())),
         }
+
+    def merge(self, snap: Optional[Dict[str, Any]]) -> None:
+        """Fold a worker's RUNLOG snapshot (from a ``WorkerResult``)
+        into this parent-side log; counts add, dropped lists extend."""
+        if not snap:
+            return
+        self.retries += int(snap.get("retries", 0))
+        self.timeouts += int(snap.get("timeouts", 0))
+        self.dropped.extend(snap.get("dropped", ()))
+        for site, count in snap.get("injected", {}).items():
+            self.injected[site] = self.injected.get(site, 0) + int(count)
 
 
 #: The process-global run log (cleared by run_figure/run_fleet/chaos).

@@ -32,6 +32,9 @@ def _figure_jobs() -> int:
     fans out through it).  Resolve from the activated
     :class:`repro.api.RunConfig` when one is in force, else interpret
     the environment once at this boundary — same policy, no warning.
+    Every fleet size in a sweep dispatches through the same persistent
+    worker pool (keyed by this count), so only the first size pays
+    pool start-up.
     """
     from repro import api
 

@@ -31,6 +31,12 @@ from repro.virt.profiles import PROFILE_ORDER
 #: at any ``--jobs`` setting.
 SHARD_SIZE = 128
 
+#: Fleets smaller than this build serially regardless of ``jobs``: two
+#: shards cannot amortise pool dispatch (the old path made ``--jobs 4``
+#: *slower* than serial at small sizes).  Identical output either way —
+#: shard boundaries are fixed and hosts seed only from their own index.
+MIN_PARALLEL_HOSTS = 256
+
 #: Per-host availability is clamped into this band after sampling: a
 #: volunteer that is literally never (or always) on is not a volunteer.
 AVAILABILITY_FLOOR = 0.05
@@ -135,17 +141,24 @@ def build_fleet_hosts(config: FleetConfig,
     """Sample the whole fleet, sharding big builds across workers.
 
     Worker-count policy follows :func:`repro.core.parallel.resolve_jobs`
-    (explicit ``jobs``, else the activated RunConfig, else every core);
-    the merged host list is bit-identical to the serial build because
-    shards are fixed index ranges and every host seeds only from its own
-    index.
+    (explicit ``jobs``, else the activated RunConfig, else every
+    schedulable core); the merged host list is bit-identical to the
+    serial build because shards are fixed index ranges and every host
+    seeds only from its own index.  Fleets below
+    :data:`MIN_PARALLEL_HOSTS` skip the pool entirely (recorded as
+    ``parallel.fallback_serial`` in METRICS).
     """
     from repro.core.parallel import map_shards
 
     payload = config.to_dict()
     tasks = [(payload, start, stop)
              for start, stop in host_shards(config.hosts)]
-    shard_results = map_shards(_build_shard, tasks, jobs=jobs)
+    if config.hosts < MIN_PARALLEL_HOSTS:
+        if METRICS.enabled:
+            METRICS.inc("parallel.fallback_serial")
+        shard_results = [_build_shard(task) for task in tasks]
+    else:
+        shard_results = map_shards(_build_shard, tasks, jobs=jobs)
     hosts = [_host_from_dict(item)
              for shard in shard_results for item in shard]
     return hosts

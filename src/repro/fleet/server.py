@@ -535,7 +535,10 @@ def simulate_fleet(config: FleetConfig,
 
     The one-call entry point used by :func:`repro.api.run_fleet`, the
     fleet figures and the benchmarks.  Deterministic per config; the
-    ``jobs`` count affects wall-clock only, never the report.
+    ``jobs`` count affects wall-clock only, never the report.  Host
+    building dispatches to the persistent worker pool only above
+    :data:`repro.fleet.host.MIN_PARALLEL_HOSTS` — small fleets run
+    serially because pool dispatch would cost more than it saves.
     """
     hosts = build_fleet_hosts(config, jobs=jobs)
     if FAULTS.enabled:

@@ -22,9 +22,12 @@ Three instrument kinds, all addressed by dotted string name:
 
 The module-level :data:`METRICS` registry is process-global and disabled
 by default; :func:`repro.api.run_figure` enables it for metrics-enabled
-runs.  Forked parallel workers inherit an enabled registry, reset their
-(process-private) copy, and ship a snapshot back to the parent, which
-merges it — so per-subsystem counters survive ``--jobs N`` fan-out.
+runs.  Persistent pool workers (:mod:`repro.core.workerpool`) re-arm
+their process-private registry per task from the spec's shipped context
+(fork-time inheritance is not relied on — the pool outlives any one
+run's enablement), reset it, and ship a snapshot back in the
+``WorkerResult`` payload, which the parent merges — so per-subsystem
+counters survive ``--jobs N`` fan-out.
 """
 
 from __future__ import annotations

@@ -227,9 +227,17 @@ class TestMetricsDoNotPerturb:
         assert self._data(metrics=False, jobs=2) == baseline
 
     def test_parallel_run_merges_worker_counters(self):
-        config = RunConfig(metrics=True, reps=2, jobs=2, cache=False)
+        # reps=3: two repetitions would take the adaptive serial fallback.
+        config = RunConfig(metrics=True, reps=3, jobs=2, cache=False)
         result = run_figure("fig2", config, size=64)
         counters = result.metrics["counters"]
         assert counters.get("engine.events_dispatched", 0) > 0
-        assert counters.get("parallel.repetitions", 0) >= 2
+        assert counters.get("parallel.repetitions", 0) >= 3
         assert result.metrics["timers"].get("parallel.worker_wall_s")
+
+    def test_tiny_runs_fall_back_to_serial(self):
+        config = RunConfig(metrics=True, reps=2, jobs=2, cache=False)
+        result = run_figure("fig2", config, size=64)
+        counters = result.metrics["counters"]
+        assert counters.get("parallel.fallback_serial", 0) >= 1
+        assert counters.get("parallel.repetitions", 0) == 0

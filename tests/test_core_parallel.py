@@ -10,12 +10,20 @@ from repro.core.parallel import (
     measure_is_picklable,
     resolve_jobs,
 )
+from repro.core.workerpool import available_cpus
 from repro.errors import ExperimentError
 from repro.simcore.rng import derive_rep_seed
 
 
 def picklable_measure(seed):
     return {"x": float(seed % 1000), "y": float(seed % 7)}
+
+
+def pid_measure(seed):
+    """Reports the worker pid, so tests can assert pool reuse."""
+    return {"pid": float(os.getpid()), "x": float(seed % 5)}
+
+
 
 
 def failing_measure(seed):
@@ -35,8 +43,12 @@ class TestResolveJobs:
     def test_env_fallback(self):
         assert resolve_jobs(env={"REPRO_JOBS": "6"}) == 6
 
-    def test_cpu_count_default(self):
-        assert resolve_jobs(env={}) == (os.cpu_count() or 1)
+    def test_schedulable_cpu_default(self):
+        # Affinity-aware: the default must match what this process can
+        # actually run on, not the machine-wide core count.
+        assert resolve_jobs(env={}) == available_cpus()
+        if hasattr(os, "sched_getaffinity"):
+            assert available_cpus() == len(os.sched_getaffinity(0))
 
     def test_bad_jobs_rejected(self):
         with pytest.raises(ExperimentError):
@@ -128,6 +140,97 @@ class TestFailureReporting:
     def test_empty_metrics_rejected_with_seed(self):
         with pytest.raises(ExperimentError, match=r"seed \d+"):
             ParallelRepeater(base_seed=0, reps=2, jobs=2).run(empty_measure)
+
+
+class TestPersistentPool:
+    """The pool persists: same workers across runs, rounds and callers."""
+
+    def test_worker_pids_reused_across_runs(self):
+        first = ParallelRepeater(base_seed=1, reps=6,
+                                 jobs=2).run(pid_measure)
+        second = ParallelRepeater(base_seed=2, reps=6,
+                                  jobs=2).run(pid_measure)
+        first_pids = set(first.raw["pid"])
+        second_pids = set(second.raw["pid"])
+        # real fan-out: work ran in child processes, not the parent
+        assert float(os.getpid()) not in first_pids
+        # persistence: the second run re-used the first run's workers
+        assert first_pids & second_pids
+
+    def test_pool_survives_retry_rounds(self):
+        from repro.core.workerpool import pool_generations
+        from repro.faults import RUNLOG, FaultPlan, injected
+
+        ParallelRepeater(base_seed=3, reps=6, jobs=2).run(pid_measure)
+        generation_before = pool_generations()[2]
+        RUNLOG.clear()
+        plan = FaultPlan(seed=3).arm("measure.transient", 0.9)
+        with injected(plan):
+            result = ParallelRepeater(base_seed=3, reps=6, jobs=2,
+                                      retries=4).run(pid_measure)
+        assert result["pid"].n == 6
+        assert RUNLOG.retries > 0          # the storm really retried
+        assert RUNLOG.injected.get("measure.transient", 0) > 0
+        # retry rounds dispatched to the SAME pool: no rebuild happened
+        assert pool_generations()[2] == generation_before
+        assert float(os.getpid()) not in set(result.raw["pid"])
+        RUNLOG.clear()
+
+    def test_pool_rebuilt_after_worker_crash(self):
+        from repro.core.workerpool import pool_generations
+
+        ParallelRepeater(base_seed=4, reps=6, jobs=2).run(pid_measure)
+        generation_before = pool_generations()[2]
+        with pytest.raises(ExperimentError, match="broke the worker pool"):
+            ParallelRepeater(base_seed=5, reps=6,
+                             jobs=2).run(exiting_measure)
+        result = ParallelRepeater(base_seed=6, reps=6,
+                                  jobs=2).run(pid_measure)
+        assert result["pid"].n == 6
+        assert pool_generations()[2] > generation_before
+
+
+def exiting_measure(seed):
+    os._exit(3)  # hard crash: breaks the worker pool
+
+
+class TestSerialFallback:
+    def test_two_reps_run_in_parent(self):
+        result = ParallelRepeater(base_seed=7, reps=2,
+                                  jobs=4).run(pid_measure)
+        assert set(result.raw["pid"]) == {float(os.getpid())}
+
+    def test_two_reps_record_fallback_metric(self):
+        from repro.obs.metrics import METRICS
+
+        METRICS.enable(reset=True)
+        try:
+            ParallelRepeater(base_seed=7, reps=2,
+                             jobs=4).run(picklable_measure)
+            assert METRICS.counter("parallel.fallback_serial") == 1
+        finally:
+            METRICS.disable()
+            METRICS.reset()
+
+    def test_small_fleet_builds_serially(self):
+        from repro.fleet.config import FleetConfig
+        from repro.fleet.host import MIN_PARALLEL_HOSTS, build_fleet_hosts
+        from repro.obs.metrics import METRICS
+
+        config = FleetConfig(hosts=MIN_PARALLEL_HOSTS - 1,
+                             hypervisor="vmplayer", seed=11,
+                             duration_s=3600.0)
+        METRICS.enable(reset=True)
+        try:
+            hosts = build_fleet_hosts(config, jobs=4)
+            assert METRICS.counter("parallel.fallback_serial") == 1
+        finally:
+            METRICS.disable()
+            METRICS.reset()
+        assert len(hosts) == MIN_PARALLEL_HOSTS - 1
+        # identical output either way: the fallback is wall-clock only
+        assert [h.to_dict() for h in hosts] == \
+            [h.to_dict() for h in build_fleet_hosts(config, jobs=1)]
 
 
 class TestRepeatDispatch:

@@ -209,12 +209,28 @@ class TestRunLog:
         log.retries = 3
         log.timeouts = 1
         log.dropped.append({"repetition": 2, "seed": 99, "error": "x"})
+        log.injected["worker.crash"] = 2
         snap = log.snapshot()
         assert snap == {"retries": 3, "timeouts": 1,
                         "dropped": [{"repetition": 2, "seed": 99,
-                                     "error": "x"}]}
+                                     "error": "x"}],
+                        "injected": {"worker.crash": 2}}
         log.clear()
-        assert log.snapshot() == {"retries": 0, "timeouts": 0, "dropped": []}
+        assert log.snapshot() == {"retries": 0, "timeouts": 0,
+                                  "dropped": [], "injected": {}}
+
+    def test_merge_sums_worker_snapshots(self):
+        log = RunLog()
+        log.retries = 1
+        log.injected["measure.transient"] = 1
+        log.merge({"retries": 2, "timeouts": 1,
+                   "dropped": [{"repetition": 4, "seed": 7, "error": "y"}],
+                   "injected": {"measure.transient": 2, "worker.hang": 1}})
+        snap = log.snapshot()
+        assert snap["retries"] == 3
+        assert snap["timeouts"] == 1
+        assert snap["dropped"] == [{"repetition": 4, "seed": 7, "error": "y"}]
+        assert snap["injected"] == {"measure.transient": 3, "worker.hang": 1}
 
     def test_snapshot_copies_dropped_list(self):
         log = RunLog()
