@@ -3,7 +3,7 @@ module name stays import-unambiguous next to tests/conftest.py)."""
 
 import os
 
-from repro.api import RunConfig, run_figure
+from repro.api import RunConfig, RunRequest, run
 from repro.core.workerpool import available_cpus
 
 
@@ -26,8 +26,8 @@ def once(benchmark, fn):
 def figure_once(benchmark, fig_id, config=None, **kwargs):
     """Regenerate one registry figure exactly once under pytest-benchmark.
 
-    Goes through :func:`repro.api.run_figure` with the ambient
-    environment folded into a :class:`RunConfig` at this boundary, so
+    Goes through :func:`repro.api.run` with the ambient environment
+    folded into a :class:`RunConfig` at this boundary, so
     ``REPRO_CACHE=1`` lets the suite skip recomputing identical seeded
     runs (the recorded time then measures a cache hit — useful for
     re-rendering, not for profiling).
@@ -37,6 +37,7 @@ def figure_once(benchmark, fig_id, config=None, **kwargs):
     use_cache = kwargs.pop("use_cache", None)
     if use_cache is not None:
         config = config.with_overrides(cache=use_cache)
-    result = benchmark.pedantic(lambda: run_figure(fig_id, config, **kwargs),
-                                rounds=1, iterations=1)
+    request = RunRequest(kind="figure", target=fig_id, config=config,
+                         options=kwargs)
+    result = benchmark.pedantic(lambda: run(request), rounds=1, iterations=1)
     return result.figure

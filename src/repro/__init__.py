@@ -13,15 +13,18 @@ of its experiments:
 
 Quick start::
 
-    from repro.api import RunConfig, run_figure
+    from repro.api import RunConfig, RunRequest, run
     from repro.core import ascii_bar_chart
 
-    result = run_figure("fig1", RunConfig(fast=True))
+    result = run(RunRequest(kind="figure", target="fig1",
+                            config=RunConfig(fast=True)))
     print(ascii_bar_chart(result.figure))
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 vs paper values.  :mod:`repro.api` is the run-configuration front door;
-:mod:`repro.obs` holds the metrics registry and run manifests.
+:mod:`repro.obs` holds the metrics registry and run manifests;
+:mod:`repro.campaign` plans and schedules declarative scenario grids
+over the same :func:`repro.api.run` path.
 """
 
 __version__ = "1.0.0"

@@ -8,19 +8,26 @@ replaces that sprawl with one frozen :class:`RunConfig`:
 * :meth:`RunConfig.from_env` is the **single place** environment policy
   is interpreted (the CLI calls it at its boundary; nothing below the
   CLI touches ``os.environ``);
-* :func:`run_figure` is the one entry point the CLI, benchmarks and
-  library callers use to regenerate a figure — it activates the config
-  for everything downstream, optionally enables the metrics registry,
-  and emits a per-run manifest (see :mod:`repro.obs`);
+* :func:`run` is the one typed entry point the CLI, benchmarks, the
+  campaign scheduler and library callers use — a :class:`RunRequest`
+  (kind = ``figure`` | ``fleet`` | ``campaign-point``) dispatches to
+  the matching executor, which activates the config for everything
+  downstream, optionally enables the metrics registry, and emits a
+  per-run manifest (see :mod:`repro.obs`);
+* the historical entry points :func:`run_figure` / :func:`run_fleet`
+  remain as thin shims that emit a :class:`DeprecationWarning` and
+  delegate to the same executors;
 * library code that *used to* read the environment now consults the
   activated config first and only falls back to the environment with a
   :class:`DeprecationWarning` (see :func:`fallback_config`).
 
 Typical use::
 
-    from repro.api import RunConfig, run_figure
+    from repro.api import RunConfig, RunRequest, run
 
-    result = run_figure("fig1", RunConfig(reps=50, jobs=4, metrics=True))
+    result = run(RunRequest(kind="figure", target="fig1",
+                            config=RunConfig(reps=50, jobs=4,
+                                             metrics=True)))
     print(result.figure.measured_values(), result.manifest_path)
 """
 
@@ -489,9 +496,10 @@ def build_manifest(command: str, config: RunConfig,
     return manifest
 
 
-def run_figure(fig_id: str, config: Optional[RunConfig] = None,
-               **kwargs: Any) -> RunResult:
-    """Regenerate one figure under ``config``; the one true entry point.
+def _run_figure(fig_id: str, config: Optional[RunConfig] = None,
+                **kwargs: Any) -> RunResult:
+    """Regenerate one figure under ``config`` (the ``figure`` executor
+    behind :func:`run`).
 
     Resolves repetition/jobs/cache policy from ``config`` for everything
     downstream (no environment reads), optionally collects metrics, and
@@ -602,11 +610,12 @@ class FleetRunResult:
         }
 
 
-def run_fleet(fleet_config: Any,
-              config: Optional[RunConfig] = None) -> FleetRunResult:
-    """Run one fleet simulation under ``config``; the one entry point.
+def _run_fleet(fleet_config: Any,
+               config: Optional[RunConfig] = None) -> FleetRunResult:
+    """Run one fleet simulation under ``config`` (the ``fleet`` executor
+    behind :func:`run`).
 
-    Mirrors :func:`run_figure`: activates ``config`` so worker-count
+    Mirrors the figure executor: activates ``config`` so worker-count
     policy flows to the sharded host build, consults the result cache
     (identity = the :class:`repro.fleet.FleetConfig` alone, never the
     worker count, so hits are bit-identical to cold runs at any
@@ -692,3 +701,84 @@ def run_fleet(fleet_config: Any,
         cache_outcome=outcome, run_id=run_id,
         manifest_path=manifest_path, metrics=snapshot,
     )
+
+
+# ---------------------------------------------------------------------------
+# The unified typed dispatcher: run(RunRequest)
+# ---------------------------------------------------------------------------
+
+#: Request kinds :func:`run` dispatches on.
+RUN_KINDS = ("figure", "fleet", "campaign-point")
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One typed request for the unified :func:`run` entry point.
+
+    ``kind`` selects the executor and fixes what ``target`` is:
+
+    * ``"figure"`` — ``target`` is a figure id (see
+      :data:`repro.core.figures.FIGURES`); ``options`` are the figure's
+      keyword arguments (``base_seed``, ``size``, ...);
+    * ``"fleet"`` — ``target`` is a :class:`repro.fleet.FleetConfig`;
+    * ``"campaign-point"`` — ``target`` is a
+      :class:`repro.campaign.CampaignPoint` (the campaign scheduler's
+      unit of work; figure/fleet points dispatch back through
+      :func:`run` with the kinds above).
+
+    ``config`` defaults to a plain :class:`RunConfig` (historical
+    no-environment behaviour).
+    """
+
+    kind: str
+    target: Any
+    config: Optional[RunConfig] = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in RUN_KINDS:
+            raise ExperimentError(
+                f"unknown run kind {self.kind!r}; "
+                f"expected one of {list(RUN_KINDS)}")
+
+
+def run(request: RunRequest) -> Any:
+    """Execute one :class:`RunRequest`; the single typed entry point.
+
+    Returns the executor's result type: :class:`RunResult` for
+    ``figure``, :class:`FleetRunResult` for ``fleet``, and
+    :class:`repro.campaign.PointResult` for ``campaign-point``.
+    """
+    if request.kind == "figure":
+        return _run_figure(request.target, request.config,
+                           **dict(request.options))
+    if request.kind == "fleet":
+        return _run_fleet(request.target, request.config)
+    if request.kind == "campaign-point":
+        from repro.campaign.scheduler import run_point
+
+        return run_point(request.target, request.config)
+    raise ExperimentError(f"unknown run kind {request.kind!r}")
+
+
+def run_figure(fig_id: str, config: Optional[RunConfig] = None,
+               **kwargs: Any) -> RunResult:
+    """Deprecated shim — use :func:`run` with a ``figure`` request."""
+    warnings.warn(
+        "repro.api.run_figure() is deprecated; use repro.api.run("
+        "RunRequest(kind='figure', target=FIG_ID, config=..., "
+        "options={...}))",
+        DeprecationWarning, stacklevel=2,
+    )
+    return _run_figure(fig_id, config, **kwargs)
+
+
+def run_fleet(fleet_config: Any,
+              config: Optional[RunConfig] = None) -> FleetRunResult:
+    """Deprecated shim — use :func:`run` with a ``fleet`` request."""
+    warnings.warn(
+        "repro.api.run_fleet() is deprecated; use repro.api.run("
+        "RunRequest(kind='fleet', target=FLEET_CONFIG, config=...))",
+        DeprecationWarning, stacklevel=2,
+    )
+    return _run_fleet(fleet_config, config)

@@ -242,8 +242,9 @@ def audit_figure(fig_id: str, jobs: int = 4,
         TRACE_HASH.window_s = window_s
 
     def _run(label: str, run_jobs: int) -> Any:
-        return api.run_figure(
-            fig_id, base.with_overrides(jobs=run_jobs), **kwargs)
+        return api.run(api.RunRequest(
+            kind="figure", target=fig_id,
+            config=base.with_overrides(jobs=run_jobs), options=kwargs))
 
     runs = [("serial", 1), (f"jobs{jobs}", jobs), ("replay", 1)]
     results = {label: _run(label, run_jobs) for label, run_jobs in runs}

@@ -1,0 +1,66 @@
+"""Declarative scenario campaigns over the unified run API.
+
+A *campaign* is the service surface of this reproduction: a declarative
+spec (JSON or TOML) describing a grid of scenarios — figures × seeds,
+fleets × hypervisors × sizes, sensitivity sweeps — that the planner
+expands into :class:`~repro.campaign.plan.CampaignPoint`\\ s with stable
+deterministic keys, and the scheduler drains in a fixed order through
+:func:`repro.api.run` with cache-aware dedup, per-point resume
+checkpoints (``repro-progress/1``) and campaign-level cache-hit-rate and
+queue-latency metrics streamed into the run-manifest store.
+
+The CLI's ``figure`` / ``report`` / ``sweep`` / ``fleet`` subcommands
+are all one-scenario campaigns over this same path — a single-figure
+run is just a one-point campaign — and ``repro campaign plan|run SPEC``
+exposes the full grid form.
+
+Public surface:
+
+* :class:`CampaignSpec` / :class:`Scenario` / :func:`load_spec` — the
+  declarative spec and its JSON/TOML loader;
+* :class:`CampaignPoint` / :func:`plan_campaign` / :data:`SWEEPS` — the
+  planner;
+* :func:`run_campaign` / :func:`run_point` / :class:`PointResult` /
+  :class:`CampaignResult` / :func:`prepare_progress` /
+  :func:`point_cache_key` — the scheduler.
+"""
+
+from repro.campaign.plan import (
+    SWEEPS,
+    CampaignPoint,
+    CampaignPointError,
+    plan_campaign,
+    sweep_default_values,
+)
+from repro.campaign.scheduler import (
+    CAMPAIGN_SCHEMA,
+    CampaignResult,
+    NullProgress,
+    PointResult,
+    campaign_run_key,
+    point_cache_key,
+    prepare_progress,
+    run_campaign,
+    run_point,
+)
+from repro.campaign.spec import CampaignSpec, Scenario, load_spec
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "SWEEPS",
+    "CampaignPoint",
+    "CampaignPointError",
+    "CampaignResult",
+    "CampaignSpec",
+    "NullProgress",
+    "PointResult",
+    "Scenario",
+    "campaign_run_key",
+    "load_spec",
+    "plan_campaign",
+    "point_cache_key",
+    "prepare_progress",
+    "run_campaign",
+    "run_point",
+    "sweep_default_values",
+]

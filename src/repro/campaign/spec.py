@@ -1,0 +1,240 @@
+"""Campaign specs: the declarative grid a campaign sweeps over.
+
+A spec is a name plus an ordered list of *scenarios*.  Each scenario
+describes one family of points:
+
+``kind = "figure"``
+    ``figures`` lists figure ids (the primary axis); ``grid`` maps
+    figure keyword arguments (``base_seed``, ``size``, ...) to value
+    lists; ``params`` holds fixed keyword arguments.
+
+``kind = "fleet"``
+    ``grid`` maps :class:`repro.fleet.FleetConfig` fields to value
+    lists; ``params`` holds fixed fields.  Every expanded combination
+    is validated by constructing the config at plan time, so a bad
+    value fails before anything runs.
+
+``kind = "sweep"``
+    ``sweep`` names a registered sensitivity sweep (see
+    :data:`repro.campaign.plan.SWEEPS`); ``values`` optionally pins the
+    x values (default: the sweep function's own defaults, one point per
+    value).
+
+The same shape parses from JSON and TOML::
+
+    {
+      "name": "hypervisor-grid",
+      "scenarios": [
+        {"kind": "fleet",
+         "grid": {"hypervisor": ["vmplayer", "qemu"], "hosts": [40, 80]},
+         "params": {"duration_s": 7200, "seed": 3}}
+      ]
+    }
+
+    name = "hypervisor-grid"
+    [[scenarios]]
+    kind = "fleet"
+    [scenarios.grid]
+    hypervisor = ["vmplayer", "qemu"]
+    hosts = [40, 80]
+    [scenarios.params]
+    duration_s = 7200
+    seed = 3
+
+Specs are frozen value objects; :meth:`CampaignSpec.to_dict` is the
+canonical encoding folded into campaign resume keys and manifests.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.errors import ExperimentError
+
+#: Scenario kinds the planner knows how to expand.
+SCENARIO_KINDS = ("figure", "fleet", "sweep")
+
+
+def _freeze_values(name: str, values: Any) -> Tuple[Any, ...]:
+    if not isinstance(values, (list, tuple)) or not values:
+        raise ExperimentError(
+            f"campaign spec: {name} must be a non-empty list, "
+            f"got {values!r}")
+    return tuple(values)
+
+
+def _freeze_mapping(name: str, payload: Any) -> Tuple[Tuple[str, Any], ...]:
+    if payload is None:
+        return ()
+    if not isinstance(payload, Mapping):
+        raise ExperimentError(
+            f"campaign spec: {name} must be a table/object, got {payload!r}")
+    return tuple((str(key), payload[key]) for key in payload)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One family of campaign points (see the module docstring)."""
+
+    kind: str
+    figures: Tuple[str, ...] = ()
+    sweep: Optional[str] = None
+    values: Optional[Tuple[Any, ...]] = None
+    grid: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in SCENARIO_KINDS:
+            raise ExperimentError(
+                f"campaign spec: unknown scenario kind {self.kind!r}; "
+                f"expected one of {list(SCENARIO_KINDS)}")
+        if self.kind == "figure" and not self.figures:
+            raise ExperimentError(
+                "campaign spec: a figure scenario needs a non-empty "
+                "'figures' list")
+        if self.kind == "sweep" and not self.sweep:
+            raise ExperimentError(
+                "campaign spec: a sweep scenario needs a 'sweep' name")
+        if self.kind == "sweep" and self.grid:
+            raise ExperimentError(
+                "campaign spec: sweep scenarios take 'values', not 'grid'")
+
+    @property
+    def grid_dict(self) -> Dict[str, Tuple[Any, ...]]:
+        return dict(self.grid)
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
+        if not isinstance(payload, Mapping):
+            raise ExperimentError(
+                f"campaign spec: each scenario must be a table/object, "
+                f"got {payload!r}")
+        known = {"kind", "figures", "sweep", "values", "grid", "params"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ExperimentError(
+                f"campaign spec: unknown scenario field(s) {unknown}; "
+                f"expected a subset of {sorted(known)}")
+        kind = payload.get("kind")
+        if not isinstance(kind, str):
+            raise ExperimentError(
+                f"campaign spec: scenario 'kind' must be a string, "
+                f"got {kind!r}")
+        figures: Tuple[str, ...] = ()
+        if "figures" in payload:
+            figures = tuple(
+                str(f) for f in _freeze_values("'figures'",
+                                               payload["figures"]))
+        values = None
+        if payload.get("values") is not None:
+            values = _freeze_values("'values'", payload["values"])
+        grid = tuple(
+            (name, _freeze_values(f"grid axis {name!r}", axis_values))
+            for name, axis_values
+            in _freeze_mapping("'grid'", payload.get("grid")))
+        return cls(
+            kind=kind,
+            figures=figures,
+            sweep=payload.get("sweep"),
+            values=values,
+            grid=grid,
+            params=_freeze_mapping("'params'", payload.get("params")),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind}
+        if self.figures:
+            out["figures"] = list(self.figures)
+        if self.sweep is not None:
+            out["sweep"] = self.sweep
+        if self.values is not None:
+            out["values"] = list(self.values)
+        if self.grid:
+            out["grid"] = {name: list(axis) for name, axis in self.grid}
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, ordered collection of scenarios."""
+
+    name: str
+    scenarios: Tuple[Scenario, ...] = field(default=())
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise ExperimentError(
+                f"campaign spec: 'name' must be a non-empty string, "
+                f"got {self.name!r}")
+        if not self.scenarios:
+            raise ExperimentError(
+                "campaign spec: 'scenarios' must list at least one scenario")
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CampaignSpec":
+        if not isinstance(payload, Mapping):
+            raise ExperimentError(
+                f"campaign spec: top level must be a table/object, "
+                f"got {type(payload).__name__}")
+        unknown = sorted(set(payload) - {"name", "scenarios", "schema"})
+        if unknown:
+            raise ExperimentError(
+                f"campaign spec: unknown top-level field(s) {unknown}")
+        scenarios = payload.get("scenarios")
+        if not isinstance(scenarios, (list, tuple)):
+            raise ExperimentError(
+                "campaign spec: 'scenarios' must be a list of scenarios")
+        return cls(
+            name=payload.get("name", ""),
+            scenarios=tuple(Scenario.from_dict(s) for s in scenarios),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical encoding (resume keys, manifests, ``--json``)."""
+        return {
+            "name": self.name,
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+
+def load_spec(path: Union[str, pathlib.Path]) -> CampaignSpec:
+    """Parse a campaign spec file; format follows the extension
+    (``.toml`` via :mod:`tomllib`, anything else as JSON)."""
+    path = pathlib.Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise ExperimentError(f"cannot read campaign spec {path}: {exc}"
+                              ) from exc
+    if path.suffix.lower() == ".toml":
+        try:
+            import tomllib
+        except ImportError as exc:  # pragma: no cover - py<3.11 fallback
+            raise ExperimentError(
+                f"TOML campaign specs need Python >= 3.11 (tomllib): {exc}"
+            ) from exc
+        try:
+            payload = tomllib.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, tomllib.TOMLDecodeError) as exc:
+            raise ExperimentError(
+                f"campaign spec {path} is not valid TOML: {exc}") from exc
+    else:
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ExperimentError(
+                f"campaign spec {path} is not valid JSON: {exc}") from exc
+    spec = CampaignSpec.from_dict(payload)
+    if not spec.name:
+        raise ExperimentError(
+            f"campaign spec {path} must carry a non-empty 'name'")
+    return spec

@@ -9,6 +9,8 @@ Subcommands
 * ``repro profiles``           — show the calibrated hypervisor profiles
 * ``repro sweep l2|service|catchup|checkpoint`` — sensitivity sweeps
 * ``repro fleet [--hosts N ...]`` — fleet-scale desktop-grid simulation
+* ``repro campaign plan|run SPEC`` — declarative scenario campaigns
+  (JSON/TOML grid specs; see :mod:`repro.campaign`)
 * ``repro chaos [FIG]``        — run a figure under a seeded fault storm
   and verify it recovers byte-identically
 * ``repro lint [PATH ...]``    — static determinism lint (wall-clock,
@@ -28,19 +30,25 @@ unless ``REPRO_CACHE=0``; cache hits are logged to stderr.  With
 ``--metrics`` each run also records counters/timers and writes a JSON
 manifest under ``results/runs/`` (see :mod:`repro.obs`).
 
-Resilience flags (``figure`` / ``report`` / ``sweep`` / ``fleet``):
-``--retries`` / ``--task-timeout`` / ``--min-reps`` configure the
-retry/timeout/degradation policy of :mod:`repro.core.parallel`, and
-``--faults SPEC`` arms the deterministic injection sites of
-:mod:`repro.faults`.  Multi-point commands checkpoint per-point
-completion under ``results/runs/`` so a killed run rerun with
-``--resume`` recomputes only the unfinished points.
+Resilience flags (``figure`` / ``report`` / ``sweep`` / ``fleet`` /
+``campaign``): ``--retries`` / ``--task-timeout`` / ``--min-reps``
+configure the retry/timeout/degradation policy of
+:mod:`repro.core.parallel`, and ``--faults SPEC`` arms the
+deterministic injection sites of :mod:`repro.faults`.  The flag groups
+are shared ``argparse`` parent parsers, so every subcommand exposes the
+identical knob set.
+
+All multi-point subcommands are one-scenario campaigns over the
+:mod:`repro.campaign` scheduler — a single-figure run is a one-point
+campaign — so checkpointing, dedup, metrics and manifests flow through
+one path: each run checkpoints per-point completion under
+``results/runs/`` and a killed run rerun with ``--resume`` recomputes
+only the unfinished points.
 """
 
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import logging
 import os
@@ -108,38 +116,16 @@ def _validated_fault_spec(spec: str) -> str:
     return spec
 
 
-def _run_key(command: str, config: api.RunConfig, parts: List[str]) -> str:
-    """Identity of one multi-point run for progress checkpointing.
+def _campaign_progress(spec: Any, config: api.RunConfig, command: str,
+                       resume: bool, total: int):
+    """A loaded-or-fresh campaign checkpoint, with ``--resume`` chatter."""
+    from repro.campaign import prepare_progress
 
-    Covers everything that shapes the output (command, point ids, the
-    repetition policy, base seed, fault spec and the source tree), so a
-    checkpoint from a different run/source can never be resumed into
-    this one.
-    """
-    from repro.core.cache import source_fingerprint
-
-    fingerprint = json.dumps({
-        "command": command,
-        "parts": list(parts),
-        "reps_policy": config.reps_policy(),
-        "base_seed": config.base_seed,
-        "fault_spec": config.fault_spec,
-        "source": source_fingerprint(),
-    }, sort_keys=True)
-    return hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()[:16]
-
-
-def _progress_for(command: str, config: api.RunConfig, parts: List[str],
-                  resume: bool):
-    """A loaded-or-fresh :class:`ProgressCheckpoint` for this run."""
-    from repro.obs.manifest import ProgressCheckpoint
-
-    progress = ProgressCheckpoint(_run_key(command, config, parts),
-                                  runs_dir=config.runs_dir)
+    progress, found = prepare_progress(spec, config, command=command,
+                                       resume=resume)
     if resume:
-        found = progress.load()
         if found:
-            print(f"--resume: {found} of {len(parts)} point(s) already "
+            print(f"--resume: {found} of {total} point(s) already "
                   f"complete, skipping them", file=sys.stderr)
         else:
             print("--resume: no matching progress checkpoint; computing "
@@ -163,74 +149,103 @@ def _write_figure_svg(figure: Any, fig_id: str, svg_dir: str) -> None:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.campaign import (CampaignSpec, Scenario, plan_campaign,
+                                run_campaign)
     from repro.core.figures import FigureData
 
     config = _build_config(args)
     figure_ids = args.figures or list(FIGURES)
-    progress = _progress_for("figure", config, figure_ids,
-                             getattr(args, "resume", False))
     status = 0
+    valid = []
     for fig_id in figure_ids:
         if fig_id not in FIGURES:
             print(f"unknown figure {fig_id!r}; try `repro list`",
                   file=sys.stderr)
             status = 2
             continue
-        if progress.done(fig_id):
-            figure = FigureData.from_dict(progress.payload(fig_id))
-            print(ascii_bar_chart(figure))
+        valid.append(fig_id)
+    if not valid:
+        return status
+    spec = CampaignSpec(
+        name="figure",
+        scenarios=(Scenario(kind="figure", figures=tuple(valid)),))
+    progress = _campaign_progress(spec, config, "figure",
+                                  getattr(args, "resume", False),
+                                  len(plan_campaign(spec)))
+    current = {"id": valid[0]}
+
+    def on_start(point) -> None:
+        current["id"] = point.params_dict["figure"]
+
+    def on_result(item) -> None:
+        fig_id = item.point.params_dict["figure"]
+        if item.result is not None:
+            figure = item.result.figure
+        else:
+            figure = FigureData.from_dict(item.payload)
+        print(ascii_bar_chart(figure))
+        if item.result is not None:
+            print(f"  ({item.result.wall_s:.1f}s wall)")
+            if item.result.manifest_path:
+                print(f"  metrics manifest: {item.result.manifest_path}")
+        else:
             print("  (resumed from checkpoint)")
-            if args.svg:
-                _write_figure_svg(figure, fig_id, args.svg)
-            print()
-            continue
-        try:
-            result = api.run_figure(fig_id, config)
-        except ExperimentError as exc:
-            print(f"figure {fig_id} failed: {exc}", file=sys.stderr)
-            print("completed figures are checkpointed; rerun with "
-                  "--resume to skip them", file=sys.stderr)
-            return 1
-        print(ascii_bar_chart(result.figure))
-        print(f"  ({result.wall_s:.1f}s wall)")
-        if result.manifest_path:
-            print(f"  metrics manifest: {result.manifest_path}")
         if args.svg:
-            _write_figure_svg(result.figure, fig_id, args.svg)
+            _write_figure_svg(figure, fig_id, args.svg)
         print()
-        progress.mark(fig_id, result.figure.to_dict())
-    if status == 0:
-        progress.finish()
+
+    try:
+        run_campaign(spec, config, command="figure", progress=progress,
+                     own_metrics=False, on_start=on_start,
+                     on_result=on_result)
+    except ExperimentError as exc:
+        print(f"figure {current['id']} failed: {exc}", file=sys.stderr)
+        print("completed figures are checkpointed; rerun with "
+              "--resume to skip them", file=sys.stderr)
+        return 1
     return status
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.campaign import (CampaignSpec, Scenario, plan_campaign,
+                                run_campaign)
     from repro.core.figures import FigureData
 
     config = _build_config(args)
-    figure_ids = list(FIGURES)
-    progress = _progress_for("report", config, figure_ids,
-                             getattr(args, "resume", False))
-    figures = []
-    for fig_id in figure_ids:
-        if progress.done(fig_id):
-            print(f"resuming {fig_id} from checkpoint", file=sys.stderr)
-            figures.append(FigureData.from_dict(progress.payload(fig_id)))
-            continue
+    spec = CampaignSpec(
+        name="report",
+        scenarios=(Scenario(kind="figure", figures=tuple(FIGURES)),))
+    progress = _campaign_progress(spec, config, "report",
+                                  getattr(args, "resume", False),
+                                  len(plan_campaign(spec)))
+    current = {"id": next(iter(FIGURES))}
+    figures: List[Any] = []
+
+    def on_start(point) -> None:
+        fig_id = point.params_dict["figure"]
+        current["id"] = fig_id
         print(f"generating {fig_id} ...", file=sys.stderr)
-        try:
-            result = api.run_figure(fig_id, config)
-        except ExperimentError as exc:
-            print(f"figure {fig_id} failed: {exc}", file=sys.stderr)
-            print("completed figures are checkpointed; rerun with "
-                  "--resume to skip them", file=sys.stderr)
-            return 1
-        figures.append(result.figure)
-        progress.mark(fig_id, result.figure.to_dict())
-        if result.manifest_path:
-            print(f"  metrics manifest: {result.manifest_path}",
+
+    def on_result(item) -> None:
+        fig_id = item.point.params_dict["figure"]
+        if item.result is None:
+            print(f"resuming {fig_id} from checkpoint", file=sys.stderr)
+            figures.append(FigureData.from_dict(item.payload))
+            return
+        figures.append(item.result.figure)
+        if item.result.manifest_path:
+            print(f"  metrics manifest: {item.result.manifest_path}",
                   file=sys.stderr)
-    progress.finish()
+
+    try:
+        run_campaign(spec, config, command="report", progress=progress,
+                     own_metrics=False, on_start=on_start,
+                     on_result=on_result)
+    except ExperimentError as exc:
+        print(f"figure {current['id']} failed: {exc}", file=sys.stderr)
+        print("completed figures are checkpointed; rerun with "
+              "--resume to skip them", file=sys.stderr)
+        return 1
     header = (
         "# Reproduction report — 'Evaluating the Performance and "
         "Intrusiveness of Virtual Machines for Desktop Grid Computing'"
@@ -245,114 +260,61 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-_SWEEPS = {
-    "l2": "sweep_l2_coefficient",
-    "service": "sweep_service_load",
-    "catchup": "sweep_catchup_cost",
-    "checkpoint": "sweep_checkpoint_interval",
-}
-
-
-def _sweep_points(fn) -> Optional[List[float]]:
-    """The sweep's default x values, if it supports per-point calls."""
-    import inspect
-
-    try:
-        parameter = inspect.signature(fn).parameters["values"]
-    except (KeyError, TypeError, ValueError):
-        return None
-    default = parameter.default
-    if default is inspect.Parameter.empty:
-        return None
-    return list(default)
-
-
-def _run_sweep_points(fn, values, progress):
-    """Run a sweep one point at a time, checkpointing each completion.
-
-    Every sweep iteration is independent (fixed internal seed, fresh
-    world per point), so the merged result is identical to one full
-    ``fn()`` call — which the caller falls back to when the sweep
-    function takes no ``values`` keyword.
-    """
+def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.sensitivity import SweepResult
+    from repro.campaign import (SWEEPS, CampaignSpec, Scenario,
+                                plan_campaign, run_campaign)
 
-    merged = None
-    for value in values:
-        point_key = repr(value)
-        if progress.done(point_key):
-            part = SweepResult.from_dict(progress.payload(point_key))
-        else:
-            part = fn(values=[value])
-            progress.mark(point_key, part.to_dict())
+    config = _build_config(args)
+    if args.sweep not in SWEEPS:
+        print(f"unknown sweep {args.sweep!r}; available: {sorted(SWEEPS)}",
+              file=sys.stderr)
+        return 2
+    # perf_counter, not time.time(): wall-clock can step backwards under
+    # NTP adjustment and once printed a negative elapsed time here.
+    started = time.perf_counter()
+    spec = CampaignSpec(
+        name=f"sweep-{args.sweep}",
+        scenarios=(Scenario(kind="sweep", sweep=args.sweep),))
+    progress = _campaign_progress(spec, config, f"sweep:{args.sweep}",
+                                  getattr(args, "resume", False),
+                                  len(plan_campaign(spec)))
+    merged: Optional[SweepResult] = None
+
+    def on_result(item) -> None:
+        nonlocal merged
+        part = (item.result if item.result is not None
+                else SweepResult.from_dict(item.payload))
+        if item.point.params_dict["value"] is None:
+            merged = part  # whole-sweep point: fn() took no values kwarg
+            return
         if merged is None:
             merged = SweepResult(part.parameter)
         merged.add(part.values[0],
                    **{key: series[0]
                       for key, series in part.outputs.items()})
-    return merged
 
-
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    import repro.analysis as analysis
-
-    config = _build_config(args)
-    if args.sweep not in _SWEEPS:
-        print(f"unknown sweep {args.sweep!r}; available: {sorted(_SWEEPS)}",
-              file=sys.stderr)
-        return 2
-    fn = getattr(analysis, _SWEEPS[args.sweep])
-    values = _sweep_points(fn)
-    # perf_counter, not time.time(): wall-clock can step backwards under
-    # NTP adjustment and once printed a negative elapsed time here.
-    started = time.perf_counter()
-    snapshot = None
-    from repro.obs.metrics import METRICS
-
-    with api.activated(config):
-        if config.metrics:
-            METRICS.enable(reset=True)
-        try:
-            try:
-                if values:
-                    progress = _progress_for(
-                        f"sweep:{args.sweep}", config,
-                        [repr(value) for value in values],
-                        getattr(args, "resume", False))
-                    result = _run_sweep_points(fn, values, progress)
-                    progress.finish()
-                else:
-                    result = fn()
-            except ExperimentError as exc:
-                print(f"sweep {args.sweep} failed: {exc}", file=sys.stderr)
-                print("completed points are checkpointed; rerun with "
-                      "--resume to skip them", file=sys.stderr)
-                return 1
-            if config.metrics:
-                snapshot = METRICS.snapshot()
-        finally:
-            if config.metrics:
-                METRICS.disable()
+    try:
+        result = run_campaign(spec, config, command=f"sweep:{args.sweep}",
+                              manifest_command=f"sweep:{args.sweep}",
+                              progress=progress, on_result=on_result)
+    except ExperimentError as exc:
+        print(f"sweep {args.sweep} failed: {exc}", file=sys.stderr)
+        print("completed points are checkpointed; rerun with "
+              "--resume to skip them", file=sys.stderr)
+        return 1
     elapsed = time.perf_counter() - started
-    print(result.render())
+    print(merged.render())
     print(f"  ({elapsed:.1f}s wall)")
-    if snapshot is not None:
-        from repro.obs.manifest import write_manifest
-
-        manifest = api.build_manifest(
-            command=f"sweep:{args.sweep}", config=config,
-            phases=[{"name": "sweep", "wall_s": elapsed}],
-            snapshot=snapshot, cache_outcome="disabled",
-        )
-        path = write_manifest(manifest, config.runs_dir)
-        print(f"  metrics manifest: {path}")
+    if result.manifest_path:
+        print(f"  metrics manifest: {result.manifest_path}")
     return 0
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    import json
-
-    from repro.fleet import FleetConfig
+    from repro.campaign import (CampaignSpec, NullProgress, Scenario,
+                                run_campaign)
+    from repro.fleet import FleetConfig, FleetReport, report_figure
 
     # Fleet runs record a manifest by default (they are the headline
     # artefact); --no-metrics opts out.
@@ -367,24 +329,135 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         quorum=args.quorum,
         error_rate=args.error_rate,
     )
-    result = api.run_fleet(fleet_config, config)
+    spec = CampaignSpec(
+        name="fleet",
+        scenarios=(Scenario(
+            kind="fleet",
+            params=tuple(sorted(fleet_config.to_dict().items()))),))
+    outcome = run_campaign(spec, config, command="fleet",
+                           progress=NullProgress(), own_metrics=False)
+    item = outcome.points[0]
+    if item.result is not None:
+        report = item.result.report
+        figure = item.result.figure
+        wall_line = (f"  ({item.result.wall_s:.1f}s wall, "
+                     f"cache {item.result.cache_outcome})")
+        manifest_path = item.result.manifest_path
+    else:  # pragma: no cover — single fresh point is always computed
+        report = FleetReport.from_dict(item.payload)
+        figure = report_figure(report)
+        wall_line = f"  ({item.wall_s:.1f}s wall, cache {item.cache})"
+        manifest_path = None
     if args.json:
-        print(json.dumps(result.report.to_dict(), sort_keys=True))
+        print(json.dumps(report.to_dict(), sort_keys=True))
     else:
-        print(result.report.summary())
-        print(ascii_bar_chart(result.figure))
-    line = (f"  ({result.wall_s:.1f}s wall, cache {result.cache_outcome})")
-    print(line, file=sys.stderr if args.json else sys.stdout)
-    if result.manifest_path:
-        print(f"  metrics manifest: {result.manifest_path}",
-              file=sys.stderr if args.json else sys.stdout)
+        print(report.summary())
+        print(ascii_bar_chart(figure))
+    # Status chatter goes to stderr unconditionally so stdout stays a
+    # clean artefact (the JSON report or the summary+chart) either way.
+    print(wall_line, file=sys.stderr)
+    if manifest_path:
+        print(f"  metrics manifest: {manifest_path}", file=sys.stderr)
     if args.svg:
         from repro.core.svg import write_svg
 
         os.makedirs(args.svg, exist_ok=True)
-        path = write_svg(result.figure, os.path.join(args.svg, "fleet.svg"))
-        print(f"  wrote {path}",
-              file=sys.stderr if args.json else sys.stdout)
+        path = write_svg(figure, os.path.join(args.svg, "fleet.svg"))
+        print(f"  wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import load_spec, plan_campaign, run_campaign
+
+    # Campaigns are headline artefacts like fleet runs: manifest by
+    # default, --no-metrics opts out.
+    args.metrics = not args.no_metrics
+    config = _build_config(args)
+    try:
+        spec = load_spec(args.spec)
+        points = plan_campaign(spec)
+    except ExperimentError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "plan":
+        return _campaign_plan(spec, points, config)
+
+    progress = _campaign_progress(spec, config, "campaign",
+                                  getattr(args, "resume", False),
+                                  len(points))
+
+    def on_start(point) -> None:
+        print(f"running {point.label} ...", file=sys.stderr)
+
+    try:
+        result = run_campaign(spec, config, command="campaign",
+                              progress=progress, on_start=on_start)
+    except ExperimentError as exc:
+        print(f"campaign {spec.name} failed: {exc}", file=sys.stderr)
+        print("completed points are checkpointed; rerun with "
+              "--resume to skip them", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.payload(), sort_keys=True))
+    else:
+        section = result.campaign
+        totals = section["totals"]
+        print(f"campaign {spec.name}: {totals['points']} point(s) — "
+              f"{totals['computed']} computed, "
+              f"{totals['resumed']} resumed, "
+              f"{totals['deduped']} deduped")
+        for item in result.points:
+            cache = f" cache={item.cache}" if item.cache else ""
+            print(f"  [{item.status:>8}] {item.point.label}{cache} "
+                  f"({item.wall_s:.1f}s)")
+        rate = section["cache"]["hit_rate"]
+        rate_text = f"{rate:.0%}" if rate is not None else "n/a"
+        print(f"  cache hit-rate: {rate_text} "
+              f"({section['cache']['hits']} hit(s), "
+              f"{section['cache']['misses']} miss(es))")
+        latency = section["queue_latency_s"]
+        print(f"  queue latency: mean {latency['mean']:.2f}s, "
+              f"max {latency['max']:.2f}s")
+    # Same stream contract as fleet: chatter to stderr, artefact stdout.
+    print(f"  ({result.wall_s:.1f}s wall)", file=sys.stderr)
+    if result.manifest_path:
+        print(f"  metrics manifest: {result.manifest_path}",
+              file=sys.stderr)
+    return 0
+
+
+def _campaign_plan(spec: Any, points: List[Any],
+                   config: api.RunConfig) -> int:
+    """``repro campaign plan``: dry-run listing with expected outcomes."""
+    from repro.campaign import point_cache_key, prepare_progress
+
+    cache = ResultCache()
+    use_cache = config.use_cache(default=True)
+    progress, _found = prepare_progress(spec, config, command="campaign",
+                                        resume=True)
+    seen: set = set()
+    counts = {"compute": 0, "cache-hit": 0, "resumed": 0, "dedup": 0}
+    print(f"campaign {spec.name}: {len(points)} point(s)")
+    with api.activated(config):
+        for point in points:
+            if point.key in seen:
+                expected = "dedup"
+            elif progress.done(point.key):
+                expected = "resumed"
+            else:
+                key = point_cache_key(point, config)
+                if use_cache and key is not None and cache.has(key):
+                    expected = "cache-hit"
+                else:
+                    expected = "compute"
+            seen.add(point.key)
+            counts[expected] += 1
+            print(f"  [{expected:>9}] {point.key} {point.label}")
+    print(f"  {counts['compute']} to compute, "
+          f"{counts['cache-hit']} expected cache hit(s), "
+          f"{counts['resumed']} resumable, "
+          f"{counts['dedup']} duplicate(s)")
     return 0
 
 
@@ -469,15 +542,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             cache=False, metrics=False, fault_spec=None, jobs=jobs)
         print(f"chaos: fault-free baseline of {fig_id} ...",
               file=sys.stderr)
-        baseline = api.run_figure(fig_id, baseline_config)
+        baseline = api.run(api.RunRequest(
+            kind="figure", target=fig_id, config=baseline_config))
         storm_config = env_config.with_overrides(
             cache=True, cache_dir=cache_dir, metrics=True,
             fault_spec=fault_spec, retries=args.retries,
             task_timeout_s=args.task_timeout, jobs=jobs)
         print(f"chaos: storm 1/2 under '{fault_spec}' ...", file=sys.stderr)
-        storm1 = api.run_figure(fig_id, storm_config)
+        storm1 = api.run(api.RunRequest(
+            kind="figure", target=fig_id, config=storm_config))
         print("chaos: storm 2/2 (cache re-read) ...", file=sys.stderr)
-        storm2 = api.run_figure(fig_id, storm_config)
+        storm2 = api.run(api.RunRequest(
+            kind="figure", target=fig_id, config=storm_config))
     except ExperimentError as exc:
         print(f"chaos: {fig_id} did NOT survive the storm: {exc}",
               file=sys.stderr)
@@ -609,6 +685,16 @@ def _add_resume_flag(parser: argparse.ArgumentParser) -> None:
              "results/runs/)")
 
 
+def _flag_parent(*adders) -> argparse.ArgumentParser:
+    """A shared ``parents=`` parser carrying one reusable flag group —
+    the single definition every subcommand inherits, so the knob set
+    (and its help text) cannot drift between subcommands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    for add in adders:
+        add(parent)
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -616,29 +702,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    jobs_p = _flag_parent(_add_jobs_flag)
+    metrics_p = _flag_parent(_add_metrics_flag)
+    resilience_p = _flag_parent(_add_resilience_flags)
+    resume_p = _flag_parent(_add_resume_flag)
+
     sub.add_parser("list", help="list reproducible figures").set_defaults(
         fn=_cmd_list
     )
 
-    figure = sub.add_parser("figure", aliases=["figures"],
-                            help="regenerate figures (all when none given)")
+    figure = sub.add_parser(
+        "figure", aliases=["figures"],
+        parents=[jobs_p, metrics_p, resilience_p, resume_p],
+        help="regenerate figures (all when none given)")
     figure.add_argument("figures", nargs="*", metavar="FIG",
                         help="figure ids (see `repro list`); "
                              "default: every figure")
     figure.add_argument("--svg", metavar="DIR",
                         help="also write an SVG chart per figure into DIR")
-    _add_jobs_flag(figure)
-    _add_metrics_flag(figure)
-    _add_resilience_flags(figure)
-    _add_resume_flag(figure)
     figure.set_defaults(fn=_cmd_figure)
 
-    report = sub.add_parser("report", help="regenerate every figure")
+    report = sub.add_parser(
+        "report", parents=[jobs_p, metrics_p, resilience_p, resume_p],
+        help="regenerate every figure")
     report.add_argument("--out", help="write markdown to a file")
-    _add_jobs_flag(report)
-    _add_metrics_flag(report)
-    _add_resilience_flags(report)
-    _add_resume_flag(report)
     report.set_defaults(fn=_cmd_report)
 
     sub.add_parser("profiles",
@@ -646,20 +733,18 @@ def build_parser() -> argparse.ArgumentParser:
         fn=_cmd_profiles
     )
 
+    from repro.campaign import SWEEPS
+
     sweep = sub.add_parser(
-        "sweep", help="run a mechanism-sensitivity sweep"
-    )
+        "sweep", parents=[jobs_p, metrics_p, resilience_p, resume_p],
+        help="run a mechanism-sensitivity sweep")
     sweep.add_argument("sweep", metavar="NAME",
-                       help=f"one of {sorted(_SWEEPS)}")
-    _add_jobs_flag(sweep)
-    _add_metrics_flag(sweep)
-    _add_resilience_flags(sweep)
-    _add_resume_flag(sweep)
+                       help=f"one of {sorted(SWEEPS)}")
     sweep.set_defaults(fn=_cmd_sweep)
 
     fleet = sub.add_parser(
-        "fleet", help="simulate a whole volunteer fleet (repro.fleet)"
-    )
+        "fleet", parents=[jobs_p, resilience_p],
+        help="simulate a whole volunteer fleet (repro.fleet)")
     fleet.add_argument("--hosts", type=int, default=200, metavar="N",
                        help="volunteer hosts in the fleet (default: 200)")
     fleet.add_argument("--hypervisor", default="vmplayer", metavar="NAME",
@@ -686,12 +771,32 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--no-metrics", action="store_true",
                        dest="no_metrics",
                        help="skip metrics collection and the run manifest")
-    _add_jobs_flag(fleet)
-    _add_resilience_flags(fleet)
     fleet.set_defaults(fn=_cmd_fleet)
 
+    campaign = sub.add_parser(
+        "campaign", parents=[jobs_p, resilience_p, resume_p],
+        help="plan or run a declarative scenario campaign "
+             "(JSON/TOML spec; see repro.campaign)")
+    campaign.add_argument("action", choices=("plan", "run"),
+                          metavar="ACTION",
+                          help="'plan' lists the expanded points with "
+                               "expected cache outcomes; 'run' drains "
+                               "them through the scheduler")
+    campaign.add_argument("spec", metavar="SPEC",
+                          help="campaign spec file (.toml parsed as TOML, "
+                               "anything else as JSON)")
+    campaign.add_argument("--json", action="store_true",
+                          help="print the canonical campaign payload "
+                               "instead of the summary (byte-identical "
+                               "across --jobs and --resume)")
+    campaign.add_argument("--no-metrics", action="store_true",
+                          dest="no_metrics",
+                          help="skip metrics collection and the run "
+                               "manifest")
+    campaign.set_defaults(fn=_cmd_campaign)
+
     chaos = sub.add_parser(
-        "chaos",
+        "chaos", parents=[jobs_p],
         help="run a figure under a seeded fault storm and verify "
              "byte-identical recovery")
     chaos.add_argument("figure", nargs="?", default="fig2", metavar="FIG",
@@ -708,7 +813,6 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--task-timeout", type=float, metavar="S",
                        dest="task_timeout",
                        help="per-repetition timeout in seconds")
-    _add_jobs_flag(chaos)
     chaos.set_defaults(fn=_cmd_chaos)
 
     lint = sub.add_parser(

@@ -124,6 +124,12 @@ class ResultCache:
     def _path(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
 
+    def has(self, key: str) -> bool:
+        """Existence probe that leaves the hit/miss counters and METRICS
+        untouched (``repro campaign plan`` predicts cache outcomes with
+        this without perturbing the stats a real run will report)."""
+        return self._path(key).is_file()
+
     # -- read/write ------------------------------------------------------
 
     def get(self, key: str) -> Optional[Any]:

@@ -138,6 +138,20 @@ def resolve_jobs(jobs: Optional[int] = None,
     return config.resolve_jobs()
 
 
+def warm_pool(jobs: Optional[int] = None) -> None:
+    """Pre-fork the persistent pool a run at ``jobs`` would use.
+
+    A no-op for ``jobs`` ≤ 1 (serial runs never touch the pool).  Batch
+    drivers call this once up front so the fork cost is paid before the
+    first point rather than inside it.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs > 1:
+        from repro.core.workerpool import warm_pool as _warm
+
+        _warm(jobs)
+
+
 def _encode_fn(fn) -> Optional[bytes]:
     """``fn`` pickled once parent-side for every task spec of a run;
     ``None`` when it cannot cross a process boundary."""

@@ -560,6 +560,19 @@ def get_pool(workers: int) -> WorkerPool:
     return pool
 
 
+def warm_pool(workers: int) -> WorkerPool:
+    """Fork the persistent pool for ``workers`` now instead of lazily.
+
+    Batch drivers (the campaign scheduler) call this once before their
+    first point so every point — not just the ones after the first
+    parallel dispatch — sees warm workers.  Idempotent: an already-built
+    pool is simply returned.
+    """
+    pool = get_pool(workers)
+    pool.executor()
+    return pool
+
+
 def pool_generations() -> Dict[int, int]:
     """Worker count -> executor builds so far (reuse diagnostics)."""
     return {workers: pool.generation

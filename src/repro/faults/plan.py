@@ -325,12 +325,31 @@ class RunLog:
         #: per-site injection tallies folded in from worker RUNLOG
         #: payloads (and recorded directly by in-process injections)
         self.injected: Dict[str, int] = {}
+        self._held = False
 
     def clear(self) -> None:
+        if self._held:
+            return  # a campaign drain owns the window; per-run clears no-op
         self.dropped.clear()
         self.retries = 0
         self.timeouts = 0
         self.injected.clear()
+
+    @contextlib.contextmanager
+    def held(self):
+        """Keep one incident window open across nested runs.
+
+        The campaign scheduler clears once, then holds: the per-run
+        ``clear()`` inside ``run_figure`` / ``run_fleet`` becomes a
+        no-op so incidents aggregate across every point of the
+        campaign.  Worker-side logs are unaffected (each worker process
+        has its own RUNLOG instance)."""
+        previous = self._held
+        self._held = True
+        try:
+            yield self
+        finally:
+            self._held = previous
 
     def snapshot(self) -> Dict[str, Any]:
         return {

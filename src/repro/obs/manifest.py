@@ -26,6 +26,10 @@ Schema ``repro-run-manifest/1`` (see :data:`MANIFEST_SCHEMA` and
                    "hits": 1, "misses": 0},
       "figure":   {... FigureData.to_dict() ...},  # optional (sweeps omit)
       "faults":   {...},                           # optional (fault runs)
+      "campaign": {"spec": {...}, "points": [...], # optional (campaign
+                   "totals": {...}, "cache":       #  runs; see
+                   {"hit_rate": ...},              #  repro.campaign.
+                   "queue_latency_s": {...}},      #  scheduler)
       "audit":    {"trace_hash": {"window_s": 1.0, # optional (trace-hash
                    "streams": {"<key>": {          #  runs; full checkpoint
                      "windows": 20, "events": 814, #  lists stay on the
@@ -135,6 +139,22 @@ def validate_manifest(manifest: Mapping[str, Any]) -> List[str]:
             elif not isinstance(trace_hash.get("streams"), dict):
                 problems.append("audit.trace_hash.streams missing or not "
                                 "a mapping")
+    campaign = manifest.get("campaign")
+    if campaign is not None:
+        if not isinstance(campaign, dict):
+            problems.append("campaign is not a mapping")
+        else:
+            for name, types in (("spec", (dict,)), ("points", (list,)),
+                                ("totals", (dict,)), ("cache", (dict,)),
+                                ("queue_latency_s", (dict,))):
+                if not isinstance(campaign.get(name), types):
+                    problems.append(f"campaign.{name} missing or not a "
+                                    f"{types[0].__name__}")
+            for index, point in enumerate(campaign.get("points") or []):
+                if not isinstance(point, dict) or "key" not in point \
+                        or "status" not in point:
+                    problems.append(
+                        f"campaign.points[{index}] lacks key/status")
     return problems
 
 
@@ -304,6 +324,21 @@ def render_manifest(manifest: Mapping[str, Any]) -> str:
             f" retries={faults.get('retries', 0)}"
             f" timeouts={faults.get('timeouts', 0)}"
             f" dropped={len(faults.get('dropped', []))}")
+    campaign = manifest.get("campaign")
+    if campaign:
+        totals = campaign.get("totals", {})
+        cache_agg = campaign.get("cache", {})
+        latency = campaign.get("queue_latency_s", {})
+        rate = cache_agg.get("hit_rate")
+        rate_text = f"{rate:.0%}" if isinstance(rate, (int, float)) else "n/a"
+        lines.append(
+            f"campaign {totals.get('points', 0)} point(s):"
+            f" computed={totals.get('computed', 0)}"
+            f" resumed={totals.get('resumed', 0)}"
+            f" deduped={totals.get('deduped', 0)}"
+            f" cache-hit-rate={rate_text}"
+            f" queue-latency mean={latency.get('mean', 0.0):.3f}s"
+            f" max={latency.get('max', 0.0):.3f}s")
     audit = manifest.get("audit")
     trace_hash = (audit or {}).get("trace_hash") or {}
     streams = trace_hash.get("streams") or {}

@@ -1,14 +1,20 @@
-"""repro.api: RunConfig, activation, fallback warnings and run_figure."""
+"""repro.api: RunConfig, activation, fallback warnings and run()."""
 
 import warnings
 
 import pytest
 
 from repro import api
-from repro.api import RunConfig, RunResult, run_figure
+from repro.api import RunConfig, RunRequest, RunResult, run
 from repro.errors import ExperimentError
 from repro.obs.manifest import validate_manifest
 from repro.obs.metrics import METRICS
+
+
+def _figure(fig_id, config=None, **kwargs):
+    """Run one figure through the unified dispatcher."""
+    return run(RunRequest(kind="figure", target=fig_id, config=config,
+                          options=kwargs))
 
 
 @pytest.fixture(autouse=True)
@@ -162,10 +168,10 @@ class TestActivation:
 class TestRunFigure:
     def test_unknown_figure_rejected(self):
         with pytest.raises(ExperimentError, match="unknown figure"):
-            run_figure("fig99")
+            _figure("fig99")
 
     def test_plain_run_returns_figure(self):
-        result = run_figure("mem")
+        result = _figure("mem")
         assert result.fig_id == "mem"
         assert result.figure.fig_id == "mem"
         assert result.cache_outcome == "disabled"
@@ -177,7 +183,7 @@ class TestRunFigure:
 
         config = RunConfig(metrics=True, fast=True,
                            runs_dir=str(tmp_path / "runs"))
-        result = run_figure("fig2", config, size=64)
+        result = _figure("fig2", config, size=64)
         assert result.run_id and result.manifest_path
         manifest = json.loads(open(result.manifest_path).read())
         assert validate_manifest(manifest) == []
@@ -193,8 +199,8 @@ class TestRunFigure:
         config = RunConfig(metrics=True, cache=True,
                            cache_dir=str(tmp_path / "cache"),
                            runs_dir=str(tmp_path / "runs"))
-        cold = run_figure("mem", config)
-        warm = run_figure("mem", config)
+        cold = _figure("mem", config)
+        warm = _figure("mem", config)
         assert cold.cache_outcome == "miss"
         assert warm.cache_outcome == "hit"
         assert warm.figure.to_dict() == cold.figure.to_dict()
@@ -202,7 +208,7 @@ class TestRunFigure:
     def test_run_result_round_trip(self, tmp_path):
         config = RunConfig(metrics=True, fast=True,
                            runs_dir=str(tmp_path / "runs"))
-        result = run_figure("mem", config)
+        result = _figure("mem", config)
         back = RunResult.from_dict(result.to_dict())
         assert back.fig_id == result.fig_id
         assert back.figure.to_dict() == result.figure.to_dict()
@@ -215,7 +221,7 @@ class TestMetricsDoNotPerturb:
 
     def _data(self, metrics, jobs):
         config = RunConfig(metrics=metrics, reps=2, jobs=jobs, cache=False)
-        return run_figure("fig2", config, size=64).figure.to_dict()
+        return _figure("fig2", config, size=64).figure.to_dict()
 
     def test_serial_bit_identical(self):
         assert self._data(metrics=False, jobs=1) == \
@@ -229,7 +235,7 @@ class TestMetricsDoNotPerturb:
     def test_parallel_run_merges_worker_counters(self):
         # reps=3: two repetitions would take the adaptive serial fallback.
         config = RunConfig(metrics=True, reps=3, jobs=2, cache=False)
-        result = run_figure("fig2", config, size=64)
+        result = _figure("fig2", config, size=64)
         counters = result.metrics["counters"]
         assert counters.get("engine.events_dispatched", 0) > 0
         assert counters.get("parallel.repetitions", 0) >= 3
@@ -237,7 +243,50 @@ class TestMetricsDoNotPerturb:
 
     def test_tiny_runs_fall_back_to_serial(self):
         config = RunConfig(metrics=True, reps=2, jobs=2, cache=False)
-        result = run_figure("fig2", config, size=64)
+        result = _figure("fig2", config, size=64)
         counters = result.metrics["counters"]
         assert counters.get("parallel.fallback_serial", 0) >= 1
         assert counters.get("parallel.repetitions", 0) == 0
+
+
+class TestRunDispatcher:
+    """The unified run(RunRequest) front door and its deprecated shims."""
+
+    def test_unknown_kind_rejected_at_construction(self):
+        with pytest.raises(ExperimentError, match="unknown run kind"):
+            RunRequest(kind="banana", target="mem")
+
+    def test_kinds_registry(self):
+        assert api.RUN_KINDS == ("figure", "fleet", "campaign-point")
+
+    def test_figure_request_runs(self):
+        result = _figure("mem")
+        assert result.fig_id == "mem"
+        assert result.figure.fig_id == "mem"
+
+    def test_run_figure_shim_warns_and_matches(self):
+        via_run = _figure("mem")
+        with pytest.warns(DeprecationWarning, match="run_figure.*deprecated"):
+            legacy = api.run_figure("mem")
+        assert legacy.figure.to_dict() == via_run.figure.to_dict()
+
+    def test_run_fleet_shim_warns_and_matches(self):
+        from repro.fleet import FleetConfig
+
+        small = FleetConfig(hosts=12, duration_s=3600.0, seed=5)
+        config = RunConfig()
+        via_run = run(RunRequest(kind="fleet", target=small, config=config))
+        with pytest.warns(DeprecationWarning, match="run_fleet.*deprecated"):
+            legacy = api.run_fleet(small, config)
+        assert legacy.report.to_dict() == via_run.report.to_dict()
+
+    def test_campaign_point_request_round_trips(self):
+        from repro.campaign import CampaignSpec, Scenario, plan_campaign
+
+        spec = CampaignSpec(
+            name="one",
+            scenarios=(Scenario(kind="figure", figures=("mem",)),))
+        [point] = plan_campaign(spec)
+        item = run(RunRequest(kind="campaign-point", target=point))
+        assert item.status == "computed"
+        assert item.payload == _figure("mem").figure.to_dict()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.api import RunConfig, run_figure
+from repro.api import RunConfig, RunRequest, run
 from repro.audit import (
     TRACE_HASH,
     TRACE_HASH_SCHEMA,
@@ -217,22 +217,27 @@ class TestCompare:
 class TestRunFigure:
     CONFIG = RunConfig(trace_hash=True, reps=2, base_seed=7)
 
+    @staticmethod
+    def _figure(fig_id, config, **kwargs):
+        return run(RunRequest(kind="figure", target=fig_id, config=config,
+                              options=kwargs))
+
     def test_serial_vs_parallel_snapshots_identical(self):
-        serial = run_figure("fig2", self.CONFIG.with_overrides(jobs=1),
-                            size=64)
-        parallel = run_figure("fig2", self.CONFIG.with_overrides(jobs=2),
+        serial = self._figure("fig2", self.CONFIG.with_overrides(jobs=1),
                               size=64)
+        parallel = self._figure("fig2", self.CONFIG.with_overrides(jobs=2),
+                                size=64)
         assert serial.trace_hash["streams"]
         assert compare_snapshots(serial.trace_hash,
                                  parallel.trace_hash) == []
         assert serial.trace_hash == parallel.trace_hash
 
     def test_recorder_disabled_again_after_run(self):
-        run_figure("mem", self.CONFIG)
+        self._figure("mem", self.CONFIG)
         assert not TRACE_HASH.enabled
 
     def test_no_trace_hash_by_default(self):
-        result = run_figure("mem", RunConfig(reps=1))
+        result = self._figure("mem", RunConfig(reps=1))
         assert result.trace_hash is None
 
     def test_manifest_gains_audit_section(self, tmp_path):
@@ -240,7 +245,7 @@ class TestRunFigure:
 
         config = self.CONFIG.with_overrides(
             metrics=True, runs_dir=str(tmp_path))
-        result = run_figure("mem", config)
+        result = self._figure("mem", config)
         manifest = load_manifest("last", runs_dir=str(tmp_path))
         assert validate_manifest(manifest) == []
         audit = manifest["audit"]["trace_hash"]

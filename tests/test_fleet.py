@@ -151,8 +151,10 @@ class TestDeterminism:
     def test_cache_hit_is_bit_identical_to_miss(self, tmp_path):
         config = api.RunConfig(cache=True, jobs=2,
                                cache_dir=str(tmp_path / "cache"))
-        first = api.run_fleet(SMALL, config)
-        second = api.run_fleet(SMALL, config)
+        first = api.run(api.RunRequest(kind="fleet", target=SMALL,
+                                       config=config))
+        second = api.run(api.RunRequest(kind="fleet", target=SMALL,
+                                        config=config))
         assert first.cache_outcome == "miss"
         assert second.cache_outcome == "hit"
         assert canonical(first.report) == canonical(second.report)
