@@ -1,7 +1,9 @@
 """Shared helper for the benchmark files (kept out of conftest so the
 module name stays import-unambiguous next to tests/conftest.py)."""
 
+import json
 import os
+import pathlib
 
 from repro.api import RunConfig, RunRequest, run
 from repro.core.workerpool import available_cpus
@@ -16,6 +18,25 @@ def cpu_info():
     both recorded.
     """
     return {"cpu_count": os.cpu_count(), "cpu_affinity": available_cpus()}
+
+
+def append_history(path, record):
+    """Append one bench record to a ``BENCH_*.json`` trajectory file.
+
+    The file holds a JSON list, one record per invocation, so future
+    PRs can diff throughput against earlier runs; an unreadable file
+    restarts the history rather than failing the benchmark.
+    """
+    out = pathlib.Path(path)
+    history = []
+    if out.exists():
+        try:
+            history = json.loads(out.read_text())
+        except ValueError:
+            history = []
+    history.append(record)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    return out
 
 
 def once(benchmark, fn):

@@ -1,8 +1,20 @@
-"""§4.2.1 — memory intrusiveness: configured, constant, well-known."""
+"""§4.2.1 memory intrusiveness — now with a dynamic commitment path.
+
+The paper's observation stands for a single VM: the footprint is
+configured, constant and well-known.  The ``repro.virt.memory``
+subsystem generalises it — balloon traffic moves the commitment at run
+time, but every byte is accounted: inflate/deflate round-trips exactly,
+the commitment never exceeds RAM + swap, and shutdown releases
+everything.
+"""
 
 import pytest
 
-from _bench_util import figure_once
+from _bench_util import figure_once, once
+from repro.core.testbed import build_host_testbed
+from repro.hardware.memory import MemoryAccounting
+from repro.units import MB
+from repro.virt.memory import GuestMemory, MultiVmHost
 
 
 @pytest.mark.benchmark(group="intrusiveness")
@@ -16,3 +28,61 @@ def test_memory_footprint(benchmark, record_figure):
     # committed = configured + a fixed, known VMM overhead
     overhead = measured["while running"] - measured["configured guest RAM"]
     assert 0.0 < overhead < 64.0
+
+
+@pytest.mark.benchmark(group="intrusiveness")
+def test_balloon_round_trip(benchmark):
+    """Inflate then deflate leaves the commitment exactly where it began,
+    and the host ceiling (RAM + swap) is never crossed along the way."""
+
+    def _measure():
+        testbed = build_host_testbed(81, with_peer=False,
+                                     with_timeserver=False)
+        host = MultiVmHost(testbed.kernel, testbed.rng.fork("multivm"),
+                           n_vms=4, overcommit_ratio=1.8)
+        testbed.run_to_completion(
+            testbed.engine.process(host.boot(), name="boot"))
+        memory = testbed.kernel.machine.memory
+        committed_after_boot = memory.committed_bytes
+        guest = host.vms[0].guest_memory
+        assert isinstance(guest, GuestMemory)
+        before = memory.held(host.vms[0].name)
+
+        # force a full inflate/deflate cycle through the balloon driver
+        target = 64 * MB
+        guest.balloon.set_target(target)
+        while guest.balloon.pending_bytes:
+            moved, _ = guest.balloon.step(0.25)
+            memory.adjust(host.vms[0].name, -moved)
+            assert memory.committed_bytes <= memory.ceiling_bytes
+        assert memory.held(host.vms[0].name) == before - target
+        guest.balloon.set_target(0)
+        while guest.balloon.pending_bytes:
+            moved, _ = guest.balloon.step(0.25)
+            memory.adjust(host.vms[0].name, -moved)
+            assert memory.committed_bytes <= memory.ceiling_bytes
+        assert memory.held(host.vms[0].name) == before
+
+        # run the arbiter for a while, then tear down: every byte back
+        testbed.engine.run(until=6.0)
+        peak = max(committed_after_boot, memory.committed_bytes)
+        host.shutdown()
+        return memory.committed_bytes, peak, memory.ceiling_bytes
+
+    committed, peak, ceiling = once(benchmark, _measure)
+    assert committed == 0
+    assert 0 < peak <= ceiling
+
+
+def test_footprint_ceiling_is_hard():
+    """No plan that would exceed RAM + swap is ever constructible."""
+    from repro.errors import VirtualizationError
+    from repro.virt.memory import plan_vm_memory
+    from repro.virt.profiles import get_profile
+
+    testbed = build_host_testbed(82, with_peer=False, with_timeserver=False)
+    memory = testbed.kernel.machine.memory
+    assert isinstance(memory, MemoryAccounting)
+    with pytest.raises(VirtualizationError):
+        plan_vm_memory(memory.spec, n_vms=4, overcommit_ratio=3.5,
+                       profile=get_profile("virtualbox"))

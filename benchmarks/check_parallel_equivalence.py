@@ -27,6 +27,7 @@ from repro.core.host_impact import (
     NBenchImpactMeasure,
     SevenZipImpactMeasure,
 )
+from repro.core.multivm import MultiVmConfig, MultiVmImpactMeasure
 from repro.core.parallel import ParallelRepeater
 from repro.workloads.nbench import IndexGroup
 
@@ -46,6 +47,8 @@ def measures():
         HostImpactConfig(environment="qemu"), IndexGroup.MEM))
     yield ("fig7:7z-impact/vmplayer", SevenZipImpactMeasure(
         HostImpactConfig(environment="vmplayer", duration_s=10.0), 2))
+    yield ("multivm:2vm@1.25x", MultiVmImpactMeasure(
+        MultiVmConfig(n_vms=2, overcommit_ratio=1.25, duration_s=4.0)))
 
 
 def main(argv=None) -> int:

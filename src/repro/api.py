@@ -426,6 +426,33 @@ def _faults_section(plan: Optional[Any],
     return section
 
 
+def _mem_section(snapshot: Optional[Dict[str, Any]]
+                 ) -> Optional[Dict[str, Any]]:
+    """The manifest's ``mem`` block: host memory-subsystem observables.
+
+    Collects every ``mem.*``-prefixed counter and gauge out of the merged
+    metrics snapshot (balloon traffic, fault/reclaim pages, commitment
+    peaks — see :mod:`repro.virt.memory`).  Returns ``None`` when the run
+    never touched the memory subsystem, so single-VM manifests stay
+    byte-identical to previous releases.
+    """
+    prefix = "mem."
+    counters = {
+        name: int(value)
+        for name, value in sorted((snapshot or {}).get(
+            "counters", {}).items())
+        if name.startswith(prefix)
+    }
+    gauges = {
+        name: value
+        for name, value in sorted((snapshot or {}).get("gauges", {}).items())
+        if name.startswith(prefix)
+    }
+    if not counters and not gauges:
+        return None
+    return {"counters": counters, "gauges": gauges}
+
+
 def _audit_section(thash_snapshot: Dict[str, Any]) -> Dict[str, Any]:
     """The manifest's ``audit`` block: a per-stream trace-hash summary.
 
@@ -457,7 +484,8 @@ def build_manifest(command: str, config: RunConfig,
                    figure: Optional[Any] = None,
                    run_id: Optional[str] = None,
                    faults: Optional[Dict[str, Any]] = None,
-                   audit: Optional[Dict[str, Any]] = None
+                   audit: Optional[Dict[str, Any]] = None,
+                   mem: Optional[Dict[str, Any]] = None
                    ) -> Dict[str, Any]:
     """Assemble a schema-valid run manifest (shared by figures/sweeps)."""
     import platform
@@ -493,6 +521,8 @@ def build_manifest(command: str, config: RunConfig,
         manifest["faults"] = faults
     if audit is not None:
         manifest["audit"] = audit
+    if mem is not None:
+        manifest["mem"] = mem
     return manifest
 
 
@@ -567,6 +597,7 @@ def _run_figure(fig_id: str, config: Optional[RunConfig] = None,
             faults=_faults_section(plan, snapshot),
             audit=_audit_section(thash_snapshot)
             if thash_snapshot is not None else None,
+            mem=_mem_section(snapshot),
         )
         manifest_path = str(write_manifest(manifest, config.runs_dir))
         phases.append({"name": "emit-manifest",

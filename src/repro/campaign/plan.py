@@ -103,9 +103,12 @@ def _grid_combos(scenario: Scenario):
 
     Axes iterate in sorted-name order (spec-table order is an accident
     of serialisation; sorted order keeps point keys stable), values in
-    spec order.
+    spec order.  Memory axes (``vms_per_host``/``overcommit_ratio``;
+    validated by the spec) cross with grid axes exactly like grid axes —
+    they reach figure factories as keyword arguments and fleet points as
+    :class:`~repro.fleet.FleetConfig` fields.
     """
-    axes = sorted(scenario.grid_dict.items())
+    axes = sorted({**scenario.grid_dict, **scenario.memory_dict}.items())
     names = [name for name, _ in axes]
     for combo in itertools.product(*(values for _, values in axes)):
         varying = dict(zip(names, combo))

@@ -20,6 +20,14 @@ describes one family of points:
     x values (default: the sweep function's own defaults, one point per
     value).
 
+Figure and fleet scenarios additionally take a ``memory`` table — the
+host memory axes (``vms_per_host``, ``overcommit_ratio``; see
+:mod:`repro.virt.memory`) as value lists.  Memory axes cross with the
+grid exactly like grid axes and fold into point keys the same way; they
+are a separate table so a spec reads as *what memory regime* is being
+swept, and so the planner can reject them where they make no sense
+(sweep scenarios).
+
 The same shape parses from JSON and TOML::
 
     {
@@ -57,6 +65,9 @@ from repro.errors import ExperimentError
 #: Scenario kinds the planner knows how to expand.
 SCENARIO_KINDS = ("figure", "fleet", "sweep")
 
+#: Axes a scenario's ``memory`` table may sweep (multi-VM host memory).
+MEMORY_AXES = ("vms_per_host", "overcommit_ratio")
+
 
 def _freeze_values(name: str, values: Any) -> Tuple[Any, ...]:
     if not isinstance(values, (list, tuple)) or not values:
@@ -85,6 +96,7 @@ class Scenario:
     values: Optional[Tuple[Any, ...]] = None
     grid: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
     params: Tuple[Tuple[str, Any], ...] = ()
+    memory: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
 
     def __post_init__(self):
         if self.kind not in SCENARIO_KINDS:
@@ -101,6 +113,20 @@ class Scenario:
         if self.kind == "sweep" and self.grid:
             raise ExperimentError(
                 "campaign spec: sweep scenarios take 'values', not 'grid'")
+        if self.kind == "sweep" and self.memory:
+            raise ExperimentError(
+                "campaign spec: sweep scenarios take no 'memory' axes")
+        bad = sorted(set(dict(self.memory)) - set(MEMORY_AXES))
+        if bad:
+            raise ExperimentError(
+                f"campaign spec: unknown memory axis(es) {bad}; "
+                f"expected a subset of {sorted(MEMORY_AXES)}")
+        clashes = sorted(set(dict(self.memory))
+                         & (set(dict(self.grid)) | set(dict(self.params))))
+        if clashes:
+            raise ExperimentError(
+                f"campaign spec: memory axis(es) {clashes} repeated in "
+                "grid/params; set each axis in exactly one place")
 
     @property
     def grid_dict(self) -> Dict[str, Tuple[Any, ...]]:
@@ -110,13 +136,18 @@ class Scenario:
     def params_dict(self) -> Dict[str, Any]:
         return dict(self.params)
 
+    @property
+    def memory_dict(self) -> Dict[str, Tuple[Any, ...]]:
+        return dict(self.memory)
+
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
         if not isinstance(payload, Mapping):
             raise ExperimentError(
                 f"campaign spec: each scenario must be a table/object, "
                 f"got {payload!r}")
-        known = {"kind", "figures", "sweep", "values", "grid", "params"}
+        known = {"kind", "figures", "sweep", "values", "grid", "params",
+                 "memory"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise ExperimentError(
@@ -139,6 +170,10 @@ class Scenario:
             (name, _freeze_values(f"grid axis {name!r}", axis_values))
             for name, axis_values
             in _freeze_mapping("'grid'", payload.get("grid")))
+        memory = tuple(
+            (name, _freeze_values(f"memory axis {name!r}", axis_values))
+            for name, axis_values
+            in _freeze_mapping("'memory'", payload.get("memory")))
         return cls(
             kind=kind,
             figures=figures,
@@ -146,6 +181,7 @@ class Scenario:
             values=values,
             grid=grid,
             params=_freeze_mapping("'params'", payload.get("params")),
+            memory=memory,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -160,6 +196,8 @@ class Scenario:
             out["grid"] = {name: list(axis) for name, axis in self.grid}
         if self.params:
             out["params"] = dict(self.params)
+        if self.memory:
+            out["memory"] = {name: list(axis) for name, axis in self.memory}
         return out
 
 

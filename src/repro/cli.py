@@ -320,15 +320,21 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     # artefact); --no-metrics opts out.
     args.metrics = not args.no_metrics
     config = _build_config(args)
-    fleet_config = FleetConfig(
-        hosts=args.hosts,
-        hypervisor=args.hypervisor,
-        seed=args.seed,
-        duration_s=args.hours * 3600.0,
-        workunits=args.workunits,
-        quorum=args.quorum,
-        error_rate=args.error_rate,
-    )
+    try:
+        fleet_config = FleetConfig(
+            hosts=args.hosts,
+            hypervisor=args.hypervisor,
+            seed=args.seed,
+            duration_s=args.hours * 3600.0,
+            workunits=args.workunits,
+            quorum=args.quorum,
+            error_rate=args.error_rate,
+            vms_per_host=args.vms_per_host,
+            overcommit_ratio=args.overcommit,
+        )
+    except ExperimentError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
     spec = CampaignSpec(
         name="fleet",
         scenarios=(Scenario(
@@ -763,6 +769,14 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="P", dest="error_rate",
                        help="per-result erroneous probability "
                             "(default: 0.02)")
+    fleet.add_argument("--vms-per-host", type=int, default=1, metavar="N",
+                       dest="vms_per_host",
+                       help="co-located VMs per volunteer host "
+                            "(default: 1; see repro.virt.memory)")
+    fleet.add_argument("--overcommit", type=float, default=1.0,
+                       metavar="RATIO", dest="overcommit",
+                       help="configured guest RAM / physical RAM "
+                            "(default: 1.0)")
     fleet.add_argument("--json", action="store_true",
                        help="print the canonical JSON report instead of "
                             "the summary (CI equivalence checks)")

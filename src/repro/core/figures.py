@@ -349,6 +349,119 @@ def memory_footprint_figure(base_seed: int = 9) -> FigureData:
 
 
 # ---------------------------------------------------------------------------
+# Multi-VM host memory figures (repro.virt.memory) — the scenario family
+# the paper's single-VM setup could not express.
+# ---------------------------------------------------------------------------
+
+def multivm_intrusiveness(base_seed: int = 21, default_reps: int = 3,
+                          duration_s: float = 6.0,
+                          vm_counts: Tuple[int, ...] = (2, 4, 8),
+                          overcommit_ratio: float = 1.25,
+                          host_threads: int = 1) -> FigureData:
+    """Host intrusiveness of 2/4/8 co-located VMs under one memory arbiter.
+
+    Same protocol as Figure 8 (host 7z MIPS while guests compute
+    Einstein@home), generalised to N VMs sharing the configured
+    overcommit budget.  Intrusiveness = 1 - MIPS ratio vs the no-VM
+    control; more VMs mean more service threads, memory ticks and
+    balloon traffic, so the series rises monotonically with N.
+    """
+    from repro.core.multivm import MultiVmConfig, multivm_impact_experiment
+
+    counts = tuple(int(n) for n in vm_counts)
+    configs = [MultiVmConfig(n_vms=0, overcommit_ratio=overcommit_ratio,
+                             duration_s=duration_s,
+                             host_threads=host_threads)]
+    configs += [MultiVmConfig(n_vms=n, overcommit_ratio=overcommit_ratio,
+                              duration_s=duration_s,
+                              host_threads=host_threads)
+                for n in counts]
+    results = multivm_impact_experiment(configs, base_seed=base_seed,
+                                        default_reps=default_reps)
+    baseline = results[configs[0]]["mips"]
+    fig = FigureData(
+        fig_id="multivm_intrusiveness",
+        title="Host intrusiveness of N co-located VMs "
+              "(ballooned, shared memory budget)",
+        unit="host MIPS overhead vs no-VM (fraction; higher = worse)",
+        notes=f"Host 7z at {host_threads} thread(s) against N idle-priority "
+              f"VMs; configured guest RAM totals {overcommit_ratio:g}x "
+              "physical RAM, arbitrated by the balloon controller.",
+    )
+    for config in configs[1:]:
+        overhead = 1.0 - results[config]["mips"].mean / baseline.mean
+        _, ci = _ratio_ci(results[config]["mips"], baseline)
+        fig.series[f"{config.n_vms} VMs"] = MeasuredPoint(overhead, ci)
+    return fig
+
+
+def balloon_storm(base_seed: int = 22, default_reps: int = 3,
+                  duration_s: float = 8.0, vms_per_host: int = 4,
+                  overcommit_ratio: float = 1.6) -> FigureData:
+    """Balloon traffic and reclaim under deliberate overcommit.
+
+    An idle host (no owner benchmark) whose guests' working sets churn
+    through phases while the pressure controller arbitrates; the figure
+    reads out the memory subsystem itself.
+    """
+    from repro.core.multivm import (MultiVmConfig, MultiVmImpactMeasure,
+                                    repeat)
+
+    config = MultiVmConfig(n_vms=vms_per_host,
+                           overcommit_ratio=overcommit_ratio,
+                           duration_s=duration_s, host_threads=0)
+    repeated = repeat(MultiVmImpactMeasure(config), base_seed=base_seed,
+                      default_reps=default_reps)
+    fig = FigureData(
+        fig_id="balloon_storm",
+        title=f"Balloon storm: {vms_per_host} VMs at "
+              f"{overcommit_ratio:g}x overcommit",
+        unit="MB / pages / Ginstr (mixed; see labels)",
+        notes="Working sets are phase-driven and seeded; the controller "
+              "inflates balloons toward the host headroom limit and "
+              "kswapd reclaims whatever still spills into swap.",
+    )
+    for label, metric in (("committed peak (MB)", "committed_peak_mb"),
+                          ("balloon moved (MB)", "balloon_moved_mb"),
+                          ("squeezed peak (MB)", "squeezed_peak_mb"),
+                          ("reclaim (pages)", "reclaim_pages"),
+                          ("guest throughput (Ginstr)", "guest_ginstr")):
+        summary = repeated.metrics[metric]
+        fig.series[label] = MeasuredPoint(summary.mean, summary.ci95)
+    return fig
+
+
+def overcommit_sweep(base_seed: int = 23, default_reps: int = 3,
+                     duration_s: float = 6.0, vms_per_host: int = 4,
+                     ratios: Tuple[float, ...] = (0.8, 1.2, 1.6, 2.0)
+                     ) -> FigureData:
+    """Guest throughput and reclaim across the overcommit ratio axis."""
+    from repro.core.multivm import MultiVmConfig, multivm_impact_experiment
+
+    configs = [MultiVmConfig(n_vms=vms_per_host, overcommit_ratio=float(r),
+                             duration_s=duration_s, host_threads=0)
+               for r in ratios]
+    results = multivm_impact_experiment(configs, base_seed=base_seed,
+                                        default_reps=default_reps)
+    fig = FigureData(
+        fig_id="overcommit_sweep",
+        title=f"Overcommit sweep: {vms_per_host} VMs, idle host",
+        unit="Ginstr / pages (mixed; see labels)",
+        notes="Past 1.0x the paging penalty and reclaim/fault service "
+              "eat into guest throughput; the sweep locates the knee.",
+    )
+    for config in configs:
+        ratio = config.overcommit_ratio
+        ginstr = results[config]["guest_ginstr"]
+        reclaim = results[config]["reclaim_pages"]
+        fig.series[f"ratio {ratio:g}: guest Ginstr"] = MeasuredPoint(
+            ginstr.mean, ginstr.ci95)
+        fig.series[f"ratio {ratio:g}: reclaim pages"] = MeasuredPoint(
+            reclaim.mean, reclaim.ci95)
+    return fig
+
+
+# ---------------------------------------------------------------------------
 # Fleet-scale figures (repro.fleet) — lazy wrappers, since fleet.figures
 # imports FigureData from this module.
 # ---------------------------------------------------------------------------
@@ -389,6 +502,9 @@ FIGURES = {
     "fig7": figure7_host_cpu,
     "fig8": figure8_host_mips,
     "mem": memory_footprint_figure,
+    "multivm_intrusiveness": multivm_intrusiveness,
+    "balloon_storm": balloon_storm,
+    "overcommit_sweep": overcommit_sweep,
     "fleet": fleet_figure,
     "fleet_makespan": fleet_makespan,
     "fleet_waste": fleet_waste,

@@ -1,0 +1,141 @@
+"""Multi-VM host experiments (the regime §4.2.1 could not express).
+
+The scenario family: N idle-priority VMs on the paper's dual-core host,
+every guest computing Einstein@home, the host memory subsystem
+(:mod:`repro.virt.memory`) ballooning and reclaiming under a configured
+overcommit ratio — while the host optionally runs the 7z owner
+benchmark, exactly like the Figure 7/8 intrusiveness runs.
+
+Measures are picklable module-level classes (the
+:func:`repro.core.experiment.repeat` contract), so every multi-VM figure
+parallelises over the persistent worker pool bit-identically to serial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.core.experiment import repeat
+from repro.core.stats import Summary
+from repro.core.testbed import build_host_testbed
+from repro.errors import ExperimentError
+from repro.virt.memory import MemoryModelParams, MultiVmHost
+from repro.workloads.einstein import EinsteinTask, EinsteinWorkunit
+from repro.workloads.sevenzip import SevenZipHostBenchmark
+
+
+@dataclass(frozen=True)
+class MultiVmConfig:
+    """One multi-VM host configuration."""
+
+    n_vms: int = 2                   #: concurrent VMs (0 = no-VM control)
+    overcommit_ratio: float = 1.0    #: configured guest RAM / physical RAM
+    duration_s: float = 8.0          #: measurement horizon
+    host_threads: int = 1            #: host 7z threads (0 = idle host)
+    profile: str = "virtualbox"      #: hypervisor profile name
+
+    def __post_init__(self):
+        if self.n_vms < 0:
+            raise ExperimentError(
+                f"n_vms must be >= 0, got {self.n_vms!r}")
+        if self.overcommit_ratio <= 0:
+            raise ExperimentError(
+                f"overcommit_ratio must be positive, "
+                f"got {self.overcommit_ratio!r}")
+        if self.duration_s <= 0:
+            raise ExperimentError(
+                f"duration_s must be positive, got {self.duration_s!r}")
+        if self.host_threads < 0:
+            raise ExperimentError(
+                f"host_threads must be >= 0, got {self.host_threads!r}")
+
+
+def run_multivm_impact(config: MultiVmConfig, seed: int
+                       ) -> Dict[str, float]:
+    """One repetition: boot N guests + Einstein, measure host and memory.
+
+    Returns host 7z metrics (zeros on an idle host), aggregate guest
+    throughput, and the memory subsystem's scalar observations.
+    """
+    testbed = build_host_testbed(seed, with_peer=False,
+                                 with_timeserver=False)
+    host: Optional[MultiVmHost] = None
+    if config.n_vms > 0:
+        host = MultiVmHost(
+            testbed.kernel, testbed.rng.fork("multivm"),
+            n_vms=config.n_vms,
+            overcommit_ratio=config.overcommit_ratio,
+            profile=config.profile, fault_key=str(seed))
+
+        def driver(host=host):
+            yield from host.boot()
+            for vm in host.vms:
+                ctx = vm.guest_context()
+                task = EinsteinTask(
+                    EinsteinWorkunit(n_templates=10 ** 9),
+                    checkpoint_path=f"/boinc/{vm.name}.ckpt")
+                testbed.engine.process(task.run_forever(ctx),
+                                       name=f"einstein-{vm.name}")
+
+        testbed.engine.process(driver(), name="multivm-driver")
+    if config.host_threads > 0:
+        bench = SevenZipHostBenchmark(
+            testbed.kernel, threads=config.host_threads,
+            duration_s=config.duration_s, rng=testbed.rng.fork("7z"))
+        result = testbed.run_to_completion(
+            testbed.engine.process(bench.run(), name="7z-host"))
+        metrics = {
+            "usage_pct": result.metric("usage_pct"),
+            "mips": result.metric("mips"),
+        }
+    else:
+        testbed.engine.run(until=config.duration_s)
+        metrics = {"usage_pct": 0.0, "mips": 0.0}
+    if host is not None:
+        metrics["guest_ginstr"] = host.guest_instructions / 1e9
+        metrics.update(host.observations())
+        host.shutdown()
+    else:
+        metrics["guest_ginstr"] = 0.0
+        metrics.update({"committed_peak_mb": 0.0, "squeezed_peak_mb": 0.0,
+                        "reclaim_pages": 0.0, "balloon_moved_mb": 0.0,
+                        "spikes_injected": 0.0})
+    return metrics
+
+
+class MultiVmImpactMeasure:
+    """Picklable measure fn for one multi-VM configuration."""
+
+    __slots__ = ("config",)
+
+    def __init__(self, config: MultiVmConfig):
+        self.config = config
+
+    def __call__(self, seed: int) -> Mapping[str, float]:
+        return run_multivm_impact(self.config, seed)
+
+
+def multivm_impact_experiment(configs, base_seed: int = 0,
+                              default_reps: int = 3,
+                              jobs: Optional[int] = None
+                              ) -> Dict[MultiVmConfig, Dict[str, Summary]]:
+    """Repeat every configuration; returns ``{config: {metric: Summary}}``."""
+    out: Dict[MultiVmConfig, Dict[str, Summary]] = {}
+    for config in configs:
+        repeated = repeat(MultiVmImpactMeasure(config),
+                          base_seed=base_seed, default_reps=default_reps,
+                          jobs=jobs)
+        out[config] = repeated.metrics
+    return out
+
+
+# Re-exported so figure/campaign code can tune the model without
+# importing the virt layer directly.
+__all__ = [
+    "MemoryModelParams",
+    "MultiVmConfig",
+    "MultiVmImpactMeasure",
+    "multivm_impact_experiment",
+    "run_multivm_impact",
+]

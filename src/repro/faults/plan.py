@@ -18,8 +18,11 @@ firing mode:
 * ``transient`` sites (``measure.transient``, ``worker.hang``,
   ``checkpoint.lost``) fire **at most once per key** — the
   raise-once-then-succeed contract that makes bounded retry converge;
-* ``each`` sites (``worker.crash``, ``cache.corrupt``,
-  ``host.dropout``) draw independently on every attempt.
+* ``each`` sites (``worker.crash``, ``cache.corrupt``, ``host.dropout``,
+  ``mem.pressure_spike``) draw independently on every attempt.
+  ``host.dropout`` and ``mem.pressure_spike`` change results *by
+  design* (hosts vanish, guest demand spikes); the result cache keeps
+  such runs distinct via :meth:`FaultInjector.cache_token`.
 
 The module-level :data:`FAULTS` injector follows the same guard contract
 as :data:`repro.obs.metrics.METRICS`: a disabled site costs one
@@ -54,6 +57,7 @@ SITES: Dict[str, str] = {
     "cache.corrupt": EACH,         # repro.core.cache.ResultCache.put
     "checkpoint.lost": TRANSIENT,  # repro.virt.checkpoint.restore_checkpoint
     "host.dropout": EACH,          # repro.fleet.server.simulate_fleet
+    "mem.pressure_spike": EACH,    # repro.virt.memory.MultiVmHost host tick
 }
 
 #: Default sleep for an injected ``worker.hang`` (kept short so abandoned

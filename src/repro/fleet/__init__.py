@@ -33,6 +33,7 @@ from repro.fleet.calibration import (
     estimated_grid_efficiency,
     fleet_slowdown,
     fleet_slowdowns,
+    memory_slowdown_factor,
     resolve_hypervisor,
 )
 from repro.fleet.churn import (
@@ -85,6 +86,7 @@ __all__ = [
     "fleet_slowdowns",
     "fleet_waste_figure",
     "host_shards",
+    "memory_slowdown_factor",
     "report_figure",
     "resolve_hypervisor",
     "sample_host",

@@ -80,6 +80,34 @@ def fleet_slowdown(hypervisor: str) -> float:
     return guest / host_share
 
 
+def memory_slowdown_factor(vms_per_host: int = 1,
+                           overcommit_ratio: float = 1.0,
+                           cores: int = TESTBED_CORES) -> float:
+    """Per-VM science slowdown of co-locating guests on one host.
+
+    The fleet reduction of :mod:`repro.virt.memory`: each extra VM adds
+    a small fixed memd/balloon service tax (~3%/VM, the figure-level
+    ``multivm_intrusiveness`` trend), overcommit past 1.0x pays the
+    hardware paging penalty (the ``1 + 4*overshoot`` law of
+    :meth:`repro.hardware.memory.MemoryAccounting.paging_penalty_factor`),
+    and the host's cores are shared by the co-located guests.  The
+    defaults give exactly 1.0, so single-VM fleets are bit-identical to
+    previous releases.  Always >= 1 for valid inputs.
+    """
+    vms = int(vms_per_host)
+    if vms < 1:
+        raise ExperimentError(
+            f"vms_per_host must be >= 1, got {vms_per_host!r}")
+    ratio = float(overcommit_ratio)
+    if ratio <= 0:
+        raise ExperimentError(
+            f"overcommit_ratio must be positive, got {overcommit_ratio!r}")
+    service_tax = 1.0 + 0.03 * (vms - 1)
+    paging = 1.0 + 4.0 * max(0.0, ratio - 1.0)
+    sharing = vms / min(vms, cores)
+    return service_tax * paging * sharing
+
+
 def fleet_slowdowns() -> Dict[str, float]:
     """``{profile name: fleet_slowdown}`` for every studied VMM."""
     return {name: fleet_slowdown(name) for name in PROFILE_ORDER}

@@ -21,6 +21,7 @@ from repro.fleet.calibration import (
     MIXED_FLEET,
     fleet_slowdown,
     fleet_slowdowns,
+    memory_slowdown_factor,
     resolve_hypervisor,
 )
 
@@ -50,6 +51,8 @@ class FleetConfig:
     error_rate: float = 0.02            #: per-result erroneous probability
     host_gflops_median: float = 2.0     #: median native host speed
     host_gflops_sigma: float = 0.25     #: lognormal speed spread
+    vms_per_host: int = 1               #: co-located VMs per volunteer host
+    overcommit_ratio: float = 1.0       #: configured guest RAM / physical RAM
 
     def __post_init__(self):
         if self.hosts < 1:
@@ -93,6 +96,15 @@ class FleetConfig:
                 f"backoff_factor must be >= 1, got {self.backoff_factor!r}")
         if self.availability_spread < 0 or self.host_gflops_sigma < 0:
             raise ExperimentError("spread parameters must be >= 0")
+        if self.vms_per_host < 1:
+            raise ExperimentError(
+                f"vms_per_host must be >= 1, got {self.vms_per_host!r}")
+        if not 0.0 < self.overcommit_ratio <= 3.0:
+            # RAM + swap is 3x RAM on the paper's testbed; past that no
+            # guest plan fits (see repro.virt.memory.plan_vm_memory).
+            raise ExperimentError(
+                f"overcommit_ratio must lie in (0, 3], "
+                f"got {self.overcommit_ratio!r}")
         # canonicalise aliases ("vmware" -> "vmplayer") at the boundary
         object.__setattr__(
             self, "hypervisor", resolve_hypervisor(self.hypervisor))
@@ -103,12 +115,20 @@ class FleetConfig:
     def mixed(self) -> bool:
         return self.hypervisor == MIXED_FLEET
 
+    def memory_factor(self) -> float:
+        """Extra per-VM slowdown from co-location and overcommit (1.0 at
+        the single-VM defaults; see fleet.calibration)."""
+        return memory_slowdown_factor(self.vms_per_host,
+                                      self.overcommit_ratio)
+
     def mean_slowdown(self) -> float:
         """Fleet-average calibrated slowdown (see fleet.calibration)."""
         if self.mixed:
             values = list(fleet_slowdowns().values())
-            return sum(values) / len(values)
-        return fleet_slowdown(self.hypervisor)
+            base = sum(values) / len(values)
+        else:
+            base = fleet_slowdown(self.hypervisor)
+        return base * self.memory_factor()
 
     def expected_wu_active_s(self) -> float:
         """Active compute seconds one work unit costs a median host."""

@@ -97,7 +97,8 @@ def sample_host(config: FleetConfig, index: int) -> FleetHost:
                                              config.duration_s)
     return FleetHost(
         index=index, name=f"host-{index:05d}", hypervisor=hypervisor,
-        slowdown=fleet_slowdown(hypervisor), gflops=gflops,
+        slowdown=fleet_slowdown(hypervisor) * config.memory_factor(),
+        gflops=gflops,
         availability=availability, error_rate=config.error_rate,
         sessions=sessions, departure_s=departure,
     )

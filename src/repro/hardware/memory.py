@@ -5,6 +5,13 @@ constant and known*: the VMM commits the whole configured guest RAM while
 running.  We model commitment accounting plus a coarse paging penalty so
 experiments can show what happens when a VM is configured beyond what the
 host can spare.
+
+Beyond the paper's static picture, :meth:`MemoryAccounting.adjust` is the
+**dynamic-commitment path**: a balloon driver (see
+:mod:`repro.virt.memory`) grows and shrinks an owner's commitment while
+the VM runs.  The scheduler multiplies every core's speed by
+:meth:`paging_penalty_factor`, so commitment changes feed straight back
+into host *and* guest compute speed.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from typing import Dict
 
 from repro.errors import SimulationError
 from repro.hardware.specs import MemorySpec
+from repro.obs.metrics import METRICS
 
 
 @dataclass
@@ -35,15 +43,33 @@ class MemoryAccounting:
     def overcommitted(self) -> bool:
         return self.committed_bytes > self.spec.capacity_bytes
 
+    @property
+    def swap_used_bytes(self) -> int:
+        """Committed bytes that have spilled past physical RAM."""
+        return max(0, self.committed_bytes - self.spec.capacity_bytes)
+
+    @property
+    def ceiling_bytes(self) -> int:
+        """The hard commitment ceiling: RAM + swap."""
+        return self.spec.capacity_bytes + self.spec.swap_bytes
+
+    def held(self, owner: str) -> int:
+        """Bytes currently committed by ``owner`` (0 if unknown)."""
+        return self.commitments.get(owner, 0)
+
+    def pressure(self) -> float:
+        """Committed bytes as a fraction of physical RAM (can exceed 1)."""
+        return self.committed_bytes / self.spec.capacity_bytes
+
     def commit(self, owner: str, nbytes: int) -> None:
         """Reserve ``nbytes`` for ``owner`` (stacked on prior commitments)."""
         if nbytes < 0:
             raise SimulationError(f"cannot commit negative bytes: {nbytes}")
         total_after = self.committed_bytes + nbytes
-        if total_after > self.spec.capacity_bytes + self.spec.swap_bytes:
+        if total_after > self.ceiling_bytes:
             raise SimulationError(
                 f"commit of {nbytes} for {owner!r} exceeds RAM+swap "
-                f"({total_after} > {self.spec.capacity_bytes + self.spec.swap_bytes})"
+                f"({total_after} > {self.ceiling_bytes})"
             )
         self.commitments[owner] = self.commitments.get(owner, 0) + nbytes
 
@@ -61,6 +87,29 @@ class MemoryAccounting:
             self.commitments[owner] = remaining
         else:
             self.commitments.pop(owner, None)
+
+    def adjust(self, owner: str, delta: int) -> int:
+        """Dynamic-commitment path: grow or shrink an owner's commitment.
+
+        Positive ``delta`` commits more (balloon deflate returning memory
+        to the guest), negative releases (balloon inflate reclaiming it
+        for the host).  The RAM+swap ceiling and the never-below-zero
+        floor are enforced with the same errors as
+        :meth:`commit`/:meth:`release`.  Returns the owner's new holding.
+        """
+        if delta >= 0:
+            self.commit(owner, delta)
+        else:
+            held = self.held(owner)
+            if -delta > held:
+                raise SimulationError(
+                    f"{owner!r} adjusting by {delta} but holds only {held}"
+                )
+            self.release(owner, -delta)
+        if METRICS.enabled:
+            METRICS.gauge_max("mem.committed_peak_bytes",
+                              self.committed_bytes)
+        return self.held(owner)
 
     def paging_penalty_factor(self) -> float:
         """Global compute slowdown from paging when overcommitted.

@@ -33,7 +33,12 @@ Schema ``repro-run-manifest/1`` (see :data:`MANIFEST_SCHEMA` and
       "audit":    {"trace_hash": {"window_s": 1.0, # optional (trace-hash
                    "streams": {"<key>": {          #  runs; full checkpoint
                      "windows": 20, "events": 814, #  lists stay on the
-                     "digest": "9f86d081..."}}}}   #  in-memory RunResult)
+                     "digest": "9f86d081..."}}},   #  in-memory RunResult)
+      "mem":      {"counters": {"mem.ticks": 96,   # optional (multi-VM
+                    ...},                          #  memory runs; every
+                   "gauges": {                     #  mem.*-prefixed metric,
+                    "mem.committed_peak_bytes":    #  see repro.virt.memory)
+                    1.03e9, ...}}
     }
 """
 
@@ -139,6 +144,14 @@ def validate_manifest(manifest: Mapping[str, Any]) -> List[str]:
             elif not isinstance(trace_hash.get("streams"), dict):
                 problems.append("audit.trace_hash.streams missing or not "
                                 "a mapping")
+    mem = manifest.get("mem")
+    if mem is not None:
+        if not isinstance(mem, dict):
+            problems.append("mem is not a mapping")
+        else:
+            for name in ("counters", "gauges"):
+                if not isinstance(mem.get(name), dict):
+                    problems.append(f"mem.{name} missing or not a mapping")
     campaign = manifest.get("campaign")
     if campaign is not None:
         if not isinstance(campaign, dict):
@@ -339,6 +352,18 @@ def render_manifest(manifest: Mapping[str, Any]) -> str:
             f" cache-hit-rate={rate_text}"
             f" queue-latency mean={latency.get('mean', 0.0):.3f}s"
             f" max={latency.get('max', 0.0):.3f}s")
+    mem = manifest.get("mem")
+    if mem:
+        counters = mem.get("counters", {})
+        gauges = mem.get("gauges", {})
+        peak = gauges.get("mem.committed_peak_bytes")
+        peak_text = f" committed-peak={peak / 2 ** 20:.0f}MB" \
+            if isinstance(peak, (int, float)) else ""
+        lines.append(
+            f"mem      ticks={counters.get('mem.ticks', 0)}"
+            f" reclaim-pages={counters.get('mem.reclaim.pages', 0)}"
+            f" fault-pages={counters.get('mem.fault.pages', 0)}"
+            f"{peak_text}")
     audit = manifest.get("audit")
     trace_hash = (audit or {}).get("trace_hash") or {}
     streams = trace_hash.get("streams") or {}

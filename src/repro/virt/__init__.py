@@ -8,6 +8,15 @@ from repro.virt.checkpoint import (
     transfer_checkpoint,
 )
 from repro.virt.guestclock import ClockStats, GuestClock
+from repro.virt.memory import (
+    BalloonDriver,
+    GuestMemory,
+    MemoryModelParams,
+    MemoryPressureController,
+    MultiVmHost,
+    WorkingSetModel,
+    plan_vm_memory,
+)
 from repro.virt.profiles import (
     ALL_PROFILES,
     PROFILE_ORDER,
@@ -36,9 +45,15 @@ __all__ = [
     "CheckpointImage",
     "ClockStats",
     "GuestClock",
+    "BalloonDriver",
     "GuestExecutionContext",
+    "GuestMemory",
     "GuestTimeClient",
     "HypervisorProfile",
+    "MemoryModelParams",
+    "MemoryPressureController",
+    "MultiVmHost",
+    "WorkingSetModel",
     "NetMode",
     "PROFILE_ORDER",
     "QEMU",
@@ -55,6 +70,7 @@ __all__ = [
     "VmConfig",
     "VmState",
     "get_profile",
+    "plan_vm_memory",
     "restore_checkpoint",
     "save_checkpoint",
     "transfer_checkpoint",

@@ -1,0 +1,611 @@
+"""Host memory model for N concurrent VMs: working sets, ballooning,
+overcommit and reclaim (`repro.virt.memory`).
+
+The paper's §4.2.1 treats guest memory as one configured, constant
+commitment — a model that cannot ask what happens when several VMs share
+a volunteer machine.  This module adds the dynamic regime:
+
+* :class:`WorkingSetModel` — a phase-driven, seeded process for how much
+  of its RAM each guest actually touches;
+* :class:`BalloonDriver` — inflate/deflate between host and guest at a
+  bounded rate, with a per-page CPU cost;
+* :class:`GuestMemory` — per-VM state tying the two together: a squeezed
+  guest (working set beyond its unballooned RAM) pays page-fault service
+  cycles on its own ``memd`` thread at the VM's priority;
+* :class:`MemoryPressureController` — arbitrates balloon targets across
+  guests so total commitment tracks host capacity;
+* :class:`MultiVmHost` — composes N VMs on one machine under one
+  controller, with a ``kswapd`` reclaim thread that burns host CPU
+  whenever commitment still spills past physical RAM.
+
+Feedback paths into compute speed
+---------------------------------
+1. **Global paging penalty** — balloon moves go through
+   :meth:`repro.hardware.memory.MemoryAccounting.adjust`, and the
+   scheduler multiplies every core's speed by
+   ``memory.paging_penalty_factor()``; overcommit slows host and guests
+   alike.
+2. **Guest-side fault service** — squeezed working sets charge fault
+   cycles on the per-VM ``memd`` thread, competing with the vCPU at the
+   same priority.
+3. **Host-side reclaim** — residual overshoot charges reclaim cycles on
+   the host ``kswapd`` thread at high priority, stealing time from host
+   benchmarks (the intrusiveness the multi-VM figures measure).
+
+Determinism contract
+--------------------
+All stochastic state (phase plans) draws from named
+:class:`repro.simcore.rng.RngStreams` substreams; balloon and reclaim
+arithmetic is integer and page-aligned; the controller iterates guests
+in sorted-name order.  The ``mem.pressure_spike`` fault site draws from
+the fault plan's own hash stream, so an armed storm never perturbs the
+experiment streams.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence, Union
+
+from repro.errors import VirtualizationError
+from repro.faults import FAULTS
+from repro.hardware.cpu import MIX_VMM_SERVICE
+from repro.obs.metrics import METRICS
+from repro.osmodel.kernel import Kernel
+from repro.osmodel.threads import PRIORITY_HIGH, PRIORITY_IDLE
+from repro.simcore.process import Interrupted
+from repro.simcore.rng import RngStreams
+from repro.units import MB
+from repro.virt.profiles import HypervisorProfile, get_profile
+from repro.virt.vm import VirtualMachine, VmConfig, VmState
+
+
+@dataclass(frozen=True)
+class MemoryModelParams:
+    """Tunables of the host memory model (one frozen value object)."""
+
+    tick_interval_s: float = 0.25        #: guest/host memory tick cadence
+    min_guest_bytes: int = 64 * MB       #: balloon floor: guest keeps this
+    balloon_rate_bytes_per_s: float = 128.0 * MB  #: max balloon movement
+    balloon_page_cycles: float = 900.0   #: CPU cost per ballooned page
+    fault_page_cycles: float = 3000.0    #: guest cost per re-faulted page
+    reclaim_page_cycles: float = 2200.0  #: host kswapd cost per page
+    fault_touch_frac_per_s: float = 0.5  #: squeezed bytes re-faulted per s
+    reclaim_frac_per_s: float = 0.5      #: overshoot scanned per second
+    headroom_frac: float = 0.04          #: host RAM kept free of guests
+    ws_floor_frac: float = 0.15          #: phase target floor (of guest RAM)
+    ws_ceil_frac: float = 0.95           #: phase target ceiling
+    ws_ramp_frac_per_s: float = 0.35     #: working-set gap closed per second
+    phase_min_s: float = 4.0             #: shortest working-set phase
+    phase_max_s: float = 30.0            #: longest working-set phase
+    spike_bytes: int = 96 * MB           #: mem.pressure_spike demand bump
+    spike_decay_halflife_s: float = 2.0  #: spike demand halves this often
+
+    def __post_init__(self):
+        if self.tick_interval_s <= 0:
+            raise VirtualizationError(
+                f"tick_interval_s must be positive, got {self.tick_interval_s}")
+        if self.min_guest_bytes <= 0:
+            raise VirtualizationError("min_guest_bytes must be positive")
+        if not 0.0 <= self.headroom_frac < 1.0:
+            raise VirtualizationError(
+                f"headroom_frac must lie in [0, 1), got {self.headroom_frac}")
+        if not 0.0 < self.ws_floor_frac <= self.ws_ceil_frac <= 1.0:
+            raise VirtualizationError(
+                "working-set fractions must satisfy "
+                f"0 < floor <= ceil <= 1, got {self.ws_floor_frac}"
+                f"/{self.ws_ceil_frac}")
+        if self.phase_min_s <= 0 or self.phase_max_s < self.phase_min_s:
+            raise VirtualizationError("phase durations must be positive "
+                                      "with min <= max")
+
+
+class WorkingSetModel:
+    """Phase-driven guest memory demand, a pure function of its stream.
+
+    The guest alternates through phases (each with a seeded duration and
+    a seeded target fraction of its configured RAM) and ramps its
+    working set toward the current target.  The working set is always
+    >= 0 by construction — reclaim and ballooning squeeze how much of it
+    is *resident*, never the demand itself.
+    """
+
+    def __init__(self, rng: RngStreams, configured_bytes: int,
+                 params: MemoryModelParams):
+        self.rng = rng
+        self.configured_bytes = configured_bytes
+        self.params = params
+        self.working_set_bytes = int(configured_bytes * params.ws_floor_frac)
+        self._phase_index = 0
+        self._phase_left_s = 0.0
+        self._target_bytes = self.working_set_bytes
+        self._next_phase()
+
+    def _next_phase(self) -> None:
+        index = self._phase_index
+        self._phase_index += 1
+        params = self.params
+        self._phase_left_s = self.rng.uniform(
+            f"phase-{index}-dur", params.phase_min_s, params.phase_max_s)
+        frac = self.rng.uniform(
+            f"phase-{index}-frac", params.ws_floor_frac, params.ws_ceil_frac)
+        self._target_bytes = int(self.configured_bytes * frac)
+
+    @property
+    def target_bytes(self) -> int:
+        return self._target_bytes
+
+    def advance(self, dt: float) -> int:
+        """Advance phase time by ``dt`` seconds; returns the working set."""
+        if dt < 0:
+            raise VirtualizationError(f"dt must be >= 0, got {dt}")
+        self._phase_left_s -= dt
+        while self._phase_left_s <= 0.0:
+            self._next_phase()
+        gap = self._target_bytes - self.working_set_bytes
+        step = gap * min(1.0, self.params.ws_ramp_frac_per_s * dt)
+        self.working_set_bytes = max(0, self.working_set_bytes + int(step))
+        return self.working_set_bytes
+
+
+class BalloonDriver:
+    """Inflate/deflate state machine for one guest.
+
+    ``inflated_bytes`` is memory taken *from* the guest (host commitment
+    released); movement toward ``target_bytes`` is bounded by the
+    balloon rate and always an exact multiple of the page size, so a
+    full inflate→deflate cycle returns the commitment to its prior value
+    byte-for-byte.
+    """
+
+    def __init__(self, params: MemoryModelParams, page_bytes: int,
+                 max_bytes: int):
+        self.params = params
+        self.page_bytes = page_bytes
+        self.max_bytes = (max_bytes // page_bytes) * page_bytes
+        self.inflated_bytes = 0
+        self.target_bytes = 0
+        self.total_inflated_bytes = 0
+        self.total_deflated_bytes = 0
+
+    def set_target(self, nbytes: int) -> None:
+        """Clamp ``nbytes`` into [0, max] and page-align it."""
+        nbytes = max(0, min(int(nbytes), self.max_bytes))
+        self.target_bytes = (nbytes // self.page_bytes) * self.page_bytes
+
+    @property
+    def pending_bytes(self) -> int:
+        """Signed movement still owed (positive = inflate ahead)."""
+        return self.target_bytes - self.inflated_bytes
+
+    def step(self, dt: float) -> tuple:
+        """Move toward the target; returns ``(moved_bytes, cycles)``.
+
+        ``moved_bytes`` is signed (positive = inflated, i.e. host
+        commitment to release); ``cycles`` is the CPU cost of copying
+        and remapping the pages, charged to the guest's memd thread.
+        """
+        budget = int(self.params.balloon_rate_bytes_per_s * dt)
+        delta = self.target_bytes - self.inflated_bytes
+        move = max(-budget, min(budget, delta))
+        pages = abs(move) // self.page_bytes
+        move = pages * self.page_bytes * (1 if move >= 0 else -1)
+        if pages == 0:
+            # below one page of budget: finish the residue exactly so
+            # targets are always reachable (they are page-aligned)
+            if 0 < abs(delta) <= self.page_bytes:
+                move = delta
+                pages = 1
+            else:
+                return 0, 0.0
+        self.inflated_bytes += move
+        if move > 0:
+            self.total_inflated_bytes += move
+        else:
+            self.total_deflated_bytes += -move
+        return move, pages * self.params.balloon_page_cycles
+
+
+class GuestMemory:
+    """Dynamic per-VM memory state: working set, balloon, commitment.
+
+    Attach with :meth:`start` after ``vm.boot()``: it spawns a ``memd``
+    thread at the VM's priority and a ticker process, both registered on
+    the VM so ``vm.shutdown()`` tears them down.  Everything the host
+    controller needs (demand, slack, squeeze) is exposed as properties.
+    """
+
+    def __init__(self, vm: VirtualMachine, rng: RngStreams,
+                 params: Optional[MemoryModelParams] = None):
+        if vm.state is not VmState.RUNNING:
+            raise VirtualizationError(
+                f"{vm.name}: GuestMemory requires a RUNNING vm, "
+                f"is {vm.state}")
+        self.vm = vm
+        self.params = params or MemoryModelParams()
+        self.page_bytes = vm.host_machine.spec.memory.page_bytes
+        self.working_set = WorkingSetModel(
+            rng, vm.config.memory_bytes, self.params)
+        max_balloon = max(
+            0, vm.config.memory_bytes - self.params.min_guest_bytes)
+        self.balloon = BalloonDriver(self.params, self.page_bytes,
+                                     max_balloon)
+        self.squeezed_bytes = 0
+        self.spike_bytes = 0.0
+        self.fault_pages = 0
+        self.ticks = 0
+        self.thread = None
+        vm.guest_memory = self
+
+    # -- derived state ----------------------------------------------------
+
+    @property
+    def configured_bytes(self) -> int:
+        return self.vm.config.memory_bytes
+
+    @property
+    def usable_bytes(self) -> int:
+        """Guest RAM not currently claimed by the balloon."""
+        return self.configured_bytes - self.balloon.inflated_bytes
+
+    @property
+    def demand_bytes(self) -> int:
+        """Bytes the guest wants resident right now (capped at its RAM)."""
+        return min(self.configured_bytes,
+                   self.working_set.working_set_bytes + int(self.spike_bytes))
+
+    @property
+    def free_guest_bytes(self) -> int:
+        """Unballooned guest RAM beyond the current demand (inflatable
+        without squeezing the guest)."""
+        return max(0, self.usable_bytes - self.demand_bytes)
+
+    @property
+    def balloon_headroom_bytes(self) -> int:
+        """How much further the balloon target could grow."""
+        return self.balloon.max_bytes - self.balloon.target_bytes
+
+    def inject_spike(self, nbytes: int) -> None:
+        """Transient extra demand (the ``mem.pressure_spike`` fault)."""
+        self.spike_bytes += nbytes
+
+    # -- per-tick model ----------------------------------------------------
+
+    def tick(self, dt: float) -> float:
+        """Advance the model by ``dt`` seconds; returns guest CPU cycles
+        (balloon copying + page-fault service) to charge on ``memd``."""
+        params = self.params
+        self.ticks += 1
+        self.working_set.advance(dt)
+        if self.spike_bytes > 0.0:
+            self.spike_bytes *= 0.5 ** (dt / params.spike_decay_halflife_s)
+            if self.spike_bytes < self.page_bytes:
+                self.spike_bytes = 0.0
+        moved, cycles = self.balloon.step(dt)
+        if moved:
+            # inflate releases host commitment, deflate re-commits
+            self.vm.host_kernel.machine.memory.adjust(self.vm.name, -moved)
+        self.squeezed_bytes = max(0, self.demand_bytes - self.usable_bytes)
+        fault_bytes = self.squeezed_bytes * min(
+            1.0, params.fault_touch_frac_per_s * dt)
+        fault_pages = int(fault_bytes) // self.page_bytes
+        self.fault_pages += fault_pages
+        cycles += fault_pages * params.fault_page_cycles
+        if METRICS.enabled:
+            METRICS.inc("mem.ticks")
+            if moved > 0:
+                METRICS.inc("mem.balloon.inflated_bytes", moved)
+            elif moved < 0:
+                METRICS.inc("mem.balloon.deflated_bytes", -moved)
+            if fault_pages:
+                METRICS.inc("mem.fault.pages", fault_pages)
+            METRICS.gauge_max("mem.squeezed_peak_bytes", self.squeezed_bytes)
+        return cycles
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the memd thread + ticker process on the VM's kernel."""
+        scheduler = self.vm.host_kernel.scheduler
+        self.thread = scheduler.spawn(
+            f"{self.vm.name}.memd", self.vm.config.priority,
+            group=self.vm.name)
+        proc = self.vm.engine.process(
+            self._ticker(), name=f"{self.vm.name}.memd")
+        self.vm.register_service(thread=self.thread, proc=proc)
+
+    def _ticker(self) -> Generator:
+        """Periodic memory work, phase-staggered like the service loops."""
+        vm = self.vm
+        engine = vm.engine
+        scheduler = vm.host_kernel.scheduler
+        interval = self.params.tick_interval_s
+        digest = zlib.crc32(f"{vm.name}/memd".encode())
+        next_t = engine.now + (digest % 997) / 997.0 * interval
+        last = engine.now
+        try:
+            while vm.state is not VmState.STOPPED:
+                next_t += interval
+                delay = next_t - engine.now
+                if delay > 0:
+                    yield engine.timeout(delay)
+                if vm.state is VmState.STOPPED:
+                    return
+                if vm.state is VmState.SUSPENDED:
+                    last = engine.now
+                    continue
+                dt = engine.now - last
+                last = engine.now
+                cycles = self.tick(dt) if dt > 0 else 0.0
+                if cycles > 0:
+                    yield scheduler.submit(self.thread, cycles,
+                                           MIX_VMM_SERVICE)
+        except Interrupted:
+            return
+
+
+class MemoryPressureController:
+    """Arbitrates balloon targets so commitment tracks host capacity.
+
+    Decisions use the *projected* commitment (current minus balloon
+    movement already in flight), so targets converge instead of
+    oscillating.  Guests are visited in sorted-name order; inflate takes
+    free guest memory first and squeezes only when it must, deflate
+    returns memory to squeezed guests first.
+    """
+
+    def __init__(self, memory, params: MemoryModelParams):
+        self.memory = memory
+        self.params = params
+
+    def _limit_bytes(self) -> int:
+        capacity = self.memory.spec.capacity_bytes
+        return int(capacity * (1.0 - self.params.headroom_frac))
+
+    def rebalance(self, guests: Sequence[GuestMemory]) -> int:
+        """One arbitration pass; returns the signed residual need."""
+        ordered = sorted(guests, key=lambda g: g.vm.name)
+        pending = sum(g.balloon.pending_bytes for g in ordered)
+        projected = self.memory.committed_bytes - pending
+        need = projected - self._limit_bytes()
+        if need > 0:
+            self._inflate(ordered, need)
+        elif need < 0:
+            self._deflate(ordered, -need)
+        return need
+
+    def _inflate(self, ordered: Sequence[GuestMemory], need: int) -> None:
+        for phase in ("slack", "forced"):
+            if need <= 0:
+                return
+            for guest in ordered:
+                if need <= 0:
+                    return
+                room = guest.balloon_headroom_bytes
+                if phase == "slack":
+                    room = min(room, guest.free_guest_bytes)
+                take = min(room, need)
+                take = (take // guest.page_bytes) * guest.page_bytes
+                if take <= 0:
+                    continue
+                guest.balloon.set_target(guest.balloon.target_bytes + take)
+                need -= take
+
+    def _deflate(self, ordered: Sequence[GuestMemory], surplus: int) -> None:
+        for phase in ("squeezed", "any"):
+            if surplus <= 0:
+                return
+            for guest in ordered:
+                if surplus <= 0:
+                    return
+                want = guest.balloon.target_bytes
+                if phase == "squeezed":
+                    want = min(want,
+                               guest.squeezed_bytes + guest.page_bytes)
+                give = min(want, surplus)
+                give = (give // guest.page_bytes) * guest.page_bytes
+                if give <= 0:
+                    continue
+                guest.balloon.set_target(guest.balloon.target_bytes - give)
+                surplus -= give
+
+
+def plan_vm_memory(spec, n_vms: int, overcommit_ratio: float,
+                   profile: HypervisorProfile,
+                   params: Optional[MemoryModelParams] = None) -> int:
+    """Per-VM configured guest RAM for an N-VM host.
+
+    Total *configured* guest memory is ``overcommit_ratio`` times
+    physical RAM (the knob's meaning), minus the per-VM VMM overheads,
+    split evenly and page-aligned.  Raises when the plan cannot fit in
+    RAM+swap or leaves a guest below the balloon floor.
+    """
+    params = params or MemoryModelParams()
+    if n_vms < 1:
+        raise VirtualizationError(f"n_vms must be >= 1, got {n_vms}")
+    if overcommit_ratio <= 0:
+        raise VirtualizationError(
+            f"overcommit_ratio must be positive, got {overcommit_ratio}")
+    total_guest = (int(spec.capacity_bytes * overcommit_ratio)
+                   - n_vms * profile.vmm_overhead_bytes)
+    per_vm = (total_guest // n_vms // spec.page_bytes) * spec.page_bytes
+    if per_vm < params.min_guest_bytes:
+        raise VirtualizationError(
+            f"memory plan leaves {per_vm} bytes per guest for {n_vms} "
+            f"VM(s) at ratio {overcommit_ratio:g}; the balloon floor is "
+            f"{params.min_guest_bytes}")
+    committed = n_vms * (per_vm + profile.vmm_overhead_bytes)
+    if committed > spec.capacity_bytes + spec.swap_bytes:
+        raise VirtualizationError(
+            f"memory plan commits {committed} bytes for {n_vms} VM(s) at "
+            f"ratio {overcommit_ratio:g}, beyond RAM+swap "
+            f"({spec.capacity_bytes + spec.swap_bytes})")
+    return per_vm
+
+
+class MultiVmHost:
+    """N concurrent VMs on one host kernel under one memory arbiter.
+
+    ::
+
+        host = MultiVmHost(kernel, rng.fork("multivm"), n_vms=4,
+                           overcommit_ratio=1.5)
+        yield from host.boot()        # inside a sim process
+        ... run guest workloads against host.vms ...
+        host.shutdown()
+
+    The host runs a ``kswapd`` thread at high priority: whenever
+    commitment still spills past physical RAM after ballooning, reclaim
+    cycles are charged there — host CPU the multi-VM intrusiveness
+    figures measure.  The ``mem.pressure_spike`` fault site (when armed)
+    bumps every guest's demand transiently, composing balloon storms
+    with the chaos drill.
+    """
+
+    def __init__(self, host_kernel: Kernel, rng: RngStreams, n_vms: int,
+                 overcommit_ratio: float = 1.0,
+                 profile: Union[str, HypervisorProfile] = "virtualbox",
+                 params: Optional[MemoryModelParams] = None,
+                 vm_priority: int = PRIORITY_IDLE,
+                 fault_key: str = ""):
+        if isinstance(profile, str):
+            profile = get_profile(profile)
+        self.host_kernel = host_kernel
+        self.engine = host_kernel.engine
+        self.rng = rng
+        self.n_vms = n_vms
+        self.overcommit_ratio = float(overcommit_ratio)
+        self.profile = profile
+        self.params = params or MemoryModelParams()
+        self.fault_key = fault_key
+        spec = host_kernel.machine.spec.memory
+        self.per_vm_bytes = plan_vm_memory(
+            spec, n_vms, self.overcommit_ratio, profile, self.params)
+        self.vm_priority = vm_priority
+        self.vms: List[VirtualMachine] = []
+        self.guests: List[GuestMemory] = []
+        self.controller = MemoryPressureController(
+            host_kernel.machine.memory, self.params)
+        self.kswapd = None
+        self._host_proc = None
+        self._host_ticks = 0
+        self.reclaim_pages = 0
+        self.spikes_injected = 0
+        self.peak_committed_bytes = 0
+        self.peak_squeezed_bytes = 0
+
+    def boot(self) -> Generator:
+        """Boot every VM and start the memory machinery (a generator:
+        run it inside a sim process)."""
+        for index in range(self.n_vms):
+            vm = VirtualMachine(
+                self.host_kernel, self.profile,
+                VmConfig(name=f"vm{index}",
+                         memory_bytes=self.per_vm_bytes,
+                         priority=self.vm_priority))
+            yield from vm.boot()
+            guest = GuestMemory(vm, self.rng.fork(f"mem/vm{index}"),
+                                self.params)
+            guest.start()
+            self.vms.append(vm)
+            self.guests.append(guest)
+        scheduler = self.host_kernel.scheduler
+        self.kswapd = scheduler.spawn("host.kswapd", PRIORITY_HIGH,
+                                      group="host.mm")
+        self._host_proc = self.engine.process(self._host_loop(),
+                                              name="host.mm")
+
+    def shutdown(self) -> None:
+        """Stop the controller, exit kswapd, shut every VM down."""
+        if self._host_proc is not None:
+            self._host_proc.interrupt("multivm shutdown")
+            self._host_proc = None
+        if self.kswapd is not None:
+            self.host_kernel.scheduler.exit_thread(self.kswapd)
+            self.kswapd = None
+        for vm in self.vms:
+            vm.shutdown()
+
+    # -- aggregate observations -------------------------------------------
+
+    @property
+    def committed_bytes(self) -> int:
+        memory = self.host_kernel.machine.memory
+        return sum(memory.held(vm.name) for vm in self.vms)
+
+    @property
+    def guest_instructions(self) -> float:
+        return sum(vm.vcpu.guest_instructions for vm in self.vms)
+
+    @property
+    def balloon_moved_bytes(self) -> int:
+        return sum(g.balloon.total_inflated_bytes
+                   + g.balloon.total_deflated_bytes for g in self.guests)
+
+    def observations(self) -> Dict[str, float]:
+        """Scalar summary for figures/benchmarks (METRICS-independent)."""
+        return {
+            "committed_peak_mb": self.peak_committed_bytes / MB,
+            "squeezed_peak_mb": self.peak_squeezed_bytes / MB,
+            "reclaim_pages": float(self.reclaim_pages),
+            "balloon_moved_mb": self.balloon_moved_bytes / MB,
+            "spikes_injected": float(self.spikes_injected),
+        }
+
+    # -- host-side loop ----------------------------------------------------
+
+    def _host_loop(self) -> Generator:
+        """Controller + reclaim tick, phase-staggered from the guests."""
+        engine = self.engine
+        scheduler = self.host_kernel.scheduler
+        memory = self.host_kernel.machine.memory
+        params = self.params
+        interval = params.tick_interval_s
+        digest = zlib.crc32(b"host.mm/kswapd")
+        next_t = engine.now + (digest % 997) / 997.0 * interval
+        last = engine.now
+        page_bytes = self.host_kernel.machine.spec.memory.page_bytes
+        try:
+            while True:
+                next_t += interval
+                delay = next_t - engine.now
+                if delay > 0:
+                    yield engine.timeout(delay)
+                dt = engine.now - last
+                last = engine.now
+                self._host_ticks += 1
+                if FAULTS.enabled and FAULTS.fires(
+                        "mem.pressure_spike",
+                        key=f"{self.fault_key}#{self._host_ticks}"):
+                    for guest in self.guests:
+                        guest.inject_spike(params.spike_bytes)
+                    self.spikes_injected += 1
+                self.controller.rebalance(self.guests)
+                committed = memory.committed_bytes
+                self.peak_committed_bytes = max(self.peak_committed_bytes,
+                                                committed)
+                self.peak_squeezed_bytes = max(
+                    self.peak_squeezed_bytes,
+                    sum(g.squeezed_bytes for g in self.guests))
+                overshoot = memory.swap_used_bytes
+                cycles = 0.0
+                if overshoot > 0 and dt > 0:
+                    scan_bytes = overshoot * min(
+                        1.0, params.reclaim_frac_per_s * dt)
+                    pages = int(scan_bytes) // page_bytes
+                    if pages:
+                        self.reclaim_pages += pages
+                        cycles = pages * params.reclaim_page_cycles
+                if METRICS.enabled:
+                    METRICS.inc("mem.host_ticks")
+                    METRICS.gauge_max("mem.committed_peak_bytes", committed)
+                    METRICS.gauge_max("mem.pressure_peak",
+                                      memory.pressure())
+                    if cycles:
+                        METRICS.inc("mem.reclaim.pages", pages)
+                if cycles > 0:
+                    yield scheduler.submit(self.kswapd, cycles,
+                                           MIX_VMM_SERVICE)
+        except Interrupted:
+            return

@@ -144,6 +144,10 @@ class VirtualMachine:
         self._service_procs: List[SimProcess] = []
         self._paused = False
         self.boot_time: Optional[float] = None
+        #: Dynamic memory state (working set + balloon), attached by
+        #: repro.virt.memory.GuestMemory.start(); None for the paper's
+        #: static single-VM configurations.
+        self.guest_memory: Optional[object] = None
 
     # -- identity -----------------------------------------------------------
 
@@ -235,6 +239,19 @@ class VirtualMachine:
         if self.vcpu is not None:
             self.host_kernel.scheduler.exit_thread(self.vcpu.thread)
         self.host_kernel.machine.memory.release(self.name)
+
+    def register_service(self, thread: Optional[SimThread] = None,
+                         proc: Optional[SimProcess] = None) -> None:
+        """Attach an auxiliary host-side service to this VM's lifecycle.
+
+        :meth:`shutdown` interrupts registered processes and exits
+        registered threads exactly like the profile's built-in service
+        loads (the memory ticker in :mod:`repro.virt.memory` uses this).
+        """
+        if thread is not None:
+            self.service_threads.append(thread)
+        if proc is not None:
+            self._service_procs.append(proc)
 
     def pause(self) -> None:
         """Suspend guest execution (service load stops accruing)."""

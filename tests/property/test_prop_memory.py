@@ -1,0 +1,94 @@
+"""Property tests: multi-VM host memory invariants (repro.virt.memory)."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import VirtualizationError
+from repro.hardware.memory import MemoryAccounting, MemorySpec
+from repro.simcore.rng import RngStreams
+from repro.units import GB, KB, MB
+from repro.virt.memory import (
+    BalloonDriver,
+    MemoryModelParams,
+    WorkingSetModel,
+    plan_vm_memory,
+)
+from repro.virt.profiles import get_profile
+
+_PARAMS = MemoryModelParams()
+_PAGE = 4 * KB
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=1, max_value=12),
+       st.floats(min_value=0.1, max_value=3.5),
+       st.sampled_from(["vmplayer", "virtualbox", "virtualpc", "qemu"]))
+def test_memory_plan_never_exceeds_ram_plus_swap(n_vms, ratio, profile_name):
+    """Any plan that constructs commits within RAM + swap; anything that
+    would not raises instead of silently clamping."""
+    spec = MemorySpec()
+    profile = get_profile(profile_name)
+    try:
+        per_vm = plan_vm_memory(spec, n_vms, ratio, profile)
+    except VirtualizationError:
+        return
+    assert per_vm >= _PARAMS.min_guest_bytes
+    assert per_vm % spec.page_bytes == 0
+    committed = n_vms * (per_vm + profile.vmm_overhead_bytes)
+    assert committed <= spec.capacity_bytes + spec.swap_bytes
+    # and the accounting layer accepts the full plan
+    memory = MemoryAccounting(spec)
+    for index in range(n_vms):
+        memory.commit(f"vm{index}", per_vm + profile.vmm_overhead_bytes)
+    assert memory.committed_bytes == committed <= memory.ceiling_bytes
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=512 * MB),
+       st.lists(st.floats(min_value=0.01, max_value=2.0),
+                min_size=1, max_size=40))
+def test_balloon_inflate_deflate_round_trips(target, dts):
+    """Driving the balloon to any target and back nets zero commitment
+    movement, page-exactly, regardless of step cadence."""
+    memory = MemoryAccounting(MemorySpec(capacity_bytes=1 * GB,
+                                         swap_bytes=2 * GB))
+    memory.commit("vm0", 600 * MB)
+    before = memory.held("vm0")
+    balloon = BalloonDriver(_PARAMS, _PAGE, max_bytes=512 * MB)
+
+    balloon.set_target(target)
+    aligned = (min(target, 512 * MB) // _PAGE) * _PAGE
+    steps = itertools.cycle(dts)  # each step makes page progress, so
+    #                               convergence is guaranteed
+    while balloon.pending_bytes:
+        moved, cycles = balloon.step(next(steps))
+        assert cycles >= 0
+        memory.adjust("vm0", -moved)
+        assert 0 <= memory.committed_bytes <= memory.ceiling_bytes
+    assert balloon.inflated_bytes == aligned
+    assert memory.held("vm0") == before - aligned
+
+    balloon.set_target(0)
+    while balloon.pending_bytes:
+        moved, _ = balloon.step(next(steps))
+        memory.adjust("vm0", -moved)
+    assert balloon.inflated_bytes == 0
+    assert memory.held("vm0") == before
+    assert balloon.total_inflated_bytes == balloon.total_deflated_bytes \
+        == aligned
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 32),
+       st.integers(min_value=64 * MB, max_value=1 * GB),
+       st.lists(st.floats(min_value=0.0, max_value=60.0),
+                min_size=1, max_size=100))
+def test_working_set_stays_within_guest_ram(seed, configured, dts):
+    """The phase-driven working set never goes negative and never
+    exceeds the guest's configured RAM, for any advance cadence."""
+    model = WorkingSetModel(RngStreams(seed).fork("ws"), configured,
+                            _PARAMS)
+    for dt in dts:
+        model.advance(dt)
+        assert 0 <= model.working_set_bytes <= configured

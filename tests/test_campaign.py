@@ -105,6 +105,34 @@ class TestSpec:
         with pytest.raises(ExperimentError, match="unknown scenario kind"):
             Scenario(kind="banana")
 
+    def test_memory_axes_round_trip(self):
+        spec = CampaignSpec.from_dict({
+            "name": "mem",
+            "scenarios": [{"kind": "fleet",
+                           "memory": {"vms_per_host": [1, 2],
+                                      "overcommit_ratio": [1.0, 1.5]},
+                           "params": {"hosts": 12}}],
+        })
+        [scenario] = spec.scenarios
+        assert scenario.memory_dict["vms_per_host"] == (1, 2)
+        assert CampaignSpec.from_dict(spec.to_dict()).to_dict() == \
+            spec.to_dict()
+
+    def test_unknown_memory_axis_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown memory axis"):
+            Scenario(kind="fleet", memory=(("swapiness", (1,)),))
+
+    def test_memory_axis_clash_with_grid_rejected(self):
+        with pytest.raises(ExperimentError, match="exactly one place"):
+            Scenario(kind="fleet",
+                     grid=(("vms_per_host", (1, 2)),),
+                     memory=(("vms_per_host", (4,)),))
+
+    def test_sweep_scenario_rejects_memory(self):
+        with pytest.raises(ExperimentError, match="no 'memory' axes"):
+            Scenario(kind="sweep", sweep="l2",
+                     memory=(("vms_per_host", (2,)),))
+
 
 class TestPlanner:
     def _spec(self, **scenario_kwargs):
@@ -160,6 +188,30 @@ class TestPlanner:
         points = plan_campaign(self._spec(kind="sweep", sweep="l2",
                                           values=(0.5,)))
         assert [p.params_dict["value"] for p in points] == [0.5]
+
+    def test_memory_axes_cross_like_grid_axes(self):
+        points = plan_campaign(self._spec(
+            kind="fleet",
+            grid=(("hosts", (12, 24)),),
+            memory=(("vms_per_host", (1, 2)),
+                    ("overcommit_ratio", (1.0, 1.5))),
+            params=(("seed", 3),)))
+        assert len(points) == 8
+        assert len({p.key for p in points}) == 8
+        combos = {(p.params_dict["hosts"], p.params_dict["vms_per_host"],
+                   p.params_dict["overcommit_ratio"]) for p in points}
+        assert (24, 2, 1.5) in combos
+
+    def test_memory_axes_reach_figure_kwargs(self):
+        points = plan_campaign(self._spec(
+            kind="figure", figures=("balloon_storm",),
+            memory=(("vms_per_host", (2, 4)),)))
+        assert [p.params_dict["vms_per_host"] for p in points] == [2, 4]
+
+    def test_bad_memory_value_fails_at_plan_time(self):
+        with pytest.raises(CampaignPointError, match="invalid fleet point"):
+            plan_campaign(self._spec(
+                kind="fleet", memory=(("overcommit_ratio", (9.0,)),)))
 
 
 def _payload_bytes(result):

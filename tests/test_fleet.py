@@ -14,6 +14,7 @@ from repro.fleet import (
     fleet_slowdown,
     fleet_slowdowns,
     resolve_hypervisor,
+    sample_host,
     simulate_fleet,
 )
 from repro.fleet.churn import (
@@ -101,6 +102,54 @@ class TestFleetConfig:
         small = FleetConfig(hosts=50).resolved_workunits()
         large = FleetConfig(hosts=500).resolved_workunits()
         assert large > small >= 50
+
+
+class TestMemoryAxes:
+    """vms_per_host / overcommit_ratio: the repro.virt.memory reduction."""
+
+    def test_defaults_change_nothing(self):
+        from repro.fleet import memory_slowdown_factor
+
+        assert memory_slowdown_factor() == 1.0
+        assert FleetConfig().memory_factor() == 1.0
+        assert FleetConfig().mean_slowdown() == \
+            FleetConfig(vms_per_host=1, overcommit_ratio=1.0).mean_slowdown()
+
+    def test_factor_monotone_in_both_axes(self):
+        from repro.fleet import memory_slowdown_factor
+
+        assert memory_slowdown_factor(1) <= memory_slowdown_factor(2) \
+            < memory_slowdown_factor(4) < memory_slowdown_factor(8)
+        assert memory_slowdown_factor(2, 1.0) < \
+            memory_slowdown_factor(2, 1.5) < memory_slowdown_factor(2, 2.0)
+
+    def test_factor_validates_inputs(self):
+        from repro.fleet import memory_slowdown_factor
+
+        with pytest.raises(ExperimentError):
+            memory_slowdown_factor(0)
+        with pytest.raises(ExperimentError):
+            memory_slowdown_factor(2, 0.0)
+
+    def test_config_validates_memory_fields(self):
+        with pytest.raises(ExperimentError, match="vms_per_host"):
+            FleetConfig(vms_per_host=0)
+        with pytest.raises(ExperimentError, match="overcommit_ratio"):
+            FleetConfig(overcommit_ratio=3.5)
+
+    def test_memory_fields_slow_sampled_hosts(self):
+        base = sample_host(FleetConfig(seed=3), 0)
+        loaded = sample_host(
+            FleetConfig(seed=3, vms_per_host=4, overcommit_ratio=1.5), 0)
+        assert loaded.slowdown > base.slowdown
+        assert loaded.gflops == base.gflops  # only the slowdown moves
+
+    def test_memory_fields_are_cache_identity(self):
+        a = FleetConfig().to_dict()
+        b = FleetConfig(vms_per_host=2).to_dict()
+        assert a != b
+        assert a["vms_per_host"] == 1
+        assert b["vms_per_host"] == 2
 
 
 class TestChurn:

@@ -71,3 +71,44 @@ class TestOvercommit:
         # 300 MB guest + VMM overhead in a 1 GB host: no paging
         memory.commit("vmplayer:vm0", 324 * MB)
         assert memory.paging_penalty_factor() == 1.0
+
+
+class TestDynamicCommitment:
+    """The adjust() path the balloon driver drives (repro.virt.memory)."""
+
+    def test_held_and_pressure(self, memory):
+        assert memory.held("vm0") == 0
+        memory.commit("vm0", 512 * MB)
+        assert memory.held("vm0") == 512 * MB
+        assert memory.pressure() == 0.5
+
+    def test_ceiling_is_ram_plus_swap(self, memory):
+        assert memory.ceiling_bytes == 2 * GB
+
+    def test_swap_used_only_past_ram(self, memory):
+        memory.commit("a", 900 * MB)
+        assert memory.swap_used_bytes == 0
+        memory.commit("b", 300 * MB)
+        assert memory.swap_used_bytes == 176 * MB
+
+    def test_adjust_grows_and_shrinks(self, memory):
+        memory.commit("vm0", 300 * MB)
+        assert memory.adjust("vm0", 50 * MB) == 350 * MB
+        assert memory.adjust("vm0", -100 * MB) == 250 * MB
+        assert memory.committed_bytes == 250 * MB
+
+    def test_adjust_respects_ceiling(self, memory):
+        memory.commit("vm0", 1 * GB)
+        with pytest.raises(SimulationError):
+            memory.adjust("vm0", 2 * GB)
+
+    def test_adjust_below_zero_rejected(self, memory):
+        memory.commit("vm0", 10 * MB)
+        with pytest.raises(SimulationError):
+            memory.adjust("vm0", -20 * MB)
+
+    def test_adjust_round_trip_is_exact(self, memory):
+        memory.commit("vm0", 400 * MB)
+        memory.adjust("vm0", -128 * MB)
+        memory.adjust("vm0", 128 * MB)
+        assert memory.held("vm0") == 400 * MB

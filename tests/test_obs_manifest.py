@@ -66,6 +66,20 @@ class TestValidate:
             make_manifest(cache={"outcome": "maybe"}))
         assert any("outcome" in p for p in problems)
 
+    def test_mem_section_is_optional(self):
+        assert validate_manifest(make_manifest()) == []
+        good = make_manifest(mem={
+            "counters": {"mem.ticks": 12, "mem.reclaim.pages": 300},
+            "gauges": {"mem.committed_peak_bytes": 1.0e9}})
+        assert validate_manifest(good) == []
+
+    def test_bad_mem_section_flagged(self):
+        problems = validate_manifest(make_manifest(mem=[1, 2]))
+        assert any("mem is not a mapping" in p for p in problems)
+        problems = validate_manifest(
+            make_manifest(mem={"counters": {}}))
+        assert any("mem.gauges" in p for p in problems)
+
 
 class TestWriteLoad:
     def test_round_trip(self, tmp_path):
@@ -128,3 +142,13 @@ class TestRunIdAndRender:
         assert "engine.events_dispatched" in text
         assert "miss" in text
         assert "generate" in text
+
+    def test_render_mem_line(self):
+        text = render_manifest(make_manifest(mem={
+            "counters": {"mem.ticks": 12, "mem.reclaim.pages": 300},
+            "gauges": {"mem.committed_peak_bytes": 2.0 * 2 ** 30}}))
+        assert "ticks=12" in text
+        assert "reclaim-pages=300" in text
+        assert "committed-peak=2048MB" in text
+        # no mem section, no mem line
+        assert "committed-peak" not in render_manifest(make_manifest())

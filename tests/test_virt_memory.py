@@ -1,0 +1,231 @@
+"""Multi-VM host memory subsystem (repro.virt.memory)."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.core.figures import generate_figure
+from repro.core.multivm import MultiVmConfig, run_multivm_impact
+from repro.core.testbed import build_host_testbed
+from repro.errors import ExperimentError, VirtualizationError
+from repro.faults import injected, parse_fault_spec
+from repro.simcore.rng import RngStreams
+from repro.units import GB, MB
+from repro.virt.memory import (
+    GuestMemory,
+    MemoryModelParams,
+    MemoryPressureController,
+    MultiVmHost,
+    WorkingSetModel,
+    plan_vm_memory,
+)
+from repro.virt.profiles import get_profile
+from repro.virt.vm import VirtualMachine, VmConfig
+
+
+def _booted_host(seed=11, n_vms=2, overcommit_ratio=1.0, params=None):
+    testbed = build_host_testbed(seed, with_peer=False,
+                                 with_timeserver=False)
+    host = MultiVmHost(testbed.kernel, testbed.rng.fork("multivm"),
+                       n_vms=n_vms, overcommit_ratio=overcommit_ratio,
+                       params=params)
+    testbed.run_to_completion(
+        testbed.engine.process(host.boot(), name="boot"))
+    return testbed, host
+
+
+class TestModelParams:
+    def test_defaults_validate(self):
+        MemoryModelParams()
+
+    def test_bad_tick_interval_rejected(self):
+        with pytest.raises(VirtualizationError):
+            MemoryModelParams(tick_interval_s=0.0)
+
+    def test_bad_working_set_band_rejected(self):
+        with pytest.raises(VirtualizationError):
+            MemoryModelParams(ws_floor_frac=0.9, ws_ceil_frac=0.5)
+
+
+class TestWorkingSet:
+    def test_deterministic_for_equal_seeds(self):
+        a = WorkingSetModel(RngStreams(5).fork("ws"), 256 * MB,
+                            MemoryModelParams())
+        b = WorkingSetModel(RngStreams(5).fork("ws"), 256 * MB,
+                            MemoryModelParams())
+        for _ in range(200):
+            a.advance(0.25)
+            b.advance(0.25)
+        assert a.working_set_bytes == b.working_set_bytes
+
+    def test_negative_dt_rejected(self):
+        model = WorkingSetModel(RngStreams(5).fork("ws"), 256 * MB,
+                                MemoryModelParams())
+        with pytest.raises(VirtualizationError):
+            model.advance(-1.0)
+
+
+class TestPlan:
+    def test_default_single_vm_plan(self):
+        testbed = build_host_testbed(7, with_peer=False,
+                                     with_timeserver=False)
+        spec = testbed.kernel.machine.memory.spec
+        per_vm = plan_vm_memory(spec, 1, 1.0, get_profile("virtualbox"))
+        assert per_vm % spec.page_bytes == 0
+        assert per_vm + get_profile("virtualbox").vmm_overhead_bytes \
+            <= spec.capacity_bytes
+
+    def test_overfull_plan_rejected(self):
+        testbed = build_host_testbed(7, with_peer=False,
+                                     with_timeserver=False)
+        spec = testbed.kernel.machine.memory.spec
+        with pytest.raises(VirtualizationError):
+            plan_vm_memory(spec, 2, 3.2, get_profile("virtualbox"))
+
+    def test_too_many_vms_rejected(self):
+        testbed = build_host_testbed(7, with_peer=False,
+                                     with_timeserver=False)
+        spec = testbed.kernel.machine.memory.spec
+        with pytest.raises(VirtualizationError):
+            plan_vm_memory(spec, 64, 1.0, get_profile("virtualbox"))
+
+
+class TestGuestMemory:
+    def test_requires_running_vm(self):
+        testbed = build_host_testbed(9, with_peer=False,
+                                     with_timeserver=False)
+        vm = VirtualMachine(testbed.kernel, get_profile("virtualbox"),
+                            VmConfig(name="vm0", memory_bytes=300 * MB))
+        with pytest.raises(VirtualizationError):
+            GuestMemory(vm, testbed.rng.fork("mem"))
+
+    def test_attaches_to_vm(self):
+        testbed, host = _booted_host()
+        for vm in host.vms:
+            assert isinstance(vm.guest_memory, GuestMemory)
+            assert vm.guest_memory.configured_bytes == vm.config.memory_bytes
+        host.shutdown()
+
+
+class TestController:
+    def test_balloons_down_to_headroom_limit(self):
+        testbed, host = _booted_host(n_vms=4, overcommit_ratio=1.8)
+        memory = testbed.kernel.machine.memory
+        limit = int(memory.spec.capacity_bytes
+                    * (1.0 - MemoryModelParams().headroom_frac))
+        testbed.engine.run(until=8.0)
+        # balloon takes are page-truncated per guest, so convergence can
+        # sit up to one page per VM above the exact limit
+        assert memory.committed_bytes <= limit + 4 * memory.spec.page_bytes
+        assert host.balloon_moved_bytes > 0
+        host.shutdown()
+
+    def test_no_pressure_no_ballooning(self):
+        params = MemoryModelParams()
+        testbed, host = _booted_host(n_vms=2, overcommit_ratio=0.6,
+                                     params=params)
+        memory = testbed.kernel.machine.memory
+        controller = MemoryPressureController(memory, params)
+        guests = [vm.guest_memory for vm in host.vms]
+        assert controller.rebalance(guests) <= 0
+        assert all(g.balloon.target_bytes == 0 for g in guests)
+        host.shutdown()
+
+
+class TestMultiVmHost:
+    def test_shutdown_releases_every_byte(self):
+        testbed, host = _booted_host(n_vms=4, overcommit_ratio=1.5)
+        memory = testbed.kernel.machine.memory
+        testbed.engine.run(until=4.0)
+        assert memory.committed_bytes > 0
+        host.shutdown()
+        assert memory.committed_bytes == 0
+
+    def test_string_and_profile_agree(self):
+        testbed = build_host_testbed(13, with_peer=False,
+                                     with_timeserver=False)
+        a = MultiVmHost(testbed.kernel, testbed.rng.fork("a"), n_vms=2,
+                        profile="virtualbox")
+        b = MultiVmHost(testbed.kernel, testbed.rng.fork("b"), n_vms=2,
+                        profile=get_profile("virtualbox"))
+        assert a.per_vm_bytes == b.per_vm_bytes
+
+    def test_intrusiveness_monotone_in_vm_count(self):
+        mips = {}
+        for n_vms in (0, 2, 4):
+            config = MultiVmConfig(n_vms=n_vms, overcommit_ratio=1.25,
+                                   duration_s=3.0, host_threads=1)
+            mips[n_vms] = run_multivm_impact(config, seed=21)["mips"]
+        assert mips[0] > mips[2] > mips[4] > 0.0
+
+    def test_overcommit_costs_guest_throughput(self):
+        low = run_multivm_impact(
+            MultiVmConfig(n_vms=4, overcommit_ratio=0.8, duration_s=3.0,
+                          host_threads=0), seed=23)
+        high = run_multivm_impact(
+            MultiVmConfig(n_vms=4, overcommit_ratio=2.0, duration_s=3.0,
+                          host_threads=0), seed=23)
+        assert high["guest_ginstr"] < low["guest_ginstr"]
+        assert high["reclaim_pages"] > low["reclaim_pages"] == 0.0
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ExperimentError):
+            MultiVmConfig(n_vms=-1)
+        with pytest.raises(ExperimentError):
+            MultiVmConfig(overcommit_ratio=0.0)
+
+
+class TestPressureSpikeFault:
+    def test_spike_site_composes_with_storm(self):
+        plan = parse_fault_spec("seed=5,mem.pressure_spike=1.0")
+        with injected(plan):
+            result = run_multivm_impact(
+                MultiVmConfig(n_vms=2, overcommit_ratio=1.0,
+                              duration_s=3.0, host_threads=0), seed=31)
+        assert result["spikes_injected"] > 0
+
+    def test_no_plan_no_spikes(self):
+        result = run_multivm_impact(
+            MultiVmConfig(n_vms=2, overcommit_ratio=1.0, duration_s=3.0,
+                          host_threads=0), seed=31)
+        assert result["spikes_injected"] == 0
+
+
+class TestParallelEquivalence:
+    """Serial and --jobs 2 runs are byte-identical per new figure."""
+
+    @pytest.mark.parametrize("fig_id,kwargs", [
+        ("multivm_intrusiveness",
+         {"duration_s": 2.0, "default_reps": 2, "vm_counts": (2,)}),
+        ("balloon_storm", {"duration_s": 2.0, "default_reps": 2}),
+        ("overcommit_sweep",
+         {"duration_s": 2.0, "default_reps": 2, "ratios": (1.6,)}),
+    ])
+    def test_serial_matches_jobs2(self, fig_id, kwargs):
+        from repro.api import RunConfig, RunRequest, run
+
+        def canonical(jobs):
+            result = run(RunRequest(
+                kind="figure", target=fig_id,
+                config=RunConfig(jobs=jobs), options=dict(kwargs)))
+            return json.dumps(result.figure.to_dict(), sort_keys=True)
+
+        assert canonical(1) == canonical(2)
+
+
+class TestFigures:
+    def test_multivm_intrusiveness_series_monotone(self):
+        with api.activated(api.RunConfig(jobs=1)):
+            fig = generate_figure("multivm_intrusiveness", duration_s=3.0,
+                                  default_reps=2, vm_counts=(2, 4))
+        two = fig.series["2 VMs"].value
+        four = fig.series["4 VMs"].value
+        assert 0.0 < two < four < 1.0
+
+    def test_balloon_storm_reports_traffic(self):
+        with api.activated(api.RunConfig(jobs=1)):
+            fig = generate_figure("balloon_storm", duration_s=3.0,
+                                  default_reps=2)
+        assert fig.series["balloon moved (MB)"].value > 0
+        assert fig.series["guest throughput (Ginstr)"].value > 0
