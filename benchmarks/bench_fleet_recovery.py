@@ -1,0 +1,31 @@
+"""Fleet failure & recovery figures — outage scale and checkpoint cadence."""
+
+import pytest
+
+from _bench_util import figure_once
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_fleet_outage(benchmark, record_figure):
+    fig = figure_once(benchmark, "fleet_outage")
+    record_figure(fig)
+    measured = fig.measured_values()
+    makespans = {k: v for k, v in measured.items() if "makespan" in k}
+    wastes = {k: v for k, v in measured.items() if "waste" in k}
+    assert makespans and wastes
+    assert all(v > 0.0 for v in makespans.values())
+    assert all(0.0 <= v < 1.0 for v in wastes.values())
+    # the fault-free baseline (0.0h scale) never loses to the storms
+    baseline = makespans["0.0h scale makespan p90 (h)"]
+    assert baseline <= max(makespans.values())
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_fleet_checkpoint(benchmark, record_figure):
+    fig = figure_once(benchmark, "fleet_checkpoint")
+    record_figure(fig)
+    measured = fig.measured_values()
+    assert all(0.0 <= v < 1.0 for v in measured.values())
+    # a sane cadence beats both extremes of the tax/rollback U-curve:
+    # no checkpoints lose whole units to crashes
+    assert measured["every 15 min"] < measured["no checkpoints"]

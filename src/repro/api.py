@@ -453,6 +453,20 @@ def _mem_section(snapshot: Optional[Dict[str, Any]]
     return {"counters": counters, "gauges": gauges}
 
 
+def _recovery_section(report: Any) -> Optional[Dict[str, Any]]:
+    """The manifest's ``recovery`` block: fleet failure-&-recovery tallies.
+
+    Passes through :attr:`repro.fleet.FleetReport.recovery` (outages
+    injected, uploads retried/lost, rollback seconds, degraded-mode
+    windows).  Returns ``None`` when the run saw no recovery activity,
+    so fault-free fleet manifests keep their previous shape.
+    """
+    recovery = getattr(report, "recovery", None)
+    if not recovery or not any(recovery.values()):
+        return None
+    return dict(recovery)
+
+
 def _audit_section(thash_snapshot: Dict[str, Any]) -> Dict[str, Any]:
     """The manifest's ``audit`` block: a per-stream trace-hash summary.
 
@@ -485,7 +499,8 @@ def build_manifest(command: str, config: RunConfig,
                    run_id: Optional[str] = None,
                    faults: Optional[Dict[str, Any]] = None,
                    audit: Optional[Dict[str, Any]] = None,
-                   mem: Optional[Dict[str, Any]] = None
+                   mem: Optional[Dict[str, Any]] = None,
+                   recovery: Optional[Dict[str, Any]] = None
                    ) -> Dict[str, Any]:
     """Assemble a schema-valid run manifest (shared by figures/sweeps)."""
     import platform
@@ -523,6 +538,8 @@ def build_manifest(command: str, config: RunConfig,
         manifest["audit"] = audit
     if mem is not None:
         manifest["mem"] = mem
+    if recovery is not None:
+        manifest["recovery"] = recovery
     return manifest
 
 
@@ -720,6 +737,7 @@ def _run_fleet(fleet_config: Any,
             phases=phases, snapshot=snapshot, cache_outcome=outcome,
             seeds={"seed": fleet_config.seed}, figure=figure, run_id=run_id,
             faults=_faults_section(plan, snapshot),
+            recovery=_recovery_section(report),
         )
         manifest["fleet"] = fleet_config.to_dict()
         manifest_path = str(write_manifest(manifest, config.runs_dir))

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.campaign.spec import CampaignSpec, Scenario
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ReproError
 
 #: Registered sensitivity sweeps: CLI/spec name -> ``repro.analysis``
 #: function name (looked up with ``getattr`` at run time so tests can
@@ -117,6 +117,33 @@ def _grid_combos(scenario: Scenario):
         yield varying, merged
 
 
+def _fault_tokens(scenario: Scenario) -> List[Optional[str]]:
+    """Canonical tokens of the scenario's ``faults`` axis.
+
+    ``None`` stands for the fault-free baseline (no axis, or an empty
+    string entry).  Non-empty entries parse through
+    :func:`repro.faults.parse_fault_spec` *now* — unknown sites and bad
+    probabilities fail at plan time — and canonicalise, so two
+    spellings of one plan dedup to the same point key.
+    """
+    from repro.faults import parse_fault_spec
+
+    if not scenario.faults:
+        return [None]
+    tokens: List[Optional[str]] = []
+    for raw in scenario.faults:
+        if not raw.strip():
+            tokens.append(None)
+            continue
+        try:
+            tokens.append(parse_fault_spec(raw).canonical_spec())
+        except ReproError as exc:
+            raise CampaignPointError(
+                f"campaign plan: bad 'faults' entry {raw!r}: {exc}"
+            ) from exc
+    return tokens
+
+
 def _plan_figure(scenario: Scenario) -> List[CampaignPoint]:
     from repro.core.figures import FIGURES
 
@@ -126,14 +153,24 @@ def _plan_figure(scenario: Scenario) -> List[CampaignPoint]:
             raise CampaignPointError(
                 f"campaign plan: unknown figure {fig_id!r}; "
                 f"try `repro list`")
-        for varying, merged in _grid_combos(scenario):
-            if "figure" in merged:
-                raise CampaignPointError(
-                    "campaign plan: 'figure' is set by the 'figures' "
-                    "axis; do not repeat it in grid/params")
-            params = {"figure": fig_id, **merged}
-            points.append(_make_point(
-                "figure", params, _label(f"figure {fig_id}", varying)))
+        for token in _fault_tokens(scenario):
+            for varying, merged in _grid_combos(scenario):
+                if "figure" in merged:
+                    raise CampaignPointError(
+                        "campaign plan: 'figure' is set by the 'figures' "
+                        "axis; do not repeat it in grid/params")
+                if "faults" in merged:
+                    raise CampaignPointError(
+                        "campaign plan: 'faults' is its own axis; do not "
+                        "repeat it in grid/params")
+                params = {"figure": fig_id, **merged}
+                label_vary = dict(varying)
+                if token is not None:
+                    params["faults"] = token
+                    label_vary["faults"] = token
+                points.append(_make_point(
+                    "figure", params,
+                    _label(f"figure {fig_id}", label_vary)))
     return points
 
 
@@ -141,21 +178,31 @@ def _plan_fleet(scenario: Scenario) -> List[CampaignPoint]:
     from repro.fleet import FleetConfig
 
     points = []
-    for varying, merged in _grid_combos(scenario):
-        try:
-            config = FleetConfig(**merged)
-        except TypeError as exc:
-            raise CampaignPointError(
-                f"campaign plan: bad fleet field: {exc}") from exc
-        except ExperimentError as exc:
-            raise CampaignPointError(
-                f"campaign plan: invalid fleet point "
-                f"{_label('fleet', varying)}: {exc}") from exc
-        # Canonical params come from the validated config (aliases such
-        # as hypervisor="vmware" normalise), so equivalent spellings
-        # dedup to the same point key.
-        points.append(_make_point(
-            "fleet", config.to_dict(), _label("fleet", varying)))
+    for token in _fault_tokens(scenario):
+        for varying, merged in _grid_combos(scenario):
+            if "faults" in merged:
+                raise CampaignPointError(
+                    "campaign plan: 'faults' is its own axis; do not "
+                    "repeat it in grid/params")
+            try:
+                config = FleetConfig(**merged)
+            except TypeError as exc:
+                raise CampaignPointError(
+                    f"campaign plan: bad fleet field: {exc}") from exc
+            except ExperimentError as exc:
+                raise CampaignPointError(
+                    f"campaign plan: invalid fleet point "
+                    f"{_label('fleet', varying)}: {exc}") from exc
+            # Canonical params come from the validated config (aliases
+            # such as hypervisor="vmware" normalise), so equivalent
+            # spellings dedup to the same point key.
+            params = config.to_dict()
+            label_vary = dict(varying)
+            if token is not None:
+                params["faults"] = token
+                label_vary["faults"] = token
+            points.append(_make_point(
+                "fleet", params, _label("fleet", label_vary)))
     return points
 
 

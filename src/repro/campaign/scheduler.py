@@ -177,8 +177,11 @@ def point_cache_key(point: CampaignPoint, config: Any) -> Optional[str]:
 
     if point.kind == "sweep":
         return None
-    fault_token = None
-    if config.fault_spec:
+    point_params = dict(point.params_dict)
+    # A point's own faults-axis token overrides the campaign-level
+    # --faults spec for that point (exactly as run_point applies it).
+    fault_token = point_params.pop("faults", None)
+    if fault_token is None and config.fault_spec:
         from repro.faults import parse_fault_spec
 
         plan = parse_fault_spec(config.fault_spec)
@@ -186,7 +189,7 @@ def point_cache_key(point: CampaignPoint, config: Any) -> Optional[str]:
             fault_token = plan.canonical_spec()
     cache = ResultCache()
     if point.kind == "figure":
-        kwargs = {name: value for name, value in point.params
+        kwargs = {name: value for name, value in point_params.items()
                   if name != "figure"}
         if config.base_seed is not None:
             kwargs.setdefault("base_seed", config.base_seed)
@@ -196,9 +199,9 @@ def point_cache_key(point: CampaignPoint, config: Any) -> Optional[str]:
         }
         if fault_token is not None:
             params["faults"] = fault_token
-        return cache.key(f"figure:{point.params_dict['figure']}", params)
+        return cache.key(f"figure:{point_params['figure']}", params)
     if point.kind == "fleet":
-        params = {"config": point.params_dict}
+        params = {"config": point_params}
         if fault_token is not None:
             params["faults"] = fault_token
         return cache.key("fleet", params)
@@ -237,7 +240,14 @@ def run_point(point: CampaignPoint, config: Any = None) -> PointResult:
     from repro.obs.metrics import METRICS
 
     config = config if config is not None else api.RunConfig()
-    params = point.params_dict
+    params = dict(point.params_dict)
+    # The faults-axis token rides in the point params (it is part of
+    # the point's identity) but executes as the run's fault spec; a
+    # point-level token overrides any campaign-level --faults for the
+    # duration of that point.
+    fault_token = params.pop("faults", None)
+    if fault_token is not None:
+        config = config.with_overrides(fault_spec=fault_token)
     started = time.perf_counter()
     before = _cache_counters() if METRICS.enabled else None
     if point.kind == "figure":
@@ -274,6 +284,34 @@ def run_point(point: CampaignPoint, config: Any = None) -> PointResult:
         point=point, payload=payload, status=COMPUTED, cache=outcome,
         wall_s=time.perf_counter() - started, result=inner,
     )
+
+
+def _recovery_totals(results: List[PointResult]
+                     ) -> Optional[Dict[str, float]]:
+    """Campaign-wide recovery tallies, summed over unique points.
+
+    Deduped points share their payload with an earlier occurrence, so
+    only computed/resumed points contribute — each unique point exactly
+    once.  Returns None when no point saw recovery activity, keeping
+    recovery-free campaign manifests in their previous shape.
+    """
+    keys = ("outages", "outage_s", "uploads_retried", "uploads_lost",
+            "vm_crashes", "rolled_back_s", "degraded_windows",
+            "degraded_s", "degraded_validated")
+    totals: Dict[str, float] = {key: 0 for key in keys}
+    active = False
+    for item in results:
+        if item.status == DEDUPED:
+            continue
+        payload = item.payload
+        recovery = payload.get("recovery") \
+            if isinstance(payload, dict) else None
+        if not recovery or not any(recovery.values()):
+            continue
+        active = True
+        for key in keys:
+            totals[key] += recovery.get(key, 0)
+    return totals if active else None
 
 
 def _campaign_section(spec: CampaignSpec,
@@ -426,6 +464,7 @@ def run_campaign(spec: CampaignSpec, config: Any = None, *,
             run_id=run_id,
             faults=api._faults_section(plan, snapshot)
             if plan is not None else None,
+            recovery=_recovery_totals(results),
         )
         manifest["campaign"] = section
         manifest_path = str(write_manifest(manifest, config.runs_dir))

@@ -28,6 +28,15 @@ are a separate table so a spec reads as *what memory regime* is being
 swept, and so the planner can reject them where they make no sense
 (sweep scenarios).
 
+Figure and fleet scenarios also take a ``faults`` axis: a list of
+fault-spec strings (``"seed=9,server.outage=0.25"``; see
+:func:`repro.faults.parse_fault_spec`), each crossing with the grid as
+one more — slowest-varying — axis.  The empty string is the fault-free
+baseline.  Every non-empty entry is parsed at plan time (unknown sites
+fail before anything runs) and its *canonical* spec string folds into
+the point key and cache identity, so a chaos point never collides with
+its fault-free twin.
+
 The same shape parses from JSON and TOML::
 
     {
@@ -97,6 +106,7 @@ class Scenario:
     grid: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
     params: Tuple[Tuple[str, Any], ...] = ()
     memory: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    faults: Tuple[str, ...] = ()
 
     def __post_init__(self):
         if self.kind not in SCENARIO_KINDS:
@@ -116,6 +126,13 @@ class Scenario:
         if self.kind == "sweep" and self.memory:
             raise ExperimentError(
                 "campaign spec: sweep scenarios take no 'memory' axes")
+        if self.kind == "sweep" and self.faults:
+            raise ExperimentError(
+                "campaign spec: sweep scenarios take no 'faults' axis")
+        if any(not isinstance(token, str) for token in self.faults):
+            raise ExperimentError(
+                "campaign spec: 'faults' must list fault-spec strings, "
+                f"got {list(self.faults)!r}")
         bad = sorted(set(dict(self.memory)) - set(MEMORY_AXES))
         if bad:
             raise ExperimentError(
@@ -147,7 +164,7 @@ class Scenario:
                 f"campaign spec: each scenario must be a table/object, "
                 f"got {payload!r}")
         known = {"kind", "figures", "sweep", "values", "grid", "params",
-                 "memory"}
+                 "memory", "faults"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise ExperimentError(
@@ -174,6 +191,11 @@ class Scenario:
             (name, _freeze_values(f"memory axis {name!r}", axis_values))
             for name, axis_values
             in _freeze_mapping("'memory'", payload.get("memory")))
+        faults: Tuple[str, ...] = ()
+        if "faults" in payload:
+            faults = tuple(
+                str(t) for t in _freeze_values("'faults'",
+                                               payload["faults"]))
         return cls(
             kind=kind,
             figures=figures,
@@ -182,6 +204,7 @@ class Scenario:
             grid=grid,
             params=_freeze_mapping("'params'", payload.get("params")),
             memory=memory,
+            faults=faults,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -198,6 +221,8 @@ class Scenario:
             out["params"] = dict(self.params)
         if self.memory:
             out["memory"] = {name: list(axis) for name, axis in self.memory}
+        if self.faults:
+            out["faults"] = list(self.faults)
         return out
 
 

@@ -331,6 +331,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             error_rate=args.error_rate,
             vms_per_host=args.vms_per_host,
             overcommit_ratio=args.overcommit,
+            checkpoint_interval_s=args.checkpoint_interval,
+            upload_retries=args.upload_retries,
+            upload_backoff_s=args.upload_backoff,
+            degraded_threshold=args.degraded,
         )
     except ExperimentError as exc:
         print(f"fleet: {exc}", file=sys.stderr)
@@ -777,6 +781,24 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="RATIO", dest="overcommit",
                        help="configured guest RAM / physical RAM "
                             "(default: 1.0)")
+    fleet.add_argument("--checkpoint-interval", type=float, default=0.0,
+                       metavar="S", dest="checkpoint_interval",
+                       help="guest checkpoint cadence in seconds; a "
+                            "vm.crash rolls work back to the last "
+                            "checkpoint (default: 0 = no checkpoints, "
+                            "crashes lose the whole result)")
+    fleet.add_argument("--upload-retries", type=int, default=3,
+                       metavar="N", dest="upload_retries",
+                       help="upload attempts before a blocked result is "
+                            "dropped (default: 3)")
+    fleet.add_argument("--upload-backoff", type=float, default=900.0,
+                       metavar="S", dest="upload_backoff",
+                       help="base upload retry backoff in seconds, "
+                            "doubling per attempt (default: 900)")
+    fleet.add_argument("--degraded", type=int, default=0, metavar="N",
+                       help="upload backlog that trips degraded mode "
+                            "(quorum-of-1 validation, counted in the "
+                            "report; default: 0 = never degrade)")
     fleet.add_argument("--json", action="store_true",
                        help="print the canonical JSON report instead of "
                             "the summary (CI equivalence checks)")

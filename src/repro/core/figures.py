@@ -487,6 +487,20 @@ def fleet_waste(**kwargs) -> FigureData:
     return fleet_waste_figure(**kwargs)
 
 
+def fleet_outage(**kwargs) -> FigureData:
+    """Makespan/waste vs server outage duration (arms its own plan)."""
+    from repro.fleet.figures import fleet_outage_figure
+
+    return fleet_outage_figure(**kwargs)
+
+
+def fleet_checkpoint(**kwargs) -> FigureData:
+    """Wasted CPU vs checkpoint interval under a vm.crash storm."""
+    from repro.fleet.figures import fleet_checkpoint_figure
+
+    return fleet_checkpoint_figure(**kwargs)
+
+
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
@@ -508,6 +522,8 @@ FIGURES = {
     "fleet": fleet_figure,
     "fleet_makespan": fleet_makespan,
     "fleet_waste": fleet_waste,
+    "fleet_outage": fleet_outage,
+    "fleet_checkpoint": fleet_checkpoint,
 }
 
 def figure_to_payload(fig: FigureData) -> Dict[str, Any]:

@@ -19,10 +19,17 @@ firing mode:
   ``checkpoint.lost``) fire **at most once per key** — the
   raise-once-then-succeed contract that makes bounded retry converge;
 * ``each`` sites (``worker.crash``, ``cache.corrupt``, ``host.dropout``,
-  ``mem.pressure_spike``) draw independently on every attempt.
-  ``host.dropout`` and ``mem.pressure_spike`` change results *by
-  design* (hosts vanish, guest demand spikes); the result cache keeps
-  such runs distinct via :meth:`FaultInjector.cache_token`.
+  ``mem.pressure_spike``, ``server.outage``, ``net.partition``,
+  ``vm.crash``) draw independently on every attempt.
+  ``host.dropout``, ``mem.pressure_spike`` and the three fleet recovery
+  sites change results *by design* (hosts vanish, guest demand spikes,
+  the scheduler goes down, uploads drop, guests roll back to their last
+  checkpoint); the result cache keeps such runs distinct via
+  :meth:`FaultInjector.cache_token`.  The recovery sites
+  (:mod:`repro.fleet.recovery`) key their draws on stable simulation
+  identifiers — outage slot index, replica id, upload attempt — so the
+  schedule is a pure function of the fault seed, independent of worker
+  count and event interleaving.
 
 The module-level :data:`FAULTS` injector follows the same guard contract
 as :data:`repro.obs.metrics.METRICS`: a disabled site costs one
@@ -58,6 +65,9 @@ SITES: Dict[str, str] = {
     "checkpoint.lost": TRANSIENT,  # repro.virt.checkpoint.restore_checkpoint
     "host.dropout": EACH,          # repro.fleet.server.simulate_fleet
     "mem.pressure_spike": EACH,    # repro.virt.memory.MultiVmHost host tick
+    "server.outage": EACH,         # repro.fleet.recovery.outage_windows
+    "net.partition": EACH,         # repro.fleet.server upload attempts
+    "vm.crash": EACH,              # repro.fleet.server replica dispatch
 }
 
 #: Default sleep for an injected ``worker.hang`` (kept short so abandoned

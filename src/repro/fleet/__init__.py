@@ -18,6 +18,9 @@ Layout:
 * :mod:`~repro.fleet.host` — deterministic host sampling, sharded
   across :func:`repro.core.parallel.map_shards` workers;
 * :mod:`~repro.fleet.validation` — the quorum validator;
+* :mod:`~repro.fleet.recovery` — the failure & recovery layer
+  (server outages, upload retry/loss, checkpoint rollback,
+  degraded-mode policy);
 * :mod:`~repro.fleet.server` — the discrete-event server loop and
   :class:`FleetReport`;
 * :mod:`~repro.fleet.figures` — fleet-level figures registered in
@@ -50,6 +53,12 @@ from repro.fleet.host import (
     host_shards,
     sample_host,
 )
+from repro.fleet.recovery import (
+    RecoveryPolicy,
+    checkpoint_cost_s,
+    outage_windows,
+    rollback_seconds,
+)
 from repro.fleet.server import FleetReport, FleetServer, simulate_fleet
 from repro.fleet.validation import (
     CANONICAL_KEY,
@@ -57,7 +66,9 @@ from repro.fleet.validation import (
     erroneous_key,
 )
 from repro.fleet.figures import (
+    fleet_checkpoint_figure,
     fleet_makespan_figure,
+    fleet_outage_figure,
     fleet_scale_figure,
     fleet_waste_figure,
     report_figure,
@@ -73,22 +84,28 @@ __all__ = [
     "HYPERVISOR_ALIASES",
     "MIXED_FLEET",
     "QuorumValidator",
+    "RecoveryPolicy",
     "SHARD_SIZE",
     "active_seconds",
     "availability_trace",
     "build_fleet_hosts",
+    "checkpoint_cost_s",
     "erroneous_key",
     "estimated_grid_efficiency",
     "finish_time",
+    "fleet_checkpoint_figure",
     "fleet_makespan_figure",
+    "fleet_outage_figure",
     "fleet_scale_figure",
     "fleet_slowdown",
     "fleet_slowdowns",
     "fleet_waste_figure",
     "host_shards",
     "memory_slowdown_factor",
+    "outage_windows",
     "report_figure",
     "resolve_hypervisor",
+    "rollback_seconds",
     "sample_host",
     "simulate_fleet",
 ]

@@ -53,6 +53,12 @@ class FleetConfig:
     host_gflops_sigma: float = 0.25     #: lognormal speed spread
     vms_per_host: int = 1               #: co-located VMs per volunteer host
     overcommit_ratio: float = 1.0       #: configured guest RAM / physical RAM
+    # recovery policy (see repro.fleet.recovery.RecoveryPolicy)
+    checkpoint_interval_s: float = 0.0  #: guest checkpoint cadence; 0 = off
+    upload_retries: int = 3             #: retry budget per buffered upload
+    upload_backoff_s: float = 900.0     #: base upload backoff, doubled/retry
+    degraded_threshold: int = 0         #: upload backlog that sheds quorum
+    outage_scale_s: float = 3600.0      #: server.outage duration scale
 
     def __post_init__(self):
         if self.hosts < 1:
@@ -105,11 +111,27 @@ class FleetConfig:
             raise ExperimentError(
                 f"overcommit_ratio must lie in (0, 3], "
                 f"got {self.overcommit_ratio!r}")
+        # Recovery knobs validate through the policy value object, so
+        # one message catalogue covers both construction paths.
+        self.recovery_policy()
         # canonicalise aliases ("vmware" -> "vmplayer") at the boundary
         object.__setattr__(
             self, "hypervisor", resolve_hypervisor(self.hypervisor))
 
     # -- derived policy --------------------------------------------------
+
+    def recovery_policy(self) -> "Any":
+        """The validated :class:`repro.fleet.recovery.RecoveryPolicy`
+        view over this config's flat recovery fields."""
+        from repro.fleet.recovery import RecoveryPolicy
+
+        return RecoveryPolicy(
+            checkpoint_interval_s=self.checkpoint_interval_s,
+            upload_retries=self.upload_retries,
+            upload_backoff_s=self.upload_backoff_s,
+            degraded_threshold=self.degraded_threshold,
+            outage_scale_s=self.outage_scale_s,
+        )
 
     @property
     def mixed(self) -> bool:

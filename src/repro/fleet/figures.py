@@ -8,7 +8,15 @@ result cache work unchanged):
 
 * ``fleet`` — validated-work-unit throughput vs fleet size;
 * ``fleet_makespan`` — work-unit makespan percentiles per hypervisor;
-* ``fleet_waste`` — wasted-CPU fraction per hypervisor in a mixed fleet.
+* ``fleet_waste`` — wasted-CPU fraction per hypervisor in a mixed fleet;
+* ``fleet_outage`` — makespan and waste vs server-outage duration;
+* ``fleet_checkpoint`` — wasted CPU vs guest checkpoint interval.
+
+The two recovery figures arm their own :class:`repro.faults.FaultPlan`
+internally (via :func:`repro.faults.injected`, restoring any outer
+plan): the schedule is a pure function of the figure's own fault seed,
+so the figure is deterministic and its cache identity — which folds in
+the active fault token — is distinct per sweep point.
 
 Small fleets and short horizons by default: these are figures, not the
 acceptance-scale runs (``repro fleet --hosts 1000`` is the CLI's job).
@@ -19,6 +27,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.core.figures import FigureData, MeasuredPoint
+from repro.faults import injected, parse_fault_spec
 from repro.fleet.config import FleetConfig
 from repro.fleet.server import FleetReport, simulate_fleet
 from repro.virt.profiles import PROFILE_ORDER
@@ -108,6 +117,83 @@ def fleet_waste_figure(base_seed: int = 44, hosts: int = 120,
         if stats is not None:
             fig.series[profile] = MeasuredPoint(stats["waste_fraction"])
     fig.series["fleet overall"] = MeasuredPoint(report.waste_fraction)
+    return fig
+
+
+def fleet_outage_figure(base_seed: int = 45, hosts: int = 80,
+                        duration_s: float = 43200.0,
+                        fault_seed: int = 9,
+                        outage_scales_s: Tuple[float, ...] = (
+                            0.0, 1800.0, 3600.0, 7200.0)) -> FigureData:
+    """Makespan and waste as server outages lengthen.
+
+    Scale 0 is the fault-free baseline (no plan armed); every other
+    point arms ``server.outage`` plus a light ``net.partition`` drizzle
+    and sweeps only the drawn window length, so the x-axis isolates how
+    long the scheduler stays down once it goes down.
+    """
+    fig = FigureData(
+        fig_id="fleet_outage",
+        title="Fleet makespan and waste vs server outage duration",
+        unit="mixed units (see labels)",
+        notes=(f"{hosts}-host fleet, {duration_s / 3600:.0f} h horizon; "
+               "outage windows drawn per hour-slot from the fault stream "
+               f"(fault seed {fault_seed}), uploads buffered host-side "
+               "on timeout/backoff retry."),
+    )
+    jobs = _figure_jobs()
+    spec = (f"seed={fault_seed},server.outage=0.25,net.partition=0.1")
+    for scale_s in outage_scales_s:
+        config = FleetConfig(hosts=hosts, seed=base_seed,
+                             duration_s=duration_s,
+                             outage_scale_s=scale_s or 3600.0)
+        if scale_s > 0:
+            with injected(parse_fault_spec(spec)):
+                report = simulate_fleet(config, jobs=jobs)
+        else:
+            report = simulate_fleet(config, jobs=jobs)
+        label = f"{scale_s / 3600:.1f}h scale"
+        fig.series[f"{label} makespan p90 (h)"] = MeasuredPoint(
+            report.makespan_s["p90"] / 3600.0)
+        fig.series[f"{label} waste fraction"] = MeasuredPoint(
+            report.waste_fraction)
+    return fig
+
+
+def fleet_checkpoint_figure(base_seed: int = 46, hosts: int = 80,
+                            duration_s: float = 43200.0,
+                            fault_seed: int = 10,
+                            intervals_s: Tuple[float, ...] = (
+                                0.0, 300.0, 900.0, 3600.0, 10800.0)
+                            ) -> FigureData:
+    """Wasted CPU vs guest checkpoint interval under a crash storm.
+
+    Interval 0 disables checkpointing, so every ``vm.crash`` restarts
+    its unit from scratch; short intervals pay the per-checkpoint
+    virtual-disk write on every cycle.  The sweep exposes the U-shape
+    between the two costs — the paper's intrusiveness trade-off at
+    fleet scale.
+    """
+    fig = FigureData(
+        fig_id="fleet_checkpoint",
+        title="Wasted CPU vs guest checkpoint interval (vm.crash storm)",
+        unit="fraction of contributed CPU wasted",
+        notes=(f"{hosts}-host fleet, {duration_s / 3600:.0f} h horizon, "
+               f"vm.crash armed at 0.3 (fault seed {fault_seed}); "
+               "waste balances checkpoint-write overhead against "
+               "rollback loss."),
+    )
+    jobs = _figure_jobs()
+    spec = f"seed={fault_seed},vm.crash=0.3"
+    for interval_s in intervals_s:
+        config = FleetConfig(hosts=hosts, seed=base_seed,
+                             duration_s=duration_s,
+                             checkpoint_interval_s=interval_s)
+        with injected(parse_fault_spec(spec)):
+            report = simulate_fleet(config, jobs=jobs)
+        label = ("no checkpoints" if interval_s == 0
+                 else f"every {interval_s / 60:.0f} min")
+        fig.series[label] = MeasuredPoint(report.waste_fraction)
     return fig
 
 

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.fleet.calibration import fleet_slowdown
 from repro.fleet.churn import ChurnModel, availability_trace
 from repro.fleet.config import FleetConfig
+from repro.fleet.recovery import checkpoint_cost_s
 from repro.obs.metrics import METRICS
 from repro.simcore.rng import RngStreams
 from repro.virt.profiles import PROFILE_ORDER
@@ -56,6 +57,10 @@ class FleetHost:
     error_rate: float            #: per-result erroneous probability
     sessions: List[Tuple[float, float]]
     departure_s: float
+    #: wall seconds one guest checkpoint write costs this host (the
+    #: repro.virt.checkpoint image through the hypervisor's calibrated
+    #: virtual-disk path; see repro.fleet.recovery.checkpoint_cost_s)
+    checkpoint_cost_s: float = 0.0
 
     @property
     def rate_flops_per_s(self) -> float:
@@ -70,6 +75,7 @@ class FleetHost:
             "error_rate": self.error_rate,
             "sessions": [[s, e] for s, e in self.sessions],
             "departure_s": self.departure_s,
+            "checkpoint_cost_s": self.checkpoint_cost_s,
         }
 
 def host_hypervisor(config: FleetConfig, index: int) -> str:
@@ -101,6 +107,7 @@ def sample_host(config: FleetConfig, index: int) -> FleetHost:
         gflops=gflops,
         availability=availability, error_rate=config.error_rate,
         sessions=sessions, departure_s=departure,
+        checkpoint_cost_s=checkpoint_cost_s(hypervisor, gflops),
     )
 
 
@@ -134,6 +141,7 @@ def _host_from_dict(payload: Dict[str, Any]) -> FleetHost:
         error_rate=payload["error_rate"],
         sessions=[(s, e) for s, e in payload["sessions"]],
         departure_s=payload["departure_s"],
+        checkpoint_cost_s=payload.get("checkpoint_cost_s", 0.0),
     )
 
 

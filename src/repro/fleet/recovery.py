@@ -1,0 +1,170 @@
+"""Fleet failure & recovery: outages, upload retry, checkpoint rollback.
+
+The fleet's original fault surface was host churn only — the BOINC
+server was perfect, uploads never failed, and a crashed guest lost its
+whole work unit.  This module adds the grid-side failure model the
+paper's intrusiveness story implies (VMs survive volunteer-host
+disruption *because* their state checkpoints to the host disk, §1) and
+V-BOINC demonstrates at scale:
+
+* ``server.outage`` — the scheduler goes down for drawn windows.  While
+  down, dispatch halts (hosts re-poll at the window's end) and finished
+  results buffer host-side, retried on the timeout/backoff policy of
+  :class:`RecoveryPolicy`;
+* ``net.partition`` — an individual upload attempt is lost; the host
+  retries with exponential backoff until :attr:`~RecoveryPolicy.
+  upload_retries` is exhausted, after which the result is gone for good
+  (delayed deliveries interact with deadlines: a result arriving past
+  its deadline is stale, exactly as in the fault-free server);
+* ``vm.crash`` — the guest dies mid-computation and restores from its
+  last checkpoint, so the work redone is ``progress − last_checkpoint``
+  seconds, not the whole unit.  The checkpoint cadence is
+  :attr:`~repro.fleet.config.FleetConfig.checkpoint_interval_s` and the
+  per-checkpoint write cost is the :mod:`repro.virt.checkpoint` image
+  (guest RAM) pushed through the hypervisor's calibrated virtual-disk
+  path (:func:`checkpoint_cost_s`).
+
+**Determinism contract.**  Every decision here is a pure function of
+the fault seed and a stable simulation identifier — outage *slot
+index*, replica id, upload attempt number — drawn through the dedicated
+:mod:`repro.faults` SHA-256 stream.  Nothing touches the experiment RNG
+(:mod:`repro.simcore.rng`), the serve loop stays serial, and the host
+build never consults the injector, so a fault-storm run is
+byte-identical serial vs ``--jobs N`` and a recovered run is
+byte-identical to a fault-free one.  All three sites change results *by
+design*; :meth:`repro.faults.FaultInjector.cache_token` keeps their
+cache entries distinct.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ExperimentError
+from repro.faults import FAULTS
+from repro.units import MB
+from repro.virt.profiles import get_profile
+
+#: The horizon is divided into fixed slots; each slot draws one
+#: independent ``server.outage`` decision.  Fixed (never derived from
+#: config) so the outage schedule for a given fault seed is stable
+#: across sweeps that vary other parameters.
+OUTAGE_SLOT_S = 3600.0
+
+#: Outage durations draw uniformly from this fraction band of
+#: ``FleetConfig.outage_scale_s`` (never zero-length, never more than
+#: the scale itself).
+OUTAGE_MIN_FRACTION = 0.1
+
+#: Checkpoint image size: the paper's guest RAM setting (the dominant
+#: term of a :mod:`repro.virt.checkpoint` save).
+CHECKPOINT_IMAGE_BYTES = 300 * MB
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Host/server-side recovery knobs of one fleet run.
+
+    A value-object view over the recovery fields of
+    :class:`repro.fleet.config.FleetConfig` (the config stays flat so
+    campaign grids can sweep each knob as a plain axis).
+    """
+
+    checkpoint_interval_s: float = 0.0   #: 0 = no checkpointing
+    upload_retries: int = 3              #: retry budget per buffered upload
+    upload_backoff_s: float = 900.0      #: base backoff, doubled per retry
+    degraded_threshold: int = 0          #: backlog that trips degraded mode
+    outage_scale_s: float = 3600.0       #: outage duration scale
+
+    def __post_init__(self):
+        if self.checkpoint_interval_s < 0:
+            raise ExperimentError(
+                "checkpoint_interval_s must be >= 0 (0 = no "
+                f"checkpointing), got {self.checkpoint_interval_s!r}")
+        if self.upload_retries < 0:
+            raise ExperimentError(
+                f"upload_retries must be >= 0, got {self.upload_retries!r}")
+        if self.upload_backoff_s <= 0:
+            raise ExperimentError(
+                f"upload_backoff_s must be positive, "
+                f"got {self.upload_backoff_s!r}")
+        if self.degraded_threshold < 0:
+            raise ExperimentError(
+                "degraded_threshold must be >= 0 (0 = degraded mode "
+                f"off), got {self.degraded_threshold!r}")
+        if self.outage_scale_s <= 0:
+            raise ExperimentError(
+                f"outage_scale_s must be positive, "
+                f"got {self.outage_scale_s!r}")
+
+    def retry_delay_s(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (exponential, deterministic)."""
+        return self.upload_backoff_s * (2.0 ** attempt)
+
+
+def outage_windows(horizon_s: float,
+                   scale_s: float) -> List[Tuple[float, float]]:
+    """Draw the ``server.outage`` schedule for one run.
+
+    One independent decision per :data:`OUTAGE_SLOT_S` slot of the
+    horizon, keyed by the slot index; the start offset and duration come
+    from salted auxiliary draws on the same key.  Overlapping windows
+    merge, so callers see a sorted list of disjoint ``[start, end)``
+    down-windows clipped to the horizon.  Call only behind an
+    ``if FAULTS.enabled:`` guard.
+    """
+    raw: List[Tuple[float, float]] = []
+    for slot in range(int(math.ceil(horizon_s / OUTAGE_SLOT_S))):
+        if not FAULTS.fires("server.outage", key=slot, attempt=0):
+            continue
+        start = (slot + FAULTS.uniform("server.outage", slot, "start")) \
+            * OUTAGE_SLOT_S
+        fraction = OUTAGE_MIN_FRACTION + (1.0 - OUTAGE_MIN_FRACTION) \
+            * FAULTS.uniform("server.outage", slot, "duration")
+        end = min(start + fraction * scale_s, horizon_s)
+        if end > start:
+            raw.append((start, end))
+    raw.sort()
+    merged: List[Tuple[float, float]] = []
+    for start, end in raw:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def rollback_seconds(progress_s: float, interval_s: float) -> float:
+    """Active seconds redone after a ``vm.crash`` at ``progress_s``.
+
+    With checkpointing every ``interval_s`` active seconds the guest
+    restores to its last checkpoint, so the loss is
+    ``progress − ⌊progress / interval⌋·interval``; without checkpointing
+    (``interval_s == 0``) the whole progress is lost and the unit
+    restarts from scratch.
+    """
+    if progress_s <= 0:
+        return 0.0
+    if interval_s <= 0:
+        return progress_s
+    return progress_s - math.floor(progress_s / interval_s) * interval_s
+
+
+def checkpoint_cost_s(hypervisor: str, gflops: float) -> float:
+    """Wall seconds one checkpoint write costs on a ``gflops`` host.
+
+    The :mod:`repro.virt.checkpoint` image (guest RAM,
+    :data:`CHECKPOINT_IMAGE_BYTES`) goes through the hypervisor's
+    calibrated virtual-disk path (Figure 3): a per-request setup plus
+    per-KB emulation cycles, divided by the host's cycle rate.  QEMU's
+    expensive virtual disk makes its checkpoints an order of magnitude
+    slower than VMware's — which is exactly the intrusiveness trade-off
+    the ``fleet_checkpoint`` figure sweeps.
+    """
+    profile = get_profile(hypervisor)
+    image_kb = CHECKPOINT_IMAGE_BYTES / 1024.0
+    cycles = profile.disk_per_request_cycles \
+        + profile.disk_per_kb_cycles * image_kb
+    return cycles / (gflops * 1e9)

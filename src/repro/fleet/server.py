@@ -25,6 +25,23 @@ Server mechanics modelled (the V-BOINC / BOINC server loop):
   persists on the host disk) and is lost for good when the host departs
   permanently; late results are stale and discarded, as the real server
   discards them after reassignment.
+
+Failure & recovery (active only when :data:`repro.faults.FAULTS` arms
+the sites; see :mod:`repro.fleet.recovery` for the model):
+
+* **server.outage** — dispatch halts inside drawn down-windows (hosts
+  re-poll at the window's end) and finished results buffer host-side on
+  the upload retry policy;
+* **net.partition** — an individual upload attempt is lost; the host
+  retries with exponential backoff until the retry budget is exhausted,
+  after which the result is lost for good;
+* **vm.crash** — the guest restores from its last checkpoint, so only
+  ``progress − last_checkpoint`` active seconds are redone (the
+  ``rolled_back`` waste bucket), not the whole unit;
+* **degraded mode** — when the buffered-upload backlog exceeds
+  ``degraded_threshold`` the server sheds replication to quorum-of-1
+  (every such validation tallied as a validation risk), recovering when
+  the backlog drains to zero.
 """
 
 from __future__ import annotations
@@ -33,13 +50,14 @@ import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.faults import FAULTS
 from repro.fleet.calibration import fleet_slowdown
 from repro.fleet.churn import active_seconds, finish_time
 from repro.fleet.config import FleetConfig
 from repro.fleet.host import FleetHost, build_fleet_hosts
+from repro.fleet.recovery import outage_windows, rollback_seconds
 from repro.fleet.validation import (
     CANONICAL_KEY,
     QuorumValidator,
@@ -52,6 +70,7 @@ from repro.simcore.rng import RngStreams
 _REQUEST = 0
 _DEADLINE = 1
 _COMPLETE = 2
+_UPLOAD = 3
 
 #: Cap on the host poll backoff when the server has no work to give.
 _MAX_POLL_BACKOFF_S = 7200.0
@@ -68,8 +87,13 @@ class Replica:
     deadline_s: float
     cpu_s: float                      #: active seconds if it completes
     finish_s: Optional[float]         #: None = never completes in-trace
-    completed: bool = False
+    completed: bool = False           #: result delivered to the server
     timed_out: bool = False
+    rolled_back_s: float = 0.0        #: redone seconds after a vm.crash
+    crash_wall_s: Optional[float] = None  #: when the crash lands in-trace
+    rollback_counted: bool = False
+    upload_attempts: int = 0
+    compute_done_s: Optional[float] = None  #: compute finished, upload pending
 
 
 @dataclass
@@ -84,6 +108,7 @@ class WorkUnit:
     validated_at: Optional[float] = None
     hosts: set = field(default_factory=set)
     ok_returns: List = field(default_factory=list)  # (host, cpu_s)
+    degraded_by: Optional[int] = None  #: host whose lone result validated
 
 
 @dataclass
@@ -105,16 +130,18 @@ class FleetReport:
     timeouts: int
     redundant_results: int
     departures: int
+    dropouts: int                           # injected host.dropout departures
     throughput_per_hour: float
     makespan_s: Dict[str, float]            # mean/p50/p90/p99
     cpu_s: Dict[str, float]                 # quorum/redundant/... split
     waste_fraction: float
     realized_availability: float
     per_hypervisor: Dict[str, Dict[str, float]]
+    recovery: Dict[str, Any]                # outage/upload/rollback tallies
 
     def to_dict(self) -> Dict[str, Any]:
         return {
-            "schema": "repro-fleet-report/1",
+            "schema": "repro-fleet-report/2",
             "config": dict(self.config),
             "hosts": self.hosts,
             "workunits": self.workunits,
@@ -130,6 +157,7 @@ class FleetReport:
             "timeouts": self.timeouts,
             "redundant_results": self.redundant_results,
             "departures": self.departures,
+            "dropouts": self.dropouts,
             "throughput_per_hour": self.throughput_per_hour,
             "makespan_s": dict(self.makespan_s),
             "cpu_s": dict(self.cpu_s),
@@ -137,6 +165,7 @@ class FleetReport:
             "realized_availability": self.realized_availability,
             "per_hypervisor": {name: dict(stats) for name, stats
                                in self.per_hypervisor.items()},
+            "recovery": dict(self.recovery),
         }
 
     @classmethod
@@ -145,9 +174,9 @@ class FleetReport:
             "config", "hosts", "workunits", "duration_s", "valid", "failed",
             "in_progress", "unsent", "replicas_issued", "results_ok",
             "results_erroneous", "results_stale", "timeouts",
-            "redundant_results", "departures", "throughput_per_hour",
-            "makespan_s", "cpu_s", "waste_fraction",
-            "realized_availability", "per_hypervisor")}
+            "redundant_results", "departures", "dropouts",
+            "throughput_per_hour", "makespan_s", "cpu_s", "waste_fraction",
+            "realized_availability", "per_hypervisor", "recovery")}
         return cls(**fields)
 
     def summary(self) -> str:
@@ -177,6 +206,20 @@ class FleetReport:
             f" realized availability"
             f" {self.realized_availability * 100:.1f}%",
         ]
+        rec = self.recovery
+        if any(rec.get(k) for k in ("outages", "uploads_retried",
+                                    "uploads_lost", "vm_crashes",
+                                    "degraded_windows")):
+            lines.append(
+                f"  recovery    : {rec['outages']} outages"
+                f" ({rec['outage_s'] / 3600:.1f}h down),"
+                f" {rec['uploads_retried']} uploads retried"
+                f" / {rec['uploads_lost']} lost,"
+                f" {rec['vm_crashes']} vm crashes"
+                f" ({rec['rolled_back_s'] / 3600:.1f} core-h rolled back),"
+                f" {rec['degraded_windows']} degraded windows"
+                f" ({rec['degraded_validated']} quorum-of-1)"
+            )
         for name, stats in sorted(self.per_hypervisor.items()):
             lines.append(
                 f"    {name:<11} hosts={stats['hosts']:<5.0f}"
@@ -199,9 +242,16 @@ def _percentile(sorted_values: List[float], q: float) -> float:
 class FleetServer:
     """One project server driving a fleet of sampled volunteer hosts."""
 
-    def __init__(self, config: FleetConfig, hosts: List[FleetHost]):
+    def __init__(self, config: FleetConfig, hosts: List[FleetHost],
+                 dropouts: int = 0):
         self.config = config
         self.hosts = hosts
+        self.dropouts = dropouts
+        self.policy = config.recovery_policy()
+        # server.outage schedule: drawn once, from the fault stream only
+        self._outages: List[Tuple[float, float]] = (
+            outage_windows(config.duration_s, self.policy.outage_scale_s)
+            if FAULTS.enabled else [])
         self.validator = QuorumValidator(config.quorum)
         self.workunits = [
             WorkUnit(wu_id=i, flops=config.wu_flops)
@@ -230,6 +280,17 @@ class FleetServer:
         self.stale_cpu_s = 0.0
         self.redundant_cpu_s = 0.0
         self._wasted_by_host: Dict[int, float] = {}
+        # recovery tallies
+        self.uploads_retried = 0
+        self.uploads_lost = 0
+        self.vm_crashes = 0
+        self.rolled_back_cpu_s = 0.0
+        self.lost_upload_cpu_s = 0.0
+        self.degraded_validated = 0
+        self._upload_backlog = 0
+        self._degraded = False
+        self._degraded_since: Optional[float] = None
+        self._degraded_windows: List[Tuple[float, float]] = []
 
     # -- event plumbing --------------------------------------------------
 
@@ -239,6 +300,15 @@ class FleetServer:
     def _waste_on(self, host_index: int, cpu_s: float) -> None:
         self._wasted_by_host[host_index] = \
             self._wasted_by_host.get(host_index, 0.0) + cpu_s
+
+    def _outage_at(self, time_s: float) -> Optional[Tuple[float, float]]:
+        """The ``[start, end)`` outage window covering ``time_s``, if any."""
+        for start, end in self._outages:
+            if time_s < start:
+                return None  # windows are sorted and disjoint
+            if time_s < end:
+                return (start, end)
+        return None
 
     # -- server policy ---------------------------------------------------
 
@@ -287,6 +357,13 @@ class FleetServer:
 
     def _handle_request(self, host_index: int, now: float) -> None:
         host = self.hosts[host_index]
+        window = self._outage_at(now)
+        if window is not None:
+            # scheduler down: the host re-polls when the window ends
+            # (poll-failure backoff untouched — this is not a dry queue)
+            if window[1] < min(self.config.duration_s, host.departure_s):
+                self._push(window[1], _REQUEST, host_index)
+            return
         wu = self._take_work(host_index)
         if wu is None:
             if self._n_valid >= len(self.workunits):
@@ -302,11 +379,32 @@ class FleetServer:
         self._poll_failures[host_index] = 0
         rid = len(self.replicas)
         active_needed = wu.flops / host.rate_flops_per_s
+        interval = self.config.checkpoint_interval_s
+        if interval > 0 and host.checkpoint_cost_s > 0:
+            # checkpoint tax: one image write per interval of compute
+            active_needed *= 1.0 + host.checkpoint_cost_s / interval
+        rolled_back = 0.0
+        crash_wall: Optional[float] = None
+        if FAULTS.enabled and FAULTS.would_fire("vm.crash", key=rid,
+                                                attempt=0):
+            # crash point as a fraction of this replica's compute; the
+            # guest restores from its last checkpoint, redoing only
+            # progress − last_checkpoint seconds.  would_fire + record
+            # so a crash the trace never reaches is not tallied.
+            progress = FAULTS.uniform("vm.crash", rid, "at") * active_needed
+            crash_wall = finish_time(host.sessions, now, progress)
+            if crash_wall is not None:
+                FAULTS.record("vm.crash")
+                rolled_back = rollback_seconds(progress, interval)
+                active_needed += rolled_back
+                self.vm_crashes += 1
         deadline = self._deadline_for(wu, host, now)
         finish = finish_time(host.sessions, now, active_needed)
         replica = Replica(rid=rid, wu_id=wu.wu_id, host=host_index,
                           dispatched_s=now, deadline_s=deadline,
-                          cpu_s=active_needed, finish_s=finish)
+                          cpu_s=active_needed, finish_s=finish,
+                          rolled_back_s=rolled_back,
+                          crash_wall_s=crash_wall)
         self.replicas.append(replica)
         wu.issued += 1
         wu.outstanding += 1
@@ -335,16 +433,102 @@ class FleetServer:
 
     def _handle_complete(self, rid: int, now: float) -> None:
         replica = self.replicas[rid]
+        replica.compute_done_s = now
+        self._count_rollback(replica)
+        # the host is free again: poll immediately
+        self._push(now, _REQUEST, replica.host)
+        self._attempt_upload(rid, now)
+
+    def _count_rollback(self, replica: Replica) -> None:
+        """Tally a crash's redone seconds exactly once per replica."""
+        if replica.rolled_back_s and not replica.rollback_counted:
+            replica.rollback_counted = True
+            self.rolled_back_cpu_s += replica.rolled_back_s
+            self._waste_on(replica.host, replica.rolled_back_s)
+            if METRICS.enabled:
+                METRICS.inc("fleet.rolled_back")
+
+    def _attempt_upload(self, rid: int, now: float) -> None:
+        """Try to deliver a finished result; buffer it when blocked.
+
+        A server outage blocks every upload until the window ends; a
+        ``net.partition`` draw loses this one attempt.  Either way the
+        host retries on exponential backoff until the retry budget runs
+        out, then the result is gone for good.
+        """
+        replica = self.replicas[rid]
+        window = self._outage_at(now)
+        earliest_retry = now
+        if window is not None:
+            earliest_retry = window[1]
+        elif not (FAULTS.enabled
+                  and FAULTS.fires("net.partition", key=rid,
+                                   attempt=replica.upload_attempts)):
+            self._deliver_result(rid, now)
+            return
+        attempt = replica.upload_attempts
+        replica.upload_attempts = attempt + 1
+        if attempt >= self.policy.upload_retries:
+            self._drop_upload(rid, now)
+            return
+        self.uploads_retried += 1
+        retry_at = max(now + self.policy.retry_delay_s(attempt),
+                       earliest_retry)
+        self._upload_backlog += 1
+        self._update_degraded(now)
+        self._push(retry_at, _UPLOAD, rid)
+        if METRICS.enabled:
+            METRICS.inc("fleet.upload_retried")
+
+    def _handle_upload(self, rid: int, now: float) -> None:
+        self._upload_backlog -= 1
+        self._attempt_upload(rid, now)
+        self._update_degraded(now)
+
+    def _drop_upload(self, rid: int, now: float) -> None:
+        """Retry budget exhausted: the computed result is lost."""
+        replica = self.replicas[rid]
+        wu = self.workunits[replica.wu_id]
+        replica.completed = True
+        self.uploads_lost += 1
+        useful = replica.cpu_s - replica.rolled_back_s
+        self.lost_upload_cpu_s += useful
+        self._waste_on(replica.host, useful)
+        if not replica.timed_out:
+            wu.outstanding -= 1
+            replica.timed_out = True
+        if METRICS.enabled:
+            METRICS.inc("fleet.upload_lost")
+        self._maybe_reissue(wu)
+
+    def _update_degraded(self, now: float) -> None:
+        """Degraded-mode hysteresis on the buffered-upload backlog."""
+        threshold = self.policy.degraded_threshold
+        if threshold <= 0:
+            return
+        if not self._degraded and self._upload_backlog > threshold:
+            self._degraded = True
+            self._degraded_since = now
+            if METRICS.enabled:
+                METRICS.inc("fleet.degraded_entered")
+        elif self._degraded and self._upload_backlog == 0:
+            self._degraded = False
+            self._degraded_windows.append((self._degraded_since, now))
+            self._degraded_since = None
+
+    def _deliver_result(self, rid: int, now: float) -> None:
+        replica = self.replicas[rid]
         replica.completed = True
         host = self.hosts[replica.host]
         wu = self.workunits[replica.wu_id]
-        # the host is free again: poll immediately
-        self._push(now, _REQUEST, replica.host)
+        # rolled-back seconds are already tallied as their own waste
+        # bucket, so every path below accounts the useful remainder only
+        useful = replica.cpu_s - replica.rolled_back_s
         if replica.timed_out or now > replica.deadline_s:
             # past deadline: the server already reassigned; discard
             self.results_stale += 1
-            self.stale_cpu_s += replica.cpu_s
-            self._waste_on(replica.host, replica.cpu_s)
+            self.stale_cpu_s += useful
+            self._waste_on(replica.host, useful)
             if not replica.timed_out:
                 wu.outstanding -= 1
                 replica.timed_out = True
@@ -355,8 +539,8 @@ class FleetServer:
         wu.outstanding -= 1
         if wu.validated_at is not None:
             self.redundant_results += 1
-            self.redundant_cpu_s += replica.cpu_s
-            self._waste_on(replica.host, replica.cpu_s)
+            self.redundant_cpu_s += useful
+            self._waste_on(replica.host, useful)
             if METRICS.enabled:
                 METRICS.inc("fleet.redundant")
             return
@@ -365,20 +549,33 @@ class FleetServer:
         if bad:
             key = erroneous_key(wu.wu_id, replica.host, rid)
             self.results_erroneous += 1
-            self.erroneous_cpu_s += replica.cpu_s
-            self._waste_on(replica.host, replica.cpu_s)
+            self.erroneous_cpu_s += useful
+            self._waste_on(replica.host, useful)
             self.validator.record(wu.wu_id, replica.host, key)
             if METRICS.enabled:
                 METRICS.inc("fleet.erroneous")
             self._maybe_reissue(wu)
             return
         self.results_ok += 1
-        wu.ok_returns.append((replica.host, replica.cpu_s))
+        wu.ok_returns.append((replica.host, useful))
         if self.validator.record(wu.wu_id, replica.host, CANONICAL_KEY):
             wu.validated_at = now
             self._n_valid += 1
             if METRICS.enabled:
                 METRICS.inc("fleet.validated")
+                METRICS.observe("fleet.makespan_s", now)
+                METRICS.hist("fleet.makespan_h", now / 3600.0)
+        elif self._degraded:
+            # degraded mode: the backlog is past threshold, so the
+            # server accepts this lone result as quorum-of-1 — a
+            # validation risk, counted as such
+            wu.validated_at = now
+            wu.degraded_by = replica.host
+            self._n_valid += 1
+            self.degraded_validated += 1
+            if METRICS.enabled:
+                METRICS.inc("fleet.validated")
+                METRICS.inc("fleet.degraded_validated")
                 METRICS.observe("fleet.makespan_s", now)
                 METRICS.hist("fleet.makespan_h", now / 3600.0)
         else:
@@ -400,6 +597,8 @@ class FleetServer:
                 self._handle_request(payload, time_s)
             elif kind == _COMPLETE:
                 self._handle_complete(payload, time_s)
+            elif kind == _UPLOAD:
+                self._handle_upload(payload, time_s)
             else:
                 self._handle_deadline(payload, time_s)
         return self._report()
@@ -418,6 +617,11 @@ class FleetServer:
             validated = wu.validated_at is not None
             qset = (set(self.validator.quorum_hosts(wu.wu_id))
                     if validated else set())
+            if validated and not qset and wu.degraded_by is not None:
+                # degraded quorum-of-1: the lone accepted result is the
+                # load-bearing one; any other matching returns are
+                # redundant via the branch below
+                qset = {wu.degraded_by}
             for host_index, cpu in wu.ok_returns:
                 ok_by_host[host_index] = ok_by_host.get(host_index, 0) + 1
                 if host_index in qset:
@@ -431,21 +635,34 @@ class FleetServer:
                     self._waste_on(host_index, cpu)
                 else:
                     pending_cpu += cpu
-        lost_cpu = 0.0
+        lost_cpu = self.lost_upload_cpu_s
         in_flight_cpu = 0.0
         for replica in self.replicas:
             if replica.completed:
                 continue
             host = self.hosts[replica.host]
+            if replica.compute_done_s is not None:
+                # computed, upload still buffered at the horizon: the
+                # result never lands, so its useful seconds are lost
+                useful = replica.cpu_s - replica.rolled_back_s
+                lost_cpu += useful
+                self._waste_on(replica.host, useful)
+                continue
             spent = active_seconds(host.sessions, replica.dispatched_s,
                                    horizon)
+            if replica.crash_wall_s is not None \
+                    and not replica.rollback_counted:
+                # the crash landed in-trace (traces end at the horizon),
+                # so its redone seconds belong to the rollback bucket
+                self._count_rollback(replica)
+                spent -= replica.rolled_back_s
             if host.departure_s <= horizon:
                 lost_cpu += spent
                 self._waste_on(replica.host, spent)
             else:
                 in_flight_cpu += spent
         wasted = (self.erroneous_cpu_s + self.stale_cpu_s + redundant_cpu
-                  + lost_cpu)
+                  + lost_cpu + self.rolled_back_cpu_s)
         total_cpu = quorum_cpu + wasted + pending_cpu + in_flight_cpu
         waste_fraction = wasted / total_cpu if total_cpu else 0.0
 
@@ -489,6 +706,22 @@ class FleetServer:
             stats["waste_fraction"] = \
                 stats["wasted_cpu_s"] / denom if denom else 0.0
 
+        degraded_windows = list(self._degraded_windows)
+        if self._degraded and self._degraded_since is not None:
+            degraded_windows.append((self._degraded_since, horizon))
+        recovery = {
+            "outages": len(self._outages),
+            "outage_s": sum(end - start for start, end in self._outages),
+            "uploads_retried": self.uploads_retried,
+            "uploads_lost": self.uploads_lost,
+            "vm_crashes": self.vm_crashes,
+            "rolled_back_s": self.rolled_back_cpu_s,
+            "degraded_windows": len(degraded_windows),
+            "degraded_s": sum(end - start
+                              for start, end in degraded_windows),
+            "degraded_validated": self.degraded_validated,
+        }
+
         if METRICS.enabled:
             METRICS.inc("fleet.hosts", len(self.hosts))
             METRICS.inc("fleet.workunits", len(self.workunits))
@@ -510,6 +743,7 @@ class FleetServer:
             timeouts=self.timeouts,
             redundant_results=self.redundant_results,
             departures=departures,
+            dropouts=self.dropouts,
             throughput_per_hour=valid / (horizon / 3600.0),
             makespan_s=makespan,
             cpu_s={
@@ -518,6 +752,7 @@ class FleetServer:
                 "erroneous": self.erroneous_cpu_s,
                 "stale": self.stale_cpu_s,
                 "lost": lost_cpu,
+                "rolled_back": self.rolled_back_cpu_s,
                 "pending": pending_cpu,
                 "in_flight": in_flight_cpu,
                 "wasted": wasted,
@@ -526,6 +761,7 @@ class FleetServer:
             waste_fraction=waste_fraction,
             realized_availability=realized_availability,
             per_hypervisor=per_hv,
+            recovery=recovery,
         )
 
 
@@ -541,12 +777,12 @@ def simulate_fleet(config: FleetConfig,
     serially because pool dispatch would cost more than it saves.
     """
     hosts = build_fleet_hosts(config, jobs=jobs)
-    if FAULTS.enabled:
-        _apply_host_dropout(hosts, config.duration_s)
-    return FleetServer(config, hosts).run()
+    dropouts = _apply_host_dropout(hosts, config.duration_s) \
+        if FAULTS.enabled else 0
+    return FleetServer(config, hosts, dropouts=dropouts).run()
 
 
-def _apply_host_dropout(hosts: List[FleetHost], horizon_s: float) -> None:
+def _apply_host_dropout(hosts: List[FleetHost], horizon_s: float) -> int:
     """Injection site ``host.dropout``: permanently remove hosts early.
 
     Each selected host departs at a deterministic fraction of the
@@ -555,15 +791,26 @@ def _apply_host_dropout(hosts: List[FleetHost], horizon_s: float) -> None:
     clipped.  This *changes results by design* — the fault-plan token is
     folded into the cache identity so such runs never collide with
     fault-free ones.
+
+    A dropout drawn *after* the host's own permanent departure is a
+    no-op and is neither tallied as an injection nor counted in the
+    returned effective-dropout count — the host departed exactly once,
+    on its own schedule, so :class:`FleetReport` must not double-count
+    it (``report.departures`` counts each departed host once;
+    ``report.dropouts`` counts only dropouts that moved a departure).
     """
+    dropouts = 0
     for host in hosts:
-        if not FAULTS.fires("host.dropout", key=host.index, attempt=0):
+        if not FAULTS.would_fire("host.dropout", key=host.index, attempt=0):
             continue
         dropout_s = FAULTS.uniform("host.dropout", key=host.index) \
             * horizon_s
         if dropout_s >= host.departure_s:
-            continue  # already departing earlier on its own
+            continue  # already departed on its own: nothing to inject
+        FAULTS.record("host.dropout")
+        dropouts += 1
         host.departure_s = dropout_s
         host.sessions = [(start, min(end, dropout_s))
                          for start, end in host.sessions
                          if start < dropout_s]
+    return dropouts

@@ -38,7 +38,16 @@ Schema ``repro-run-manifest/1`` (see :data:`MANIFEST_SCHEMA` and
                     ...},                          #  memory runs; every
                    "gauges": {                     #  mem.*-prefixed metric,
                     "mem.committed_peak_bytes":    #  see repro.virt.memory)
-                    1.03e9, ...}}
+                    1.03e9, ...}},
+      "recovery": {"outages": 2,                   # optional (fleet runs
+                   "outage_s": 2834.8,             #  with recovery
+                   "uploads_retried": 41,          #  activity; see
+                   "uploads_lost": 1,              #  repro.fleet.recovery)
+                   "vm_crashes": 23,
+                   "rolled_back_s": 9188.9,
+                   "degraded_windows": 1,
+                   "degraded_s": 11093.0,
+                   "degraded_validated": 27}
     }
 """
 
@@ -152,6 +161,18 @@ def validate_manifest(manifest: Mapping[str, Any]) -> List[str]:
             for name in ("counters", "gauges"):
                 if not isinstance(mem.get(name), dict):
                     problems.append(f"mem.{name} missing or not a mapping")
+    recovery = manifest.get("recovery")
+    if recovery is not None:
+        if not isinstance(recovery, dict):
+            problems.append("recovery is not a mapping")
+        else:
+            for name in ("outages", "outage_s", "uploads_retried",
+                         "uploads_lost", "vm_crashes", "rolled_back_s",
+                         "degraded_windows", "degraded_s",
+                         "degraded_validated"):
+                if not isinstance(recovery.get(name), (int, float)):
+                    problems.append(
+                        f"recovery.{name} missing or not a number")
     campaign = manifest.get("campaign")
     if campaign is not None:
         if not isinstance(campaign, dict):
@@ -332,11 +353,29 @@ def render_manifest(manifest: Mapping[str, Any]) -> str:
     faults = manifest.get("faults")
     if faults and any(faults.get(k) for k in
                       ("total_injected", "retries", "timeouts", "dropped")):
+        quarantined = int(manifest.get("metrics", {}).get(
+            "counters", {}).get("parallel.payload_quarantined", 0))
         lines.append(
             f"faults   injected={faults.get('total_injected', 0)}"
             f" retries={faults.get('retries', 0)}"
             f" timeouts={faults.get('timeouts', 0)}"
-            f" dropped={len(faults.get('dropped', []))}")
+            f" dropped={len(faults.get('dropped', []))}"
+            f" quarantined={quarantined}")
+        injected = faults.get("injected") or {}
+        for site in sorted(injected):
+            if injected[site]:
+                lines.append(f"  {site:<36} {injected[site]:>14}")
+    recovery = manifest.get("recovery")
+    if recovery:
+        lines.append(
+            f"recovery outages={recovery.get('outages', 0)}"
+            f" ({recovery.get('outage_s', 0.0) / 3600:.1f}h down)"
+            f" uploads-retried={recovery.get('uploads_retried', 0)}"
+            f" lost={recovery.get('uploads_lost', 0)}"
+            f" vm-crashes={recovery.get('vm_crashes', 0)}"
+            f" rolled-back={recovery.get('rolled_back_s', 0.0) / 3600:.1f}h"
+            f" degraded={recovery.get('degraded_windows', 0)} window(s)"
+            f"/{recovery.get('degraded_validated', 0)} quorum-of-1")
     campaign = manifest.get("campaign")
     if campaign:
         totals = campaign.get("totals", {})

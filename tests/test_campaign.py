@@ -133,6 +133,26 @@ class TestSpec:
             Scenario(kind="sweep", sweep="l2",
                      memory=(("vms_per_host", (2,)),))
 
+    def test_faults_axis_round_trips(self):
+        spec = CampaignSpec.from_dict({
+            "name": "chaos",
+            "scenarios": [{"kind": "fleet",
+                           "faults": ["", "seed=9,server.outage=0.25"],
+                           "params": {"hosts": 12}}],
+        })
+        [scenario] = spec.scenarios
+        assert scenario.faults == ("", "seed=9,server.outage=0.25")
+        assert CampaignSpec.from_dict(spec.to_dict()).to_dict() == \
+            spec.to_dict()
+
+    def test_sweep_scenario_rejects_faults(self):
+        with pytest.raises(ExperimentError, match="no 'faults' axis"):
+            Scenario(kind="sweep", sweep="l2", faults=("seed=1",))
+
+    def test_faults_entries_must_be_strings(self):
+        with pytest.raises(ExperimentError, match="fault-spec strings"):
+            Scenario(kind="fleet", faults=(7,))
+
 
 class TestPlanner:
     def _spec(self, **scenario_kwargs):
@@ -212,6 +232,44 @@ class TestPlanner:
         with pytest.raises(CampaignPointError, match="invalid fleet point"):
             plan_campaign(self._spec(
                 kind="fleet", memory=(("overcommit_ratio", (9.0,)),)))
+
+    def test_faults_axis_crosses_slowest_with_distinct_keys(self):
+        points = plan_campaign(self._spec(
+            kind="fleet",
+            faults=("", "seed=9,server.outage=0.25"),
+            grid=(("hosts", (12, 24)),),
+            params=(("seed", 3),)))
+        assert len(points) == 4
+        assert len({p.key for p in points}) == 4
+        baseline, storm = points[:2], points[2:]
+        assert all("faults" not in p.params_dict for p in baseline)
+        assert all(p.params_dict["faults"] == "seed=9,server.outage=0.25"
+                   for p in storm)
+        assert all("faults=" in p.label for p in storm)
+        # the empty-string baseline is byte-for-byte the no-axis plan
+        plain = plan_campaign(self._spec(
+            kind="fleet", grid=(("hosts", (12, 24)),),
+            params=(("seed", 3),)))
+        assert [p.key for p in baseline] == [p.key for p in plain]
+
+    def test_faults_spellings_canonicalise_to_one_key(self):
+        def keys(token):
+            return [p.key for p in plan_campaign(self._spec(
+                kind="fleet", faults=(token,), params=(("hosts", 12),)))]
+
+        assert keys("seed=9,vm.crash=0.3,server.outage=0.25") == \
+            keys("server.outage=0.25,vm.crash=0.3,seed=9")
+
+    def test_bad_faults_entry_fails_at_plan_time(self):
+        with pytest.raises(CampaignPointError, match="bad 'faults' entry"):
+            plan_campaign(self._spec(kind="fleet",
+                                     faults=("seed=9,warp.core=0.5",)))
+
+    def test_faults_cannot_repeat_in_params(self):
+        with pytest.raises(CampaignPointError, match="its own axis"):
+            plan_campaign(self._spec(
+                kind="fleet", faults=("seed=9,vm.crash=0.1",),
+                params=(("faults", "seed=1"),)))
 
 
 def _payload_bytes(result):
@@ -309,6 +367,43 @@ class TestScheduler:
             name="s", scenarios=(Scenario(kind="sweep", sweep="l2",
                                           values=(0.5,)),)))
         assert point_cache_key(point, RunConfig()) is None
+
+    def test_faults_axis_runs_and_manifest_sums_recovery(self, tmp_path):
+        from repro.obs.manifest import load_manifest, validate_manifest
+
+        spec = CampaignSpec(
+            name="chaos",
+            scenarios=(Scenario(
+                kind="fleet",
+                faults=("", "seed=11,net.partition=0.5,vm.crash=0.3"),
+                params=(("hosts", 12), ("duration_s", 3600.0),
+                        ("seed", 3), ("upload_backoff_s", 120.0))),))
+        config = self._config(tmp_path, metrics=True)
+        result = run_campaign(spec, config)
+        baseline, storm = result.points
+        # the storm point really injected: its report diverges and the
+        # recovery tallies are live
+        assert baseline.payload != storm.payload
+        assert storm.payload["recovery"]["uploads_retried"] > 0
+        assert not any(baseline.payload["recovery"].values())
+        manifest = load_manifest("last", runs_dir=config.runs_dir)
+        assert validate_manifest(manifest) == []
+        assert manifest["recovery"]["uploads_retried"] == \
+            storm.payload["recovery"]["uploads_retried"]
+
+    def test_faults_token_folds_into_point_cache_key(self, tmp_path):
+        spec = CampaignSpec(
+            name="chaos",
+            scenarios=(Scenario(
+                kind="fleet",
+                faults=("", "seed=11,vm.crash=0.3"),
+                params=(("hosts", 12), ("duration_s", 3600.0))),))
+        baseline, storm = plan_campaign(spec)
+        config = self._config(tmp_path, cache=True,
+                              cache_dir=str(tmp_path / "cache"))
+        key_base = point_cache_key(baseline, config)
+        key_storm = point_cache_key(storm, config)
+        assert key_base and key_storm and key_base != key_storm
 
     def test_figure_point_key_matches_generate_figure(self, tmp_path):
         # A point computed once must be predicted as a cache hit by

@@ -384,7 +384,7 @@ class TestCli:
         assert status == 0
         out = capsys.readouterr().out
         report = json.loads(out)
-        assert report["schema"] == "repro-fleet-report/1"
+        assert report["schema"] == "repro-fleet-report/2"
         assert report["hosts"] == 40
         manifest = load_manifest("last", runs_dir=tmp_path / "runs")
         assert validate_manifest(manifest) == []

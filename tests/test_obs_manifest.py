@@ -35,6 +35,13 @@ def make_manifest(run_id="fig1-20260101-000000-abcd01", **overrides):
     return manifest
 
 
+RECOVERY = {
+    "outages": 2, "outage_s": 3600.0, "uploads_retried": 41,
+    "uploads_lost": 1, "vm_crashes": 23, "rolled_back_s": 9000.0,
+    "degraded_windows": 1, "degraded_s": 1800.0, "degraded_validated": 27,
+}
+
+
 class TestValidate:
     def test_valid_manifest_has_no_problems(self):
         assert validate_manifest(make_manifest()) == []
@@ -79,6 +86,22 @@ class TestValidate:
         problems = validate_manifest(
             make_manifest(mem={"counters": {}}))
         assert any("mem.gauges" in p for p in problems)
+
+    def test_recovery_section_is_optional(self):
+        assert validate_manifest(make_manifest()) == []
+        assert validate_manifest(
+            make_manifest(recovery=RECOVERY)) == []
+
+    def test_bad_recovery_section_flagged(self):
+        problems = validate_manifest(make_manifest(recovery=[1]))
+        assert any("recovery is not a mapping" in p for p in problems)
+        short = dict(RECOVERY)
+        del short["vm_crashes"]
+        problems = validate_manifest(make_manifest(recovery=short))
+        assert any("recovery.vm_crashes" in p for p in problems)
+        bad = dict(RECOVERY, outage_s="long")
+        problems = validate_manifest(make_manifest(recovery=bad))
+        assert any("recovery.outage_s" in p for p in problems)
 
 
 class TestWriteLoad:
@@ -152,3 +175,26 @@ class TestRunIdAndRender:
         assert "committed-peak=2048MB" in text
         # no mem section, no mem line
         assert "committed-peak" not in render_manifest(make_manifest())
+
+    def test_render_faults_tallies_with_per_site_breakdown(self):
+        manifest = make_manifest(
+            faults={"spec": "seed=11,vm.crash=0.4", "total_injected": 23,
+                    "retries": 2, "timeouts": 0, "dropped": [],
+                    "injected": {"vm.crash": 23, "net.partition": 0}},
+            metrics={"counters": {"parallel.payload_quarantined": 3},
+                     "gauges": {}, "timers": {}})
+        text = render_manifest(manifest)
+        assert "injected=23" in text
+        assert "quarantined=3" in text
+        assert "vm.crash" in text          # fired sites are broken out
+        assert "net.partition" not in text  # zero-count sites stay quiet
+
+    def test_render_recovery_line(self):
+        text = render_manifest(make_manifest(recovery=RECOVERY))
+        assert "recovery outages=2 (1.0h down)" in text
+        assert "uploads-retried=41" in text
+        assert "vm-crashes=23" in text
+        assert "rolled-back=2.5h" in text
+        assert "degraded=1 window(s)/27 quorum-of-1" in text
+        # no recovery section, no recovery line
+        assert "rolled-back" not in render_manifest(make_manifest())

@@ -29,6 +29,8 @@ class TestFigureRegistry:
         "multivm_intrusiveness": "bench_multi_vm.py",
         "balloon_storm": "bench_multi_vm.py",
         "overcommit_sweep": "bench_multi_vm.py",
+        "fleet_outage": "bench_fleet_recovery.py",
+        "fleet_checkpoint": "bench_fleet_recovery.py",
     }
 
     @pytest.mark.parametrize("fig_id", sorted(FIGURES))

@@ -276,3 +276,41 @@ class TestHostDropoutSite:
         with injected(FaultPlan(seed=3)):  # armless plan: injector stays off
             same = simulate_fleet(self.CONFIG, jobs=1)
         assert baseline.to_dict() == same.to_dict()
+
+    def test_dropout_after_natural_departure_is_noop(self):
+        # Regression: a dropout drawn after the host already departed
+        # permanently must not move the departure, must not count as an
+        # injection, and must not show up in the effective tally — the
+        # host departed exactly once, on its own schedule.
+        from repro.fleet.host import FleetHost
+        from repro.fleet.server import _apply_host_dropout
+
+        horizon = 10000.0
+        plan = FaultPlan(seed=3).arm("host.dropout", 1.0)
+        draw = [plan.uniform("host.dropout", key=i) * horizon
+                for i in (0, 1)]
+
+        def mk(index, departure_s):
+            return FleetHost(index=index, name=f"h{index}",
+                             hypervisor="vmplayer", slowdown=1.1,
+                             gflops=1.0, availability=0.8, error_rate=0.0,
+                             sessions=[(0.0, departure_s)],
+                             departure_s=departure_s)
+
+        # Host 0 departs naturally before its drawn dropout (no-op);
+        # host 1 departs after it (the dropout bites).
+        hosts = [mk(0, draw[0] / 2.0), mk(1, draw[1] * 2.0 + 1.0)]
+        with injected(plan):
+            effective = _apply_host_dropout(hosts, horizon)
+        assert effective == 1
+        assert plan.injected["host.dropout"] == 1  # no-op not tallied
+        assert hosts[0].departure_s == draw[0] / 2.0
+        assert hosts[0].sessions == [(0.0, draw[0] / 2.0)]
+        assert hosts[1].departure_s == draw[1]
+
+    def test_report_counts_effective_dropouts_once(self):
+        with injected(FaultPlan(seed=3).arm("host.dropout", 0.4)) as plan:
+            report = simulate_fleet(self.CONFIG, jobs=1)
+        assert report.dropouts == plan.injected.get("host.dropout", 0)
+        # Every injected dropout is one departed host, counted once.
+        assert report.dropouts <= report.departures
