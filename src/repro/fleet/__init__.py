@@ -17,6 +17,12 @@ Layout:
   (on/off sessions, permanent departure);
 * :mod:`~repro.fleet.host` — deterministic host sampling, sharded
   across :func:`repro.core.parallel.map_shards` workers;
+* :mod:`~repro.fleet.columns` — the same hosts as flat columnar
+  arrays (CSR session traces) for 100k+-host runs, with
+  :class:`FleetHost` kept as a lazy view;
+* :mod:`~repro.fleet.fastrng` / :mod:`~repro.fleet.cloop` — the
+  vectorised PCG64 replica and the compiled event-loop kernel behind
+  the columnar fast path;
 * :mod:`~repro.fleet.validation` — the quorum validator;
 * :mod:`~repro.fleet.recovery` — the failure & recovery layer
   (server outages, upload retry/loss, checkpoint rollback,
@@ -44,6 +50,12 @@ from repro.fleet.churn import (
     active_seconds,
     availability_trace,
     finish_time,
+)
+from repro.fleet.columns import (
+    COLUMN_SHARD_SIZE,
+    FleetColumns,
+    build_fleet_columns,
+    column_shards,
 )
 from repro.fleet.config import FleetConfig
 from repro.fleet.host import (
@@ -76,7 +88,9 @@ from repro.fleet.figures import (
 
 __all__ = [
     "CANONICAL_KEY",
+    "COLUMN_SHARD_SIZE",
     "ChurnModel",
+    "FleetColumns",
     "FleetConfig",
     "FleetHost",
     "FleetReport",
@@ -88,7 +102,9 @@ __all__ = [
     "SHARD_SIZE",
     "active_seconds",
     "availability_trace",
+    "build_fleet_columns",
     "build_fleet_hosts",
+    "column_shards",
     "checkpoint_cost_s",
     "erroneous_key",
     "estimated_grid_efficiency",

@@ -87,12 +87,21 @@ def availability_trace(model: ChurnModel, rng: RngStreams,
 
 
 def active_seconds(sessions: List[Tuple[float, float]],
-                   start: float, end: float) -> float:
-    """Seconds of session time inside ``[start, end]``."""
+                   start: float, end: float,
+                   starts: Optional[Tuple[float, ...]] = None) -> float:
+    """Seconds of session time inside ``[start, end]``.
+
+    ``starts`` is an optional precomputed sequence of session start
+    times (one per session, same order).  The hot server path passes a
+    cached per-host tuple so each call avoids rebuilding an O(sessions)
+    list just to bisect it once.
+    """
     if end <= start:
         return 0.0
     total = 0.0
-    index = bisect.bisect_right([s for s, _ in sessions], start) - 1
+    if starts is None:
+        starts = [s for s, _ in sessions]
+    index = bisect.bisect_right(starts, start) - 1
     index = max(0, index)
     for s, e in sessions[index:]:
         if s >= end:
@@ -104,16 +113,22 @@ def active_seconds(sessions: List[Tuple[float, float]],
 
 
 def finish_time(sessions: List[Tuple[float, float]], start: float,
-                active_needed_s: float) -> Optional[float]:
+                active_needed_s: float,
+                starts: Optional[Tuple[float, ...]] = None
+                ) -> Optional[float]:
     """When ``active_needed_s`` of session time after ``start`` is done.
 
     Computation pauses while the host is off (the VM image persists on
     the host disk, per the paper's checkpoint/suspend story) and resumes
     at the next session.  Returns ``None`` when the trace runs out first
     — the host departed or the horizon arrived with work unfinished.
+    ``starts`` is the same optional precomputed start array as in
+    :func:`active_seconds`.
     """
     remaining = active_needed_s
-    index = bisect.bisect_right([s for s, _ in sessions], start) - 1
+    if starts is None:
+        starts = [s for s, _ in sessions]
+    index = bisect.bisect_right(starts, start) - 1
     index = max(0, index)
     for s, e in sessions[index:]:
         lo = max(s, start)

@@ -1,0 +1,313 @@
+"""Columnar fleet host state: flat arrays instead of per-host objects.
+
+The object path (:mod:`repro.fleet.host`) samples each volunteer with
+its own :class:`repro.simcore.rng.RngStreams` bundle — safe, obvious,
+and ~2,400 hosts/s.  This module builds the *same* hosts as flat numpy
+columns (gflops, availability, slowdown, departure, checkpoint cost)
+plus a CSR-style session layout: one flat ``starts``/``ends`` float
+array with per-host offsets, so a 100k-host fleet is a handful of
+arrays rather than 100k Python objects each owning a private trace
+list.
+
+Bit-identity contract
+---------------------
+Every draw comes from :mod:`repro.fleet.fastrng`, a pure-python/numpy
+re-implementation of the exact PCG64 + SeedSequence pipeline behind
+``RngStreams`` (validated lane-by-lane against numpy in
+``tests/test_fleet_fastrng.py``), and every derived quantity repeats
+the object path's float operations in the same order.  The resulting
+columns are **byte-identical** to ``build_fleet_hosts`` — asserted by
+``tests/test_fleet_columns.py`` across hypervisor mixes, sigma settings
+and horizons — so :class:`FleetHost` survives as a lazy *view*
+materialised on demand (tests, ``to_dict``, figures), never as the hot
+representation.
+
+Sharding follows the object path's discipline: fixed-size index ranges
+(:data:`COLUMN_SHARD_SIZE`) through the persistent
+:func:`repro.core.parallel.map_shards` pool, so serial and ``--jobs N``
+builds merge to the same bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.fleet.calibration import fleet_slowdown
+from repro.fleet.churn import ChurnModel
+from repro.fleet.config import FleetConfig
+from repro.fleet.fastrng import VecPcg, fork_seed
+from repro.fleet.host import (
+    AVAILABILITY_CEIL,
+    AVAILABILITY_FLOOR,
+    MIN_PARALLEL_HOSTS,
+    FleetHost,
+    host_hypervisor,
+)
+from repro.fleet.recovery import checkpoint_cycles
+from repro.obs.metrics import METRICS
+from repro.virt.profiles import PROFILE_ORDER
+
+#: Hosts per columnar build shard.  Bigger than the object path's 128:
+#: each shard amortises four vectorised stream seedings, so the sweet
+#: spot is thousands of lanes, and boundaries stay fixed (never derived
+#: from the worker count) so any ``--jobs`` merges identically.
+COLUMN_SHARD_SIZE = 8192
+
+
+@dataclass
+class FleetColumns:
+    """The whole fleet as flat columns plus a CSR session layout.
+
+    ``s_off`` has ``n_hosts + 1`` entries; host ``i`` owns sessions
+    ``s_starts[s_off[i]:s_off[i+1]]`` / ``s_ends[...]``.  ``hv_code``
+    indexes ``hv_names`` (the resolved profile per host).
+    """
+
+    config: FleetConfig
+    hv_names: Tuple[str, ...]
+    hv_code: np.ndarray          #: uint16, per host
+    gflops: np.ndarray           #: float64, per host
+    availability: np.ndarray    #: float64, per host
+    slowdown: np.ndarray         #: float64, per host
+    departure_s: np.ndarray      #: float64, per host (NOT horizon-clipped)
+    checkpoint_cost_s: np.ndarray  #: float64, per host
+    serve_seed: np.ndarray       #: uint64, per host — seeds the serve fork
+    s_starts: np.ndarray         #: float64, flat session starts
+    s_ends: np.ndarray           #: float64, flat session ends
+    s_off: np.ndarray            #: int64, n_hosts + 1 offsets
+    _views: List[Optional[FleetHost]] = field(default_factory=list,
+                                              repr=False)
+
+    def __post_init__(self) -> None:
+        if not self._views:
+            self._views = [None] * len(self)
+
+    def __len__(self) -> int:
+        return self.hv_code.shape[0]
+
+    @property
+    def rate_flops_per_s(self) -> np.ndarray:
+        """Per-host science rate; same float ops as the view property."""
+        return self.gflops * 1e9 / self.slowdown
+
+    def sessions_list(self, index: int) -> List[Tuple[float, float]]:
+        """Host ``index``'s sessions as the object path's list form."""
+        lo, hi = int(self.s_off[index]), int(self.s_off[index + 1])
+        starts = self.s_starts[lo:hi].tolist()
+        ends = self.s_ends[lo:hi].tolist()
+        return list(zip(starts, ends))
+
+    def host_view(self, index: int) -> FleetHost:
+        """Materialise (and cache) host ``index`` as a ``FleetHost``."""
+        view = self._views[index]
+        if view is None:
+            view = FleetHost(
+                index=index, name=f"host-{index:05d}",
+                hypervisor=self.hv_names[int(self.hv_code[index])],
+                slowdown=float(self.slowdown[index]),
+                gflops=float(self.gflops[index]),
+                availability=float(self.availability[index]),
+                error_rate=self.config.error_rate,
+                sessions=self.sessions_list(index),
+                departure_s=float(self.departure_s[index]),
+                checkpoint_cost_s=float(self.checkpoint_cost_s[index]),
+            )
+            self._views[index] = view
+        return view
+
+    def views(self) -> "HostViews":
+        return HostViews(self)
+
+
+class HostViews(Sequence):
+    """A lazy ``Sequence[FleetHost]`` over :class:`FleetColumns`.
+
+    The classic event loop (and any test poking ``server.hosts[i]``)
+    sees ordinary ``FleetHost`` records; each is materialised from the
+    columns on first touch and cached on the column store.
+    """
+
+    __slots__ = ("_cols",)
+
+    def __init__(self, cols: FleetColumns):
+        self._cols = cols
+
+    def __len__(self) -> int:
+        return len(self._cols)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._cols.host_view(i)
+                    for i in range(*index.indices(len(self._cols)))]
+        if index < 0:
+            index += len(self._cols)
+        return self._cols.host_view(index)
+
+
+def column_shards(n_hosts: int) -> List[Tuple[int, int]]:
+    """Fixed ``[start, stop)`` ranges of :data:`COLUMN_SHARD_SIZE`."""
+    return [(start, min(start + COLUMN_SHARD_SIZE, n_hosts))
+            for start in range(0, n_hosts, COLUMN_SHARD_SIZE)]
+
+
+def _sample_shard_columns(config: FleetConfig, start: int,
+                          stop: int) -> Dict[str, np.ndarray]:
+    """Sample hosts ``[start, stop)`` as columns — the vectorised twin
+    of ``sample_host`` run ``stop - start`` times.
+
+    Each step repeats the object path's draws and float operations
+    exactly; see the module docstring for the bit-identity contract.
+    """
+    n = stop - start
+    child = np.empty(n, dtype=np.uint64)
+    trace = np.empty(n, dtype=np.uint64)
+    serve = np.empty(n, dtype=np.uint64)
+    seed = config.seed
+    for k, index in enumerate(range(start, stop)):
+        child_seed = fork_seed(seed, f"host-{index}")
+        child[k] = child_seed
+        trace[k] = fork_seed(child_seed, "trace")
+        serve[k] = fork_seed(child_seed, "serve")
+
+    # gflops: median * lognormal_factor("speed", sigma); the object path
+    # skips the draw entirely at sigma == 0 (factor 1.0).
+    sigma = config.host_gflops_sigma
+    if sigma == 0.0:
+        gflops = np.full(n, config.host_gflops_median)
+    else:
+        z = VecPcg.seeded(child, "speed").std_normal()
+        gflops = config.host_gflops_median * np.exp(0.0 + sigma * z)
+
+    # availability: normal("avail", mean, spread) clamped to the band.
+    z = VecPcg.seeded(child, "avail").std_normal()
+    avail = config.availability_mean + config.availability_spread * z
+    avail = np.minimum(AVAILABILITY_CEIL,
+                       np.maximum(AVAILABILITY_FLOOR, avail))
+
+    # churn trace: departure clock, phase draw, alternating on/off renewal
+    # (availability is clamped <= AVAILABILITY_CEIL < 1, so the object
+    # path's always-on branch is unreachable and every off-gap draws).
+    horizon = config.duration_s
+    departure = VecPcg.seeded(trace, "churn.departure").std_exp() \
+        * config.departure_mean_s
+    eow = np.minimum(horizon, departure)
+    phase = VecPcg.seeded(trace, "churn.phase").doubles()
+    on = phase < avail
+    off_mean = config.session_mean_s * (1.0 - avail) / avail
+    on_pcg = VecPcg.seeded(trace, "churn.on")
+    off_pcg = VecPcg.seeded(trace, "churn.off")
+
+    t = np.zeros(n)
+    start_off = np.flatnonzero(~on)
+    if start_off.size:
+        sub = off_pcg.gather(start_off)
+        t[start_off] = sub.std_exp() * off_mean[start_off]
+        off_pcg.scatter(start_off, sub)
+
+    counts = np.zeros(n, dtype=np.int64)
+    rounds: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    alive = np.flatnonzero(t < eow)
+    while alive.size:
+        sub = on_pcg.gather(alive)
+        length = sub.std_exp() * config.session_mean_s
+        on_pcg.scatter(alive, sub)
+        s_start = t[alive]
+        t_next = s_start + length
+        s_end = np.minimum(t_next, eow[alive])
+        rounds.append((alive, s_start, s_end))
+        counts[alive] += 1
+        sub = off_pcg.gather(alive)
+        gap = sub.std_exp() * off_mean[alive]
+        off_pcg.scatter(alive, sub)
+        t[alive] = t_next + gap
+        alive = alive[t[alive] < eow[alive]]
+
+    # CSR scatter: the alive set only shrinks, so a lane alive in round
+    # r has exactly r earlier sessions — its slot is offset + r.
+    off = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=off[1:])
+    s_starts = np.empty(off[-1])
+    s_ends = np.empty(off[-1])
+    for r, (idxs, st, en) in enumerate(rounds):
+        pos = off[idxs] + r
+        s_starts[pos] = st
+        s_ends[pos] = en
+
+    if METRICS.enabled:
+        METRICS.inc("fleet.hosts_built", n)
+    return {"gflops": gflops, "availability": avail,
+            "departure_s": departure, "serve_seed": serve,
+            "s_starts": s_starts, "s_ends": s_ends, "s_cnt": counts}
+
+
+def _build_columns_shard(task: Tuple[Dict[str, Any], int, int]
+                         ) -> Dict[str, np.ndarray]:
+    """Worker body for :func:`map_shards` (module-level so it pickles)."""
+    payload, start, stop = task
+    return _sample_shard_columns(FleetConfig.from_dict(payload), start, stop)
+
+
+def build_fleet_columns(config: FleetConfig,
+                        jobs: Optional[int] = None) -> FleetColumns:
+    """Build the whole fleet as :class:`FleetColumns`.
+
+    Same worker-count policy and serial-fallback threshold as
+    :func:`repro.fleet.host.build_fleet_hosts`; the merged columns are
+    bit-identical to the serial build (fixed shard boundaries, hosts
+    seeded only from their own index).
+    """
+    from repro.core.parallel import map_shards
+
+    # Surface the object path's validation errors before any sampling:
+    # ChurnModel rejects non-positive means, availability_trace rejects
+    # a non-positive horizon.
+    ChurnModel(availability=0.5, session_mean_s=config.session_mean_s,
+               departure_mean_s=config.departure_mean_s)
+    if config.duration_s <= 0:
+        raise ExperimentError(
+            f"horizon_s must be positive, got {config.duration_s!r}")
+
+    n = config.hosts
+    payload = config.to_dict()
+    tasks = [(payload, lo, hi) for lo, hi in column_shards(n)]
+    if n < MIN_PARALLEL_HOSTS or len(tasks) == 1:
+        if n < MIN_PARALLEL_HOSTS and METRICS.enabled:
+            METRICS.inc("parallel.fallback_serial")
+        shards = [_build_columns_shard(task) for task in tasks]
+    else:
+        shards = map_shards(_build_columns_shard, tasks, jobs=jobs)
+
+    def cat(key: str) -> np.ndarray:
+        return np.concatenate([s[key] for s in shards]) if shards \
+            else np.empty(0)
+
+    counts = np.concatenate([s["s_cnt"] for s in shards]) if shards \
+        else np.empty(0, dtype=np.int64)
+    s_off = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=s_off[1:])
+
+    if config.mixed:
+        hv_names = tuple(PROFILE_ORDER)
+        hv_code = (np.arange(n, dtype=np.int64)
+                   % len(PROFILE_ORDER)).astype(np.uint16)
+    else:
+        hv_names = (host_hypervisor(config, 0),)
+        hv_code = np.zeros(n, dtype=np.uint16)
+    mem = config.memory_factor()
+    slow_by = np.array([fleet_slowdown(name) * mem for name in hv_names])
+    cyc_by = np.array([checkpoint_cycles(name) for name in hv_names])
+    gflops = cat("gflops")
+    return FleetColumns(
+        config=config, hv_names=hv_names, hv_code=hv_code,
+        gflops=gflops,
+        availability=cat("availability"),
+        slowdown=slow_by[hv_code],
+        departure_s=cat("departure_s"),
+        checkpoint_cost_s=cyc_by[hv_code] / (gflops * 1e9),
+        serve_seed=cat("serve_seed"),
+        s_starts=cat("s_starts"), s_ends=cat("s_ends"), s_off=s_off,
+    )

@@ -163,8 +163,17 @@ def checkpoint_cost_s(hypervisor: str, gflops: float) -> float:
     slower than VMware's — which is exactly the intrusiveness trade-off
     the ``fleet_checkpoint`` figure sweeps.
     """
+    return checkpoint_cycles(hypervisor) / (gflops * 1e9)
+
+
+def checkpoint_cycles(hypervisor: str) -> float:
+    """Disk-path cycles one checkpoint write costs, per hypervisor.
+
+    Split out of :func:`checkpoint_cost_s` so the columnar host builder
+    can compute the per-profile cycle count once and divide by a whole
+    gflops column at a time (identical float operations either way).
+    """
     profile = get_profile(hypervisor)
     image_kb = CHECKPOINT_IMAGE_BYTES / 1024.0
-    cycles = profile.disk_per_request_cycles \
+    return profile.disk_per_request_cycles \
         + profile.disk_per_kb_cycles * image_kb
-    return cycles / (gflops * 1e9)

@@ -42,20 +42,41 @@ the sites; see :mod:`repro.fleet.recovery` for the model):
   ``degraded_threshold`` the server sheds replication to quorum-of-1
   (every such validation tallied as a validation risk), recovering when
   the backlog drains to zero.
+
+Two executions of the same loop coexist.  The **classic** loop walks
+``FleetHost`` objects and ``WorkUnit``/``Replica`` records — it runs
+whenever the server is handed a host list, or faults/metrics are armed.
+The **columnar** loop (:meth:`FleetServer._fast_run`) drives the same
+events over :class:`repro.fleet.columns.FleetColumns` flat arrays and
+parallel lists; it is the fault-free production path and is
+byte-identical to the classic loop at every seed/config (asserted by
+the equivalence tests against the archived pre-columnar server in
+``tests/_reference_fleet.py``).
 """
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import itertools
+import math
+from array import array
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.faults import FAULTS
 from repro.fleet.calibration import fleet_slowdown
 from repro.fleet.churn import active_seconds, finish_time
+from repro.fleet.columns import (
+    FleetColumns,
+    build_fleet_columns,
+)
 from repro.fleet.config import FleetConfig
+from repro.fleet.cloop import run_event_loop as _c_event_loop
+from repro.fleet.fastrng import VecPcg
 from repro.fleet.host import FleetHost, build_fleet_hosts
 from repro.fleet.recovery import outage_windows, rollback_seconds
 from repro.fleet.validation import (
@@ -231,42 +252,70 @@ class FleetReport:
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank percentile of an already-sorted list (0 if empty)."""
+    """Nearest-rank percentile of an already-sorted list (0 if empty).
+
+    The rank rounds half *up* (``floor(q·(n−1) + 0.5)``), never
+    half-to-even: ``round`` would pick the lower middle sample for two
+    makespans but the upper one for four, so the reported p50 would
+    jump around with the sample count's parity.
+    """
     if not sorted_values:
         return 0.0
     rank = max(0, min(len(sorted_values) - 1,
-                      int(round(q * (len(sorted_values) - 1)))))
+                      math.floor(q * (len(sorted_values) - 1) + 0.5)))
     return sorted_values[rank]
+
+
+class _FastPrep:
+    """Read-only inputs of the columnar fast loop.
+
+    One instance is shared by the compiled event kernel
+    (:mod:`repro.fleet.cloop` / ``_cloop.c``) and the pure-Python
+    fallback loop, so both paths start from literally the same floats.
+    ``delays`` is the poll-backoff table ``min(poll·2^(f−1), cap)``
+    pre-tabulated until it saturates; doubling is an exact float
+    operation, so the table entries equal the inline expression.
+    """
+
+    __slots__ = ("n", "nwu", "horizon", "quorum", "max_replicas",
+                 "err_rate", "fs", "fe", "soff", "departure", "an",
+                 "base", "stretch", "delays", "serve_seed", "hv_code")
 
 
 class FleetServer:
     """One project server driving a fleet of sampled volunteer hosts."""
 
-    def __init__(self, config: FleetConfig, hosts: List[FleetHost],
+    def __init__(self, config: FleetConfig,
+                 hosts: Union[Sequence[FleetHost], FleetColumns],
                  dropouts: int = 0):
         self.config = config
-        self.hosts = hosts
+        self.columns: Optional[FleetColumns] = \
+            hosts if isinstance(hosts, FleetColumns) else None
+        self.hosts: Sequence[FleetHost] = \
+            self.columns.views() if self.columns is not None else hosts
         self.dropouts = dropouts
         self.policy = config.recovery_policy()
         # server.outage schedule: drawn once, from the fault stream only
         self._outages: List[Tuple[float, float]] = (
             outage_windows(config.duration_s, self.policy.outage_scale_s)
             if FAULTS.enabled else [])
+        self._outage_starts = [start for start, _ in self._outages]
         self.validator = QuorumValidator(config.quorum)
-        self.workunits = [
-            WorkUnit(wu_id=i, flops=config.wu_flops)
-            for i in range(config.resolved_workunits())
-        ]
+        # Columns + no faults/metrics run the flat fast loop, which keeps
+        # work-unit and replica state in parallel lists of its own; the
+        # classic loop materialises the record objects.  Eligibility is
+        # re-checked in run() so arming FAULTS/METRICS between
+        # construction and run still lands on the classic loop.
+        self._fast = (self.columns is not None and dropouts == 0
+                      and not FAULTS.enabled and not METRICS.enabled)
+        self.workunits: List[WorkUnit] = []
         self.need: deque = deque()
-        for wu in self.workunits:
-            for _ in range(config.quorum):
-                self.need.append(wu.wu_id)
+        self._poll_failures: List[int] = []
+        if not self._fast:
+            self._init_classic_state()
         self.replicas: List[Replica] = []
-        self._rng_serve = [
-            RngStreams(config.seed).fork(f"host-{h.index}").fork("serve")
-            for h in hosts
-        ]
-        self._poll_failures = [0] * len(hosts)
+        self._rng_serve: Dict[int, RngStreams] = {}
+        self._session_starts: Dict[int, Tuple[float, ...]] = {}
         self._heap: List = []
         self._seq = itertools.count()
         self._n_valid = 0
@@ -292,6 +341,21 @@ class FleetServer:
         self._degraded_since: Optional[float] = None
         self._degraded_windows: List[Tuple[float, float]] = []
 
+    def _init_classic_state(self) -> None:
+        """Materialise the record-object state the classic loop drives."""
+        if self.workunits:
+            return
+        self.workunits = [
+            WorkUnit(wu_id=i, flops=self.config.wu_flops)
+            for i in range(self.config.resolved_workunits())
+        ]
+        self.need = deque()
+        for wu in self.workunits:
+            for _ in range(self.config.quorum):
+                self.need.append(wu.wu_id)
+        self._poll_failures = [0] * len(self.hosts)
+        self._fast = False
+
     # -- event plumbing --------------------------------------------------
 
     def _push(self, time_s: float, kind: int, payload: int) -> None:
@@ -302,13 +366,50 @@ class FleetServer:
             self._wasted_by_host.get(host_index, 0.0) + cpu_s
 
     def _outage_at(self, time_s: float) -> Optional[Tuple[float, float]]:
-        """The ``[start, end)`` outage window covering ``time_s``, if any."""
-        for start, end in self._outages:
-            if time_s < start:
-                return None  # windows are sorted and disjoint
-            if time_s < end:
-                return (start, end)
+        """The ``[start, end)`` outage window covering ``time_s``, if any.
+
+        Windows are sorted and disjoint, so a bisect over the start
+        times replaces the old linear scan — under a long storm this
+        runs on every request/upload event of a multi-million-event run.
+        """
+        index = bisect.bisect_right(self._outage_starts, time_s) - 1
+        if index >= 0:
+            window = self._outages[index]
+            if time_s < window[1]:
+                return window
         return None
+
+    def _serve_uniform(self, host_index: int) -> float:
+        """Next draw on one host's ``serve``/``error`` stream (lazy).
+
+        Streams materialise on first use instead of eagerly for every
+        host — most hosts never return an acceptable result in a short
+        run.  With columns in hand the serve fork's seed is already a
+        column; deriving the stream from it is bit-identical to the
+        object path's ``fork(f"host-{i}").fork("serve")`` chain.
+        """
+        rng = self._rng_serve.get(host_index)
+        if rng is None:
+            if self.columns is not None:
+                rng = RngStreams(int(self.columns.serve_seed[host_index]))
+            else:
+                rng = RngStreams(self.config.seed) \
+                    .fork(f"host-{self.hosts[host_index].index}") \
+                    .fork("serve")
+            self._rng_serve[host_index] = rng
+        return rng.uniform("error")
+
+    def _starts_for(self, host_index: int) -> Tuple[float, ...]:
+        """Cached per-host session-start tuple for bisect lookups.
+
+        ``finish_time``/``active_seconds`` used to rebuild the start
+        list from the session pairs on every call — an O(sessions)
+        allocation inside the two hottest per-event helpers."""
+        starts = self._session_starts.get(host_index)
+        if starts is None:
+            starts = tuple(s for s, _ in self.hosts[host_index].sessions)
+            self._session_starts[host_index] = starts
+        return starts
 
     # -- server policy ---------------------------------------------------
 
@@ -377,6 +478,7 @@ class FleetServer:
                 self._push(next_poll, _REQUEST, host_index)
             return
         self._poll_failures[host_index] = 0
+        starts = self._starts_for(host_index)
         rid = len(self.replicas)
         active_needed = wu.flops / host.rate_flops_per_s
         interval = self.config.checkpoint_interval_s
@@ -392,14 +494,14 @@ class FleetServer:
             # progress − last_checkpoint seconds.  would_fire + record
             # so a crash the trace never reaches is not tallied.
             progress = FAULTS.uniform("vm.crash", rid, "at") * active_needed
-            crash_wall = finish_time(host.sessions, now, progress)
+            crash_wall = finish_time(host.sessions, now, progress, starts)
             if crash_wall is not None:
                 FAULTS.record("vm.crash")
                 rolled_back = rollback_seconds(progress, interval)
                 active_needed += rolled_back
                 self.vm_crashes += 1
         deadline = self._deadline_for(wu, host, now)
-        finish = finish_time(host.sessions, now, active_needed)
+        finish = finish_time(host.sessions, now, active_needed, starts)
         replica = Replica(rid=rid, wu_id=wu.wu_id, host=host_index,
                           dispatched_s=now, deadline_s=deadline,
                           cpu_s=active_needed, finish_s=finish,
@@ -435,8 +537,12 @@ class FleetServer:
         replica = self.replicas[rid]
         replica.compute_done_s = now
         self._count_rollback(replica)
-        # the host is free again: poll immediately
-        self._push(now, _REQUEST, replica.host)
+        if self._n_valid < len(self.workunits):
+            # the host is free again: poll immediately.  Once every work
+            # unit has validated the poll could only retire the host, so
+            # it is skipped — the elided events are provably dead (the
+            # report never changes; asserted by the regression tests).
+            self._push(now, _REQUEST, replica.host)
         self._attempt_upload(rid, now)
 
     def _count_rollback(self, replica: Replica) -> None:
@@ -544,8 +650,7 @@ class FleetServer:
             if METRICS.enabled:
                 METRICS.inc("fleet.redundant")
             return
-        bad = self._rng_serve[replica.host].uniform("error") \
-            < host.error_rate
+        bad = self._serve_uniform(replica.host) < host.error_rate
         if bad:
             key = erroneous_key(wu.wu_id, replica.host, rid)
             self.results_erroneous += 1
@@ -584,6 +689,9 @@ class FleetServer:
     # -- the run ---------------------------------------------------------
 
     def run(self) -> FleetReport:
+        if self._fast and not FAULTS.enabled and not METRICS.enabled:
+            return self._fast_run()
+        self._init_classic_state()
         horizon = self.config.duration_s
         for host in self.hosts:
             if host.sessions:
@@ -602,6 +710,577 @@ class FleetServer:
             else:
                 self._handle_deadline(payload, time_s)
         return self._report()
+
+    # -- the columnar fast loop ------------------------------------------
+
+    def _fast_run(self) -> FleetReport:
+        """Run the columnar fast path (fault-free only).
+
+        Builds the shared read-only prep, runs the event loop — the
+        compiled C kernel when available, the pure-Python fallback
+        otherwise; both produce the identical canonical flat state —
+        and renders one report from that state.
+        """
+        prep = self._fast_prep()
+        state = _c_event_loop(prep)
+        if state is None:
+            state = self._fast_loop_python(prep)
+        return self._fast_report(prep, state)
+
+    def _fast_prep(self) -> _FastPrep:
+        cfg = self.config
+        cols = self.columns
+        prep = _FastPrep()
+        prep.n = len(cols)
+        prep.nwu = cfg.resolved_workunits()
+        prep.horizon = cfg.duration_s
+        prep.quorum = cfg.quorum
+        prep.max_replicas = cfg.max_replicas
+        prep.err_rate = cfg.error_rate
+        prep.fs = cols.s_starts
+        prep.fe = cols.s_ends
+        prep.soff = cols.s_off
+        prep.departure = cols.departure_s
+        an = cfg.wu_flops / cols.rate_flops_per_s
+        interval = cfg.checkpoint_interval_s
+        if interval > 0:
+            ck = cols.checkpoint_cost_s
+            an = np.where(ck > 0.0, an * (1.0 + ck / interval), an)
+        prep.an = an
+        prep.hv_code = cols.hv_code
+        # deadline base per profile: deadline = now + base * stretch^t,
+        # identical float order to _deadline_for
+        base_by_code = [
+            cfg.deadline_factor
+            * ((cfg.wu_flops / (cfg.host_gflops_median * 1e9
+                                / fleet_slowdown(name)))
+               / cfg.availability_mean)
+            for name in cols.hv_names]
+        prep.base = np.array(base_by_code, dtype=np.float64)[
+            cols.hv_code.astype(np.int64)]
+        prep.stretch = np.array(
+            [cfg.backoff_factor ** k for k in range(9)], dtype=np.float64)
+        delays = [cfg.poll_interval_s]
+        while delays[-1] < _MAX_POLL_BACKOFF_S and len(delays) < 4096:
+            delays.append(min(delays[-1] * 2.0, _MAX_POLL_BACKOFF_S))
+        prep.delays = np.array(delays, dtype=np.float64)
+        prep.serve_seed = cols.serve_seed
+        return prep
+
+    def _fast_loop_python(self, prep: _FastPrep) -> Dict[str, Any]:
+        """The classic event loop over flat columns (fault-free only).
+
+        Same events, same order, same floats — the differences are
+        representational (parallel lists instead of ``Replica`` /
+        ``WorkUnit`` records, pre-drawn error uniforms, a monotone
+        per-host cursor into the CSR trace) plus three provably
+        unobservable event elisions:
+
+        * a completion at ``t`` re-dispatches inline when no other event
+          is scheduled at ``t`` — the pushed re-poll would pop next
+          anyway (any tied event carries a smaller sequence number);
+        * a replica whose completion lands at or before its deadline
+          never pushes the deadline event (the completed flag makes the
+          deadline handler a no-op);
+        * events past the horizon are never pushed — the loop stops at
+          the first popped time past the horizon, processing none of
+          them, and relative order among surviving events is preserved.
+
+        Replica flag bits: 1 = timed out, 2 = completed.  Work-unit
+        validator state: 0 = open, 1 = validated, 2 = locked by a
+        quorum-of-1 erroneous result (the validator accepted a bad key,
+        so later matching results can never validate the unit).
+
+        ``repro/fleet/_cloop.c`` is a transliteration of this loop;
+        both return the canonical flat state that
+        :meth:`_fast_report` renders.
+        """
+        cfg = self.config
+        horizon = prep.horizon
+        n = prep.n
+        quorum = prep.quorum
+        max_replicas = prep.max_replicas
+        poll_interval = cfg.poll_interval_s
+        nwu = prep.nwu
+
+        # per-host columns as plain python lists (fastest scalar indexing)
+        departure = prep.departure.tolist()
+        fs = prep.fs.tolist()
+        fe = prep.fe.tolist()
+        off = prep.soff.tolist()
+        an = prep.an.tolist()
+        base = prep.base.tolist()
+        stretch = prep.stretch.tolist()
+
+        # work-unit state, flat
+        wu_validated: List[Optional[float]] = [None] * nwu
+        wu_issued = [0] * nwu
+        wu_out = [0] * nwu
+        wu_tmo = [0] * nwu
+        wu_state = bytearray(nwu)
+        wu_holders: List[Optional[list]] = [None] * nwu
+        ret_wid: List[int] = []
+        ret_host: List[int] = []
+        ret_cpu: List[float] = []
+        wu_hosts: List[Optional[list]] = [None] * nwu
+        need = deque(wid for wid in range(nwu) for _ in range(quorum))
+
+        # replica state, flat
+        r_pack: List[Tuple[int, int, float]] = []  # (wu_id, host, deadline)
+        r_disp: List[float] = []
+        r_flag = bytearray()
+
+        # serve-stream error uniforms, drawn one vectorised round at a
+        # time: draws[r][h] is the object path's (r+1)-th uniform("error")
+        # on host h's serve fork
+        serve_vec = VecPcg.seeded(prep.serve_seed, "error")
+        err_rate = prep.err_rate
+        draws: List[array] = []
+        ucur = [0] * n
+        cur = off[:n]               # per-host session cursor (monotone)
+        poll_fail = [0] * n
+
+        heap: List[Tuple[float, int, int, int]] = []
+        seq = 0
+        for h in range(n):
+            if off[h + 1] > off[h]:
+                heap.append((fs[off[h]], seq, _REQUEST, h))
+                seq += 1
+        heapq.heapify(heap)
+        push = heapq.heappush
+        pop = heapq.heappop
+
+        n_valid = 0
+        ok_n = err_n = stale_n = tmo_n = red_n = 0
+        err_cpu = stale_cpu = red_cpu = 0.0
+        waste = [0.0] * n
+
+        def dispatch(h: int, now: float) -> None:
+            nonlocal seq
+            wid = -1
+            stash = None
+            while need:
+                w = need.popleft()
+                if wu_validated[w] is not None \
+                        or wu_issued[w] >= max_replicas:
+                    continue  # entry is stale; drop it
+                hl = wu_hosts[w]
+                if hl is not None and h in hl:
+                    if stash is None:
+                        stash = [w]
+                    else:
+                        stash.append(w)
+                    continue
+                wid = w
+                break
+            if stash is not None:
+                need.extendleft(reversed(stash))
+            if wid < 0:
+                if n_valid >= nwu:
+                    return  # everything validated; the host retires
+                f = poll_fail[h] + 1
+                poll_fail[h] = f
+                delay = poll_interval * (2.0 ** (f - 1))
+                if delay > _MAX_POLL_BACKOFF_S:
+                    delay = _MAX_POLL_BACKOFF_S
+                next_poll = now + delay
+                limit = departure[h]
+                if horizon < limit:
+                    limit = horizon
+                if next_poll < limit:
+                    push(heap, (next_poll, seq, _REQUEST, h))
+                    seq += 1
+                return
+            poll_fail[h] = 0
+            rid = len(r_disp)
+            t = wu_tmo[wid]
+            deadline = now + base[h] * stretch[t if t < 8 else 8]
+            hi = off[h + 1]
+            c = cur[h]
+            while c + 1 < hi and fs[c + 1] <= now:
+                c += 1
+            cur[h] = c
+            fin = None
+            remaining = an[h]
+            for j in range(c, hi):
+                s = fs[j]
+                e = fe[j]
+                lo = s if s > now else now
+                if lo >= e:
+                    continue
+                span = e - lo
+                if span >= remaining:
+                    fin = lo + remaining
+                    break
+                remaining -= span
+            r_pack.append((wid, h, deadline))
+            r_disp.append(now)
+            r_flag.append(0)
+            wu_issued[wid] += 1
+            wu_out[wid] += 1
+            hl = wu_hosts[wid]
+            if hl is None:
+                wu_hosts[wid] = [h]
+            else:
+                hl.append(h)
+            if fin is not None and fin <= horizon:
+                push(heap, (fin, seq, _COMPLETE, rid))
+                seq += 1
+                if deadline < fin:
+                    push(heap, (deadline, seq, _DEADLINE, rid))
+                    seq += 1
+            elif deadline <= horizon:
+                push(heap, (deadline, seq, _DEADLINE, rid))
+                seq += 1
+
+        while heap:
+            time_s, _s, kind, payload = pop(heap)
+            if time_s > horizon:
+                break
+            if kind == _COMPLETE:
+                rid = payload
+                wid, h, deadline = r_pack[rid]
+                fl = r_flag[rid]
+                r_flag[rid] = fl | 2
+                redispatch = n_valid < nwu
+                if redispatch and heap and heap[0][0] == time_s:
+                    # a tied event must process first: fall back to the
+                    # classic re-poll push (delivery pushes no events,
+                    # so relative order matches the object loop)
+                    push(heap, (time_s, seq, _REQUEST, h))
+                    seq += 1
+                    redispatch = False
+                useful = an[h]
+                if fl or time_s > deadline:
+                    stale_n += 1
+                    stale_cpu += useful
+                    waste[h] += useful
+                    if not fl:
+                        wu_out[wid] -= 1
+                        r_flag[rid] = 3
+                    if wu_validated[wid] is None:
+                        hl = wu_holders[wid]
+                        if ((0 if hl is None else len(hl)) + wu_out[wid]
+                                < quorum) and wu_issued[wid] < max_replicas:
+                            need.append(wid)
+                elif wu_validated[wid] is not None:
+                    wu_out[wid] -= 1
+                    red_n += 1
+                    red_cpu += useful
+                    waste[h] += useful
+                else:
+                    wu_out[wid] -= 1
+                    u = ucur[h]
+                    ucur[h] = u + 1
+                    while u >= len(draws):
+                        round_draws = array("d")
+                        round_draws.frombytes(serve_vec.doubles().tobytes())
+                        draws.append(round_draws)
+                    if draws[u][h] < err_rate:
+                        err_n += 1
+                        err_cpu += useful
+                        waste[h] += useful
+                        if quorum == 1 and wu_state[wid] == 0:
+                            wu_state[wid] = 2
+                        hl = wu_holders[wid]
+                        if ((0 if hl is None else len(hl)) + wu_out[wid]
+                                < quorum) and wu_issued[wid] < max_replicas:
+                            need.append(wid)
+                    else:
+                        ok_n += 1
+                        ret_wid.append(wid)
+                        ret_host.append(h)
+                        ret_cpu.append(useful)
+                        if wu_state[wid] == 0:
+                            hl = wu_holders[wid]
+                            if hl is None:
+                                hl = wu_holders[wid] = [h]
+                            else:
+                                hl.append(h)
+                            if len(hl) >= quorum:
+                                wu_state[wid] = 1
+                                wu_validated[wid] = time_s
+                                n_valid += 1
+                            elif (len(hl) + wu_out[wid] < quorum
+                                  and wu_issued[wid] < max_replicas):
+                                need.append(wid)
+                        else:
+                            # bad-locked: the match can never validate
+                            hl = wu_holders[wid]
+                            if ((0 if hl is None else len(hl)) + wu_out[wid]
+                                    < quorum) \
+                                    and wu_issued[wid] < max_replicas:
+                                need.append(wid)
+                if redispatch:
+                    dispatch(h, time_s)
+            elif kind == _REQUEST:
+                dispatch(payload, time_s)
+            else:
+                rid = payload
+                if not r_flag[rid]:
+                    r_flag[rid] = 1
+                    wid = r_pack[rid][0]
+                    wu_out[wid] -= 1
+                    if wu_validated[wid] is None:
+                        wu_tmo[wid] += 1
+                        tmo_n += 1
+                        hl = wu_holders[wid]
+                        if ((0 if hl is None else len(hl)) + wu_out[wid]
+                                < quorum) and wu_issued[wid] < max_replicas:
+                            need.append(wid)
+
+        hold_flat = np.full(nwu * quorum, -1, dtype=np.int32)
+        nhold = np.zeros(nwu, dtype=np.uint8)
+        for wid, hl in enumerate(wu_holders):
+            if hl:
+                hold_flat[wid * quorum:wid * quorum + len(hl)] = hl
+                nhold[wid] = len(hl)
+        return {
+            "n_valid": n_valid,
+            "n_rep": len(r_disp),
+            "ok_n": ok_n,
+            "err_n": err_n,
+            "stale_n": stale_n,
+            "tmo_n": tmo_n,
+            "red_n": red_n,
+            "err_cpu": err_cpu,
+            "stale_cpu": stale_cpu,
+            "red_cpu": red_cpu,
+            "wu_state": np.frombuffer(bytes(wu_state), dtype=np.uint8),
+            "wu_validated": np.fromiter(
+                (0.0 if v is None else v for v in wu_validated),
+                dtype=np.float64, count=nwu),
+            "wu_issued": np.array(wu_issued, dtype=np.int32),
+            "wu_out": np.array(wu_out, dtype=np.int32),
+            "hold_flat": hold_flat,
+            "nhold": nhold,
+            "ret_wid": np.array(ret_wid, dtype=np.int32),
+            "ret_host": np.array(ret_host, dtype=np.int32),
+            "ret_cpu": np.array(ret_cpu, dtype=np.float64),
+            "r_host": np.fromiter((p[1] for p in r_pack), dtype=np.int32,
+                                  count=len(r_pack)),
+            "r_disp": np.array(r_disp, dtype=np.float64),
+            "r_flag": np.frombuffer(bytes(r_flag), dtype=np.uint8),
+            "waste": np.array(waste, dtype=np.float64),
+        }
+
+    def _fast_report(self, prep: _FastPrep,
+                     state: Dict[str, Any]) -> FleetReport:
+        """Mirror of :meth:`_report` over the canonical flat state —
+        field for field, float operation for float operation.
+
+        Every accumulation whose order the classic report fixes (the
+        wid-major walk over ok returns, the rid-order walk over
+        incomplete replicas, the host-order per-hypervisor buckets)
+        stays a Python left fold here; numpy only gathers, sorts, and
+        counts — operations with no float-order freedom.
+        """
+        cfg = self.config
+        cols = self.columns
+        horizon = prep.horizon
+        n = prep.n
+        nwu = prep.nwu
+        quorum = prep.quorum
+        n_valid = state["n_valid"]
+        n_rep = state["n_rep"]
+        ok_n = state["ok_n"]
+        err_n = state["err_n"]
+        stale_n = state["stale_n"]
+        tmo_n = state["tmo_n"]
+        red_n = state["red_n"]
+        err_cpu = state["err_cpu"]
+        stale_cpu = state["stale_cpu"]
+        red_cpu = state["red_cpu"]
+        wu_state = state["wu_state"]
+        st = wu_state.tobytes()
+        nhold = state["nhold"].tolist()
+        hold_flat = state["hold_flat"].tolist()
+        waste = state["waste"].tolist()
+
+        # ok returns, wid-major with delivery order preserved within a
+        # wid — exactly the classic ``for wu: for wu.ok_returns`` walk.
+        # Per-host ok counts are order-free integers, so numpy may count
+        # them; the cpu folds stay sequential.
+        ret_wid = state["ret_wid"]
+        order = np.argsort(ret_wid, kind="stable")
+        rw = ret_wid[order].tolist()
+        rh = state["ret_host"][order].tolist()
+        rc = state["ret_cpu"][order].tolist()
+        ok_by_host = np.bincount(state["ret_host"], minlength=n).tolist()
+        quorum_cpu = 0.0
+        redundant_cpu = red_cpu
+        pending_cpu = 0.0
+        quorum_cpu_by_host = [0.0] * n
+        prev_wid = -1
+        validated = False
+        qset: set = set()
+        for wid, h, cpu in zip(rw, rh, rc):
+            if wid != prev_wid:
+                prev_wid = wid
+                validated = st[wid] == 1
+                if validated:
+                    b = wid * quorum
+                    qset = set(hold_flat[b:b + nhold[wid]])
+            if validated:
+                if h in qset:
+                    quorum_cpu += cpu
+                    quorum_cpu_by_host[h] += cpu
+                else:
+                    redundant_cpu += cpu
+                    waste[h] += cpu
+            else:
+                pending_cpu += cpu
+
+        lost_cpu = 0.0
+        in_flight_cpu = 0.0
+        r_flag = state["r_flag"]
+        incomplete = np.flatnonzero((r_flag & 2) == 0)
+        if incomplete.size:
+            fs = prep.fs.tolist()
+            fe = prep.fe.tolist()
+            off = prep.soff.tolist()
+            departure = prep.departure.tolist()
+            hosts_sub = state["r_host"][incomplete].tolist()
+            disp_sub = state["r_disp"][incomplete].tolist()
+            for h, start in zip(hosts_sub, disp_sub):
+                spent = 0.0
+                if horizon > start:
+                    lo_i = off[h]
+                    hi_i = off[h + 1]
+                    j = bisect.bisect_right(fs, start, lo_i, hi_i) - 1
+                    if j < lo_i:
+                        j = lo_i
+                    while j < hi_i:
+                        s = fs[j]
+                        if s >= horizon:
+                            break
+                        e = fe[j]
+                        lo = s if s > start else start
+                        hi2 = e if e < horizon else horizon
+                        if hi2 > lo:
+                            spent += hi2 - lo
+                        j += 1
+                if departure[h] <= horizon:
+                    lost_cpu += spent
+                    waste[h] += spent
+                else:
+                    in_flight_cpu += spent
+
+        rolled_back = 0.0
+        wasted = (err_cpu + stale_cpu + redundant_cpu + lost_cpu
+                  + rolled_back)
+        total_cpu = quorum_cpu + wasted + pending_cpu + in_flight_cpu
+        waste_fraction = wasted / total_cpu if total_cpu else 0.0
+
+        wu_issued = state["wu_issued"]
+        wu_out = state["wu_out"]
+        not_valid = wu_state != 1
+        unsent = int(np.count_nonzero(not_valid & (wu_issued == 0)))
+        started = not_valid & (wu_issued > 0)
+        failed = int(np.count_nonzero(
+            started & (wu_out == 0) & (wu_issued >= cfg.max_replicas)))
+        in_progress = int(np.count_nonzero(started)) - failed
+        makespans = np.sort(
+            state["wu_validated"][np.logical_not(not_valid)]).tolist()
+        makespan = {
+            "mean": (sum(makespans) / len(makespans)) if makespans else 0.0,
+            "p50": _percentile(makespans, 0.50),
+            "p90": _percentile(makespans, 0.90),
+            "p99": _percentile(makespans, 0.99),
+        }
+        departures = int(np.count_nonzero(cols.departure_s <= horizon))
+        session_time = sum((cols.s_ends - cols.s_starts).tolist())
+        realized_availability = session_time / (horizon * n)
+
+        # per-hypervisor buckets.  hosts/results_ok are exact integer
+        # accumulations (any order gives the same float), so numpy
+        # counts them; the two cpu columns fold per code in host order,
+        # exactly the classic per-host walk (its += 0.0 terms for
+        # untouched hosts are float identities).
+        ncodes = len(cols.hv_names)
+        hv_code = prep.hv_code.tolist()
+        qc_sum = [0.0] * ncodes
+        w_sum = [0.0] * ncodes
+        for code, qv, wv in zip(hv_code, quorum_cpu_by_host, waste):
+            qc_sum[code] += qv
+            w_sum[code] += wv
+        host_count = np.bincount(prep.hv_code, minlength=ncodes)
+        ok_count = np.bincount(prep.hv_code, weights=np.asarray(
+            ok_by_host, dtype=np.float64), minlength=ncodes)
+        codes, first_at = np.unique(prep.hv_code, return_index=True)
+        per_hv: Dict[str, Dict[str, float]] = {}
+        # insertion order = first-appearance order, as the classic walk
+        for code in codes[np.argsort(first_at)].tolist():
+            name = cols.hv_names[code]
+            denom = qc_sum[code] + w_sum[code]
+            per_hv[name] = {
+                "hosts": float(host_count[code]),
+                "results_ok": float(ok_count[code]),
+                "quorum_cpu_s": qc_sum[code],
+                "wasted_cpu_s": w_sum[code],
+                "waste_fraction": w_sum[code] / denom if denom else 0.0,
+                "slowdown": fleet_slowdown(name),
+            }
+
+        # expose the classic tallies for introspection parity
+        self._n_valid = n_valid
+        self.results_ok = ok_n
+        self.results_erroneous = err_n
+        self.results_stale = stale_n
+        self.timeouts = tmo_n
+        self.redundant_results = red_n
+        self.erroneous_cpu_s = err_cpu
+        self.stale_cpu_s = stale_cpu
+        self.redundant_cpu_s = red_cpu
+        self._wasted_by_host = {
+            h: v for h, v in enumerate(waste) if v != 0.0}
+
+        return FleetReport(
+            config=cfg.to_dict(),
+            hosts=n,
+            workunits=nwu,
+            duration_s=horizon,
+            valid=n_valid,
+            failed=failed,
+            in_progress=in_progress,
+            unsent=unsent,
+            replicas_issued=n_rep,
+            results_ok=ok_n,
+            results_erroneous=err_n,
+            results_stale=stale_n,
+            timeouts=tmo_n,
+            redundant_results=red_n,
+            departures=departures,
+            dropouts=self.dropouts,
+            throughput_per_hour=n_valid / (horizon / 3600.0),
+            makespan_s=makespan,
+            cpu_s={
+                "quorum": quorum_cpu,
+                "redundant": redundant_cpu,
+                "erroneous": err_cpu,
+                "stale": stale_cpu,
+                "lost": lost_cpu,
+                "rolled_back": rolled_back,
+                "pending": pending_cpu,
+                "in_flight": in_flight_cpu,
+                "wasted": wasted,
+                "total": total_cpu,
+            },
+            waste_fraction=waste_fraction,
+            realized_availability=realized_availability,
+            per_hypervisor=per_hv,
+            recovery={
+                "outages": 0,
+                "outage_s": 0,
+                "uploads_retried": 0,
+                "uploads_lost": 0,
+                "vm_crashes": 0,
+                "rolled_back_s": 0.0,
+                "degraded_windows": 0,
+                "degraded_s": 0,
+                "degraded_validated": 0,
+            },
+        )
 
     # -- accounting ------------------------------------------------------
 
@@ -649,7 +1328,7 @@ class FleetServer:
                 self._waste_on(replica.host, useful)
                 continue
             spent = active_seconds(host.sessions, replica.dispatched_s,
-                                   horizon)
+                                   horizon, self._starts_for(replica.host))
             if replica.crash_wall_s is not None \
                     and not replica.rollback_counted:
                 # the crash landed in-trace (traces end at the horizon),
@@ -775,11 +1454,18 @@ def simulate_fleet(config: FleetConfig,
     building dispatches to the persistent worker pool only above
     :data:`repro.fleet.host.MIN_PARALLEL_HOSTS` — small fleets run
     serially because pool dispatch would cost more than it saves.
+
+    Fault-free runs build :class:`~repro.fleet.columns.FleetColumns`
+    (byte-identical to the object build) and take the columnar loop;
+    fault storms mutate per-host traces (``host.dropout``) and consult
+    the injector mid-event, so they keep the object path.
     """
-    hosts = build_fleet_hosts(config, jobs=jobs)
-    dropouts = _apply_host_dropout(hosts, config.duration_s) \
-        if FAULTS.enabled else 0
-    return FleetServer(config, hosts, dropouts=dropouts).run()
+    if FAULTS.enabled:
+        hosts = build_fleet_hosts(config, jobs=jobs)
+        dropouts = _apply_host_dropout(hosts, config.duration_s)
+        return FleetServer(config, hosts, dropouts=dropouts).run()
+    columns = build_fleet_columns(config, jobs=jobs)
+    return FleetServer(config, columns).run()
 
 
 def _apply_host_dropout(hosts: List[FleetHost], horizon_s: float) -> int:

@@ -1,0 +1,121 @@
+"""Fast-loop equivalence and hot-path bugfix regressions.
+
+Pins the three contracts the columnar rewrite rides on:
+
+* ``_percentile`` nearest-rank rounding is parity-stable (the
+  half-up fix — ``round``'s banker's rounding flipped the p50 between
+  the lower and upper middle sample depending on count parity);
+* the classic loop with the post-completion re-poll gate is still
+  byte-identical to the archived pre-change server
+  (:mod:`tests._reference_fleet`);
+* the compiled C event kernel and the pure-Python fallback produce the
+  same canonical flat state, and the whole fast path reproduces the
+  oracle's :meth:`FleetReport.to_dict` byte for byte.
+"""
+
+import json
+
+import pytest
+
+import tests._reference_fleet as ref
+from repro.fleet import (
+    FleetConfig,
+    FleetServer,
+    build_fleet_columns,
+    build_fleet_hosts,
+    simulate_fleet,
+)
+from repro.fleet.cloop import available as cloop_available
+from repro.fleet.cloop import run_event_loop
+from repro.fleet.server import _percentile
+
+CONFIGS = [
+    FleetConfig(hosts=60, seed=7, duration_s=43200.0, workunits=120,
+                quorum=2, error_rate=0.05),
+    FleetConfig(hosts=45, seed=23, duration_s=21600.0, workunits=90,
+                quorum=1, error_rate=0.0, hypervisor="vmware"),
+    FleetConfig(hosts=80, seed=3, duration_s=86400.0, workunits=200,
+                quorum=3, max_replicas=5, error_rate=0.1,
+                hypervisor="qemu", checkpoint_interval_s=3600.0),
+]
+
+
+def oracle_dict(config):
+    hosts = ref.build_fleet_hosts(config, jobs=1)
+    return ref.FleetServer(config, hosts).run().to_dict()
+
+
+def canonical(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestPercentileRounding:
+    def test_empty_is_zero(self):
+        assert _percentile([], 0.5) == 0.0
+
+    def test_even_count_takes_upper_middle(self):
+        # floor(0.5 * 1 + 0.5) = 1: two samples -> the larger one
+        assert _percentile([1.0, 2.0], 0.5) == 2.0
+        # floor(0.5 * 3 + 0.5) = 2: four samples -> the upper middle
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 3.0
+
+    def test_odd_count_takes_exact_middle(self):
+        assert _percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+        assert _percentile([1.0, 2.0, 3.0, 4.0, 5.0], 0.5) == 3.0
+
+    def test_parity_does_not_flip_the_rank_direction(self):
+        # the old round()-based rank picked index 0 for n=2 but index 2
+        # for n=4; half-up always lands on the upper middle
+        for n in range(2, 12, 2):
+            values = [float(i) for i in range(1, n + 1)]
+            assert _percentile(values, 0.5) == values[n // 2]
+
+    def test_p90_p99_pinned(self):
+        ten = [float(i) for i in range(1, 11)]
+        assert _percentile(ten, 0.90) == 9.0   # floor(8.1 + 0.5) = 8
+        assert _percentile(ten, 0.99) == 10.0  # floor(8.91 + 0.5) = 9
+        four = [10.0, 20.0, 30.0, 40.0]
+        assert _percentile(four, 0.99) == 40.0
+
+    def test_extremes_clamped(self):
+        assert _percentile([5.0], 0.0) == 5.0
+        assert _percentile([5.0], 1.0) == 5.0
+
+
+class TestClassicMatchesOracle:
+    """The re-poll gate (and the other hot-path fixes) change no bytes."""
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_classic_object_path_byte_identical(self, config):
+        hosts = build_fleet_hosts(config, jobs=1)
+        live = FleetServer(config, hosts).run().to_dict()
+        assert canonical(live) == canonical(oracle_dict(config))
+
+
+class TestFastMatchesOracle:
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_columnar_path_byte_identical(self, config):
+        live = simulate_fleet(config, jobs=1).to_dict()
+        assert canonical(live) == canonical(oracle_dict(config))
+
+
+class TestKernelMatchesFallback:
+    """C kernel and Python fallback emit the same canonical state."""
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_state_dicts_identical(self, config):
+        if not cloop_available():
+            pytest.skip("no C compiler / kernel unavailable")
+        columns = build_fleet_columns(config, jobs=1)
+        server = FleetServer(config, columns)
+        prep = server._fast_prep()
+        c_state = run_event_loop(prep)
+        assert c_state is not None
+        py_state = server._fast_loop_python(prep)
+        assert set(c_state) == set(py_state)
+        for key, c_val in c_state.items():
+            p_val = py_state[key]
+            if hasattr(c_val, "tobytes"):
+                assert c_val.tobytes() == p_val.tobytes(), key
+            else:
+                assert c_val == p_val, key
